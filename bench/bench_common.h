@@ -1,0 +1,102 @@
+#ifndef EDDE_BENCH_BENCH_COMMON_H_
+#define EDDE_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/edde.h"
+#include "data/synthetic_image.h"
+#include "data/synthetic_text.h"
+#include "ensemble/method.h"
+#include "utils/flags.h"
+
+namespace edde {
+namespace bench {
+
+/// Workload scale. `tiny` finishes every experiment on one CPU core in
+/// seconds-to-minutes; `small` is ~4x bigger; `paper` uses paper-shaped
+/// budgets (hours on CPU — for completeness, not for the default run).
+enum class Scale { kTiny, kSmall, kPaper };
+
+/// Parses "--scale" values; aborts on unknown strings.
+Scale ParseScale(const std::string& value);
+
+/// Registers the flags shared by all experiment binaries (--scale, --seed)
+/// and parses argv. Returns false (after printing help) if --help was given.
+bool InitExperiment(FlagParser* flags, int argc, char** argv);
+
+/// An image-classification workload (synthetic stand-in for CIFAR).
+struct CvWorkload {
+  std::string dataset_name;
+  TrainTestSplit data;
+  int num_classes = 0;
+};
+
+/// CIFAR-10-like: 10 classes, moderate noise.
+CvWorkload MakeC10Like(Scale scale, uint64_t seed);
+
+/// CIFAR-100-like: more classes, higher noise — the harder regime where the
+/// paper runs most analyses.
+CvWorkload MakeC100Like(Scale scale, uint64_t seed);
+
+/// A sentiment workload (synthetic stand-in for IMDB / MR).
+struct NlpWorkload {
+  std::string dataset_name;
+  TrainTestSplit data;
+  SyntheticTextConfig config;
+};
+
+/// IMDB-like: longer reviews, bigger vocabulary.
+NlpWorkload MakeImdbLike(Scale scale, uint64_t seed);
+
+/// MR-like: short single-sentence reviews.
+NlpWorkload MakeMrLike(Scale scale, uint64_t seed);
+
+/// Base-model factories, scaled-down members of the paper's architecture
+/// families (ResNet-32 / DenseNet-40 / TextCNN — see DESIGN.md).
+ModelFactory MakeResNetFactory(Scale scale, int num_classes);
+ModelFactory MakeDenseNetFactory(Scale scale, int num_classes);
+ModelFactory MakeTextCnnFactory(Scale scale, const SyntheticTextConfig& data);
+
+/// Which architecture family a budget/hyperparameter set targets.
+enum class Arch { kResNet, kDenseNet, kTextCnn };
+
+/// Equal-total-epochs training budget for one comparison group, following
+/// the paper's protocol (all methods in a group share the total; EDDE's
+/// first member trains longer and later members shorter).
+struct Budget {
+  MethodConfig method;
+  int total_epochs = 0;
+  int edde_first_epochs = 0;  ///< EDDE: first member budget.
+  int edde_rest_epochs = 0;   ///< EDDE: each later member's budget.
+};
+
+/// Budget for the CV experiments.
+Budget MakeCvBudget(Scale scale, uint64_t seed);
+
+/// Budget for the NLP experiments. Per the paper, EDDE runs at *half* the
+/// baselines' total budget in the NLP tables.
+Budget MakeNlpBudget(Scale scale, uint64_t seed);
+
+/// Paper hyperparameters: γ/β per architecture (Sec. V-A: ResNet γ=0.1
+/// β=0.7; DenseNet γ=0.2 β=0.5; TextCNN transfers all conv layers).
+EddeOptions PaperEddeOptions(Arch arch, const Budget& budget);
+
+/// Builds the paper's seven-method comparison list (Single Model, BANs,
+/// Bagging, AdaBoost.M1, AdaBoost.NC, Snapshot, EDDE) at the given budget.
+std::vector<std::unique_ptr<EnsembleMethod>> MakeStandardMethods(
+    const Budget& budget, Arch arch);
+
+/// Convenience: a configured EddeMethod.
+std::unique_ptr<EnsembleMethod> MakeEdde(const Budget& budget, Arch arch,
+                                         EddeOptions options);
+
+/// Prints the standard experiment banner (id, paper reference, scale).
+void PrintBanner(const std::string& experiment_id, const std::string& claim,
+                 Scale scale, uint64_t seed);
+
+}  // namespace bench
+}  // namespace edde
+
+#endif  // EDDE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,91 @@
+/// Figure 7 — ensemble accuracy vs cumulative training epochs.
+///
+/// Paper: on CIFAR-100 (ResNet-32 left, DenseNet-40 right), EDDE's accuracy
+/// curve dominates every other method at every budget; it reaches 73.67%
+/// within 130 epochs while the next-best (Snapshot) needs 400 epochs for
+/// 72.98% — "more than 3x faster".
+///
+/// Here: every method reports its ensemble accuracy after each member
+/// (cycle) completes on the C100-like workload. Shape to reproduce: EDDE's
+/// series sits on top, and it crosses the baselines' final accuracy with
+/// fewer cumulative epochs.
+
+#include <cstdio>
+#include <iostream>
+#include <algorithm>
+#include <map>
+
+#include "bench_common.h"
+#include "utils/table.h"
+#include "utils/timer.h"
+
+namespace edde {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  if (!InitExperiment(&flags, argc, argv)) return 0;
+  const Scale scale = ParseScale(flags.GetString("scale"));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  PrintBanner("Figure 7: ensemble accuracy vs training epochs (C100-like)",
+              "EDDE reaches the baselines' final accuracy with a fraction "
+              "of their training epochs and stays on top of every curve",
+              scale, seed);
+
+  const CvWorkload w = MakeC100Like(scale, seed);
+  Budget budget = MakeCvBudget(scale, seed);
+  // More, shorter members make the curve readable.
+  budget.method.num_members = 6;
+  budget.method.epochs_per_member =
+      std::max(4, budget.method.epochs_per_member * 3 / 5);
+  budget.total_epochs =
+      budget.method.num_members * budget.method.epochs_per_member;
+  budget.edde_rest_epochs = (budget.method.epochs_per_member * 3) / 4;
+  budget.edde_first_epochs =
+      budget.total_epochs -
+      (budget.method.num_members - 1) * budget.edde_rest_epochs;
+
+  struct ArchRow {
+    std::string name;
+    Arch arch;
+  };
+  const std::vector<ArchRow> archs = {{"ResNet", Arch::kResNet},
+                                      {"DenseNet", Arch::kDenseNet}};
+
+  Timer total;
+  for (const auto& arch : archs) {
+    const ModelFactory factory =
+        arch.arch == Arch::kResNet
+            ? MakeResNetFactory(scale, w.num_classes)
+            : MakeDenseNetFactory(scale, w.num_classes);
+    std::printf("--- %s on %s ---\n", arch.name.c_str(),
+                w.dataset_name.c_str());
+    TablePrinter table({"Method", "Series (cumulative epochs: accuracy)"});
+    auto methods = MakeStandardMethods(budget, arch.arch);
+    for (auto& method : methods) {
+      std::vector<CurvePoint> points;
+      EvalCurve curve{&w.data.test, &points};
+      method->Train(w.data.train, factory, curve);
+      std::string series;
+      for (const auto& [epochs, acc] : points) {
+        if (!series.empty()) series += "  ";
+        series += std::to_string(epochs) + ": " + FormatPercent(acc);
+      }
+      table.AddRow({method->name(), series});
+      std::fprintf(stderr, "[fig7] %s/%s done (%.1fs elapsed)\n",
+                   arch.name.c_str(), method->name().c_str(),
+                   total.Seconds());
+    }
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+  std::printf("total wall time: %.1fs\n", total.Seconds());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace edde
+
+int main(int argc, char** argv) { return edde::bench::Run(argc, argv); }

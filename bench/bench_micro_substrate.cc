@@ -1,0 +1,202 @@
+/// Substrate microbenchmarks (google-benchmark): the tensor/nn primitives
+/// every experiment sits on — gemm, conv2d/conv1d forward+backward, softmax,
+/// batch-norm, full model training steps, and the diversity measures.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "data/synthetic_image.h"
+#include "metrics/diversity.h"
+#include "nn/loss.h"
+#include "nn/resnet.h"
+#include "nn/textcnn.h"
+#include "optim/sgd.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace edde {
+namespace {
+
+Tensor RandomTensor(Shape shape, uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  t.FillNormal(&rng, 0.0f, 1.0f);
+  return t;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Tensor a = RandomTensor(Shape{n, n}, 1);
+  Tensor b = RandomTensor(Shape{n, n}, 2);
+  Tensor c(Shape{n, n});
+  for (auto _ : state) {
+    Gemm(false, false, 1.0f, a, b, 0.0f, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmTransB(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Tensor a = RandomTensor(Shape{n, n}, 1);
+  Tensor b = RandomTensor(Shape{n, n}, 2);
+  Tensor c(Shape{n, n});
+  for (auto _ : state) {
+    Gemm(false, true, 1.0f, a, b, 0.0f, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmTransB)->Arg(128);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const int64_t channels = state.range(0);
+  ConvGeom g;
+  g.in_channels = channels;
+  g.out_channels = channels;
+  g.kernel = 3;
+  g.stride = 1;
+  g.padding = 1;
+  Tensor input = RandomTensor(Shape{8, channels, 16, 16}, 3);
+  Tensor weight = RandomTensor(Shape{channels, channels, 3, 3}, 4);
+  Tensor bias = RandomTensor(Shape{channels}, 5);
+  for (auto _ : state) {
+    Tensor out = Conv2dForward(input, weight, bias, g);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(16);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  const int64_t channels = state.range(0);
+  ConvGeom g;
+  g.in_channels = channels;
+  g.out_channels = channels;
+  g.kernel = 3;
+  g.stride = 1;
+  g.padding = 1;
+  Tensor input = RandomTensor(Shape{8, channels, 16, 16}, 3);
+  Tensor weight = RandomTensor(Shape{channels, channels, 3, 3}, 4);
+  Tensor grad_out = RandomTensor(Shape{8, channels, 16, 16}, 6);
+  Tensor wg(weight.shape(), 0.0f);
+  Tensor bg(Shape{channels}, 0.0f);
+  for (auto _ : state) {
+    Tensor gin = Conv2dBackward(input, weight, grad_out, g, &wg, &bg);
+    benchmark::DoNotOptimize(gin.data());
+  }
+}
+BENCHMARK(BM_Conv2dBackward)->Arg(8);
+
+void BM_Softmax(benchmark::State& state) {
+  Tensor logits = RandomTensor(Shape{256, state.range(0)}, 7);
+  for (auto _ : state) {
+    Tensor p = Softmax(logits);
+    benchmark::DoNotOptimize(p.data());
+  }
+}
+BENCHMARK(BM_Softmax)->Arg(10)->Arg(100);
+
+void BM_DiversityLoss(benchmark::State& state) {
+  Tensor logits = RandomTensor(Shape{128, 20}, 8);
+  Tensor ref = Softmax(RandomTensor(Shape{128, 20}, 9));
+  std::vector<int> labels(128);
+  for (size_t i = 0; i < labels.size(); ++i) labels[i] = static_cast<int>(i % 20);
+  LossConfig cfg;
+  cfg.diversity_gamma = 0.1f;
+  for (auto _ : state) {
+    LossResult r = SoftmaxCrossEntropyLoss(logits, labels, {}, ref, cfg);
+    benchmark::DoNotOptimize(r.grad_logits.data());
+  }
+}
+BENCHMARK(BM_DiversityLoss);
+
+void BM_ResNetForward(benchmark::State& state) {
+  ResNetConfig cfg;
+  cfg.depth = static_cast<int>(state.range(0));
+  cfg.base_width = 8;
+  cfg.num_classes = 10;
+  ResNet net(cfg, 1);
+  Tensor input = RandomTensor(Shape{16, 3, 8, 8}, 2);
+  for (auto _ : state) {
+    Tensor out = net.Forward(input, /*training=*/false);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ResNetForward)->Arg(8)->Arg(14);
+
+void BM_ResNetTrainStep(benchmark::State& state) {
+  ResNetConfig cfg;
+  cfg.depth = 8;
+  cfg.base_width = 8;
+  cfg.num_classes = 10;
+  ResNet net(cfg, 1);
+  SgdConfig sgd_cfg;
+  Sgd opt(&net, sgd_cfg);
+  Tensor input = RandomTensor(Shape{16, 3, 8, 8}, 2);
+  std::vector<int> labels(16);
+  for (size_t i = 0; i < labels.size(); ++i) labels[i] = static_cast<int>(i % 10);
+  for (auto _ : state) {
+    Tensor logits = net.Forward(input, /*training=*/true);
+    LossResult loss = SoftmaxCrossEntropyLoss(logits, labels);
+    net.Backward(loss.grad_logits);
+    opt.Step();
+    net.ZeroGrad();
+    benchmark::DoNotOptimize(loss.loss);
+  }
+}
+BENCHMARK(BM_ResNetTrainStep);
+
+void BM_TextCnnTrainStep(benchmark::State& state) {
+  TextCnnConfig cfg;
+  cfg.vocab_size = 300;
+  cfg.embed_dim = 8;
+  cfg.seq_len = 32;
+  cfg.filters_per_size = 6;
+  cfg.dropout_rate = 0.3f;
+  TextCnn net(cfg, 1);
+  SgdConfig sgd_cfg;
+  Sgd opt(&net, sgd_cfg);
+  Rng rng(3);
+  Tensor input(Shape{32, 32});
+  for (int64_t i = 0; i < input.num_elements(); ++i) {
+    input.at(i) = static_cast<float>(rng.UniformInt(300));
+  }
+  std::vector<int> labels(32);
+  for (size_t i = 0; i < labels.size(); ++i) labels[i] = static_cast<int>(i % 2);
+  for (auto _ : state) {
+    Tensor logits = net.Forward(input, /*training=*/true);
+    LossResult loss = SoftmaxCrossEntropyLoss(logits, labels);
+    net.Backward(loss.grad_logits);
+    opt.Step();
+    net.ZeroGrad();
+    benchmark::DoNotOptimize(loss.loss);
+  }
+}
+BENCHMARK(BM_TextCnnTrainStep);
+
+void BM_SyntheticImageGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    SyntheticImageConfig cfg;
+    cfg.train_size = 512;
+    cfg.test_size = 1;
+    auto data = MakeSyntheticImageData(cfg);
+    benchmark::DoNotOptimize(data.train.features().data());
+  }
+}
+BENCHMARK(BM_SyntheticImageGeneration);
+
+void BM_PairwiseDiversity(benchmark::State& state) {
+  Tensor a = Softmax(RandomTensor(Shape{1024, 20}, 10));
+  Tensor b = Softmax(RandomTensor(Shape{1024, 20}, 11));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PairwiseDiversity(a, b));
+  }
+}
+BENCHMARK(BM_PairwiseDiversity);
+
+}  // namespace
+}  // namespace edde
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+/// Table IV — the influence of diversity.
+///
+/// Paper (CIFAR-100, ResNet-32, 8 base models):
+///   Snapshot  400 epochs  avg 68.53%  ens 72.98%  +4.45%  div 0.1322
+///   EDDE      250 epochs  avg 68.04%  ens 75.30%  +7.26%  div 0.1702
+///   AdaBoost.NC 400 ep    avg 66.81%  ens 72.76%  +5.95%  div 0.1787
+///
+/// Shapes to reproduce: diversity NC > EDDE > Snapshot; average accuracy
+/// Snapshot >= EDDE > NC; EDDE posts the best ensemble accuracy and the
+/// largest ensemble gain with the *smallest* epoch budget.
+
+#include <cstdio>
+#include <iostream>
+#include <algorithm>
+
+#include "bench_common.h"
+#include "ensemble/adaboost_nc.h"
+#include "ensemble/snapshot.h"
+#include "metrics/diversity.h"
+#include "utils/table.h"
+#include "utils/timer.h"
+
+namespace edde {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  if (!InitExperiment(&flags, argc, argv)) return 0;
+  const Scale scale = ParseScale(flags.GetString("scale"));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  PrintBanner("Table IV: the influence of diversity (8 members, C100-like)",
+              "EDDE reaches the best ensemble accuracy and the largest "
+              "ensemble gain with ~60% of the baselines' epochs; diversity "
+              "NC > EDDE > Snapshot",
+              scale, seed);
+
+  const CvWorkload w = MakeC100Like(scale, seed);
+  const ModelFactory factory = MakeResNetFactory(scale, w.num_classes);
+
+  Budget budget = MakeCvBudget(scale, seed);
+  budget.method.num_members = 8;
+  budget.method.epochs_per_member =
+      std::max(3, budget.method.epochs_per_member / 2);
+  const int baseline_total =
+      budget.method.num_members * budget.method.epochs_per_member;
+  // EDDE at ~62.5% of the baseline budget (paper: 250 vs 400 epochs).
+  const int edde_total = baseline_total * 5 / 8;
+  budget.edde_rest_epochs =
+      std::max(2, edde_total / (budget.method.num_members + 1));
+  budget.edde_first_epochs =
+      edde_total - (budget.method.num_members - 1) * budget.edde_rest_epochs;
+
+  SnapshotEnsemble snapshot(budget.method);
+  auto edde_method = MakeEdde(budget, Arch::kResNet,
+                              PaperEddeOptions(Arch::kResNet, budget));
+  AdaBoostNC nc(budget.method);
+
+  struct Row {
+    std::string name;
+    EnsembleMethod* method;
+    int epochs;
+  };
+  TablePrinter table({"Method", "Training epochs", "Average accuracy",
+                      "Ensemble accuracy", "Increased accuracy",
+                      "Diversity"});
+  Timer total;
+  for (const Row& row :
+       {Row{"Snapshot Ensemble", &snapshot, baseline_total},
+        Row{"EDDE", edde_method.get(), edde_total},
+        Row{"AdaBoost.NC", &nc, baseline_total}}) {
+    EnsembleModel model = row.method->Train(w.data.train, factory);
+    const double avg = model.AverageMemberAccuracy(w.data.test);
+    const double ens = model.EvaluateAccuracy(w.data.test);
+    const double div = EnsembleDiversity(model.MemberProbs(w.data.test));
+    table.AddRow({row.name, std::to_string(row.epochs), FormatPercent(avg),
+                  FormatPercent(ens), FormatPercent(ens - avg),
+                  FormatFloat(div, 4)});
+    std::fprintf(stderr, "[table4] %s done (%.1fs elapsed)\n",
+                 row.name.c_str(), total.Seconds());
+  }
+  table.Print(std::cout);
+  std::printf("\ntotal wall time: %.1fs\n", total.Seconds());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace edde
+
+int main(int argc, char** argv) { return edde::bench::Run(argc, argv); }

@@ -1,0 +1,83 @@
+#include "core/beta_selector.h"
+
+#include <memory>
+
+#include "data/sampling.h"
+#include "metrics/metrics.h"
+#include "utils/logging.h"
+
+namespace edde {
+
+BetaProbeResult SelectBeta(const Dataset& train, const ModelFactory& factory,
+                           const BetaProbeConfig& config) {
+  EDDE_CHECK_GE(config.num_folds, 3) << "probe needs >= 3 folds";
+  EDDE_CHECK(!config.beta_grid.empty());
+  Rng rng(config.seed);
+
+  // Folds: teacher sees 0..n-2; student retrains on 0..n-3; fold n-2 is the
+  // teacher-only fold; fold n-1 is unseen by both.
+  const auto folds = KFoldIndices(train.size(), config.num_folds, &rng);
+  const int n = config.num_folds;
+
+  std::vector<int64_t> teacher_idx, student_idx;
+  for (int f = 0; f < n - 1; ++f) {
+    teacher_idx.insert(teacher_idx.end(), folds[static_cast<size_t>(f)].begin(),
+                       folds[static_cast<size_t>(f)].end());
+  }
+  for (int f = 0; f < n - 2; ++f) {
+    student_idx.insert(student_idx.end(), folds[static_cast<size_t>(f)].begin(),
+                       folds[static_cast<size_t>(f)].end());
+  }
+  const Dataset teacher_data = train.Subset(teacher_idx, "beta/teacher");
+  const Dataset student_data = train.Subset(student_idx, "beta/student");
+  const Dataset seen_fold =
+      train.Subset(folds[static_cast<size_t>(n - 2)], "beta/seen");
+  const Dataset unseen_fold =
+      train.Subset(folds[static_cast<size_t>(n - 1)], "beta/unseen");
+
+  // Pre-train the teacher h_{t-1}.
+  std::unique_ptr<Module> teacher = factory(rng.NextU64());
+  TrainConfig teacher_tc;
+  teacher_tc.epochs = config.teacher_epochs;
+  teacher_tc.batch_size = config.batch_size;
+  teacher_tc.sgd = config.sgd;
+  teacher_tc.schedule =
+      std::make_shared<StepDecayLr>(config.sgd.learning_rate);
+  teacher_tc.seed = rng.NextU64();
+  TrainModel(teacher.get(), teacher_data, teacher_tc, TrainContext{});
+
+  BetaProbeResult result;
+  result.selected_beta = config.beta_grid.back();
+  bool selected = false;
+
+  for (double beta : config.beta_grid) {
+    std::unique_ptr<Module> student = factory(rng.NextU64());
+    TransferKnowledge(teacher.get(), student.get(), beta, config.granularity);
+
+    // Mean accuracy on the two probe folds over the first epochs.
+    double seen_acc = 0.0, unseen_acc = 0.0;
+    TrainConfig student_tc;
+    student_tc.epochs = config.probe_epochs;
+    student_tc.batch_size = config.batch_size;
+    student_tc.sgd = config.sgd;
+    student_tc.seed = rng.NextU64();
+    Module* raw = student.get();
+    TrainModel(raw, student_data, student_tc, TrainContext{},
+               [&](int /*epoch*/, double /*loss*/) {
+                 seen_acc += EvaluateAccuracy(raw, seen_fold);
+                 unseen_acc += EvaluateAccuracy(raw, unseen_fold);
+               });
+    seen_acc /= config.probe_epochs;
+    unseen_acc /= config.probe_epochs;
+
+    result.points.push_back(BetaProbePoint{beta, seen_acc, unseen_acc});
+    if (!selected && seen_acc - unseen_acc <= config.tolerance) {
+      result.selected_beta = beta;
+      selected = true;
+      // Keep scanning to fill the full Fig. 5 curve.
+    }
+  }
+  return result;
+}
+
+}  // namespace edde

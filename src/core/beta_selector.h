@@ -1,0 +1,54 @@
+#ifndef EDDE_CORE_BETA_SELECTOR_H_
+#define EDDE_CORE_BETA_SELECTOR_H_
+
+#include <vector>
+
+#include "core/knowledge_transfer.h"
+#include "data/dataset.h"
+#include "ensemble/trainer.h"
+
+namespace edde {
+
+/// Configuration of the adaptive-β probe (paper Sec. IV-B, Fig. 4/5).
+struct BetaProbeConfig {
+  int num_folds = 6;  ///< paper uses n = 6.
+  /// Candidate βs scanned from large to small (paper: start at 1, reduce).
+  std::vector<double> beta_grid = {1.0, 0.9, 0.8, 0.7, 0.6, 0.5,
+                                   0.4, 0.3, 0.2, 0.1, 0.0};
+  int teacher_epochs = 10;   ///< budget for pre-training h_{t-1}.
+  int probe_epochs = 5;      ///< paper: mean accuracy of the first 5 epochs.
+  /// Accept the largest β whose seen/unseen accuracy gap is below this.
+  double tolerance = 0.02;
+  int64_t batch_size = 64;
+  SgdConfig sgd;
+  TransferGranularity granularity = TransferGranularity::kParameterFraction;
+  uint64_t seed = 11;
+};
+
+/// One measured grid point of Fig. 5: the transferred student's mean early
+/// accuracy on the fold its teacher saw (n−1) vs the fold nobody saw (n).
+struct BetaProbePoint {
+  double beta = 0.0;
+  double acc_seen_fold = 0.0;    ///< fold n−1 (teacher-specific knowledge).
+  double acc_unseen_fold = 0.0;  ///< fold n (held out from both).
+};
+
+/// Probe outcome: the selected β and the full curve for plotting.
+struct BetaProbeResult {
+  double selected_beta = 0.0;
+  std::vector<BetaProbePoint> points;
+};
+
+/// Runs the fold experiment of paper Fig. 4: trains a teacher on folds
+/// 1..n−1, then for each candidate β (descending) initializes a student by
+/// β-transfer, retrains it on folds 1..n−2, and compares its mean accuracy
+/// over the first `probe_epochs` epochs on fold n−1 (seen by the teacher)
+/// against fold n (unseen). The selected β is the largest candidate whose
+/// gap is within tolerance — the best trade-off between training speed
+/// (large β) and diversity (student forgets teacher-specific knowledge).
+BetaProbeResult SelectBeta(const Dataset& train, const ModelFactory& factory,
+                           const BetaProbeConfig& config);
+
+}  // namespace edde
+
+#endif  // EDDE_CORE_BETA_SELECTOR_H_

@@ -1,0 +1,213 @@
+#include "core/edde.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "data/sampling.h"
+#include "metrics/metrics.h"
+#include "tensor/ops.h"
+#include "utils/logging.h"
+
+namespace edde {
+
+namespace {
+
+constexpr double kHalfSqrt2 = 0.7071067811865476;  // √2 / 2
+constexpr double kAlphaMin = 1e-3;
+constexpr double kAlphaMax = 4.0;
+
+}  // namespace
+
+std::vector<double> PerSampleSimilarity(const Tensor& member_probs,
+                                        const Tensor& ensemble_probs) {
+  const std::vector<float> dist = RowL2Distance(member_probs, ensemble_probs);
+  std::vector<double> sim(dist.size());
+  for (size_t i = 0; i < dist.size(); ++i) {
+    sim[i] = 1.0 - kHalfSqrt2 * dist[i];
+  }
+  return sim;
+}
+
+std::vector<double> PerSampleBias(const Tensor& member_probs,
+                                  const std::vector<int>& labels) {
+  const int64_t n = member_probs.shape().dim(0);
+  const int64_t k = member_probs.shape().dim(1);
+  EDDE_CHECK_EQ(static_cast<int64_t>(labels.size()), n);
+  std::vector<double> bias(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const float* p = member_probs.data() + i * k;
+    double acc = 0.0;
+    for (int64_t c = 0; c < k; ++c) {
+      const double target = (c == labels[static_cast<size_t>(i)]) ? 1.0 : 0.0;
+      const double diff = p[c] - target;
+      acc += diff * diff;
+    }
+    bias[static_cast<size_t>(i)] = kHalfSqrt2 * std::sqrt(acc);
+  }
+  return bias;
+}
+
+std::string EddeMethod::name() const {
+  std::string n = "EDDE";
+  if (!options_.use_diversity_loss) n += " (normal loss)";
+  if (options_.transfer_mode == EddeOptions::TransferMode::kAll) {
+    n += " (transfer all)";
+  } else if (options_.transfer_mode == EddeOptions::TransferMode::kNone) {
+    n += " (transfer none)";
+  }
+  if (!options_.name_suffix.empty()) n += " " + options_.name_suffix;
+  return n;
+}
+
+EnsembleModel EddeMethod::Train(const Dataset& train,
+                                const ModelFactory& factory,
+                                const EvalCurve& curve) {
+  Rng rng(config_.seed);
+  const int64_t n = train.size();
+  const int first_epochs = options_.first_member_epochs > 0
+                               ? options_.first_member_epochs
+                               : config_.epochs_per_member;
+
+  // Line 2: W₁(x_i) = 1/N.
+  const std::vector<double> initial_weights(static_cast<size_t>(n),
+                                            1.0 / static_cast<double>(n));
+  std::vector<double> weights = initial_weights;
+
+  EnsembleModel ensemble;
+  int cumulative_epochs = 0;
+
+  auto make_train_config = [&](int epochs) {
+    TrainConfig tc;
+    tc.epochs = epochs;
+    tc.batch_size = config_.batch_size;
+    tc.sgd = config_.sgd;
+    tc.schedule = std::make_shared<StepDecayLr>(config_.sgd.learning_rate);
+    tc.augment = config_.augment;
+    tc.augment_config = config_.augment_config;
+    tc.seed = rng.NextU64();
+    return tc;
+  };
+
+  // ---- Line 3-5: first member, plain training on uniform weights. ----
+  {
+    std::unique_ptr<Module> h1 = factory(rng.NextU64());
+    TrainModel(h1.get(), train, make_train_config(first_epochs),
+               TrainContext{});
+
+    // Line 4 computes α₁ from the correct/incorrect count ratio. We take
+    // the ½·log of that ratio so α₁ lives on the same scale as the later
+    // α_t of Eq. 15 (the paper's line 4 as printed would give the first
+    // member an outsized vote).
+    const std::vector<int> preds = PredictLabels(h1.get(), train);
+    int64_t correct = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      if (preds[static_cast<size_t>(i)] ==
+          train.labels()[static_cast<size_t>(i)]) {
+        ++correct;
+      }
+    }
+    const double wrong = static_cast<double>(n - correct);
+    const double alpha1 = std::clamp(
+        0.5 * std::log(std::max(static_cast<double>(correct), 1.0) /
+                       std::max(wrong, 1.0)),
+        kAlphaMin, kAlphaMax);
+    ensemble.AddMember(std::move(h1), alpha1);
+    cumulative_epochs += first_epochs;
+    if (curve.enabled()) {
+      curve.points->emplace_back(cumulative_epochs,
+                                 ensemble.EvaluateAccuracy(*curve.eval));
+    }
+  }
+
+  // ---- Lines 6-15: subsequent members. ----
+  for (int t = 2; t <= config_.num_members; ++t) {
+    // Soft targets of the current ensemble H_{t−1} on the training set.
+    const Tensor ensemble_probs = ensemble.PredictProbs(train);
+    Tensor diversity_reference = ensemble_probs;
+    if (options_.diversity_target ==
+        EddeOptions::DiversityTarget::kPreviousMember) {
+      diversity_reference =
+          PredictProbs(ensemble.member(ensemble.size() - 1), train);
+    }
+
+    // Line 7: I(D, W_{t−1}, h_{t−1}, H_{t−1}, γ, β) — warm start + train.
+    std::unique_ptr<Module> ht = factory(rng.NextU64());
+    switch (options_.transfer_mode) {
+      case EddeOptions::TransferMode::kSelective:
+        TransferKnowledge(ensemble.member(ensemble.size() - 1), ht.get(),
+                          options_.beta, options_.granularity);
+        break;
+      case EddeOptions::TransferMode::kAll:
+        TransferKnowledge(ensemble.member(ensemble.size() - 1), ht.get(), 1.0,
+                          options_.granularity);
+        break;
+      case EddeOptions::TransferMode::kNone:
+        break;
+    }
+
+    const std::vector<float> scaled_weights = ScaleWeightsToMeanOne(weights);
+    TrainContext ctx;
+    ctx.sample_weights = &scaled_weights;
+    if (options_.use_diversity_loss && options_.gamma != 0.0f) {
+      ctx.reference_probs = &diversity_reference;
+      ctx.loss.diversity_gamma = options_.gamma;
+    }
+    TrainModel(ht.get(), train, make_train_config(config_.epochs_per_member),
+               ctx);
+
+    // Lines 8-9: per-sample similarity and bias of the new member.
+    const Tensor member_probs = PredictProbs(ht.get(), train);
+    const std::vector<int> preds = ArgmaxRows(member_probs);
+    const std::vector<double> sim =
+        PerSampleSimilarity(member_probs, ensemble_probs);
+    const std::vector<double> bias = PerSampleBias(member_probs,
+                                                   train.labels());
+
+    // Line 10 (Eq. 14): raise the weight of misclassified samples by
+    // e^{Sim+Bias}; correctly classified samples keep their base weight.
+    const std::vector<double>& base =
+        options_.weight_update == EddeOptions::WeightUpdateBase::kFromInitial
+            ? initial_weights
+            : weights;
+    const std::vector<double> previous_weights = weights;
+    std::vector<double> new_weights(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      const size_t s = static_cast<size_t>(i);
+      const bool wrong = preds[s] != train.labels()[s];
+      new_weights[s] = base[s] * (wrong ? std::exp(sim[s] + bias[s]) : 1.0);
+    }
+    NormalizeWeights(&new_weights);  // Z_t
+    weights = std::move(new_weights);
+
+    // Line 12 (Eq. 15): member weight from the Sim-weighted correct vs
+    // incorrect mass. See EddeOptions::alpha_from_updated_weights for the
+    // choice between the as-printed W_t and the scale-consistent W_{t−1}.
+    const std::vector<double>& alpha_weights =
+        options_.alpha_from_updated_weights ? weights : previous_weights;
+    double correct_mass = 0.0, wrong_mass = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const size_t s = static_cast<size_t>(i);
+      const double mass = sim[s] * alpha_weights[s];
+      if (preds[s] == train.labels()[s]) {
+        correct_mass += mass;
+      } else {
+        wrong_mass += mass;
+      }
+    }
+    const double alpha = std::clamp(
+        0.5 * std::log(std::max(correct_mass, 1e-12) /
+                       std::max(wrong_mass, 1e-12)),
+        kAlphaMin, kAlphaMax);
+
+    ensemble.AddMember(std::move(ht), alpha);
+    cumulative_epochs += config_.epochs_per_member;
+    if (curve.enabled()) {
+      curve.points->emplace_back(cumulative_epochs,
+                                 ensemble.EvaluateAccuracy(*curve.eval));
+    }
+  }
+  return ensemble;
+}
+
+}  // namespace edde

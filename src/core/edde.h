@@ -1,0 +1,97 @@
+#ifndef EDDE_CORE_EDDE_H_
+#define EDDE_CORE_EDDE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/knowledge_transfer.h"
+#include "ensemble/method.h"
+
+namespace edde {
+
+/// Options of the EDDE algorithm (paper Algorithm 1) plus the ablation and
+/// design-choice switches called out in DESIGN.md.
+struct EddeOptions {
+  /// γ — strength of the diversity-driven loss term (paper Eq. 10).
+  float gamma = 0.1f;
+  /// β — fraction of lower-layer knowledge transferred from h_{t−1}.
+  double beta = 0.7;
+  TransferGranularity granularity = TransferGranularity::kParameterFraction;
+
+  /// Ablation: false reproduces "EDDE (normal loss)" from Table VI.
+  bool use_diversity_loss = true;
+
+  /// Ablation: what is transferred between consecutive members.
+  enum class TransferMode {
+    kSelective,  ///< β fraction of lower layers (EDDE).
+    kAll,        ///< everything — "EDDE (transfer all)" (Snapshot-style).
+    kNone,       ///< nothing — "EDDE (transfer none)".
+  };
+  TransferMode transfer_mode = TransferMode::kSelective;
+
+  /// Design choice: Eq. 14 updates W_t from the *initial* weights W₁ (the
+  /// paper's choice, so weights do not accumulate boosting emphasis across
+  /// rounds); kMultiplicative is classic boosting from W_{t−1}.
+  enum class WeightUpdateBase { kFromInitial, kMultiplicative };
+  WeightUpdateBase weight_update = WeightUpdateBase::kFromInitial;
+
+  /// Design choice: which weights enter Eq. 15's member-weight ratio.
+  /// Algorithm 1 as printed computes α_t from the freshly *updated* W_t,
+  /// whose mass is concentrated on h_t's own errors; at moderate train
+  /// accuracy that drives α_t to its floor while α₁ (computed from plain
+  /// counts) stays large, so the first member dominates the vote. Using the
+  /// pre-update weights W_{t−1} keeps every α_t on α₁'s scale — the regimes
+  /// match only when members fit the training set almost perfectly, which
+  /// is the paper's (but not every) operating point. Default: pre-update.
+  bool alpha_from_updated_weights = false;
+
+  /// Design choice: the soft target the diversity term pushes away from —
+  /// the full ensemble H_{t−1} (paper) or just the previous member h_{t−1}.
+  enum class DiversityTarget { kEnsemble, kPreviousMember };
+  DiversityTarget diversity_target = DiversityTarget::kEnsemble;
+
+  /// Epochs for the first member (paper: the first model trains with a full
+  /// Snapshot-style budget, later members with a shorter one). −1 means use
+  /// MethodConfig::epochs_per_member.
+  int first_member_epochs = -1;
+
+  /// Optional display-name suffix used by ablation benches.
+  std::string name_suffix;
+};
+
+/// Efficient Diversity-Driven Ensemble — the paper's primary contribution.
+///
+/// Per Algorithm 1: member h₁ trains normally; each subsequent member is
+/// warm-started by β-selective knowledge transfer from h_{t−1}, trained with
+/// the diversity-driven weighted loss against the ensemble soft target
+/// H_{t−1} (Eq. 10), and folded into the ensemble with weight α_t (Eq. 15)
+/// after the per-sample boosting weights are updated via Sim/Bias (Eq. 12-14).
+class EddeMethod : public EnsembleMethod {
+ public:
+  EddeMethod(const MethodConfig& config, const EddeOptions& options)
+      : config_(config), options_(options) {}
+
+  EnsembleModel Train(const Dataset& train, const ModelFactory& factory,
+                      const EvalCurve& curve = {}) override;
+  std::string name() const override;
+
+  const EddeOptions& options() const { return options_; }
+
+ private:
+  MethodConfig config_;
+  EddeOptions options_;
+};
+
+/// Per-sample similarity between a member's soft targets and the ensemble's
+/// (paper Eq. 12): Sim_t(x_i) = 1 − (√2/2)‖p_t(x_i) − H_{t−1}(x_i)‖₂.
+std::vector<double> PerSampleSimilarity(const Tensor& member_probs,
+                                        const Tensor& ensemble_probs);
+
+/// Per-sample bias (paper Eq. 13): Bias_t(x_i) = (√2/2)‖p_t(x_i) − y_i‖₂
+/// with y one-hot.
+std::vector<double> PerSampleBias(const Tensor& member_probs,
+                                  const std::vector<int>& labels);
+
+}  // namespace edde
+
+#endif  // EDDE_CORE_EDDE_H_

@@ -1,0 +1,48 @@
+#include "core/knowledge_transfer.h"
+
+#include "utils/logging.h"
+
+namespace edde {
+
+TransferStats TransferKnowledge(Module* teacher, Module* student, double beta,
+                                TransferGranularity granularity) {
+  EDDE_CHECK(teacher != nullptr);
+  EDDE_CHECK(student != nullptr);
+  EDDE_CHECK_GE(beta, 0.0);
+  EDDE_CHECK_LE(beta, 1.0);
+
+  auto tp = teacher->Parameters();
+  auto sp = student->Parameters();
+  EDDE_CHECK_EQ(tp.size(), sp.size())
+      << "teacher/student architecture mismatch";
+
+  TransferStats stats;
+  stats.blocks_total = static_cast<int64_t>(tp.size());
+  for (size_t i = 0; i < tp.size(); ++i) {
+    EDDE_CHECK(tp[i]->value.shape() == sp[i]->value.shape())
+        << "parameter block " << i << " shape mismatch";
+    stats.params_total += tp[i]->value.num_elements();
+  }
+
+  // Copy depth-ordered blocks while the cumulative fraction stays below β.
+  int64_t params_seen = 0;
+  for (size_t i = 0; i < tp.size(); ++i) {
+    bool include;
+    if (granularity == TransferGranularity::kLayerFraction) {
+      include = static_cast<double>(i) <
+                beta * static_cast<double>(stats.blocks_total);
+    } else {
+      include = static_cast<double>(params_seen) <
+                beta * static_cast<double>(stats.params_total);
+    }
+    if (include) {
+      sp[i]->value.CopyFrom(tp[i]->value);
+      ++stats.blocks_transferred;
+      stats.params_transferred += tp[i]->value.num_elements();
+    }
+    params_seen += tp[i]->value.num_elements();
+  }
+  return stats;
+}
+
+}  // namespace edde

@@ -1,0 +1,45 @@
+#ifndef EDDE_CORE_KNOWLEDGE_TRANSFER_H_
+#define EDDE_CORE_KNOWLEDGE_TRANSFER_H_
+
+#include <cstdint>
+
+#include "nn/module.h"
+
+namespace edde {
+
+/// How the β fraction of "lower layers" is measured when selecting which
+/// parameter blocks to transfer (DESIGN.md §5 ablation).
+enum class TransferGranularity {
+  /// β is a fraction of the depth-ordered parameter-block count.
+  kLayerFraction,
+  /// β is a fraction of the total scalar parameter count (default; matches
+  /// the paper's "proportion of parameters we should transfer").
+  kParameterFraction,
+};
+
+/// Statistics returned by TransferKnowledge.
+struct TransferStats {
+  int64_t blocks_total = 0;
+  int64_t blocks_transferred = 0;
+  int64_t params_total = 0;
+  int64_t params_transferred = 0;
+};
+
+/// EDDE's selective knowledge transfer (paper Sec. IV-B): copies the lower
+/// `beta` fraction of `teacher`'s parameters — generic features live in the
+/// lower layers — into `student`, leaving the student's upper (task-
+/// specific) layers at their fresh random initialization. Whole parameter
+/// blocks are copied; a block is included while the cumulative fraction is
+/// below β. β=1 transfers everything (Snapshot-style warm start), β=0
+/// transfers nothing (train from scratch).
+///
+/// Both modules must be structurally identical (same block shapes/order);
+/// violations abort. Non-trainable buffers (batch-norm running statistics)
+/// transfer together with their layer.
+TransferStats TransferKnowledge(
+    Module* teacher, Module* student, double beta,
+    TransferGranularity granularity = TransferGranularity::kParameterFraction);
+
+}  // namespace edde
+
+#endif  // EDDE_CORE_KNOWLEDGE_TRANSFER_H_

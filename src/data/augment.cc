@@ -1,0 +1,42 @@
+#include "data/augment.h"
+
+#include "utils/logging.h"
+
+namespace edde {
+
+Tensor AugmentImageBatch(const Tensor& batch, const AugmentConfig& cfg,
+                         Rng* rng) {
+  EDDE_CHECK_EQ(batch.shape().rank(), 4);
+  EDDE_CHECK_GE(cfg.pad, 0);
+  const int64_t n = batch.shape().dim(0);
+  const int64_t c = batch.shape().dim(1);
+  const int64_t h = batch.shape().dim(2);
+  const int64_t w = batch.shape().dim(3);
+  Tensor out(batch.shape());
+
+  for (int64_t i = 0; i < n; ++i) {
+    // Crop offset in the padded image, expressed as a shift in [-pad, pad].
+    const int64_t dy =
+        cfg.pad == 0 ? 0 : rng->UniformInt(2 * cfg.pad + 1) - cfg.pad;
+    const int64_t dx =
+        cfg.pad == 0 ? 0 : rng->UniformInt(2 * cfg.pad + 1) - cfg.pad;
+    const bool flip = cfg.horizontal_flip && rng->Bernoulli(0.5);
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* src = batch.data() + (i * c + ch) * h * w;
+      float* dst = out.data() + (i * c + ch) * h * w;
+      for (int64_t y = 0; y < h; ++y) {
+        for (int64_t x = 0; x < w; ++x) {
+          const int64_t sy = y + dy;
+          int64_t sx = x + dx;
+          if (flip) sx = w - 1 - sx;
+          dst[y * w + x] = (sy >= 0 && sy < h && sx >= 0 && sx < w)
+                               ? src[sy * w + sx]
+                               : 0.0f;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace edde

@@ -1,0 +1,25 @@
+#ifndef EDDE_DATA_AUGMENT_H_
+#define EDDE_DATA_AUGMENT_H_
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace edde {
+
+/// Train-time image augmentation matching the "widely used scheme" the
+/// paper cites for CIFAR (He et al.): zero-pad by `pad` pixels, take a
+/// random crop back to the original size, and flip horizontally with
+/// probability 1/2.
+struct AugmentConfig {
+  int pad = 1;
+  bool horizontal_flip = true;
+};
+
+/// Applies the augmentation independently to each image of an
+/// (N, C, H, W) batch, returning a new tensor.
+Tensor AugmentImageBatch(const Tensor& batch, const AugmentConfig& config,
+                         Rng* rng);
+
+}  // namespace edde
+
+#endif  // EDDE_DATA_AUGMENT_H_

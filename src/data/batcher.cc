@@ -1,0 +1,27 @@
+#include "data/batcher.h"
+
+#include <numeric>
+
+#include "utils/logging.h"
+
+namespace edde {
+
+std::vector<std::vector<int64_t>> MakeBatches(int64_t n, int64_t batch_size,
+                                              bool shuffle, Rng* rng) {
+  EDDE_CHECK_GT(n, 0);
+  EDDE_CHECK_GT(batch_size, 0);
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  if (shuffle) {
+    EDDE_CHECK(rng != nullptr);
+    rng->Shuffle(&order);
+  }
+  std::vector<std::vector<int64_t>> batches;
+  for (int64_t start = 0; start < n; start += batch_size) {
+    const int64_t end = std::min(n, start + batch_size);
+    batches.emplace_back(order.begin() + start, order.begin() + end);
+  }
+  return batches;
+}
+
+}  // namespace edde

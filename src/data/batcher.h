@@ -1,0 +1,20 @@
+#ifndef EDDE_DATA_BATCHER_H_
+#define EDDE_DATA_BATCHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace edde {
+
+/// Splits [0, n) into consecutive minibatches of `batch_size` (the last may
+/// be smaller), optionally over a shuffled permutation. Batches carry
+/// *dataset indices* so training loops can look up per-sample boosting
+/// weights and cached ensemble soft targets.
+std::vector<std::vector<int64_t>> MakeBatches(int64_t n, int64_t batch_size,
+                                              bool shuffle, Rng* rng);
+
+}  // namespace edde
+
+#endif  // EDDE_DATA_BATCHER_H_

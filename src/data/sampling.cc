@@ -1,0 +1,60 @@
+#include "data/sampling.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "utils/logging.h"
+
+namespace edde {
+
+std::vector<int64_t> BootstrapIndices(int64_t n, int64_t count, Rng* rng) {
+  EDDE_CHECK_GT(n, 0);
+  std::vector<int64_t> out(static_cast<size_t>(count));
+  for (auto& idx : out) idx = rng->UniformInt(n);
+  return out;
+}
+
+std::vector<int64_t> WeightedResampleIndices(
+    const std::vector<double>& weights, int64_t count, Rng* rng) {
+  EDDE_CHECK(!weights.empty());
+  std::vector<double> cumulative(weights.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    EDDE_CHECK_GE(weights[i], 0.0) << "negative sample weight";
+    acc += weights[i];
+    cumulative[i] = acc;
+  }
+  EDDE_CHECK_GT(acc, 0.0) << "weights sum to zero";
+  std::vector<int64_t> out(static_cast<size_t>(count));
+  for (auto& idx : out) {
+    const double u = rng->Uniform() * acc;
+    const auto it =
+        std::upper_bound(cumulative.begin(), cumulative.end(), u);
+    idx = std::min<int64_t>(
+        static_cast<int64_t>(it - cumulative.begin()),
+        static_cast<int64_t>(weights.size()) - 1);
+  }
+  return out;
+}
+
+std::vector<std::vector<int64_t>> KFoldIndices(int64_t n, int k, Rng* rng) {
+  EDDE_CHECK_GT(k, 1);
+  EDDE_CHECK_GE(n, k);
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+  std::vector<std::vector<int64_t>> folds(static_cast<size_t>(k));
+  for (int64_t i = 0; i < n; ++i) {
+    folds[static_cast<size_t>(i % k)].push_back(order[static_cast<size_t>(i)]);
+  }
+  return folds;
+}
+
+void NormalizeWeights(std::vector<double>* weights) {
+  double total = 0.0;
+  for (double w : *weights) total += w;
+  EDDE_CHECK_GT(total, 0.0) << "cannot normalize zero-sum weights";
+  for (double& w : *weights) w /= total;
+}
+
+}  // namespace edde

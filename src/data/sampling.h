@@ -1,0 +1,31 @@
+#ifndef EDDE_DATA_SAMPLING_H_
+#define EDDE_DATA_SAMPLING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace edde {
+
+/// Draws `count` indices uniformly with replacement from [0, n) —
+/// bootstrap sampling for Bagging.
+std::vector<int64_t> BootstrapIndices(int64_t n, int64_t count, Rng* rng);
+
+/// Draws `count` indices with replacement, proportionally to `weights`
+/// (unnormalized, non-negative) — the sub-sampling step of the AdaBoost
+/// family. O((n + count) log n) via cumulative sums and binary search.
+std::vector<int64_t> WeightedResampleIndices(
+    const std::vector<double>& weights, int64_t count, Rng* rng);
+
+/// Partitions [0, n) into k shuffled folds of near-equal size. Fold sizes
+/// differ by at most one. Used by EDDE's adaptive-β probe (paper Fig. 4).
+std::vector<std::vector<int64_t>> KFoldIndices(int64_t n, int k, Rng* rng);
+
+/// Normalizes a non-negative weight vector to sum to 1 in place.
+/// Aborts if the sum is not strictly positive.
+void NormalizeWeights(std::vector<double>* weights);
+
+}  // namespace edde
+
+#endif  // EDDE_DATA_SAMPLING_H_

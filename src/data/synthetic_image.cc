@@ -1,0 +1,133 @@
+#include "data/synthetic_image.h"
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "utils/logging.h"
+
+namespace edde {
+namespace {
+
+/// One class prototype: a smooth random field plus an oriented grating whose
+/// frequency/orientation depend on the class id, per channel.
+std::vector<float> MakePrototype(int cls, int mode, int size, int channels,
+                                 float field_weight, float grating_weight,
+                                 Rng* rng) {
+  std::vector<float> proto(static_cast<size_t>(channels * size * size));
+  // Low-resolution field upsampled bilinearly.
+  const int grid = 3;
+  std::vector<float> field(static_cast<size_t>(channels * grid * grid));
+  for (auto& v : field) v = static_cast<float>(rng->Normal(0.0, 1.0));
+
+  const double angle = 2.0 * M_PI * (cls * 0.37 + mode * 0.13);
+  const double freq = 1.0 + (cls % 4) * 0.7 + mode * 0.35;
+  const double cx = std::cos(angle), sx = std::sin(angle);
+
+  for (int c = 0; c < channels; ++c) {
+    for (int y = 0; y < size; ++y) {
+      for (int x = 0; x < size; ++x) {
+        // Bilinear sample of the low-res field.
+        const double fy = static_cast<double>(y) / (size - 1) * (grid - 1);
+        const double fx = static_cast<double>(x) / (size - 1) * (grid - 1);
+        const int y0 = static_cast<int>(fy), x0 = static_cast<int>(fx);
+        const int y1 = std::min(y0 + 1, grid - 1);
+        const int x1 = std::min(x0 + 1, grid - 1);
+        const double wy = fy - y0, wx = fx - x0;
+        auto f = [&](int yy, int xx) {
+          return field[static_cast<size_t>((c * grid + yy) * grid + xx)];
+        };
+        const double smooth = (1 - wy) * ((1 - wx) * f(y0, x0) + wx * f(y0, x1)) +
+                              wy * ((1 - wx) * f(y1, x0) + wx * f(y1, x1));
+        // Class-coded grating.
+        const double phase =
+            freq * (cx * x + sx * y) * (2.0 * M_PI / size) + c * 0.9;
+        const double grating = std::sin(phase);
+        proto[static_cast<size_t>((c * size + y) * size + x)] =
+            static_cast<float>(field_weight * smooth +
+                               grating_weight * grating);
+      }
+    }
+  }
+  return proto;
+}
+
+/// Renders one instance of `proto` with shift/flip/noise into `dst`.
+void RenderInstance(const std::vector<float>& proto, int size, int channels,
+                    const SyntheticImageConfig& cfg, Rng* rng, float* dst) {
+  const int shift_y = cfg.max_shift == 0
+                          ? 0
+                          : static_cast<int>(rng->UniformInt(2 * cfg.max_shift + 1)) -
+                                cfg.max_shift;
+  const int shift_x = cfg.max_shift == 0
+                          ? 0
+                          : static_cast<int>(rng->UniformInt(2 * cfg.max_shift + 1)) -
+                                cfg.max_shift;
+  const bool flip = cfg.flip && rng->Bernoulli(0.5);
+  for (int c = 0; c < channels; ++c) {
+    for (int y = 0; y < size; ++y) {
+      for (int x = 0; x < size; ++x) {
+        int sy = y + shift_y;
+        int sx = x + shift_x;
+        if (flip) sx = size - 1 - sx;
+        float v = 0.0f;
+        if (sy >= 0 && sy < size && sx >= 0 && sx < size) {
+          v = proto[static_cast<size_t>((c * size + sy) * size + sx)];
+        }
+        v += static_cast<float>(rng->Normal(0.0, cfg.noise));
+        dst[(c * size + y) * size + x] = v;
+      }
+    }
+  }
+}
+
+Dataset Generate(const SyntheticImageConfig& cfg,
+                 const std::vector<std::vector<float>>& protos, int count,
+                 bool with_label_noise, const std::string& name, Rng* rng) {
+  Tensor features(
+      Shape{count, cfg.channels, cfg.image_size, cfg.image_size});
+  std::vector<int> labels(static_cast<size_t>(count));
+  const int64_t row =
+      static_cast<int64_t>(cfg.channels) * cfg.image_size * cfg.image_size;
+  for (int i = 0; i < count; ++i) {
+    const int cls = static_cast<int>(rng->UniformInt(cfg.num_classes));
+    const int mode = static_cast<int>(rng->UniformInt(cfg.modes_per_class));
+    const auto& proto =
+        protos[static_cast<size_t>(cls * cfg.modes_per_class + mode)];
+    RenderInstance(proto, cfg.image_size, cfg.channels, cfg, rng,
+                   features.data() + i * row);
+    int label = cls;
+    if (with_label_noise && rng->Bernoulli(cfg.label_noise)) {
+      label = static_cast<int>(rng->UniformInt(cfg.num_classes));
+    }
+    labels[static_cast<size_t>(i)] = label;
+  }
+  return Dataset(name, std::move(features), std::move(labels),
+                 cfg.num_classes);
+}
+
+}  // namespace
+
+TrainTestSplit MakeSyntheticImageData(const SyntheticImageConfig& cfg) {
+  EDDE_CHECK_GT(cfg.num_classes, 1);
+  EDDE_CHECK_GT(cfg.modes_per_class, 0);
+  EDDE_CHECK_GT(cfg.image_size, 2);
+  Rng rng(cfg.seed);
+  std::vector<std::vector<float>> protos;
+  protos.reserve(static_cast<size_t>(cfg.num_classes * cfg.modes_per_class));
+  for (int cls = 0; cls < cfg.num_classes; ++cls) {
+    for (int m = 0; m < cfg.modes_per_class; ++m) {
+      protos.push_back(MakePrototype(cls, m, cfg.image_size, cfg.channels,
+                                     cfg.field_weight, cfg.grating_weight,
+                                     &rng));
+    }
+  }
+  TrainTestSplit split;
+  split.train = Generate(cfg, protos, cfg.train_size,
+                         /*with_label_noise=*/true, "synth_image/train", &rng);
+  split.test = Generate(cfg, protos, cfg.test_size,
+                        /*with_label_noise=*/false, "synth_image/test", &rng);
+  return split;
+}
+
+}  // namespace edde

@@ -1,0 +1,93 @@
+#include "data/synthetic_text.h"
+
+#include "tensor/rng.h"
+#include "utils/logging.h"
+
+namespace edde {
+
+TextVocabLayout GetVocabLayout(const SyntheticTextConfig& cfg) {
+  TextVocabLayout layout;
+  layout.pos_begin = 1;
+  layout.pos_end = layout.pos_begin + cfg.sentiment_vocab;
+  layout.neg_begin = layout.pos_end;
+  layout.neg_end = layout.neg_begin + cfg.sentiment_vocab;
+  layout.negator_begin = layout.neg_end;
+  layout.negator_end = layout.negator_begin + cfg.negator_vocab;
+  layout.filler_begin = layout.negator_end;
+  EDDE_CHECK_LT(layout.filler_begin, cfg.vocab_size)
+      << "vocab too small for sentiment/negator bands";
+  return layout;
+}
+
+namespace {
+
+Dataset Generate(const SyntheticTextConfig& cfg, const TextVocabLayout& lo,
+                 int count, bool with_label_noise, const std::string& name,
+                 Rng* rng) {
+  Tensor features(Shape{count, cfg.seq_len});
+  std::vector<int> labels(static_cast<size_t>(count));
+  const int filler_count = cfg.vocab_size - lo.filler_begin;
+
+  for (int i = 0; i < count; ++i) {
+    float* row = features.data() + static_cast<int64_t>(i) * cfg.seq_len;
+    // The review's overall polarity is drawn first; individual sentiment
+    // mentions agree with it with probability polarity_fidelity. A negated
+    // mention expresses its effective polarity through the *opposite* token
+    // band ("not good" in a negative review), so only models that read the
+    // (negator, token) bigram resolve those mentions correctly.
+    const bool review_positive = rng->Bernoulli(0.5);
+    int sentiment_tokens = 0;
+    int t = 0;
+    while (t < cfg.seq_len) {
+      if (rng->Bernoulli(cfg.sentiment_rate)) {
+        const bool agrees = rng->Bernoulli(cfg.polarity_fidelity);
+        const bool effective_positive = agrees == review_positive;
+        const bool negated =
+            t + 1 < cfg.seq_len && rng->Bernoulli(cfg.negation_prob);
+        if (negated) {
+          row[t++] = static_cast<float>(
+              lo.negator_begin +
+              rng->UniformInt(lo.negator_end - lo.negator_begin));
+        }
+        // Negation inverts the token's surface polarity.
+        const bool surface_positive =
+            negated ? !effective_positive : effective_positive;
+        const int band_begin = surface_positive ? lo.pos_begin : lo.neg_begin;
+        row[t++] = static_cast<float>(band_begin +
+                                      rng->UniformInt(cfg.sentiment_vocab));
+        ++sentiment_tokens;
+      } else {
+        row[t++] = static_cast<float>(lo.filler_begin +
+                                      rng->UniformInt(filler_count));
+      }
+    }
+    if (sentiment_tokens == 0) {
+      // Guarantee at least one sentiment mention (position 0).
+      const int band_begin = review_positive ? lo.pos_begin : lo.neg_begin;
+      row[0] = static_cast<float>(band_begin +
+                                  rng->UniformInt(cfg.sentiment_vocab));
+    }
+
+    int label = review_positive ? 1 : 0;
+    if (with_label_noise && rng->Bernoulli(cfg.label_noise)) label = 1 - label;
+    labels[static_cast<size_t>(i)] = label;
+  }
+  return Dataset(name, std::move(features), std::move(labels),
+                 /*num_classes=*/2);
+}
+
+}  // namespace
+
+TrainTestSplit MakeSyntheticTextData(const SyntheticTextConfig& cfg) {
+  EDDE_CHECK_GT(cfg.seq_len, 2);
+  const TextVocabLayout layout = GetVocabLayout(cfg);
+  Rng rng(cfg.seed);
+  TrainTestSplit split;
+  split.train = Generate(cfg, layout, cfg.train_size,
+                         /*with_label_noise=*/true, "synth_text/train", &rng);
+  split.test = Generate(cfg, layout, cfg.test_size,
+                        /*with_label_noise=*/false, "synth_text/test", &rng);
+  return split;
+}
+
+}  // namespace edde

@@ -1,0 +1,57 @@
+#ifndef EDDE_DATA_SYNTHETIC_TEXT_H_
+#define EDDE_DATA_SYNTHETIC_TEXT_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace edde {
+
+/// Procedural stand-in for the IMDB / MR sentiment datasets (see DESIGN.md).
+///
+/// The vocabulary is partitioned into positive tokens, negative tokens,
+/// negator tokens and neutral filler. A review is mostly filler with a
+/// handful of sentiment tokens; a negator directly before a sentiment token
+/// inverts its contribution, so bigram-detecting convolutions (TextCNN's
+/// strength) beat bag-of-words. The label is the sign of the summed
+/// effective polarity, with optional label noise on the training split.
+struct SyntheticTextConfig {
+  int vocab_size = 200;      ///< includes PAD=0.
+  int seq_len = 32;          ///< fixed (padded/truncated) review length.
+  int train_size = 2048;
+  int test_size = 1024;
+  int sentiment_vocab = 24;  ///< tokens per polarity.
+  int negator_vocab = 4;     ///< "not"-style tokens.
+  double sentiment_rate = 0.18;  ///< prob. a position carries sentiment.
+  double negation_prob = 0.25;   ///< prob. a sentiment token is negated.
+  /// Probability that a sentiment mention agrees with the review's overall
+  /// polarity. Reviews are polarity-dominated (as in IMDB/MR), so presence
+  /// features — what max-over-time pooling can see — carry the label.
+  double polarity_fidelity = 0.85;
+  float label_noise = 0.05f;
+  uint64_t seed = 42;
+};
+
+/// Token-id layout helpers (PAD first, then positive/negative/negator bands,
+/// remainder is filler).
+struct TextVocabLayout {
+  int pad = 0;
+  int pos_begin = 1;
+  int pos_end = 0;  ///< exclusive
+  int neg_begin = 0;
+  int neg_end = 0;
+  int negator_begin = 0;
+  int negator_end = 0;
+  int filler_begin = 0;
+};
+
+/// Computes the vocabulary band boundaries for a config.
+TextVocabLayout GetVocabLayout(const SyntheticTextConfig& config);
+
+/// Generates the binary-sentiment train/test pair. Features are (N, L)
+/// token-id tensors suitable for TextCnn.
+TrainTestSplit MakeSyntheticTextData(const SyntheticTextConfig& config);
+
+}  // namespace edde
+
+#endif  // EDDE_DATA_SYNTHETIC_TEXT_H_

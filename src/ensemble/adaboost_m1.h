@@ -1,0 +1,33 @@
+#ifndef EDDE_ENSEMBLE_ADABOOST_M1_H_
+#define EDDE_ENSEMBLE_ADABOOST_M1_H_
+
+#include <string>
+
+#include "ensemble/method.h"
+
+namespace edde {
+
+/// AdaBoost.M1 (Freund & Schapire) with the SAMME multi-class weight so
+/// base learners only need to beat random guessing on k classes.
+///
+/// Each round trains a fresh network on a weighted resample of the training
+/// set (the paper's protocol: deep AdaBoost variants sub-sample), computes
+/// the weighted error ε_t on the full training set,
+/// α_t = log((1−ε_t)/ε_t) + log(k−1), and multiplies the weights of
+/// misclassified samples by e^{α_t}. Degenerate rounds (ε_t ≥ 1 − 1/k)
+/// reset the weights to uniform and keep the member with a small α.
+class AdaBoostM1 : public EnsembleMethod {
+ public:
+  explicit AdaBoostM1(const MethodConfig& config) : config_(config) {}
+
+  EnsembleModel Train(const Dataset& train, const ModelFactory& factory,
+                      const EvalCurve& curve = {}) override;
+  std::string name() const override { return "AdaBoost.M1"; }
+
+ private:
+  MethodConfig config_;
+};
+
+}  // namespace edde
+
+#endif  // EDDE_ENSEMBLE_ADABOOST_M1_H_

@@ -1,0 +1,44 @@
+#ifndef EDDE_ENSEMBLE_ADABOOST_NC_H_
+#define EDDE_ENSEMBLE_ADABOOST_NC_H_
+
+#include <string>
+
+#include "ensemble/method.h"
+
+namespace edde {
+
+/// AdaBoost.NC (Wang, Chen & Yao 2010): negative-correlation boosting.
+///
+/// On top of AdaBoost's error-driven reweighting, each sample carries an
+/// ambiguity penalty derived from the 0/1 (dis)agreement between the current
+/// member and the ensemble (the paper's Eq. 1 notion of amb):
+///   amb_t(i) = (1/t) Σ_{s≤t} 1[h_s(x_i) ≠ H_t(x_i)],  pen_i = 1 − amb_t(i)
+/// Weights update as w ∝ w · pen_i^λ · e^{α_t·1[h_t(x_i)≠y_i]} and
+///   α_t = ½ log( Σ_{correct} w_i·pen_i^λ / Σ_{wrong} w_i·pen_i^λ ).
+/// λ (penalty_strength) controls the diversity pressure.
+///
+/// `transfer_all` implements the Table VI ablation "AdaBoost.NC (transfer)":
+/// every new member is initialized from the previous member's full weights.
+class AdaBoostNC : public EnsembleMethod {
+ public:
+  AdaBoostNC(const MethodConfig& config, double penalty_strength = 2.0,
+             bool transfer_all = false)
+      : config_(config),
+        penalty_strength_(penalty_strength),
+        transfer_all_(transfer_all) {}
+
+  EnsembleModel Train(const Dataset& train, const ModelFactory& factory,
+                      const EvalCurve& curve = {}) override;
+  std::string name() const override {
+    return transfer_all_ ? "AdaBoost.NC (transfer)" : "AdaBoost.NC";
+  }
+
+ private:
+  MethodConfig config_;
+  double penalty_strength_;
+  bool transfer_all_;
+};
+
+}  // namespace edde
+
+#endif  // EDDE_ENSEMBLE_ADABOOST_NC_H_

@@ -1,0 +1,41 @@
+#include "ensemble/bagging.h"
+
+#include <memory>
+
+#include "data/sampling.h"
+#include "utils/logging.h"
+
+namespace edde {
+
+EnsembleModel Bagging::Train(const Dataset& train, const ModelFactory& factory,
+                             const EvalCurve& curve) {
+  Rng rng(config_.seed);
+  EnsembleModel ensemble;
+  int cumulative_epochs = 0;
+
+  for (int t = 0; t < config_.num_members; ++t) {
+    const auto indices = BootstrapIndices(train.size(), train.size(), &rng);
+    const Dataset boot = train.Subset(indices, train.name() + "/bootstrap");
+
+    std::unique_ptr<Module> model = factory(rng.NextU64());
+    TrainConfig tc;
+    tc.epochs = config_.epochs_per_member;
+    tc.batch_size = config_.batch_size;
+    tc.sgd = config_.sgd;
+    tc.schedule = std::make_shared<StepDecayLr>(config_.sgd.learning_rate);
+    tc.augment = config_.augment;
+    tc.augment_config = config_.augment_config;
+    tc.seed = rng.NextU64();
+    TrainModel(model.get(), boot, tc, TrainContext{});
+
+    ensemble.AddMember(std::move(model), 1.0);
+    cumulative_epochs += config_.epochs_per_member;
+    if (curve.enabled()) {
+      curve.points->emplace_back(cumulative_epochs,
+                                 ensemble.EvaluateAccuracy(*curve.eval));
+    }
+  }
+  return ensemble;
+}
+
+}  // namespace edde

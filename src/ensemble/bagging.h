@@ -1,0 +1,27 @@
+#ifndef EDDE_ENSEMBLE_BAGGING_H_
+#define EDDE_ENSEMBLE_BAGGING_H_
+
+#include <string>
+
+#include "ensemble/method.h"
+
+namespace edde {
+
+/// Bagging (Breiman): each member trains on an independent bootstrap
+/// resample of the training set; prediction averages the members' softmax
+/// outputs (all α = 1).
+class Bagging : public EnsembleMethod {
+ public:
+  explicit Bagging(const MethodConfig& config) : config_(config) {}
+
+  EnsembleModel Train(const Dataset& train, const ModelFactory& factory,
+                      const EvalCurve& curve = {}) override;
+  std::string name() const override { return "Bagging"; }
+
+ private:
+  MethodConfig config_;
+};
+
+}  // namespace edde
+
+#endif  // EDDE_ENSEMBLE_BAGGING_H_

@@ -1,0 +1,46 @@
+#include "ensemble/bans.h"
+
+#include <memory>
+
+#include "metrics/metrics.h"
+#include "utils/logging.h"
+
+namespace edde {
+
+EnsembleModel Bans::Train(const Dataset& train, const ModelFactory& factory,
+                          const EvalCurve& curve) {
+  Rng rng(config_.seed);
+  EnsembleModel ensemble;
+  Tensor teacher_probs;  // previous generation's soft targets on `train`
+  int cumulative_epochs = 0;
+
+  for (int t = 0; t < config_.num_members; ++t) {
+    std::unique_ptr<Module> model = factory(rng.NextU64());
+    TrainConfig tc;
+    tc.epochs = config_.epochs_per_member;
+    tc.batch_size = config_.batch_size;
+    tc.sgd = config_.sgd;
+    tc.schedule = std::make_shared<StepDecayLr>(config_.sgd.learning_rate);
+    tc.augment = config_.augment;
+    tc.augment_config = config_.augment_config;
+    tc.seed = rng.NextU64();
+
+    TrainContext ctx;
+    if (t > 0) {
+      ctx.reference_probs = &teacher_probs;
+      ctx.loss.distill_weight = distill_weight_;
+    }
+    TrainModel(model.get(), train, tc, ctx);
+
+    teacher_probs = PredictProbs(model.get(), train);
+    ensemble.AddMember(std::move(model), 1.0);
+    cumulative_epochs += config_.epochs_per_member;
+    if (curve.enabled()) {
+      curve.points->emplace_back(cumulative_epochs,
+                                 ensemble.EvaluateAccuracy(*curve.eval));
+    }
+  }
+  return ensemble;
+}
+
+}  // namespace edde

@@ -1,0 +1,34 @@
+#ifndef EDDE_ENSEMBLE_BANS_H_
+#define EDDE_ENSEMBLE_BANS_H_
+
+#include <string>
+
+#include "ensemble/method.h"
+
+namespace edde {
+
+/// Born-Again Networks (Furlanello et al., ICML 2018).
+///
+/// A chain of identically sized networks: generation 1 trains normally;
+/// generation t > 1 is freshly initialized and trained with a knowledge-
+/// distillation term matching the *previous generation's* softmax outputs
+/// on the training set, in addition to the usual cross entropy. The final
+/// predictor averages all generations.
+class Bans : public EnsembleMethod {
+ public:
+  /// `distill_weight` is the coefficient of the KD term.
+  Bans(const MethodConfig& config, float distill_weight = 1.0f)
+      : config_(config), distill_weight_(distill_weight) {}
+
+  EnsembleModel Train(const Dataset& train, const ModelFactory& factory,
+                      const EvalCurve& curve = {}) override;
+  std::string name() const override { return "BANs"; }
+
+ private:
+  MethodConfig config_;
+  float distill_weight_;
+};
+
+}  // namespace edde
+
+#endif  // EDDE_ENSEMBLE_BANS_H_

@@ -1,0 +1,92 @@
+#include "ensemble/ensemble_io.h"
+
+#include "utils/serialize.h"
+
+namespace edde {
+
+namespace {
+constexpr uint32_t kEnsembleMagic = 0xEDDE0002;
+}  // namespace
+
+Status SaveEnsemble(const EnsembleModel& ensemble, const std::string& path) {
+  if (ensemble.size() == 0) {
+    return Status::InvalidArgument("cannot save an empty ensemble");
+  }
+  BinaryWriter writer(path);
+  EDDE_RETURN_NOT_OK(writer.status());
+  writer.WriteU32(kEnsembleMagic);
+  writer.WriteU64(static_cast<uint64_t>(ensemble.size()));
+  for (int64_t t = 0; t < ensemble.size(); ++t) {
+    writer.WriteF32(static_cast<float>(ensemble.alpha(t)));
+    auto params = ensemble.member(t)->Parameters();
+    writer.WriteU64(params.size());
+    for (Parameter* p : params) {
+      writer.WriteString(p->name);
+      const auto& dims = p->value.shape().dims();
+      writer.WriteU64(dims.size());
+      for (int64_t d : dims) writer.WriteI64(d);
+      writer.WriteFloats(p->value.data(),
+                         static_cast<size_t>(p->value.num_elements()));
+    }
+  }
+  return writer.Finish();
+}
+
+Result<EnsembleModel> LoadEnsemble(const std::string& path,
+                                   const ModelFactory& factory) {
+  BinaryReader reader(path);
+  if (!reader.status().ok()) return reader.status();
+  uint32_t magic = 0;
+  if (!reader.ReadU32(&magic)) return reader.status();
+  if (magic != kEnsembleMagic) {
+    return Status::Corruption("bad ensemble magic");
+  }
+  uint64_t members = 0;
+  if (!reader.ReadU64(&members)) return reader.status();
+  if (members == 0 || members > 4096) {
+    return Status::Corruption("implausible ensemble size");
+  }
+
+  EnsembleModel ensemble;
+  for (uint64_t t = 0; t < members; ++t) {
+    float alpha = 0.0f;
+    if (!reader.ReadF32(&alpha)) return reader.status();
+    if (!(alpha > 0.0f)) {
+      return Status::Corruption("non-positive member weight");
+    }
+    std::unique_ptr<Module> member = factory(/*seed=*/t);
+    auto params = member->Parameters();
+    uint64_t count = 0;
+    if (!reader.ReadU64(&count)) return reader.status();
+    if (count != params.size()) {
+      return Status::InvalidArgument(
+          "factory architecture does not match checkpoint: " +
+          std::to_string(count) + " vs " + std::to_string(params.size()) +
+          " parameter blocks");
+    }
+    for (Parameter* p : params) {
+      std::string name;
+      if (!reader.ReadString(&name)) return reader.status();
+      uint64_t rank = 0;
+      if (!reader.ReadU64(&rank)) return reader.status();
+      if (rank > 8) return Status::Corruption("implausible tensor rank");
+      std::vector<int64_t> dims(rank);
+      for (auto& d : dims) {
+        if (!reader.ReadI64(&d)) return reader.status();
+        if (d < 0) return Status::Corruption("negative dimension");
+      }
+      if (Shape(dims) != p->value.shape()) {
+        return Status::InvalidArgument("parameter shape mismatch for " +
+                                       name);
+      }
+      if (!reader.ReadFloats(p->value.data(),
+                             static_cast<size_t>(p->value.num_elements()))) {
+        return reader.status();
+      }
+    }
+    ensemble.AddMember(std::move(member), alpha);
+  }
+  return ensemble;
+}
+
+}  // namespace edde

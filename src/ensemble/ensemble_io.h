@@ -1,0 +1,24 @@
+#ifndef EDDE_ENSEMBLE_ENSEMBLE_IO_H_
+#define EDDE_ENSEMBLE_ENSEMBLE_IO_H_
+
+#include <string>
+
+#include "ensemble/ensemble_model.h"
+#include "ensemble/trainer.h"
+#include "utils/status.h"
+
+namespace edde {
+
+/// Serializes a trained ensemble — every member's parameters plus its
+/// combination weight α — into one binary file.
+Status SaveEnsemble(const EnsembleModel& ensemble, const std::string& path);
+
+/// Restores an ensemble saved with SaveEnsemble. Fresh member modules are
+/// created through `factory` (which must build the same architecture the
+/// ensemble was trained with); parameter-shape mismatches are rejected.
+Result<EnsembleModel> LoadEnsemble(const std::string& path,
+                                   const ModelFactory& factory);
+
+}  // namespace edde
+
+#endif  // EDDE_ENSEMBLE_ENSEMBLE_IO_H_

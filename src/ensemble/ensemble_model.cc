@@ -1,0 +1,94 @@
+#include "ensemble/ensemble_model.h"
+
+#include "metrics/metrics.h"
+#include "tensor/ops.h"
+#include "utils/logging.h"
+
+namespace edde {
+
+void EnsembleModel::AddMember(std::unique_ptr<Module> model, double alpha) {
+  EDDE_CHECK(model != nullptr);
+  EDDE_CHECK_GT(alpha, 0.0) << "member weight must be positive";
+  members_.push_back(std::move(model));
+  alphas_.push_back(alpha);
+}
+
+Tensor EnsembleModel::PredictProbs(const Dataset& data,
+                                   int64_t batch_size) const {
+  EDDE_CHECK(!members_.empty()) << "empty ensemble";
+  double alpha_sum = 0.0;
+  for (double a : alphas_) alpha_sum += a;
+  Tensor combined(Shape{data.size(), data.num_classes()}, 0.0f);
+  for (size_t t = 0; t < members_.size(); ++t) {
+    Tensor p = edde::PredictProbs(members_[t].get(), data, batch_size);
+    Axpy(static_cast<float>(alphas_[t] / alpha_sum), p, &combined);
+  }
+  return combined;
+}
+
+std::vector<int> EnsembleModel::PredictLabels(const Dataset& data,
+                                              int64_t batch_size) const {
+  return ArgmaxRows(PredictProbs(data, batch_size));
+}
+
+std::vector<int> EnsembleModel::PredictLabelsMajorityVote(
+    const Dataset& data, int64_t batch_size) const {
+  EDDE_CHECK(!members_.empty()) << "empty ensemble";
+  const int64_t n = data.size();
+  const int k = data.num_classes();
+  // votes[i][c] accumulates α-weighted-by-tiebreak counts: a vote counts 1,
+  // plus a vanishing α-proportional epsilon so ties resolve toward the
+  // heavier member.
+  std::vector<std::vector<double>> votes(
+      static_cast<size_t>(n), std::vector<double>(static_cast<size_t>(k), 0.0));
+  double alpha_sum = 0.0;
+  for (double a : alphas_) alpha_sum += a;
+  for (size_t t = 0; t < members_.size(); ++t) {
+    const auto preds = edde::PredictLabels(members_[t].get(), data,
+                                           batch_size);
+    const double tiebreak = 1e-6 * alphas_[t] / alpha_sum;
+    for (int64_t i = 0; i < n; ++i) {
+      votes[static_cast<size_t>(i)][static_cast<size_t>(
+          preds[static_cast<size_t>(i)])] += 1.0 + tiebreak;
+    }
+  }
+  std::vector<int> out(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    int best = 0;
+    for (int c = 1; c < k; ++c) {
+      if (votes[static_cast<size_t>(i)][static_cast<size_t>(c)] >
+          votes[static_cast<size_t>(i)][static_cast<size_t>(best)]) {
+        best = c;
+      }
+    }
+    out[static_cast<size_t>(i)] = best;
+  }
+  return out;
+}
+
+double EnsembleModel::EvaluateAccuracy(const Dataset& data,
+                                       int64_t batch_size) const {
+  return Accuracy(PredictLabels(data, batch_size), data.labels());
+}
+
+std::vector<Tensor> EnsembleModel::MemberProbs(const Dataset& data,
+                                               int64_t batch_size) const {
+  std::vector<Tensor> out;
+  out.reserve(members_.size());
+  for (const auto& m : members_) {
+    out.push_back(edde::PredictProbs(m.get(), data, batch_size));
+  }
+  return out;
+}
+
+double EnsembleModel::AverageMemberAccuracy(const Dataset& data,
+                                            int64_t batch_size) const {
+  EDDE_CHECK(!members_.empty());
+  double acc = 0.0;
+  for (const auto& m : members_) {
+    acc += edde::EvaluateAccuracy(m.get(), data, batch_size);
+  }
+  return acc / static_cast<double>(members_.size());
+}
+
+}  // namespace edde

@@ -1,0 +1,63 @@
+#ifndef EDDE_ENSEMBLE_ENSEMBLE_MODEL_H_
+#define EDDE_ENSEMBLE_ENSEMBLE_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/module.h"
+
+namespace edde {
+
+/// A trained ensemble: base models h_t plus their combination weights α_t.
+///
+/// Prediction follows the paper's Eq. 16, H_T(x) = Σ_t α_t · h_t(x) over
+/// softmax outputs, normalized by Σ α_t so the result is a distribution.
+class EnsembleModel {
+ public:
+  EnsembleModel() = default;
+  EnsembleModel(EnsembleModel&&) = default;
+  EnsembleModel& operator=(EnsembleModel&&) = default;
+
+  /// Adds a trained member with combination weight `alpha` (> 0).
+  void AddMember(std::unique_ptr<Module> model, double alpha);
+
+  int64_t size() const { return static_cast<int64_t>(members_.size()); }
+  Module* member(int64_t i) const { return members_[static_cast<size_t>(i)].get(); }
+  double alpha(int64_t i) const { return alphas_[static_cast<size_t>(i)]; }
+  const std::vector<double>& alphas() const { return alphas_; }
+
+  /// α-weighted average of the members' softmax outputs on `data` (Eq. 16).
+  Tensor PredictProbs(const Dataset& data, int64_t batch_size = 128) const;
+
+  /// Argmax of PredictProbs.
+  std::vector<int> PredictLabels(const Dataset& data,
+                                 int64_t batch_size = 128) const;
+
+  /// Hard majority vote over the members' label predictions (the paper's
+  /// Sec. II "Majority Voting" combiner); ties break toward the member with
+  /// the larger α.
+  std::vector<int> PredictLabelsMajorityVote(const Dataset& data,
+                                             int64_t batch_size = 128) const;
+
+  /// Ensemble accuracy on `data`.
+  double EvaluateAccuracy(const Dataset& data, int64_t batch_size = 128) const;
+
+  /// Each member's own (N, K) soft targets on `data` — inputs to the
+  /// diversity measures and to the Fig. 8 similarity heatmaps.
+  std::vector<Tensor> MemberProbs(const Dataset& data,
+                                  int64_t batch_size = 128) const;
+
+  /// Mean accuracy of the individual members ("Average accuracy" in the
+  /// paper's Table IV/VI).
+  double AverageMemberAccuracy(const Dataset& data,
+                               int64_t batch_size = 128) const;
+
+ private:
+  std::vector<std::unique_ptr<Module>> members_;
+  std::vector<double> alphas_;
+};
+
+}  // namespace edde
+
+#endif  // EDDE_ENSEMBLE_ENSEMBLE_MODEL_H_

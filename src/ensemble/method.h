@@ -1,0 +1,57 @@
+#ifndef EDDE_ENSEMBLE_METHOD_H_
+#define EDDE_ENSEMBLE_METHOD_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ensemble/ensemble_model.h"
+#include "ensemble/trainer.h"
+
+namespace edde {
+
+/// Budget and training hyper-parameters shared by every ensemble method.
+/// The paper compares methods at equal *total epochs*; benches configure
+/// num_members × epochs_per_member so budgets match across methods.
+struct MethodConfig {
+  int num_members = 4;
+  int epochs_per_member = 10;
+  int64_t batch_size = 64;
+  SgdConfig sgd;
+  bool augment = false;
+  AugmentConfig augment_config;
+  uint64_t seed = 7;
+};
+
+/// One point of a training-budget/accuracy curve: cumulative training
+/// epochs spent so far, and the ensemble's test accuracy at that point.
+using CurvePoint = std::pair<int, double>;
+
+/// Optional accuracy-vs-budget probe (the paper's Fig. 7): when `eval` is
+/// set, methods append a CurvePoint after each member completes.
+struct EvalCurve {
+  const Dataset* eval = nullptr;
+  std::vector<CurvePoint>* points = nullptr;
+
+  bool enabled() const { return eval != nullptr && points != nullptr; }
+};
+
+/// Abstract ensemble training method. Implementations: SingleModel,
+/// Bagging, AdaBoostM1, AdaBoostNC, SnapshotEnsemble, Bans (ensemble/) and
+/// EddeMethod (core/).
+class EnsembleMethod {
+ public:
+  virtual ~EnsembleMethod() = default;
+
+  /// Trains an ensemble on `train` using base models from `factory`.
+  virtual EnsembleModel Train(const Dataset& train,
+                              const ModelFactory& factory,
+                              const EvalCurve& curve = {}) = 0;
+
+  /// Display name used in benchmark tables ("Snapshot", "EDDE", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace edde
+
+#endif  // EDDE_ENSEMBLE_METHOD_H_

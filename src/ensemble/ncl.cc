@@ -1,0 +1,95 @@
+#include "ensemble/ncl.h"
+
+#include <memory>
+
+#include "data/augment.h"
+#include "data/batcher.h"
+#include "metrics/metrics.h"
+#include "nn/loss.h"
+#include "optim/sgd.h"
+#include "tensor/ops.h"
+#include "utils/logging.h"
+
+namespace edde {
+
+EnsembleModel NclEnsemble::Train(const Dataset& train,
+                                 const ModelFactory& factory,
+                                 const EvalCurve& curve) {
+  Rng rng(config_.seed);
+  const int t_count = config_.num_members;
+  const int epochs = config_.epochs_per_member;
+  const int64_t n = train.size();
+  const int64_t k = train.num_classes();
+  const bool image_batch = train.features().shape().rank() == 4;
+
+  // Build all members and give each a persistent optimizer so momentum
+  // survives across the interleaved epochs.
+  std::vector<std::unique_ptr<Module>> members;
+  std::vector<std::unique_ptr<Sgd>> optimizers;
+  for (int t = 0; t < t_count; ++t) {
+    members.push_back(factory(rng.NextU64()));
+    optimizers.push_back(
+        std::make_unique<Sgd>(members.back().get(), config_.sgd));
+  }
+  const StepDecayLr schedule(config_.sgd.learning_rate);
+
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    const float lr = schedule.LearningRate(epoch, epochs);
+    // Soft targets of every member on the full training set, refreshed once
+    // per epoch; member t decorrelates against the mean of the *others*.
+    std::vector<Tensor> member_probs;
+    member_probs.reserve(static_cast<size_t>(t_count));
+    for (int t = 0; t < t_count; ++t) {
+      member_probs.push_back(PredictProbs(members[static_cast<size_t>(t)].get(),
+                                          train));
+    }
+
+    for (int t = 0; t < t_count; ++t) {
+      Tensor reference(Shape{n, k}, 0.0f);
+      for (int other = 0; other < t_count; ++other) {
+        if (other == t) continue;
+        Axpy(1.0f / static_cast<float>(t_count - 1),
+             member_probs[static_cast<size_t>(other)], &reference);
+      }
+
+      optimizers[static_cast<size_t>(t)]->set_learning_rate(lr);
+      Module* model = members[static_cast<size_t>(t)].get();
+      const auto batches =
+          MakeBatches(n, config_.batch_size, /*shuffle=*/true, &rng);
+      for (const auto& batch : batches) {
+        Tensor x = train.GatherFeatures(batch);
+        if (config_.augment && image_batch) {
+          x = AugmentImageBatch(x, config_.augment_config, &rng);
+        }
+        const std::vector<int> y = train.GatherLabels(batch);
+        Tensor ref_batch(Shape{static_cast<int64_t>(batch.size()), k});
+        for (size_t i = 0; i < batch.size(); ++i) {
+          for (int64_t c = 0; c < k; ++c) {
+            ref_batch.at(static_cast<int64_t>(i), c) =
+                reference.at(batch[i], c);
+          }
+        }
+        LossConfig loss_cfg;
+        loss_cfg.diversity_gamma = lambda_;
+        Tensor logits = model->Forward(x, /*training=*/true);
+        LossResult loss =
+            SoftmaxCrossEntropyLoss(logits, y, {}, ref_batch, loss_cfg);
+        model->Backward(loss.grad_logits);
+        optimizers[static_cast<size_t>(t)]->Step();
+        model->ZeroGrad();
+      }
+    }
+  }
+
+  EnsembleModel ensemble;
+  for (auto& member : members) {
+    ensemble.AddMember(std::move(member), 1.0);
+  }
+  if (curve.enabled()) {
+    curve.points->emplace_back(t_count * epochs,
+                               ensemble.EvaluateAccuracy(*curve.eval));
+  }
+  return ensemble;
+}
+
+}  // namespace edde

@@ -1,0 +1,39 @@
+#ifndef EDDE_ENSEMBLE_NCL_H_
+#define EDDE_ENSEMBLE_NCL_H_
+
+#include <string>
+
+#include "ensemble/method.h"
+
+namespace edde {
+
+/// Negative Correlation Learning (Liu & Yao 1999), the method EDDE's
+/// diversity term descends from (paper Sec. II-B).
+///
+/// All T networks train *simultaneously*: in every epoch each member takes
+/// one pass over the data with a penalty that decorrelates its softmax
+/// output from the current ensemble mean — implemented with the same
+/// diversity-reward loss as EDDE (γ = λ, reference = mean of the other
+/// members' soft targets, refreshed every epoch). Prediction averages the
+/// members (α = 1).
+///
+/// Budget: each member trains MethodConfig::epochs_per_member epochs, so
+/// the total equals the other methods' num_members × epochs_per_member.
+class NclEnsemble : public EnsembleMethod {
+ public:
+  /// `lambda` is the negative-correlation strength (λ in Liu & Yao).
+  NclEnsemble(const MethodConfig& config, float lambda = 0.5f)
+      : config_(config), lambda_(lambda) {}
+
+  EnsembleModel Train(const Dataset& train, const ModelFactory& factory,
+                      const EvalCurve& curve = {}) override;
+  std::string name() const override { return "NCL"; }
+
+ private:
+  MethodConfig config_;
+  float lambda_;
+};
+
+}  // namespace edde
+
+#endif  // EDDE_ENSEMBLE_NCL_H_

@@ -1,0 +1,45 @@
+#include "ensemble/single.h"
+
+#include <memory>
+
+#include "metrics/metrics.h"
+#include "utils/logging.h"
+
+namespace edde {
+
+EnsembleModel SingleModel::Train(const Dataset& train,
+                                 const ModelFactory& factory,
+                                 const EvalCurve& curve) {
+  Rng rng(config_.seed);
+  const int total_epochs = config_.num_members * config_.epochs_per_member;
+  std::unique_ptr<Module> model = factory(rng.NextU64());
+
+  TrainConfig tc;
+  tc.epochs = total_epochs;
+  tc.batch_size = config_.batch_size;
+  tc.sgd = config_.sgd;
+  tc.schedule = std::make_shared<StepDecayLr>(config_.sgd.learning_rate);
+  tc.augment = config_.augment;
+  tc.augment_config = config_.augment_config;
+  tc.seed = rng.NextU64();
+
+  Module* raw = model.get();
+  EpochCallback cb = nullptr;
+  if (curve.enabled()) {
+    // Probe at member-budget boundaries so the curve is comparable to the
+    // ensemble methods'.
+    cb = [&](int epoch, double /*loss*/) {
+      if ((epoch + 1) % config_.epochs_per_member == 0) {
+        curve.points->emplace_back(epoch + 1,
+                                   EvaluateAccuracy(raw, *curve.eval));
+      }
+    };
+  }
+  TrainModel(raw, train, tc, TrainContext{}, cb);
+
+  EnsembleModel ensemble;
+  ensemble.AddMember(std::move(model), 1.0);
+  return ensemble;
+}
+
+}  // namespace edde

@@ -1,0 +1,27 @@
+#ifndef EDDE_ENSEMBLE_SINGLE_H_
+#define EDDE_ENSEMBLE_SINGLE_H_
+
+#include <string>
+
+#include "ensemble/method.h"
+
+namespace edde {
+
+/// Baseline "Single Model": one network trained for the whole budget
+/// (num_members × epochs_per_member) with the paper's step-decay schedule.
+/// Returned as a one-member ensemble so it plugs into the same harness.
+class SingleModel : public EnsembleMethod {
+ public:
+  explicit SingleModel(const MethodConfig& config) : config_(config) {}
+
+  EnsembleModel Train(const Dataset& train, const ModelFactory& factory,
+                      const EvalCurve& curve = {}) override;
+  std::string name() const override { return "Single Model"; }
+
+ private:
+  MethodConfig config_;
+};
+
+}  // namespace edde
+
+#endif  // EDDE_ENSEMBLE_SINGLE_H_

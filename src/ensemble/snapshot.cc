@@ -1,0 +1,46 @@
+#include "ensemble/snapshot.h"
+
+#include <memory>
+
+#include "nn/checkpoint.h"
+#include "utils/logging.h"
+
+namespace edde {
+
+EnsembleModel SnapshotEnsemble::Train(const Dataset& train,
+                                      const ModelFactory& factory,
+                                      const EvalCurve& curve) {
+  Rng rng(config_.seed);
+  const int cycles = config_.num_members;
+  const int cycle_epochs = config_.epochs_per_member;
+  std::unique_ptr<Module> model = factory(rng.NextU64());
+
+  EnsembleModel ensemble;
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    TrainConfig tc;
+    tc.epochs = cycle_epochs;
+    tc.batch_size = config_.batch_size;
+    tc.sgd = config_.sgd;
+    // One full cosine cycle per call: the restart happens naturally because
+    // each cycle starts at epoch 0 of a fresh schedule.
+    tc.schedule = std::make_shared<CosineRestartLr>(config_.sgd.learning_rate,
+                                                    cycle_epochs);
+    tc.augment = config_.augment;
+    tc.augment_config = config_.augment_config;
+    tc.seed = rng.NextU64();
+    TrainModel(model.get(), train, tc, TrainContext{});
+
+    // Snapshot: deep copy of the current weights.
+    std::unique_ptr<Module> snapshot = factory(rng.NextU64());
+    EDDE_CHECK(CopyParameters(model.get(), snapshot.get()).ok());
+    ensemble.AddMember(std::move(snapshot), 1.0);
+
+    if (curve.enabled()) {
+      curve.points->emplace_back((cycle + 1) * cycle_epochs,
+                                 ensemble.EvaluateAccuracy(*curve.eval));
+    }
+  }
+  return ensemble;
+}
+
+}  // namespace edde

@@ -1,0 +1,30 @@
+#ifndef EDDE_ENSEMBLE_SNAPSHOT_H_
+#define EDDE_ENSEMBLE_SNAPSHOT_H_
+
+#include <string>
+
+#include "ensemble/method.h"
+
+namespace edde {
+
+/// Snapshot Ensembles (Huang et al., ICLR 2017): one network trained with
+/// SGDR cosine-annealing warm restarts; a snapshot of the weights is taken
+/// at the end of every cycle (each learning-rate minimum) and the snapshots
+/// are averaged at prediction time.
+///
+/// num_members = number of cycles M; epochs_per_member = epochs per cycle.
+class SnapshotEnsemble : public EnsembleMethod {
+ public:
+  explicit SnapshotEnsemble(const MethodConfig& config) : config_(config) {}
+
+  EnsembleModel Train(const Dataset& train, const ModelFactory& factory,
+                      const EvalCurve& curve = {}) override;
+  std::string name() const override { return "Snapshot"; }
+
+ private:
+  MethodConfig config_;
+};
+
+}  // namespace edde
+
+#endif  // EDDE_ENSEMBLE_SNAPSHOT_H_

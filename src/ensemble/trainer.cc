@@ -1,0 +1,94 @@
+#include "ensemble/trainer.h"
+
+#include <cstring>
+
+#include "data/batcher.h"
+#include "utils/logging.h"
+
+namespace edde {
+
+double TrainModel(Module* model, const Dataset& train,
+                  const TrainConfig& config, const TrainContext& context,
+                  const EpochCallback& on_epoch) {
+  EDDE_CHECK(model != nullptr);
+  EDDE_CHECK_GT(config.epochs, 0);
+  const int64_t n = train.size();
+  const int64_t k = train.num_classes();
+  if (context.sample_weights != nullptr) {
+    EDDE_CHECK_EQ(static_cast<int64_t>(context.sample_weights->size()), n);
+  }
+  if (context.reference_probs != nullptr) {
+    EDDE_CHECK_EQ(context.reference_probs->shape().dim(0), n);
+    EDDE_CHECK_EQ(context.reference_probs->shape().dim(1), k);
+  }
+
+  Rng rng(config.seed);
+  Sgd optimizer(model, config.sgd);
+  const bool image_batch = train.features().shape().rank() == 4;
+
+  double last_epoch_loss = 0.0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    if (config.schedule != nullptr) {
+      optimizer.set_learning_rate(
+          config.schedule->LearningRate(epoch, config.epochs));
+    }
+    const auto batches = MakeBatches(n, config.batch_size, /*shuffle=*/true,
+                                     &rng);
+    double epoch_loss = 0.0;
+    int64_t seen = 0;
+    for (const auto& batch : batches) {
+      Tensor x = train.GatherFeatures(batch);
+      if (config.augment && image_batch) {
+        x = AugmentImageBatch(x, config.augment_config, &rng);
+      }
+      const std::vector<int> y = train.GatherLabels(batch);
+
+      // Per-batch slices of the per-sample context.
+      std::vector<float> weights;
+      if (context.sample_weights != nullptr) {
+        weights.reserve(batch.size());
+        for (int64_t idx : batch) {
+          weights.push_back(
+              (*context.sample_weights)[static_cast<size_t>(idx)]);
+        }
+      }
+      Tensor reference;
+      if (context.reference_probs != nullptr) {
+        reference = Tensor(Shape{static_cast<int64_t>(batch.size()), k});
+        for (size_t i = 0; i < batch.size(); ++i) {
+          std::memcpy(reference.data() + static_cast<int64_t>(i) * k,
+                      context.reference_probs->data() + batch[i] * k,
+                      sizeof(float) * k);
+        }
+      }
+
+      Tensor logits = model->Forward(x, /*training=*/true);
+      LossResult loss = SoftmaxCrossEntropyLoss(logits, y, weights, reference,
+                                                context.loss);
+      model->Backward(loss.grad_logits);
+      optimizer.Step();
+      model->ZeroGrad();
+
+      epoch_loss += loss.loss * static_cast<double>(batch.size());
+      seen += static_cast<int64_t>(batch.size());
+    }
+    last_epoch_loss = epoch_loss / static_cast<double>(seen);
+    if (on_epoch) on_epoch(epoch, last_epoch_loss);
+  }
+  return last_epoch_loss;
+}
+
+std::vector<float> ScaleWeightsToMeanOne(const std::vector<double>& weights) {
+  EDDE_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += w;
+  EDDE_CHECK_GT(total, 0.0);
+  const double scale = static_cast<double>(weights.size()) / total;
+  std::vector<float> out(weights.size());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    out[i] = static_cast<float>(weights[i] * scale);
+  }
+  return out;
+}
+
+}  // namespace edde

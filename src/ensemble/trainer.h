@@ -1,0 +1,65 @@
+#ifndef EDDE_ENSEMBLE_TRAINER_H_
+#define EDDE_ENSEMBLE_TRAINER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "data/augment.h"
+#include "data/dataset.h"
+#include "nn/loss.h"
+#include "nn/module.h"
+#include "optim/schedule.h"
+#include "optim/sgd.h"
+
+namespace edde {
+
+/// A factory producing fresh, randomly initialized base models of one
+/// architecture. Every ensemble method draws its members from a factory so
+/// the methods stay architecture-agnostic.
+using ModelFactory = std::function<std::unique_ptr<Module>(uint64_t seed)>;
+
+/// Configuration of one SGD training run.
+struct TrainConfig {
+  int epochs = 10;
+  int64_t batch_size = 64;
+  SgdConfig sgd;
+  /// Epoch-wise LR schedule; null means constant sgd.learning_rate.
+  std::shared_ptr<const LrSchedule> schedule;
+  /// Image augmentation (applies only to rank-4 feature batches).
+  bool augment = false;
+  AugmentConfig augment_config;
+  /// Seed for shuffling / augmentation streams.
+  uint64_t seed = 1;
+};
+
+/// Per-sample context that the boosting frameworks thread into the loss.
+struct TrainContext {
+  /// Boosting weights, one per training sample, expected to average ~1
+  /// (see ScaleWeightsToMeanOne). Null: unweighted.
+  const std::vector<float>* sample_weights = nullptr;
+  /// Reference soft targets (N, K): the ensemble H_{t−1} for EDDE's
+  /// diversity term, the previous generation for BANs' distillation term.
+  const Tensor* reference_probs = nullptr;
+  /// Diversity / distillation coefficients (paper Eq. 10).
+  LossConfig loss;
+};
+
+/// Called after every epoch with (epoch index, mean training loss).
+using EpochCallback = std::function<void(int, double)>;
+
+/// Trains `model` on `train` by minibatch SGD and returns the mean training
+/// loss of the final epoch. Per-sample weights and reference soft targets
+/// are looked up through the batch's dataset indices, so shuffling is safe.
+double TrainModel(Module* model, const Dataset& train,
+                  const TrainConfig& config, const TrainContext& context,
+                  const EpochCallback& on_epoch = nullptr);
+
+/// Rescales boosting weights (a distribution over N samples) to average 1,
+/// preserving relative weighting while keeping gradient magnitudes
+/// comparable with unweighted training.
+std::vector<float> ScaleWeightsToMeanOne(const std::vector<double>& weights);
+
+}  // namespace edde
+
+#endif  // EDDE_ENSEMBLE_TRAINER_H_

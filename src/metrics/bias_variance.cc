@@ -1,0 +1,60 @@
+#include "metrics/bias_variance.h"
+
+#include "utils/logging.h"
+
+namespace edde {
+
+BiasVariance DecomposeBiasVariance(
+    const std::vector<std::vector<int>>& member_predictions,
+    const std::vector<int>& labels, int num_classes) {
+  const size_t m = member_predictions.size();
+  const size_t n = labels.size();
+  EDDE_CHECK_GE(m, 1u);
+  EDDE_CHECK_GE(n, 1u);
+  for (const auto& preds : member_predictions) {
+    EDDE_CHECK_EQ(preds.size(), n);
+  }
+
+  BiasVariance result;
+  std::vector<int> votes(static_cast<size_t>(num_classes));
+  double bias_acc = 0.0, var_u_acc = 0.0, var_b_acc = 0.0, err_acc = 0.0;
+
+  for (size_t i = 0; i < n; ++i) {
+    // Main (modal) prediction.
+    votes.assign(static_cast<size_t>(num_classes), 0);
+    for (size_t j = 0; j < m; ++j) {
+      ++votes[static_cast<size_t>(member_predictions[j][i])];
+    }
+    int main_pred = 0;
+    for (int c = 1; c < num_classes; ++c) {
+      if (votes[static_cast<size_t>(c)] >
+          votes[static_cast<size_t>(main_pred)]) {
+        main_pred = c;
+      }
+    }
+
+    const bool biased = main_pred != labels[i];
+    if (biased) bias_acc += 1.0;
+    double disagree = 0.0;
+    for (size_t j = 0; j < m; ++j) {
+      if (member_predictions[j][i] != main_pred) disagree += 1.0;
+      if (member_predictions[j][i] != labels[i]) err_acc += 1.0;
+    }
+    disagree /= static_cast<double>(m);
+    if (biased) {
+      var_b_acc += disagree;
+    } else {
+      var_u_acc += disagree;
+    }
+  }
+
+  const double inv_n = 1.0 / static_cast<double>(n);
+  result.bias = bias_acc * inv_n;
+  result.variance_unbiased = var_u_acc * inv_n;
+  result.variance_biased = var_b_acc * inv_n;
+  result.variance = result.variance_unbiased + result.variance_biased;
+  result.mean_error = err_acc * inv_n / static_cast<double>(m);
+  return result;
+}
+
+}  // namespace edde

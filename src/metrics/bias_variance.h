@@ -1,0 +1,35 @@
+#ifndef EDDE_METRICS_BIAS_VARIANCE_H_
+#define EDDE_METRICS_BIAS_VARIANCE_H_
+
+#include <vector>
+
+namespace edde {
+
+/// Domingos (2000) bias–variance decomposition for 0-1 loss.
+///
+/// For each test sample the "main prediction" is the modal prediction over
+/// the ensemble members. Then
+///   bias      = mean over samples of 1[main != y]
+///   variance  = mean over samples and members of 1[pred != main],
+/// split into unbiased variance (on samples where main == y, disagreement
+/// hurts) and biased variance (main != y, disagreement helps). This is the
+/// quantity behind the paper's Fig. 1: a good ensemble method yields base
+/// models with low bias and high variance.
+struct BiasVariance {
+  double bias = 0.0;
+  double variance = 0.0;
+  double variance_unbiased = 0.0;
+  double variance_biased = 0.0;
+  /// Mean member error, for reference: bias + var_u − var_b approximates it.
+  double mean_error = 0.0;
+};
+
+/// `member_predictions[m][i]` is member m's label for sample i; `labels[i]`
+/// the true class. Requires >= 1 member and equal-length prediction rows.
+BiasVariance DecomposeBiasVariance(
+    const std::vector<std::vector<int>>& member_predictions,
+    const std::vector<int>& labels, int num_classes);
+
+}  // namespace edde
+
+#endif  // EDDE_METRICS_BIAS_VARIANCE_H_

@@ -1,0 +1,61 @@
+#include "nn/activation.h"
+
+#include <cmath>
+
+#include "utils/logging.h"
+
+namespace edde {
+
+Tensor ReLU::Forward(const Tensor& input, bool /*training*/) {
+  Tensor output(input.shape());
+  cached_mask_ = Tensor(input.shape());
+  const float* x = input.data();
+  float* y = output.data();
+  float* m = cached_mask_.data();
+  const int64_t n = input.num_elements();
+  for (int64_t i = 0; i < n; ++i) {
+    const bool on = x[i] > 0.0f;
+    y[i] = on ? x[i] : 0.0f;
+    m[i] = on ? 1.0f : 0.0f;
+  }
+  return output;
+}
+
+Tensor ReLU::Backward(const Tensor& grad_output) {
+  EDDE_CHECK(!cached_mask_.empty()) << "Backward before Forward";
+  EDDE_CHECK(grad_output.shape() == cached_mask_.shape());
+  Tensor grad_input(grad_output.shape());
+  const float* dy = grad_output.data();
+  const float* m = cached_mask_.data();
+  float* dx = grad_input.data();
+  const int64_t n = grad_output.num_elements();
+  for (int64_t i = 0; i < n; ++i) dx[i] = dy[i] * m[i];
+  return grad_input;
+}
+
+void ReLU::CollectParameters(std::vector<Parameter*>* /*out*/) {}
+
+Tensor Tanh::Forward(const Tensor& input, bool /*training*/) {
+  Tensor output(input.shape());
+  const float* x = input.data();
+  float* y = output.data();
+  const int64_t n = input.num_elements();
+  for (int64_t i = 0; i < n; ++i) y[i] = std::tanh(x[i]);
+  cached_output_ = output;
+  return output;
+}
+
+Tensor Tanh::Backward(const Tensor& grad_output) {
+  EDDE_CHECK(!cached_output_.empty()) << "Backward before Forward";
+  Tensor grad_input(grad_output.shape());
+  const float* dy = grad_output.data();
+  const float* y = cached_output_.data();
+  float* dx = grad_input.data();
+  const int64_t n = grad_output.num_elements();
+  for (int64_t i = 0; i < n; ++i) dx[i] = dy[i] * (1.0f - y[i] * y[i]);
+  return grad_input;
+}
+
+void Tanh::CollectParameters(std::vector<Parameter*>* /*out*/) {}
+
+}  // namespace edde

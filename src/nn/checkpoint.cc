@@ -1,0 +1,82 @@
+#include "nn/checkpoint.h"
+
+#include "utils/serialize.h"
+
+namespace edde {
+
+namespace {
+constexpr uint32_t kMagic = 0xEDDE0001;
+}  // namespace
+
+Status SaveCheckpoint(Module* module, const std::string& path) {
+  BinaryWriter writer(path);
+  EDDE_RETURN_NOT_OK(writer.status());
+  auto params = module->Parameters();
+  writer.WriteU32(kMagic);
+  writer.WriteU64(params.size());
+  for (Parameter* p : params) {
+    writer.WriteString(p->name);
+    const auto& dims = p->value.shape().dims();
+    writer.WriteU64(dims.size());
+    for (int64_t d : dims) writer.WriteI64(d);
+    writer.WriteFloats(p->value.data(),
+                       static_cast<size_t>(p->value.num_elements()));
+  }
+  return writer.Finish();
+}
+
+Status LoadCheckpoint(Module* module, const std::string& path) {
+  BinaryReader reader(path);
+  EDDE_RETURN_NOT_OK(reader.status());
+  uint32_t magic = 0;
+  if (!reader.ReadU32(&magic)) return reader.status();
+  if (magic != kMagic) {
+    return Status::Corruption("bad checkpoint magic");
+  }
+  auto params = module->Parameters();
+  uint64_t count = 0;
+  if (!reader.ReadU64(&count)) return reader.status();
+  if (count != params.size()) {
+    return Status::InvalidArgument(
+        "checkpoint has " + std::to_string(count) + " parameters, model has " +
+        std::to_string(params.size()));
+  }
+  for (Parameter* p : params) {
+    std::string name;
+    if (!reader.ReadString(&name)) return reader.status();
+    uint64_t rank = 0;
+    if (!reader.ReadU64(&rank)) return reader.status();
+    std::vector<int64_t> dims(rank);
+    for (auto& d : dims) {
+      if (!reader.ReadI64(&d)) return reader.status();
+    }
+    if (Shape(dims) != p->value.shape()) {
+      return Status::InvalidArgument("checkpoint shape mismatch for " + name);
+    }
+    if (!reader.ReadFloats(p->value.data(),
+                           static_cast<size_t>(p->value.num_elements()))) {
+      return reader.status();
+    }
+  }
+  return Status::OK();
+}
+
+Status CopyParameters(Module* src, Module* dst) {
+  auto sp = src->Parameters();
+  auto dp = dst->Parameters();
+  if (sp.size() != dp.size()) {
+    return Status::InvalidArgument("parameter count mismatch: " +
+                                   std::to_string(sp.size()) + " vs " +
+                                   std::to_string(dp.size()));
+  }
+  for (size_t i = 0; i < sp.size(); ++i) {
+    if (sp[i]->value.shape() != dp[i]->value.shape()) {
+      return Status::InvalidArgument("parameter shape mismatch at index " +
+                                     std::to_string(i));
+    }
+    dp[i]->value.CopyFrom(sp[i]->value);
+  }
+  return Status::OK();
+}
+
+}  // namespace edde

@@ -1,0 +1,26 @@
+#ifndef EDDE_NN_CHECKPOINT_H_
+#define EDDE_NN_CHECKPOINT_H_
+
+#include <string>
+
+#include "nn/module.h"
+#include "utils/status.h"
+
+namespace edde {
+
+/// Serializes all of `module`'s parameters (including non-trainable buffers
+/// such as batch-norm running statistics) to a binary checkpoint file.
+Status SaveCheckpoint(Module* module, const std::string& path);
+
+/// Restores parameters saved with SaveCheckpoint. The module must have an
+/// identical architecture (same parameter count, shapes and order);
+/// mismatches return Corruption/InvalidArgument.
+Status LoadCheckpoint(Module* module, const std::string& path);
+
+/// In-memory parameter copy from `src` to `dst`. The modules must be
+/// structurally identical. Copies values only (not gradients).
+Status CopyParameters(Module* src, Module* dst);
+
+}  // namespace edde
+
+#endif  // EDDE_NN_CHECKPOINT_H_

@@ -1,0 +1,37 @@
+#ifndef EDDE_NN_CONV1D_H_
+#define EDDE_NN_CONV1D_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace edde {
+
+/// 1-D convolution layer over (N, C, L) sequences; used by TextCNN where
+/// channels are embedding dimensions and L is the token position.
+class Conv1d : public Module {
+ public:
+  Conv1d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+         int64_t stride, int64_t padding, bool use_bias, Rng* rng);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>* out) override;
+  std::string name() const override;
+
+  const Conv1dGeom& geom() const { return geom_; }
+
+ private:
+  Conv1dGeom geom_;
+  bool use_bias_;
+  Parameter weight_;
+  Parameter bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace edde
+
+#endif  // EDDE_NN_CONV1D_H_

@@ -1,0 +1,36 @@
+#ifndef EDDE_NN_DENSE_H_
+#define EDDE_NN_DENSE_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/rng.h"
+
+namespace edde {
+
+/// Fully connected layer: y = x @ W^T + b, x (N, in), W (out, in), b (out).
+class Dense : public Module {
+ public:
+  /// Constructs with He-normal weights and zero bias.
+  Dense(int64_t in_features, int64_t out_features, Rng* rng);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>* out) override;
+  std::string name() const override;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  Parameter weight_;
+  Parameter bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace edde
+
+#endif  // EDDE_NN_DENSE_H_

@@ -1,0 +1,59 @@
+#ifndef EDDE_NN_LOSS_H_
+#define EDDE_NN_LOSS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace edde {
+
+/// Configuration of the weighted softmax cross-entropy loss family.
+///
+/// The full per-sample objective implemented here is
+///
+///   L_i = W_i * (  CE(y_i, p_i)                       -- bias term
+///                - γ · ‖p_i − q_i‖₂                   -- EDDE diversity (Eq. 10)
+///                + λ · CE(q_i, p_i) )                 -- distillation (BANs)
+///
+/// where p_i is the student softmax output and q_i a reference soft target
+/// (the ensemble H_{t−1} for EDDE, the previous generation for BANs).
+/// γ > 0 *rewards* disagreement with the reference (negative correlation);
+/// λ > 0 *rewards* agreement (knowledge distillation). The paper's EDDE loss
+/// is γ > 0, λ = 0; BANs is γ = 0, λ > 0; plain training is γ = λ = 0.
+struct LossConfig {
+  /// Strength of the diversity-driven term (paper's γ).
+  float diversity_gamma = 0.0f;
+  /// Strength of the distillation term (BANs).
+  float distill_weight = 0.0f;
+};
+
+/// Output of one loss evaluation.
+struct LossResult {
+  /// Mean (weighted) loss over the batch.
+  double loss = 0.0;
+  /// Gradient with respect to the logits, already averaged over the batch.
+  Tensor grad_logits;
+  /// Softmax outputs p (N, K) — callers reuse them as soft targets.
+  Tensor probs;
+};
+
+/// Evaluates the loss and its logit gradient.
+///
+/// `logits` is (N, K); `labels` holds N class ids; `sample_weights` holds
+/// the boosting weights W (empty = all ones; values are used as-is, callers
+/// normalize); `reference_probs` is (N, K) and required iff γ or λ is
+/// non-zero. Gradients flow through the softmax analytically, matching the
+/// paper's Eq. 11 for the diversity term.
+LossResult SoftmaxCrossEntropyLoss(const Tensor& logits,
+                                   const std::vector<int>& labels,
+                                   const std::vector<float>& sample_weights,
+                                   const Tensor& reference_probs,
+                                   const LossConfig& config);
+
+/// Convenience overload: unweighted plain cross entropy.
+LossResult SoftmaxCrossEntropyLoss(const Tensor& logits,
+                                   const std::vector<int>& labels);
+
+}  // namespace edde
+
+#endif  // EDDE_NN_LOSS_H_

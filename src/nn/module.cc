@@ -1,0 +1,30 @@
+#include "nn/module.h"
+
+namespace edde {
+
+std::vector<Parameter*> Module::Parameters() {
+  std::vector<Parameter*> out;
+  CollectParameters(&out);
+  return out;
+}
+
+void Module::ZeroGrad() {
+  for (Parameter* p : Parameters()) {
+    if (!p->grad.empty()) p->grad.Fill(0.0f);
+  }
+}
+
+int64_t Module::NumParameters(bool trainable_only) {
+  int64_t total = 0;
+  for (Parameter* p : Parameters()) {
+    if (trainable_only && !p->trainable) continue;
+    total += p->value.num_elements();
+  }
+  return total;
+}
+
+void InitGrad(Parameter* param) {
+  param->grad = Tensor(param->value.shape(), 0.0f);
+}
+
+}  // namespace edde

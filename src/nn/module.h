@@ -1,0 +1,72 @@
+#ifndef EDDE_NN_MODULE_H_
+#define EDDE_NN_MODULE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace edde {
+
+/// A learnable tensor plus its gradient accumulator.
+///
+/// `trainable == false` marks statistics buffers (e.g. batch-norm running
+/// mean/variance) that must be saved, loaded and *transferred* with the layer
+/// but never touched by the optimizer.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  bool trainable = true;
+};
+
+/// Base class for all neural-network layers and models.
+///
+/// Modules implement explicit reverse-mode differentiation: Forward caches
+/// whatever it needs, Backward consumes the output gradient and returns the
+/// input gradient while accumulating parameter gradients into
+/// Parameter::grad. One Forward must precede each Backward.
+///
+/// CollectParameters must append parameters in *depth order* (closest to the
+/// input first). EDDE's knowledge-transfer strategy (transfer the lower β
+/// fraction of the network, Sec. IV-B of the paper) depends on this ordering.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Computes the layer output. `training` toggles train-time behaviour
+  /// (batch-norm batch statistics, dropout).
+  virtual Tensor Forward(const Tensor& input, bool training) = 0;
+
+  /// Backpropagates `grad_output`, accumulating parameter gradients, and
+  /// returns the gradient with respect to the last Forward input.
+  virtual Tensor Backward(const Tensor& grad_output) = 0;
+
+  /// Appends this module's parameters, input-side first.
+  virtual void CollectParameters(std::vector<Parameter*>* out) = 0;
+
+  /// Human-readable layer name, e.g. "conv2d(16->32,k3)".
+  virtual std::string name() const = 0;
+
+  /// Flattened, depth-ordered parameter list.
+  std::vector<Parameter*> Parameters();
+
+  /// Zeroes every parameter gradient.
+  void ZeroGrad();
+
+  /// Total number of scalar parameters (trainable only by default).
+  int64_t NumParameters(bool trainable_only = true);
+};
+
+/// Allocates `param`'s gradient with the value's shape and zeroes it.
+void InitGrad(Parameter* param);
+
+}  // namespace edde
+
+#endif  // EDDE_NN_MODULE_H_

@@ -1,0 +1,41 @@
+#include "nn/sequential.h"
+
+#include "utils/logging.h"
+
+namespace edde {
+
+Module* Sequential::Add(std::unique_ptr<Module> layer) {
+  layers_.push_back(std::move(layer));
+  return layers_.back().get();
+}
+
+Tensor Sequential::Forward(const Tensor& input, bool training) {
+  Tensor x = input;
+  for (auto& layer : layers_) {
+    x = layer->Forward(x, training);
+  }
+  return x;
+}
+
+Tensor Sequential::Backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  return g;
+}
+
+void Sequential::CollectParameters(std::vector<Parameter*>* out) {
+  for (auto& layer : layers_) layer->CollectParameters(out);
+}
+
+std::string Sequential::name() const {
+  std::string s = "sequential[";
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += layers_[i]->name();
+  }
+  return s + "]";
+}
+
+}  // namespace edde

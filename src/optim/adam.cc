@@ -1,0 +1,47 @@
+#include "optim/adam.h"
+
+#include <cmath>
+
+#include "utils/logging.h"
+
+namespace edde {
+
+Adam::Adam(Module* module, const AdamConfig& config) : config_(config) {
+  for (Parameter* p : module->Parameters()) {
+    if (!p->trainable) continue;
+    params_.push_back(p);
+    m_.emplace_back(p->value.shape(), 0.0f);
+    v_.emplace_back(p->value.shape(), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++steps_;
+  const float lr = config_.learning_rate;
+  const float b1 = config_.beta1;
+  const float b2 = config_.beta2;
+  const float eps = config_.epsilon;
+  const float wd = config_.weight_decay;
+  const double bias1 = 1.0 - std::pow(b1, static_cast<double>(steps_));
+  const double bias2 = 1.0 - std::pow(b2, static_cast<double>(steps_));
+  const float corrected_lr =
+      lr * static_cast<float>(std::sqrt(bias2) / bias1);
+
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    EDDE_CHECK(!p->grad.empty()) << "parameter has no gradient: " << p->name;
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const int64_t n = p->value.num_elements();
+    for (int64_t j = 0; j < n; ++j) {
+      const float grad = g[j] + wd * w[j];
+      m[j] = b1 * m[j] + (1.0f - b1) * grad;
+      v[j] = b2 * v[j] + (1.0f - b2) * grad * grad;
+      w[j] -= corrected_lr * m[j] / (std::sqrt(v[j]) + eps);
+    }
+  }
+}
+
+}  // namespace edde

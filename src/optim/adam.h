@@ -1,0 +1,44 @@
+#ifndef EDDE_OPTIM_ADAM_H_
+#define EDDE_OPTIM_ADAM_H_
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace edde {
+
+/// Configuration of the Adam optimizer.
+struct AdamConfig {
+  float learning_rate = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  float weight_decay = 0.0f;  ///< L2 added to the gradient (AdamW-style off).
+};
+
+/// Adam (Kingma & Ba). The paper's experiments use SGD, but a substrate a
+/// downstream user adopts needs the de-facto default optimizer too.
+/// Like Sgd, parameter pointers are captured at construction; the module
+/// must outlive the optimizer.
+class Adam {
+ public:
+  Adam(Module* module, const AdamConfig& config);
+
+  /// Applies one update from the gradients accumulated in the parameters.
+  void Step();
+
+  void set_learning_rate(float lr) { config_.learning_rate = lr; }
+  float learning_rate() const { return config_.learning_rate; }
+  int64_t steps_taken() const { return steps_; }
+
+ private:
+  AdamConfig config_;
+  std::vector<Parameter*> params_;
+  std::vector<Tensor> m_;  // first moment
+  std::vector<Tensor> v_;  // second moment
+  int64_t steps_ = 0;
+};
+
+}  // namespace edde
+
+#endif  // EDDE_OPTIM_ADAM_H_

@@ -1,0 +1,32 @@
+#include "optim/schedule.h"
+
+#include <cmath>
+
+#include "utils/logging.h"
+
+namespace edde {
+
+float ConstantLr::LearningRate(int /*epoch*/, int /*total_epochs*/) const {
+  return lr_;
+}
+
+float StepDecayLr::LearningRate(int epoch, int total_epochs) const {
+  EDDE_CHECK_GT(total_epochs, 0);
+  const double frac = static_cast<double>(epoch) / total_epochs;
+  if (frac >= 0.75) return initial_lr_ * 0.01f;
+  if (frac >= 0.5) return initial_lr_ * 0.1f;
+  return initial_lr_;
+}
+
+CosineRestartLr::CosineRestartLr(float initial_lr, int cycle_epochs)
+    : initial_lr_(initial_lr), cycle_epochs_(cycle_epochs) {
+  EDDE_CHECK_GT(cycle_epochs, 0);
+}
+
+float CosineRestartLr::LearningRate(int epoch, int /*total_epochs*/) const {
+  const int t = epoch % cycle_epochs_;
+  const double phase = M_PI * static_cast<double>(t) / cycle_epochs_;
+  return static_cast<float>(initial_lr_ / 2.0 * (std::cos(phase) + 1.0));
+}
+
+}  // namespace edde

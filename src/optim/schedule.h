@@ -1,0 +1,61 @@
+#ifndef EDDE_OPTIM_SCHEDULE_H_
+#define EDDE_OPTIM_SCHEDULE_H_
+
+#include <memory>
+#include <string>
+
+namespace edde {
+
+/// Learning-rate schedule evaluated per epoch.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+
+  /// Learning rate for `epoch` (0-based) out of `total_epochs`.
+  virtual float LearningRate(int epoch, int total_epochs) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Constant learning rate.
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(float lr) : lr_(lr) {}
+  float LearningRate(int epoch, int total_epochs) const override;
+  std::string name() const override { return "constant"; }
+
+ private:
+  float lr_;
+};
+
+/// The paper's standard schedule: divide the initial rate by 10 when
+/// training passes 50% and again at 75% of the total epochs.
+class StepDecayLr : public LrSchedule {
+ public:
+  explicit StepDecayLr(float initial_lr) : initial_lr_(initial_lr) {}
+  float LearningRate(int epoch, int total_epochs) const override;
+  std::string name() const override { return "step(50%,75%)"; }
+
+ private:
+  float initial_lr_;
+};
+
+/// SGDR cosine annealing with warm restarts (Loshchilov & Hutter), as used
+/// by Snapshot Ensembles: lr(t) = lr0/2 * (cos(pi * t_cycle/T_cycle) + 1)
+/// where t_cycle restarts every `cycle_epochs`.
+class CosineRestartLr : public LrSchedule {
+ public:
+  CosineRestartLr(float initial_lr, int cycle_epochs);
+  float LearningRate(int epoch, int total_epochs) const override;
+  std::string name() const override { return "cosine_restart"; }
+
+  int cycle_epochs() const { return cycle_epochs_; }
+
+ private:
+  float initial_lr_;
+  int cycle_epochs_;
+};
+
+}  // namespace edde
+
+#endif  // EDDE_OPTIM_SCHEDULE_H_

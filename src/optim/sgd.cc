@@ -1,0 +1,42 @@
+#include "optim/sgd.h"
+
+#include "utils/logging.h"
+
+namespace edde {
+
+Sgd::Sgd(Module* module, const SgdConfig& config) : config_(config) {
+  for (Parameter* p : module->Parameters()) {
+    if (!p->trainable) continue;
+    params_.push_back(p);
+    velocity_.emplace_back(p->value.shape(), 0.0f);
+  }
+}
+
+void Sgd::Step() {
+  const float lr = config_.learning_rate;
+  const float m = config_.momentum;
+  const float wd = config_.weight_decay;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    EDDE_CHECK(!p->grad.empty()) << "parameter has no gradient: " << p->name;
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    float* v = velocity_[i].data();
+    const int64_t n = p->value.num_elements();
+    if (config_.nesterov) {
+      for (int64_t j = 0; j < n; ++j) {
+        const float grad = g[j] + wd * w[j];
+        v[j] = m * v[j] + grad;
+        w[j] -= lr * (grad + m * v[j]);
+      }
+    } else {
+      for (int64_t j = 0; j < n; ++j) {
+        const float grad = g[j] + wd * w[j];
+        v[j] = m * v[j] + grad;
+        w[j] -= lr * v[j];
+      }
+    }
+  }
+}
+
+}  // namespace edde

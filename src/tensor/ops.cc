@@ -1,0 +1,662 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "utils/logging.h"
+
+namespace edde {
+
+namespace {
+
+// Inner kernel: c[M,N] += alpha * a[M,K] * b[K,N] for row-major contiguous
+// blocks, K-innermost with register accumulation over rows of b.
+void GemmBlockNN(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+                 int64_t lda, const float* b, int64_t ldb, float* c,
+                 int64_t ldc) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * lda;
+    float* crow = c + i * ldc;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = alpha * arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * ldb;
+      for (int64_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void Gemm(bool trans_a, bool trans_b, float alpha, const Tensor& a,
+          const Tensor& b, float beta, Tensor* c) {
+  EDDE_CHECK_EQ(a.shape().rank(), 2);
+  EDDE_CHECK_EQ(b.shape().rank(), 2);
+  EDDE_CHECK_EQ(c->shape().rank(), 2);
+  const int64_t m = trans_a ? a.shape().dim(1) : a.shape().dim(0);
+  const int64_t k = trans_a ? a.shape().dim(0) : a.shape().dim(1);
+  const int64_t kb = trans_b ? b.shape().dim(1) : b.shape().dim(0);
+  const int64_t n = trans_b ? b.shape().dim(0) : b.shape().dim(1);
+  EDDE_CHECK_EQ(k, kb) << "gemm inner dimension mismatch";
+  EDDE_CHECK_EQ(c->shape().dim(0), m);
+  EDDE_CHECK_EQ(c->shape().dim(1), n);
+
+  if (beta == 0.0f) {
+    c->Fill(0.0f);
+  } else if (beta != 1.0f) {
+    Scale(beta, c);
+  }
+
+  // Materialize transposed operands once; simpler than four kernel variants
+  // and the copies are small relative to the O(MNK) work.
+  Tensor a_copy, b_copy;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  int64_t lda = a.shape().dim(1);
+  int64_t ldb = b.shape().dim(1);
+  if (trans_a) {
+    a_copy = Tensor(Shape{m, k});
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t p = 0; p < k; ++p) {
+        a_copy.data()[i * k + p] = pa[p * m + i];
+      }
+    }
+    pa = a_copy.data();
+    lda = k;
+  }
+  if (trans_b) {
+    b_copy = Tensor(Shape{k, n});
+    for (int64_t p = 0; p < k; ++p) {
+      for (int64_t j = 0; j < n; ++j) {
+        b_copy.data()[p * n + j] = pb[j * k + p];
+      }
+    }
+    pb = b_copy.data();
+    ldb = n;
+  }
+
+  // Cache blocking.
+  constexpr int64_t kBlockM = 64;
+  constexpr int64_t kBlockN = 256;
+  constexpr int64_t kBlockK = 64;
+  float* pc = c->data();
+  for (int64_t i0 = 0; i0 < m; i0 += kBlockM) {
+    const int64_t mb = std::min(kBlockM, m - i0);
+    for (int64_t p0 = 0; p0 < k; p0 += kBlockK) {
+      const int64_t kblk = std::min(kBlockK, k - p0);
+      for (int64_t j0 = 0; j0 < n; j0 += kBlockN) {
+        const int64_t nb = std::min(kBlockN, n - j0);
+        GemmBlockNN(mb, nb, kblk, alpha, pa + i0 * lda + p0, lda,
+                    pb + p0 * ldb + j0, ldb, pc + i0 * n + j0, n);
+      }
+    }
+  }
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  Tensor c(Shape{a.shape().dim(0), b.shape().dim(1)});
+  Gemm(false, false, 1.0f, a, b, 0.0f, &c);
+  return c;
+}
+
+void Axpy(float alpha, const Tensor& x, Tensor* y) {
+  EDDE_CHECK_EQ(x.num_elements(), y->num_elements());
+  const float* px = x.data();
+  float* py = y->data();
+  const int64_t n = x.num_elements();
+  for (int64_t i = 0; i < n; ++i) py[i] += alpha * px[i];
+}
+
+void Scale(float alpha, Tensor* x) {
+  float* p = x->data();
+  const int64_t n = x->num_elements();
+  for (int64_t i = 0; i < n; ++i) p[i] *= alpha;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  EDDE_CHECK(a.shape() == b.shape());
+  Tensor out = a.Clone();
+  Axpy(1.0f, b, &out);
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  EDDE_CHECK(a.shape() == b.shape());
+  Tensor out = a.Clone();
+  Axpy(-1.0f, b, &out);
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  EDDE_CHECK(a.shape() == b.shape());
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const int64_t n = a.num_elements();
+  for (int64_t i = 0; i < n; ++i) po[i] = pa[i] * pb[i];
+  return out;
+}
+
+double Dot(const Tensor& a, const Tensor& b) {
+  EDDE_CHECK_EQ(a.num_elements(), b.num_elements());
+  double acc = 0.0;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const int64_t n = a.num_elements();
+  for (int64_t i = 0; i < n; ++i) acc += static_cast<double>(pa[i]) * pb[i];
+  return acc;
+}
+
+double SquaredNorm(const Tensor& x) { return Dot(x, x); }
+
+Tensor Softmax(const Tensor& logits) {
+  EDDE_CHECK_EQ(logits.shape().rank(), 2);
+  const int64_t n = logits.shape().dim(0);
+  const int64_t k = logits.shape().dim(1);
+  Tensor out(logits.shape());
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * k;
+    float* orow = out.data() + i * k;
+    float mx = row[0];
+    for (int64_t j = 1; j < k; ++j) mx = std::max(mx, row[j]);
+    double total = 0.0;
+    for (int64_t j = 0; j < k; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      total += orow[j];
+    }
+    const float inv = static_cast<float>(1.0 / total);
+    for (int64_t j = 0; j < k; ++j) orow[j] *= inv;
+  }
+  return out;
+}
+
+Tensor LogSoftmax(const Tensor& logits) {
+  EDDE_CHECK_EQ(logits.shape().rank(), 2);
+  const int64_t n = logits.shape().dim(0);
+  const int64_t k = logits.shape().dim(1);
+  Tensor out(logits.shape());
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * k;
+    float* orow = out.data() + i * k;
+    float mx = row[0];
+    for (int64_t j = 1; j < k; ++j) mx = std::max(mx, row[j]);
+    double total = 0.0;
+    for (int64_t j = 0; j < k; ++j) total += std::exp(row[j] - mx);
+    const float lse = mx + static_cast<float>(std::log(total));
+    for (int64_t j = 0; j < k; ++j) orow[j] = row[j] - lse;
+  }
+  return out;
+}
+
+std::vector<int> ArgmaxRows(const Tensor& m) {
+  EDDE_CHECK_EQ(m.shape().rank(), 2);
+  const int64_t n = m.shape().dim(0);
+  const int64_t k = m.shape().dim(1);
+  std::vector<int> out(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = m.data() + i * k;
+    int best = 0;
+    for (int64_t j = 1; j < k; ++j) {
+      if (row[j] > row[best]) best = static_cast<int>(j);
+    }
+    out[static_cast<size_t>(i)] = best;
+  }
+  return out;
+}
+
+std::vector<float> RowL2Distance(const Tensor& a, const Tensor& b) {
+  EDDE_CHECK(a.shape() == b.shape());
+  EDDE_CHECK_EQ(a.shape().rank(), 2);
+  const int64_t n = a.shape().dim(0);
+  const int64_t k = a.shape().dim(1);
+  std::vector<float> out(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const float* ra = a.data() + i * k;
+    const float* rb = b.data() + i * k;
+    double acc = 0.0;
+    for (int64_t j = 0; j < k; ++j) {
+      const double d = static_cast<double>(ra[j]) - rb[j];
+      acc += d * d;
+    }
+    out[static_cast<size_t>(i)] = static_cast<float>(std::sqrt(acc));
+  }
+  return out;
+}
+
+void Im2Col(const float* input, int64_t channels, int64_t height,
+            int64_t width, const ConvGeom& geom, float* cols) {
+  const int64_t oh = geom.OutExtent(height);
+  const int64_t ow = geom.OutExtent(width);
+  const int64_t k = geom.kernel;
+  int64_t row = 0;
+  for (int64_t c = 0; c < channels; ++c) {
+    const float* img = input + c * height * width;
+    for (int64_t ky = 0; ky < k; ++ky) {
+      for (int64_t kx = 0; kx < k; ++kx, ++row) {
+        float* out_row = cols + row * oh * ow;
+        for (int64_t y = 0; y < oh; ++y) {
+          const int64_t iy = y * geom.stride + ky - geom.padding;
+          if (iy < 0 || iy >= height) {
+            std::memset(out_row + y * ow, 0, sizeof(float) * ow);
+            continue;
+          }
+          const float* src = img + iy * width;
+          for (int64_t x = 0; x < ow; ++x) {
+            const int64_t ix = x * geom.stride + kx - geom.padding;
+            out_row[y * ow + x] =
+                (ix >= 0 && ix < width) ? src[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Col2Im(const float* cols, int64_t channels, int64_t height,
+            int64_t width, const ConvGeom& geom, float* input_grad) {
+  const int64_t oh = geom.OutExtent(height);
+  const int64_t ow = geom.OutExtent(width);
+  const int64_t k = geom.kernel;
+  int64_t row = 0;
+  for (int64_t c = 0; c < channels; ++c) {
+    float* img = input_grad + c * height * width;
+    for (int64_t ky = 0; ky < k; ++ky) {
+      for (int64_t kx = 0; kx < k; ++kx, ++row) {
+        const float* in_row = cols + row * oh * ow;
+        for (int64_t y = 0; y < oh; ++y) {
+          const int64_t iy = y * geom.stride + ky - geom.padding;
+          if (iy < 0 || iy >= height) continue;
+          float* dst = img + iy * width;
+          for (int64_t x = 0; x < ow; ++x) {
+            const int64_t ix = x * geom.stride + kx - geom.padding;
+            if (ix >= 0 && ix < width) dst[ix] += in_row[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor Conv2dForward(const Tensor& input, const Tensor& weight,
+                     const Tensor& bias, const ConvGeom& geom) {
+  EDDE_CHECK_EQ(input.shape().rank(), 4);
+  const int64_t batch = input.shape().dim(0);
+  const int64_t cin = input.shape().dim(1);
+  const int64_t h = input.shape().dim(2);
+  const int64_t w = input.shape().dim(3);
+  EDDE_CHECK_EQ(cin, geom.in_channels);
+  EDDE_CHECK_EQ(weight.shape().dim(0), geom.out_channels);
+  const int64_t oh = geom.OutExtent(h);
+  const int64_t ow = geom.OutExtent(w);
+  const int64_t cols_rows = cin * geom.kernel * geom.kernel;
+
+  Tensor output(Shape{batch, geom.out_channels, oh, ow});
+  Tensor cols(Shape{cols_rows, oh * ow});
+  Tensor w2d = weight.Reshape(Shape{geom.out_channels, cols_rows});
+  for (int64_t n = 0; n < batch; ++n) {
+    Im2Col(input.data() + n * cin * h * w, cin, h, w, geom, cols.data());
+    Tensor out2d(Shape{geom.out_channels, oh * ow});
+    Gemm(false, false, 1.0f, w2d, cols, 0.0f, &out2d);
+    float* dst = output.data() + n * geom.out_channels * oh * ow;
+    std::memcpy(dst, out2d.data(),
+                sizeof(float) * geom.out_channels * oh * ow);
+    if (!bias.empty()) {
+      for (int64_t oc = 0; oc < geom.out_channels; ++oc) {
+        const float bv = bias.data()[oc];
+        float* ochan = dst + oc * oh * ow;
+        for (int64_t i = 0; i < oh * ow; ++i) ochan[i] += bv;
+      }
+    }
+  }
+  return output;
+}
+
+Tensor Conv2dBackward(const Tensor& input, const Tensor& weight,
+                      const Tensor& grad_out, const ConvGeom& geom,
+                      Tensor* weight_grad, Tensor* bias_grad) {
+  const int64_t batch = input.shape().dim(0);
+  const int64_t cin = input.shape().dim(1);
+  const int64_t h = input.shape().dim(2);
+  const int64_t w = input.shape().dim(3);
+  const int64_t oh = geom.OutExtent(h);
+  const int64_t ow = geom.OutExtent(w);
+  const int64_t cols_rows = cin * geom.kernel * geom.kernel;
+
+  Tensor grad_input(input.shape(), 0.0f);
+  Tensor cols(Shape{cols_rows, oh * ow});
+  Tensor grad_cols(Shape{cols_rows, oh * ow});
+  Tensor w2d = weight.Reshape(Shape{geom.out_channels, cols_rows});
+  Tensor wg2d = weight_grad->Reshape(Shape{geom.out_channels, cols_rows});
+
+  for (int64_t n = 0; n < batch; ++n) {
+    const float* go = grad_out.data() + n * geom.out_channels * oh * ow;
+    Tensor go2d(Shape{geom.out_channels, oh * ow});
+    std::memcpy(go2d.data(), go, sizeof(float) * geom.out_channels * oh * ow);
+
+    // dW += dY @ cols^T
+    Im2Col(input.data() + n * cin * h * w, cin, h, w, geom, cols.data());
+    Gemm(false, true, 1.0f, go2d, cols, 1.0f, &wg2d);
+
+    // dCols = W^T @ dY ; dX = col2im(dCols)
+    Gemm(true, false, 1.0f, w2d, go2d, 0.0f, &grad_cols);
+    Col2Im(grad_cols.data(), cin, h, w, geom,
+           grad_input.data() + n * cin * h * w);
+
+    if (bias_grad != nullptr && !bias_grad->empty()) {
+      for (int64_t oc = 0; oc < geom.out_channels; ++oc) {
+        double acc = 0.0;
+        const float* ochan = go + oc * oh * ow;
+        for (int64_t i = 0; i < oh * ow; ++i) acc += ochan[i];
+        bias_grad->data()[oc] += static_cast<float>(acc);
+      }
+    }
+  }
+  return grad_input;
+}
+
+Tensor Conv1dForward(const Tensor& input, const Tensor& weight,
+                     const Tensor& bias, const Conv1dGeom& geom) {
+  EDDE_CHECK_EQ(input.shape().rank(), 3);
+  const int64_t batch = input.shape().dim(0);
+  const int64_t cin = input.shape().dim(1);
+  const int64_t len = input.shape().dim(2);
+  EDDE_CHECK_EQ(cin, geom.in_channels);
+  const int64_t olen = geom.OutExtent(len);
+  EDDE_CHECK_GT(olen, 0) << "conv1d output is empty";
+
+  Tensor output(Shape{batch, geom.out_channels, olen}, 0.0f);
+  // Direct triple loop; kernel*channels is small for TextCNN.
+  for (int64_t n = 0; n < batch; ++n) {
+    const float* in = input.data() + n * cin * len;
+    float* out = output.data() + n * geom.out_channels * olen;
+    for (int64_t oc = 0; oc < geom.out_channels; ++oc) {
+      const float* wrow = weight.data() + oc * cin * geom.kernel;
+      float* orow = out + oc * olen;
+      for (int64_t t = 0; t < olen; ++t) {
+        double acc = bias.empty() ? 0.0 : bias.data()[oc];
+        const int64_t start = t * geom.stride - geom.padding;
+        for (int64_t c = 0; c < cin; ++c) {
+          const float* irow = in + c * len;
+          const float* wk = wrow + c * geom.kernel;
+          for (int64_t k = 0; k < geom.kernel; ++k) {
+            const int64_t pos = start + k;
+            if (pos >= 0 && pos < len) acc += irow[pos] * wk[k];
+          }
+        }
+        orow[t] = static_cast<float>(acc);
+      }
+    }
+  }
+  return output;
+}
+
+Tensor Conv1dBackward(const Tensor& input, const Tensor& weight,
+                      const Tensor& grad_out, const Conv1dGeom& geom,
+                      Tensor* weight_grad, Tensor* bias_grad) {
+  const int64_t batch = input.shape().dim(0);
+  const int64_t cin = input.shape().dim(1);
+  const int64_t len = input.shape().dim(2);
+  const int64_t olen = geom.OutExtent(len);
+
+  Tensor grad_input(input.shape(), 0.0f);
+  for (int64_t n = 0; n < batch; ++n) {
+    const float* in = input.data() + n * cin * len;
+    float* gin = grad_input.data() + n * cin * len;
+    const float* go = grad_out.data() + n * geom.out_channels * olen;
+    for (int64_t oc = 0; oc < geom.out_channels; ++oc) {
+      const float* wrow = weight.data() + oc * cin * geom.kernel;
+      float* wgrow = weight_grad->data() + oc * cin * geom.kernel;
+      const float* gorow = go + oc * olen;
+      for (int64_t t = 0; t < olen; ++t) {
+        const float g = gorow[t];
+        if (g == 0.0f) continue;
+        const int64_t start = t * geom.stride - geom.padding;
+        for (int64_t c = 0; c < cin; ++c) {
+          const float* irow = in + c * len;
+          float* girow = gin + c * len;
+          const float* wk = wrow + c * geom.kernel;
+          float* wgk = wgrow + c * geom.kernel;
+          for (int64_t k = 0; k < geom.kernel; ++k) {
+            const int64_t pos = start + k;
+            if (pos >= 0 && pos < len) {
+              wgk[k] += g * irow[pos];
+              girow[pos] += g * wk[k];
+            }
+          }
+        }
+      }
+      if (bias_grad != nullptr && !bias_grad->empty()) {
+        double acc = 0.0;
+        for (int64_t t = 0; t < olen; ++t) acc += gorow[t];
+        bias_grad->data()[oc] += static_cast<float>(acc);
+      }
+    }
+  }
+  return grad_input;
+}
+
+Tensor MaxPool2dForward(const Tensor& input, int64_t window,
+                        std::vector<int64_t>* argmax) {
+  EDDE_CHECK_EQ(input.shape().rank(), 4);
+  const int64_t batch = input.shape().dim(0);
+  const int64_t c = input.shape().dim(1);
+  const int64_t h = input.shape().dim(2);
+  const int64_t w = input.shape().dim(3);
+  const int64_t oh = h / window;
+  const int64_t ow = w / window;
+  EDDE_CHECK_GT(oh, 0);
+  EDDE_CHECK_GT(ow, 0);
+
+  Tensor output(Shape{batch, c, oh, ow});
+  argmax->assign(static_cast<size_t>(output.num_elements()), 0);
+  int64_t oi = 0;
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* img = input.data() + (n * c + ch) * h * w;
+      const int64_t base = (n * c + ch) * h * w;
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t x = 0; x < ow; ++x, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          int64_t best_idx = 0;
+          for (int64_t dy = 0; dy < window; ++dy) {
+            for (int64_t dx = 0; dx < window; ++dx) {
+              const int64_t iy = y * window + dy;
+              const int64_t ix = x * window + dx;
+              const float v = img[iy * w + ix];
+              if (v > best) {
+                best = v;
+                best_idx = base + iy * w + ix;
+              }
+            }
+          }
+          output.data()[oi] = best;
+          (*argmax)[static_cast<size_t>(oi)] = best_idx;
+        }
+      }
+    }
+  }
+  return output;
+}
+
+Tensor MaxPool2dBackward(const Shape& input_shape, const Tensor& grad_out,
+                         const std::vector<int64_t>& argmax) {
+  Tensor grad_input(input_shape, 0.0f);
+  EDDE_CHECK_EQ(static_cast<int64_t>(argmax.size()), grad_out.num_elements());
+  const float* go = grad_out.data();
+  for (size_t i = 0; i < argmax.size(); ++i) {
+    grad_input.data()[argmax[i]] += go[i];
+  }
+  return grad_input;
+}
+
+Tensor AvgPool2dForward(const Tensor& input, int64_t window) {
+  EDDE_CHECK_EQ(input.shape().rank(), 4);
+  const int64_t batch = input.shape().dim(0);
+  const int64_t c = input.shape().dim(1);
+  const int64_t h = input.shape().dim(2);
+  const int64_t w = input.shape().dim(3);
+  const int64_t oh = h / window;
+  const int64_t ow = w / window;
+  EDDE_CHECK_GT(oh, 0);
+  EDDE_CHECK_GT(ow, 0);
+  const float inv = 1.0f / static_cast<float>(window * window);
+  Tensor output(Shape{batch, c, oh, ow});
+  int64_t oi = 0;
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* img = input.data() + (n * c + ch) * h * w;
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t x = 0; x < ow; ++x, ++oi) {
+          double acc = 0.0;
+          for (int64_t dy = 0; dy < window; ++dy) {
+            for (int64_t dx = 0; dx < window; ++dx) {
+              acc += img[(y * window + dy) * w + (x * window + dx)];
+            }
+          }
+          output.data()[oi] = static_cast<float>(acc) * inv;
+        }
+      }
+    }
+  }
+  return output;
+}
+
+Tensor AvgPool2dBackward(const Shape& input_shape, const Tensor& grad_out,
+                         int64_t window) {
+  const int64_t batch = input_shape.dim(0);
+  const int64_t c = input_shape.dim(1);
+  const int64_t h = input_shape.dim(2);
+  const int64_t w = input_shape.dim(3);
+  const int64_t oh = h / window;
+  const int64_t ow = w / window;
+  const float inv = 1.0f / static_cast<float>(window * window);
+  Tensor grad_input(input_shape, 0.0f);
+  int64_t oi = 0;
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      float* img = grad_input.data() + (n * c + ch) * h * w;
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t x = 0; x < ow; ++x, ++oi) {
+          const float g = grad_out.data()[oi] * inv;
+          for (int64_t dy = 0; dy < window; ++dy) {
+            for (int64_t dx = 0; dx < window; ++dx) {
+              img[(y * window + dy) * w + (x * window + dx)] += g;
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+Tensor GlobalAvgPool2dForward(const Tensor& input) {
+  EDDE_CHECK_EQ(input.shape().rank(), 4);
+  const int64_t batch = input.shape().dim(0);
+  const int64_t c = input.shape().dim(1);
+  const int64_t hw = input.shape().dim(2) * input.shape().dim(3);
+  Tensor out(Shape{batch, c});
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* img = input.data() + (n * c + ch) * hw;
+      double acc = 0.0;
+      for (int64_t i = 0; i < hw; ++i) acc += img[i];
+      out.data()[n * c + ch] = static_cast<float>(acc / hw);
+    }
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool2dBackward(const Shape& input_shape,
+                               const Tensor& grad_out) {
+  const int64_t batch = input_shape.dim(0);
+  const int64_t c = input_shape.dim(1);
+  const int64_t hw = input_shape.dim(2) * input_shape.dim(3);
+  Tensor grad_input(input_shape);
+  const float inv = 1.0f / static_cast<float>(hw);
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float g = grad_out.data()[n * c + ch] * inv;
+      float* img = grad_input.data() + (n * c + ch) * hw;
+      for (int64_t i = 0; i < hw; ++i) img[i] = g;
+    }
+  }
+  return grad_input;
+}
+
+Tensor MaxOverTimeForward(const Tensor& input, std::vector<int64_t>* argmax) {
+  EDDE_CHECK_EQ(input.shape().rank(), 3);
+  const int64_t batch = input.shape().dim(0);
+  const int64_t c = input.shape().dim(1);
+  const int64_t len = input.shape().dim(2);
+  Tensor out(Shape{batch, c});
+  argmax->assign(static_cast<size_t>(batch * c), 0);
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* row = input.data() + (n * c + ch) * len;
+      int64_t best = 0;
+      for (int64_t t = 1; t < len; ++t) {
+        if (row[t] > row[best]) best = t;
+      }
+      out.data()[n * c + ch] = row[best];
+      (*argmax)[static_cast<size_t>(n * c + ch)] = (n * c + ch) * len + best;
+    }
+  }
+  return out;
+}
+
+Tensor MaxOverTimeBackward(const Shape& input_shape, const Tensor& grad_out,
+                           const std::vector<int64_t>& argmax) {
+  Tensor grad_input(input_shape, 0.0f);
+  const float* go = grad_out.data();
+  for (size_t i = 0; i < argmax.size(); ++i) {
+    grad_input.data()[argmax[i]] += go[i];
+  }
+  return grad_input;
+}
+
+Tensor ConcatChannels(const Tensor& a, const Tensor& b) {
+  EDDE_CHECK_EQ(a.shape().rank(), 4);
+  EDDE_CHECK_EQ(b.shape().rank(), 4);
+  EDDE_CHECK_EQ(a.shape().dim(0), b.shape().dim(0));
+  EDDE_CHECK_EQ(a.shape().dim(2), b.shape().dim(2));
+  EDDE_CHECK_EQ(a.shape().dim(3), b.shape().dim(3));
+  const int64_t batch = a.shape().dim(0);
+  const int64_t ca = a.shape().dim(1);
+  const int64_t cb = b.shape().dim(1);
+  const int64_t hw = a.shape().dim(2) * a.shape().dim(3);
+  Tensor out(Shape{batch, ca + cb, a.shape().dim(2), a.shape().dim(3)});
+  for (int64_t n = 0; n < batch; ++n) {
+    std::memcpy(out.data() + n * (ca + cb) * hw, a.data() + n * ca * hw,
+                sizeof(float) * ca * hw);
+    std::memcpy(out.data() + (n * (ca + cb) + ca) * hw,
+                b.data() + n * cb * hw, sizeof(float) * cb * hw);
+  }
+  return out;
+}
+
+void SplitChannelsGrad(const Tensor& grad_out, int64_t channels_a,
+                       Tensor* grad_a, Tensor* grad_b) {
+  const int64_t batch = grad_out.shape().dim(0);
+  const int64_t c = grad_out.shape().dim(1);
+  const int64_t hw = grad_out.shape().dim(2) * grad_out.shape().dim(3);
+  const int64_t cb = c - channels_a;
+  *grad_a = Tensor(Shape{batch, channels_a, grad_out.shape().dim(2),
+                         grad_out.shape().dim(3)});
+  *grad_b = Tensor(
+      Shape{batch, cb, grad_out.shape().dim(2), grad_out.shape().dim(3)});
+  for (int64_t n = 0; n < batch; ++n) {
+    std::memcpy(grad_a->data() + n * channels_a * hw,
+                grad_out.data() + n * c * hw, sizeof(float) * channels_a * hw);
+    std::memcpy(grad_b->data() + n * cb * hw,
+                grad_out.data() + (n * c + channels_a) * hw,
+                sizeof(float) * cb * hw);
+  }
+}
+
+}  // namespace edde

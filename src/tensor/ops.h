@@ -1,0 +1,183 @@
+#ifndef EDDE_TENSOR_OPS_H_
+#define EDDE_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace edde {
+
+// ---------------------------------------------------------------------------
+// Dense linear algebra
+// ---------------------------------------------------------------------------
+
+/// C = alpha * op(A) @ op(B) + beta * C, with op controlled by the transpose
+/// flags. A is (M, K) after op, B is (K, N) after op, C must be (M, N).
+/// Cache-blocked row-major implementation.
+void Gemm(bool trans_a, bool trans_b, float alpha, const Tensor& a,
+          const Tensor& b, float beta, Tensor* c);
+
+/// Returns A @ B for 2-D tensors.
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+// ---------------------------------------------------------------------------
+// Elementwise / BLAS-1
+// ---------------------------------------------------------------------------
+
+/// y += alpha * x (shapes must match).
+void Axpy(float alpha, const Tensor& x, Tensor* y);
+
+/// x *= alpha.
+void Scale(float alpha, Tensor* x);
+
+/// out = a + b (allocates).
+Tensor Add(const Tensor& a, const Tensor& b);
+
+/// out = a - b (allocates).
+Tensor Sub(const Tensor& a, const Tensor& b);
+
+/// out = a ⊙ b, elementwise product (allocates).
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+/// Dot product of two equal-size tensors (flattened).
+double Dot(const Tensor& a, const Tensor& b);
+
+/// Squared L2 norm of the flattened tensor.
+double SquaredNorm(const Tensor& x);
+
+// ---------------------------------------------------------------------------
+// Row-wise ops on (N, K) matrices
+// ---------------------------------------------------------------------------
+
+/// Row-wise softmax of logits (N, K); numerically stabilized.
+Tensor Softmax(const Tensor& logits);
+
+/// Row-wise log-softmax of logits (N, K).
+Tensor LogSoftmax(const Tensor& logits);
+
+/// Per-row argmax of an (N, K) matrix.
+std::vector<int> ArgmaxRows(const Tensor& m);
+
+/// Per-row L2 distance between two (N, K) matrices:
+/// out[i] = ||a_i - b_i||_2. This is the distance inside the paper's
+/// diversity measure (Eq. 2) and diversity loss (Eq. 10).
+std::vector<float> RowL2Distance(const Tensor& a, const Tensor& b);
+
+// ---------------------------------------------------------------------------
+// Convolution via im2col (NCHW layout)
+// ---------------------------------------------------------------------------
+
+/// Geometry of a 2-D convolution (square kernels).
+struct ConvGeom {
+  int64_t in_channels = 0;
+  int64_t out_channels = 0;
+  int64_t kernel = 3;
+  int64_t stride = 1;
+  int64_t padding = 1;
+
+  /// Output spatial extent for input extent `in`.
+  int64_t OutExtent(int64_t in) const {
+    return (in + 2 * padding - kernel) / stride + 1;
+  }
+};
+
+/// Unrolls one sample (C, H, W) into columns (C*k*k, OH*OW) for gemm-based
+/// convolution. `cols` must be preallocated with that shape.
+void Im2Col(const float* input, int64_t channels, int64_t height,
+            int64_t width, const ConvGeom& geom, float* cols);
+
+/// Adjoint of Im2Col: accumulates columns (C*k*k, OH*OW) back into the
+/// (C, H, W) image. `input_grad` must be zeroed by the caller beforehand.
+void Col2Im(const float* cols, int64_t channels, int64_t height,
+            int64_t width, const ConvGeom& geom, float* input_grad);
+
+/// Forward 2-D convolution: input (N, C, H, W), weight (OC, C, k, k),
+/// optional bias (OC) -> output (N, OC, OH, OW).
+Tensor Conv2dForward(const Tensor& input, const Tensor& weight,
+                     const Tensor& bias, const ConvGeom& geom);
+
+/// Backward 2-D convolution. Accumulates into weight_grad/bias_grad
+/// (callers zero them at the start of each step) and returns input gradient.
+Tensor Conv2dBackward(const Tensor& input, const Tensor& weight,
+                      const Tensor& grad_out, const ConvGeom& geom,
+                      Tensor* weight_grad, Tensor* bias_grad);
+
+// ---------------------------------------------------------------------------
+// 1-D convolution over sequences (N, C, L), for TextCNN
+// ---------------------------------------------------------------------------
+
+/// Geometry of a 1-D convolution.
+struct Conv1dGeom {
+  int64_t in_channels = 0;
+  int64_t out_channels = 0;
+  int64_t kernel = 3;
+  int64_t stride = 1;
+  int64_t padding = 0;
+
+  int64_t OutExtent(int64_t in) const {
+    return (in + 2 * padding - kernel) / stride + 1;
+  }
+};
+
+/// Forward 1-D convolution: input (N, C, L), weight (OC, C, k), bias (OC)
+/// -> output (N, OC, OL).
+Tensor Conv1dForward(const Tensor& input, const Tensor& weight,
+                     const Tensor& bias, const Conv1dGeom& geom);
+
+/// Backward 1-D convolution; mirrors Conv2dBackward.
+Tensor Conv1dBackward(const Tensor& input, const Tensor& weight,
+                      const Tensor& grad_out, const Conv1dGeom& geom,
+                      Tensor* weight_grad, Tensor* bias_grad);
+
+// ---------------------------------------------------------------------------
+// Pooling
+// ---------------------------------------------------------------------------
+
+/// 2x2-style max pooling with window == stride. Input (N, C, H, W) ->
+/// (N, C, H/window, W/window). `argmax` (same shape as output, flat indices
+/// into the input) is filled for the backward pass.
+Tensor MaxPool2dForward(const Tensor& input, int64_t window,
+                        std::vector<int64_t>* argmax);
+
+/// Scatter of output gradients through the recorded argmax indices.
+Tensor MaxPool2dBackward(const Shape& input_shape, const Tensor& grad_out,
+                         const std::vector<int64_t>& argmax);
+
+/// Average pooling with window == stride: (N, C, H, W) ->
+/// (N, C, H/window, W/window).
+Tensor AvgPool2dForward(const Tensor& input, int64_t window);
+
+/// Backward of AvgPool2dForward.
+Tensor AvgPool2dBackward(const Shape& input_shape, const Tensor& grad_out,
+                         int64_t window);
+
+/// Spatial mean per channel: (N, C, H, W) -> (N, C).
+Tensor GlobalAvgPool2dForward(const Tensor& input);
+
+/// Backward of global average pooling.
+Tensor GlobalAvgPool2dBackward(const Shape& input_shape,
+                               const Tensor& grad_out);
+
+/// Max over the sequence axis: (N, C, L) -> (N, C), recording argmax
+/// positions for backward. This is TextCNN's max-over-time pooling.
+Tensor MaxOverTimeForward(const Tensor& input, std::vector<int64_t>* argmax);
+
+/// Backward of max-over-time pooling.
+Tensor MaxOverTimeBackward(const Shape& input_shape, const Tensor& grad_out,
+                           const std::vector<int64_t>& argmax);
+
+// ---------------------------------------------------------------------------
+// Misc
+// ---------------------------------------------------------------------------
+
+/// Concatenates 4-D tensors along the channel axis (axis 1).
+Tensor ConcatChannels(const Tensor& a, const Tensor& b);
+
+/// Splits the channel-axis gradient of ConcatChannels back into two parts.
+void SplitChannelsGrad(const Tensor& grad_out, int64_t channels_a,
+                       Tensor* grad_a, Tensor* grad_b);
+
+}  // namespace edde
+
+#endif  // EDDE_TENSOR_OPS_H_

@@ -1,0 +1,53 @@
+#include "tensor/shape.h"
+
+#include <sstream>
+
+#include "utils/logging.h"
+
+namespace edde {
+
+void Shape::Validate() const {
+  for (int64_t d : dims_) {
+    EDDE_CHECK_GE(d, 0) << "negative dimension in shape";
+  }
+}
+
+int64_t Shape::dim(int axis) const {
+  if (axis < 0) axis += rank();
+  EDDE_CHECK_GE(axis, 0);
+  EDDE_CHECK_LT(axis, rank());
+  return dims_[static_cast<size_t>(axis)];
+}
+
+int64_t Shape::num_elements() const {
+  int64_t n = 1;
+  for (int64_t d : dims_) n *= d;
+  return n;
+}
+
+std::vector<int64_t> Shape::Strides() const {
+  std::vector<int64_t> strides(dims_.size());
+  int64_t acc = 1;
+  for (int i = rank() - 1; i >= 0; --i) {
+    strides[static_cast<size_t>(i)] = acc;
+    acc *= dims_[static_cast<size_t>(i)];
+  }
+  return strides;
+}
+
+std::string Shape::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << dims_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Shape& shape) {
+  return os << shape.ToString();
+}
+
+}  // namespace edde

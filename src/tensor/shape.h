@@ -1,0 +1,52 @@
+#ifndef EDDE_TENSOR_SHAPE_H_
+#define EDDE_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace edde {
+
+/// Dense row-major tensor shape: an ordered list of non-negative dimensions.
+/// Rank 0 denotes a scalar with one element.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) { Validate(); }
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {
+    Validate();
+  }
+
+  /// Number of dimensions.
+  int rank() const { return static_cast<int>(dims_.size()); }
+
+  /// Size of dimension `axis`; negative axes count from the back.
+  int64_t dim(int axis) const;
+
+  /// Total element count (product of dims; 1 for scalars).
+  int64_t num_elements() const;
+
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  /// Row-major strides in elements, e.g. {2,3,4} -> {12,4,1}.
+  std::vector<int64_t> Strides() const;
+
+  /// "[2, 3, 4]".
+  std::string ToString() const;
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+ private:
+  void Validate() const;
+
+  std::vector<int64_t> dims_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Shape& shape);
+
+}  // namespace edde
+
+#endif  // EDDE_TENSOR_SHAPE_H_

@@ -1,0 +1,78 @@
+#include "utils/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "utils/logging.h"
+
+namespace edde {
+
+void FlagParser::Define(const std::string& name,
+                        const std::string& default_value,
+                        const std::string& help) {
+  EDDE_CHECK(flags_.find(name) == flags_.end())
+      << "flag redefined: " << name;
+  flags_[name] = FlagInfo{default_value, default_value, help};
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("expected --flag, got: " + arg);
+    }
+    std::string body = arg.substr(2);
+    std::string name, value;
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    } else {
+      name = body;
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";  // bare boolean flag
+      }
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag: --" + name);
+    }
+    it->second.value = value;
+  }
+  return Status::OK();
+}
+
+void FlagParser::PrintHelp(const std::string& program) const {
+  std::printf("Usage: %s [--flag=value ...]\n", program.c_str());
+  for (const auto& [name, info] : flags_) {
+    std::printf("  --%-18s %s (default: %s)\n", name.c_str(),
+                info.help.c_str(), info.default_value.c_str());
+  }
+}
+
+std::string FlagParser::GetString(const std::string& name) const {
+  auto it = flags_.find(name);
+  EDDE_CHECK(it != flags_.end()) << "undefined flag: " << name;
+  return it->second.value;
+}
+
+int FlagParser::GetInt(const std::string& name) const {
+  return std::atoi(GetString(name).c_str());
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  return std::atof(GetString(name).c_str());
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  std::string v = GetString(name);
+  return v == "true" || v == "1" || v == "yes";
+}
+
+}  // namespace edde

@@ -1,0 +1,52 @@
+#ifndef EDDE_UTILS_FLAGS_H_
+#define EDDE_UTILS_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "utils/status.h"
+
+namespace edde {
+
+/// Minimal `--key=value` command-line parser for example and bench binaries.
+///
+///   FlagParser flags;
+///   flags.Define("scale", "tiny", "workload scale: tiny|small|paper");
+///   flags.Define("seed", "42", "RNG seed");
+///   EDDE_CHECK(flags.Parse(argc, argv).ok());
+///   int seed = flags.GetInt("seed");
+class FlagParser {
+ public:
+  /// Registers a flag with its default value and help text.
+  void Define(const std::string& name, const std::string& default_value,
+              const std::string& help);
+
+  /// Parses argv; returns InvalidArgument for unknown or malformed flags.
+  /// Recognizes `--name=value`, `--name value` and `--help`.
+  Status Parse(int argc, char** argv);
+
+  /// True when `--help` was passed; PrintHelp() and exit in that case.
+  bool help_requested() const { return help_requested_; }
+
+  /// Writes the registered flags with defaults and help text to stdout.
+  void PrintHelp(const std::string& program) const;
+
+  std::string GetString(const std::string& name) const;
+  int GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+ private:
+  struct FlagInfo {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+  std::map<std::string, FlagInfo> flags_;
+  bool help_requested_ = false;
+};
+
+}  // namespace edde
+
+#endif  // EDDE_UTILS_FLAGS_H_

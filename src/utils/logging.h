@@ -1,0 +1,93 @@
+#ifndef EDDE_UTILS_LOGGING_H_
+#define EDDE_UTILS_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace edde {
+
+/// Severity levels for the lightweight logging facility.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Returns the process-wide minimum level that is actually emitted.
+LogLevel MinLogLevel();
+
+/// Sets the process-wide minimum level. Messages below it are discarded.
+void SetMinLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log message collector; emits on destruction.
+/// Not part of the public API — use the EDDE_LOG / EDDE_CHECK macros.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Sink that swallows a LogMessage's stream when the level is disabled.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace edde
+
+#define EDDE_LOG_INTERNAL(level) \
+  ::edde::internal::LogMessage(level, __FILE__, __LINE__).stream()
+
+/// Usage: EDDE_LOG(INFO) << "message";
+#define EDDE_LOG(severity) \
+  EDDE_LOG_IS_ON(severity) \
+      ? (void)0            \
+      : ::edde::internal::LogMessageVoidify() & EDDE_LOG_INTERNAL(EDDE_LOG_LEVEL_##severity)
+
+#define EDDE_LOG_LEVEL_DEBUG ::edde::LogLevel::kDebug
+#define EDDE_LOG_LEVEL_INFO ::edde::LogLevel::kInfo
+#define EDDE_LOG_LEVEL_WARNING ::edde::LogLevel::kWarning
+#define EDDE_LOG_LEVEL_ERROR ::edde::LogLevel::kError
+#define EDDE_LOG_LEVEL_FATAL ::edde::LogLevel::kFatal
+
+#define EDDE_LOG_IS_ON(severity) \
+  (EDDE_LOG_LEVEL_##severity < ::edde::MinLogLevel())
+
+/// Fatal invariant check: aborts with a message when `cond` is false.
+/// Used for programmer errors (shape mismatches, out-of-range arguments).
+#define EDDE_CHECK(cond)                                           \
+  (cond) ? (void)0                                                 \
+         : ::edde::internal::LogMessageVoidify() &                 \
+               EDDE_LOG_INTERNAL(::edde::LogLevel::kFatal)         \
+                   << "Check failed: " #cond " "
+
+#define EDDE_CHECK_OP(op, a, b)                                     \
+  ((a)op(b)) ? (void)0                                              \
+             : ::edde::internal::LogMessageVoidify() &              \
+                   EDDE_LOG_INTERNAL(::edde::LogLevel::kFatal)      \
+                       << "Check failed: " #a " " #op " " #b " ("   \
+                       << (a) << " vs " << (b) << ") "
+
+#define EDDE_CHECK_EQ(a, b) EDDE_CHECK_OP(==, a, b)
+#define EDDE_CHECK_NE(a, b) EDDE_CHECK_OP(!=, a, b)
+#define EDDE_CHECK_LT(a, b) EDDE_CHECK_OP(<, a, b)
+#define EDDE_CHECK_LE(a, b) EDDE_CHECK_OP(<=, a, b)
+#define EDDE_CHECK_GT(a, b) EDDE_CHECK_OP(>, a, b)
+#define EDDE_CHECK_GE(a, b) EDDE_CHECK_OP(>=, a, b)
+
+#endif  // EDDE_UTILS_LOGGING_H_

@@ -1,0 +1,93 @@
+#include "utils/serialize.h"
+
+#include <cstring>
+
+namespace edde {
+
+BinaryWriter::BinaryWriter(const std::string& path)
+    : out_(path, std::ios::binary) {
+  if (!out_.is_open()) {
+    status_ = Status::IOError("cannot open for writing: " + path);
+  }
+}
+
+void BinaryWriter::WriteU32(uint32_t v) {
+  if (!status_.ok()) return;
+  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void BinaryWriter::WriteU64(uint64_t v) {
+  if (!status_.ok()) return;
+  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void BinaryWriter::WriteI64(int64_t v) {
+  if (!status_.ok()) return;
+  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void BinaryWriter::WriteF32(float v) {
+  if (!status_.ok()) return;
+  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  if (!status_.ok()) return;
+  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void BinaryWriter::WriteFloats(const float* data, size_t count) {
+  if (!status_.ok()) return;
+  out_.write(reinterpret_cast<const char*>(data),
+             static_cast<std::streamsize>(count * sizeof(float)));
+}
+
+Status BinaryWriter::Finish() {
+  if (status_.ok()) {
+    out_.flush();
+    if (!out_.good()) status_ = Status::IOError("write failed");
+    out_.close();
+  }
+  return status_;
+}
+
+BinaryReader::BinaryReader(const std::string& path)
+    : in_(path, std::ios::binary) {
+  if (!in_.is_open()) {
+    status_ = Status::IOError("cannot open for reading: " + path);
+  }
+}
+
+bool BinaryReader::ReadBytes(void* dst, size_t count) {
+  if (!status_.ok()) return false;
+  in_.read(reinterpret_cast<char*>(dst),
+           static_cast<std::streamsize>(count));
+  if (static_cast<size_t>(in_.gcount()) != count) {
+    status_ = Status::Corruption("unexpected end of file");
+    return false;
+  }
+  return true;
+}
+
+bool BinaryReader::ReadU32(uint32_t* v) { return ReadBytes(v, sizeof(*v)); }
+bool BinaryReader::ReadU64(uint64_t* v) { return ReadBytes(v, sizeof(*v)); }
+bool BinaryReader::ReadI64(int64_t* v) { return ReadBytes(v, sizeof(*v)); }
+bool BinaryReader::ReadF32(float* v) { return ReadBytes(v, sizeof(*v)); }
+
+bool BinaryReader::ReadString(std::string* s) {
+  uint64_t size = 0;
+  if (!ReadU64(&size)) return false;
+  if (size > (1ull << 32)) {
+    status_ = Status::Corruption("string size implausibly large");
+    return false;
+  }
+  s->resize(size);
+  return size == 0 || ReadBytes(s->data(), size);
+}
+
+bool BinaryReader::ReadFloats(float* data, size_t count) {
+  return ReadBytes(data, count * sizeof(float));
+}
+
+}  // namespace edde

@@ -1,0 +1,63 @@
+#ifndef EDDE_UTILS_SERIALIZE_H_
+#define EDDE_UTILS_SERIALIZE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "utils/status.h"
+
+namespace edde {
+
+/// Little-endian binary writer used for model checkpoints.
+/// All write operations accumulate into an internal error flag; call
+/// Finish() to flush and obtain the final Status.
+class BinaryWriter {
+ public:
+  /// Opens `path` for writing; check status() before use.
+  explicit BinaryWriter(const std::string& path);
+
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI64(int64_t v);
+  void WriteF32(float v);
+  void WriteString(const std::string& s);
+  void WriteFloats(const float* data, size_t count);
+
+  /// Flushes and closes; returns the accumulated status.
+  Status Finish();
+
+  const Status& status() const { return status_; }
+
+ private:
+  std::ofstream out_;
+  Status status_;
+};
+
+/// Little-endian binary reader matching BinaryWriter.
+/// Read operations return false (and set status) on EOF/corruption.
+class BinaryReader {
+ public:
+  /// Opens `path` for reading; check status() before use.
+  explicit BinaryReader(const std::string& path);
+
+  bool ReadU32(uint32_t* v);
+  bool ReadU64(uint64_t* v);
+  bool ReadI64(int64_t* v);
+  bool ReadF32(float* v);
+  bool ReadString(std::string* s);
+  bool ReadFloats(float* data, size_t count);
+
+  const Status& status() const { return status_; }
+
+ private:
+  bool ReadBytes(void* dst, size_t count);
+
+  std::ifstream in_;
+  Status status_;
+};
+
+}  // namespace edde
+
+#endif  // EDDE_UTILS_SERIALIZE_H_

@@ -1,0 +1,119 @@
+#ifndef EDDE_UTILS_STATUS_H_
+#define EDDE_UTILS_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "utils/logging.h"
+
+namespace edde {
+
+/// Error categories for fallible library operations (config validation,
+/// (de)serialization, file IO). Programmer errors use EDDE_CHECK instead.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kIOError = 3,
+  kFailedPrecondition = 4,
+  kCorruption = 5,
+  kInternal = 6,
+};
+
+/// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Value-semantic status object in the style of arrow::Status / rocksdb::Status.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with `code` and a diagnostic message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Result<T> couples a Status with a value, like arrow::Result.
+/// Access the value only when ok(); ValueOrDie() enforces this.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: success.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from non-OK status: failure.
+  Result(Status status) : status_(std::move(status)) {
+    EDDE_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the value; aborts if the result holds an error.
+  const T& ValueOrDie() const& {
+    EDDE_CHECK(ok()) << "Result::ValueOrDie on error: " << status_.ToString();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    EDDE_CHECK(ok()) << "Result::ValueOrDie on error: " << status_.ToString();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    EDDE_CHECK(ok()) << "Result::ValueOrDie on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace edde
+
+/// Propagates a non-OK Status out of the current function.
+#define EDDE_RETURN_NOT_OK(expr)          \
+  do {                                    \
+    ::edde::Status _st = (expr);          \
+    if (!_st.ok()) return _st;            \
+  } while (false)
+
+#endif  // EDDE_UTILS_STATUS_H_

@@ -1,0 +1,42 @@
+#ifndef EDDE_UTILS_TABLE_H_
+#define EDDE_UTILS_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace edde {
+
+/// Pretty-prints aligned text tables for the benchmark harnesses, so every
+/// bench binary can render the same rows the paper's tables report.
+///
+///   TablePrinter t({"Method", "C10", "C100"});
+///   t.AddRow({"EDDE", "94.11%", "74.38%"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table with column alignment and a header separator.
+  void Print(std::ostream& os) const;
+
+  /// Number of data rows added so far.
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` as a percentage with two decimals, e.g. 0.7438 -> "74.38%".
+std::string FormatPercent(double value);
+
+/// Formats `value` with `digits` decimals.
+std::string FormatFloat(double value, int digits = 4);
+
+}  // namespace edde
+
+#endif  // EDDE_UTILS_TABLE_H_

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/edde.h"
+#include "metrics/diversity.h"
+#include "metrics/metrics.h"
+#include "nn/mlp.h"
+#include "test_util.h"
+
+namespace edde {
+namespace {
+
+using testing::MakeBlobsSplit;
+
+struct Fixture {
+  testing::BlobSplit data = MakeBlobsSplit(384, 192, 6, 3, 1, /*spread=*/1.6f);
+  Dataset& train = data.train;
+  Dataset& test = data.test;
+  ModelFactory factory = [](uint64_t seed) {
+    MlpConfig cfg;
+    cfg.in_features = 6;
+    cfg.hidden = {16};
+    cfg.num_classes = 3;
+    return std::make_unique<Mlp>(cfg, seed);
+  };
+  MethodConfig config = [] {
+    MethodConfig mc;
+    mc.num_members = 4;
+    mc.epochs_per_member = 8;
+    mc.batch_size = 32;
+    mc.sgd.learning_rate = 0.1f;
+    mc.sgd.weight_decay = 0.0f;
+    mc.seed = 9;
+    return mc;
+  }();
+  EddeOptions options = [] {
+    EddeOptions eo;
+    eo.gamma = 0.1f;
+    eo.beta = 0.7;
+    return eo;
+  }();
+};
+
+// ---------------------------------------------------------------------------
+// Per-sample Sim / Bias (Eq. 12 / 13)
+// ---------------------------------------------------------------------------
+
+TEST(PerSampleSimilarityTest, IdenticalIsOneOppositeIsZero) {
+  Tensor p(Shape{2, 2}, {1.0f, 0.0f, 1.0f, 0.0f});
+  Tensor q(Shape{2, 2}, {1.0f, 0.0f, 0.0f, 1.0f});
+  const auto sim = PerSampleSimilarity(p, q);
+  EXPECT_NEAR(sim[0], 1.0, 1e-6);
+  EXPECT_NEAR(sim[1], 0.0, 1e-6);
+}
+
+TEST(PerSampleBiasTest, PerfectAndWorstCase) {
+  Tensor p(Shape{2, 2}, {1.0f, 0.0f, 0.0f, 1.0f});
+  const auto bias = PerSampleBias(p, {0, 0});
+  EXPECT_NEAR(bias[0], 0.0, 1e-6);  // exactly the one-hot label
+  EXPECT_NEAR(bias[1], 1.0, 1e-6);  // opposite one-hot
+}
+
+TEST(PerSampleBiasTest, UniformPredictionMidRange) {
+  Tensor p(Shape{1, 4}, {0.25f, 0.25f, 0.25f, 0.25f});
+  const auto bias = PerSampleBias(p, {0});
+  // ||p - y||_2 = sqrt(0.75^2 + 3*0.0625) = sqrt(0.75); Bias = √2/2 * that.
+  EXPECT_NEAR(bias[0], 0.7071 * std::sqrt(0.75), 1e-3);
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 1 end-to-end
+// ---------------------------------------------------------------------------
+
+TEST(EddeTest, TrainsRequestedMembersWithPositiveAlphas) {
+  Fixture fx;
+  EddeMethod method(fx.config, fx.options);
+  EnsembleModel model = method.Train(fx.train, fx.factory);
+  ASSERT_EQ(model.size(), 4);
+  for (int64_t t = 0; t < model.size(); ++t) {
+    EXPECT_GT(model.alpha(t), 0.0);
+  }
+}
+
+TEST(EddeTest, EnsembleBeatsAverageMember) {
+  Fixture fx;
+  EddeMethod method(fx.config, fx.options);
+  EnsembleModel model = method.Train(fx.train, fx.factory);
+  EXPECT_GT(model.EvaluateAccuracy(fx.test),
+            model.AverageMemberAccuracy(fx.test) - 1e-9);
+}
+
+TEST(EddeTest, AccuracyIsWellAboveChance) {
+  Fixture fx;
+  EddeMethod method(fx.config, fx.options);
+  EnsembleModel model = method.Train(fx.train, fx.factory);
+  EXPECT_GT(model.EvaluateAccuracy(fx.test), 0.75);
+}
+
+TEST(EddeTest, DiversityLossIncreasesDiversity) {
+  Fixture fx;
+  EddeOptions with = fx.options;
+  with.gamma = 0.6f;
+  EddeOptions without = fx.options;
+  without.use_diversity_loss = false;
+  EddeMethod m_with(fx.config, with);
+  EddeMethod m_without(fx.config, without);
+  const double div_with =
+      EnsembleDiversity(m_with.Train(fx.train, fx.factory)
+                            .MemberProbs(fx.test));
+  const double div_without =
+      EnsembleDiversity(m_without.Train(fx.train, fx.factory)
+                            .MemberProbs(fx.test));
+  EXPECT_GT(div_with, div_without);
+}
+
+TEST(EddeTest, TransferNoneIsMoreDiverseThanTransferAll) {
+  // Table VI's qualitative ordering.
+  Fixture fx;
+  EddeOptions all = fx.options;
+  all.transfer_mode = EddeOptions::TransferMode::kAll;
+  EddeOptions none = fx.options;
+  none.transfer_mode = EddeOptions::TransferMode::kNone;
+  EddeMethod m_all(fx.config, all);
+  EddeMethod m_none(fx.config, none);
+  const double div_all =
+      EnsembleDiversity(m_all.Train(fx.train, fx.factory).MemberProbs(fx.test));
+  const double div_none = EnsembleDiversity(
+      m_none.Train(fx.train, fx.factory).MemberProbs(fx.test));
+  EXPECT_GT(div_none, div_all);
+}
+
+TEST(EddeTest, FirstMemberEpochsExtendBudget) {
+  Fixture fx;
+  EddeOptions eo = fx.options;
+  eo.first_member_epochs = 16;
+  EddeMethod method(fx.config, eo);
+  std::vector<CurvePoint> points;
+  EvalCurve curve{&fx.test, &points};
+  method.Train(fx.train, fx.factory, curve);
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points[0].first, 16);            // long first member
+  EXPECT_EQ(points[1].first, 16 + 8);        // then short cycles
+  EXPECT_EQ(points[3].first, 16 + 3 * 8);
+}
+
+TEST(EddeTest, NameReflectsAblationVariant) {
+  Fixture fx;
+  EXPECT_EQ(EddeMethod(fx.config, fx.options).name(), "EDDE");
+  EddeOptions eo = fx.options;
+  eo.use_diversity_loss = false;
+  EXPECT_EQ(EddeMethod(fx.config, eo).name(), "EDDE (normal loss)");
+  eo = fx.options;
+  eo.transfer_mode = EddeOptions::TransferMode::kAll;
+  EXPECT_EQ(EddeMethod(fx.config, eo).name(), "EDDE (transfer all)");
+  eo.transfer_mode = EddeOptions::TransferMode::kNone;
+  EXPECT_EQ(EddeMethod(fx.config, eo).name(), "EDDE (transfer none)");
+}
+
+TEST(EddeTest, DeterministicForSameSeed) {
+  Fixture fx;
+  EddeMethod a(fx.config, fx.options), b(fx.config, fx.options);
+  EXPECT_DOUBLE_EQ(a.Train(fx.train, fx.factory).EvaluateAccuracy(fx.test),
+                   b.Train(fx.train, fx.factory).EvaluateAccuracy(fx.test));
+}
+
+TEST(EddeTest, DiversityTargetPreviousMemberVariantRuns) {
+  Fixture fx;
+  EddeOptions eo = fx.options;
+  eo.diversity_target = EddeOptions::DiversityTarget::kPreviousMember;
+  EddeMethod method(fx.config, eo);
+  EnsembleModel model = method.Train(fx.train, fx.factory);
+  EXPECT_EQ(model.size(), 4);
+  EXPECT_GT(model.EvaluateAccuracy(fx.test), 0.7);
+}
+
+TEST(EddeTest, MultiplicativeWeightUpdateVariantRuns) {
+  Fixture fx;
+  EddeOptions eo = fx.options;
+  eo.weight_update = EddeOptions::WeightUpdateBase::kMultiplicative;
+  EddeMethod method(fx.config, eo);
+  EnsembleModel model = method.Train(fx.train, fx.factory);
+  EXPECT_EQ(model.size(), 4);
+  EXPECT_GT(model.EvaluateAccuracy(fx.test), 0.7);
+}
+
+// Parameterized sweep over the paper's γ grid (Table V): all settings must
+// produce healthy ensembles.
+class EddeGammaTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(EddeGammaTest, HealthyAcrossGammaGrid) {
+  Fixture fx;
+  EddeOptions eo = fx.options;
+  eo.gamma = GetParam();
+  EddeMethod method(fx.config, eo);
+  EnsembleModel model = method.Train(fx.train, fx.factory);
+  EXPECT_EQ(model.size(), 4);
+  EXPECT_GT(model.EvaluateAccuracy(fx.test), 0.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperTableV, EddeGammaTest,
+                         ::testing::Values(0.0f, 0.1f, 0.3f, 0.5f, 1.0f));
+
+}  // namespace
+}  // namespace edde

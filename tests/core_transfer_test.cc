@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "core/knowledge_transfer.h"
+#include "nn/mlp.h"
+#include "nn/resnet.h"
+
+namespace edde {
+namespace {
+
+MlpConfig ThreeLayer() {
+  MlpConfig cfg;
+  cfg.in_features = 4;
+  cfg.hidden = {6, 8};
+  cfg.num_classes = 3;
+  return cfg;
+}
+
+bool BlockEqual(Parameter* a, Parameter* b) {
+  for (int64_t i = 0; i < a->value.num_elements(); ++i) {
+    if (a->value.data()[i] != b->value.data()[i]) return false;
+  }
+  return true;
+}
+
+TEST(TransferTest, BetaOneCopiesEverything) {
+  Mlp teacher(ThreeLayer(), 1), student(ThreeLayer(), 2);
+  const auto stats = TransferKnowledge(&teacher, &student, 1.0);
+  EXPECT_EQ(stats.blocks_transferred, stats.blocks_total);
+  EXPECT_EQ(stats.params_transferred, stats.params_total);
+  auto tp = teacher.Parameters(), sp = student.Parameters();
+  for (size_t i = 0; i < tp.size(); ++i) {
+    EXPECT_TRUE(BlockEqual(tp[i], sp[i])) << "block " << i;
+  }
+}
+
+TEST(TransferTest, BetaZeroCopiesNothing) {
+  Mlp teacher(ThreeLayer(), 1), student(ThreeLayer(), 2);
+  const auto stats = TransferKnowledge(&teacher, &student, 0.0);
+  EXPECT_EQ(stats.blocks_transferred, 0);
+  EXPECT_EQ(stats.params_transferred, 0);
+  // First weight block must still be the student's own initialization.
+  auto tp = teacher.Parameters(), sp = student.Parameters();
+  EXPECT_FALSE(BlockEqual(tp[0], sp[0]));
+}
+
+TEST(TransferTest, PartialBetaCopiesLowerLayersOnly) {
+  Mlp teacher(ThreeLayer(), 1), student(ThreeLayer(), 2);
+  const auto stats = TransferKnowledge(&teacher, &student, 0.5);
+  EXPECT_GT(stats.blocks_transferred, 0);
+  EXPECT_LT(stats.blocks_transferred, stats.blocks_total);
+  auto tp = teacher.Parameters(), sp = student.Parameters();
+  // Transferred prefix matches, untransferred suffix differs.
+  for (int64_t i = 0; i < stats.blocks_transferred; ++i) {
+    EXPECT_TRUE(BlockEqual(tp[static_cast<size_t>(i)],
+                           sp[static_cast<size_t>(i)]))
+        << "low block " << i;
+  }
+  // The classifier *weight* (last-but-one block; the last block is the
+  // zero-initialized bias, identical in both models by construction) must
+  // stay the student's own initialization.
+  EXPECT_FALSE(BlockEqual(tp[tp.size() - 2], sp[sp.size() - 2]));
+}
+
+TEST(TransferTest, ParamFractionRespectsBudget) {
+  Mlp teacher(ThreeLayer(), 1), student(ThreeLayer(), 2);
+  const auto stats = TransferKnowledge(
+      &teacher, &student, 0.4, TransferGranularity::kParameterFraction);
+  // The cumulative rule includes the block that crosses the threshold, so
+  // the transferred mass is >= β but bounded by β + the largest block.
+  EXPECT_GE(stats.params_transferred,
+            static_cast<int64_t>(0.4 * stats.params_total));
+}
+
+TEST(TransferTest, LayerFractionCountsBlocks) {
+  Mlp teacher(ThreeLayer(), 1), student(ThreeLayer(), 2);
+  const auto stats = TransferKnowledge(&teacher, &student, 0.5,
+                                       TransferGranularity::kLayerFraction);
+  // 6 blocks (3 Dense layers x W,b) -> floor-style prefix of 3.
+  EXPECT_EQ(stats.blocks_total, 6);
+  EXPECT_EQ(stats.blocks_transferred, 3);
+}
+
+TEST(TransferTest, MonotoneInBeta) {
+  int64_t prev = -1;
+  for (double beta : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    Mlp teacher(ThreeLayer(), 1), student(ThreeLayer(), 2);
+    const auto stats = TransferKnowledge(&teacher, &student, beta);
+    EXPECT_GE(stats.params_transferred, prev);
+    prev = stats.params_transferred;
+  }
+}
+
+TEST(TransferTest, WorksOnResNetWithBatchNormBuffers) {
+  ResNetConfig cfg;
+  cfg.depth = 8;
+  cfg.base_width = 4;
+  cfg.num_classes = 5;
+  ResNet teacher(cfg, 3), student(cfg, 4);
+  // Make teacher BN buffers distinctive.
+  for (Parameter* p : teacher.Parameters()) {
+    if (!p->trainable) p->value.Fill(0.1234f);
+  }
+  TransferKnowledge(&teacher, &student, 0.6);
+  // Some BN buffer in the lower half must now carry the sentinel.
+  bool found = false;
+  for (Parameter* p : student.Parameters()) {
+    if (!p->trainable && p->value.at(0) == 0.1234f) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TransferTest, StudentRetainsOwnHead) {
+  // The paper's key requirement: the upper, task-specific layers stay
+  // randomly initialized so diversity is preserved.
+  ResNetConfig cfg;
+  cfg.depth = 8;
+  cfg.base_width = 4;
+  cfg.num_classes = 5;
+  ResNet teacher(cfg, 5), student(cfg, 6);
+  auto params = student.Parameters();
+  Tensor before = params[params.size() - 2]->value.Clone();  // classifier W
+  TransferKnowledge(&teacher, &student, 0.7);
+  Parameter* after = student.Parameters()[params.size() - 2];
+  for (int64_t i = 0; i < before.num_elements(); ++i) {
+    EXPECT_FLOAT_EQ(before.at(i), after->value.at(i));
+  }
+}
+
+TEST(TransferDeathTest, MismatchedArchitecturesAbort) {
+  MlpConfig a = ThreeLayer();
+  MlpConfig b = ThreeLayer();
+  b.hidden = {6};
+  Mlp teacher(a, 1), student(b, 2);
+  EXPECT_DEATH(TransferKnowledge(&teacher, &student, 0.5), "mismatch");
+}
+
+TEST(TransferDeathTest, BetaOutOfRangeAborts) {
+  Mlp teacher(ThreeLayer(), 1), student(ThreeLayer(), 2);
+  EXPECT_DEATH(TransferKnowledge(&teacher, &student, 1.5), "Check failed");
+}
+
+}  // namespace
+}  // namespace edde

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/augment.h"
+#include "data/batcher.h"
+
+namespace edde {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Augmentation
+// ---------------------------------------------------------------------------
+
+TEST(AugmentTest, NoOpConfigIsIdentity) {
+  Rng rng(1);
+  Tensor batch(Shape{2, 3, 4, 4});
+  batch.FillNormal(&rng, 0.0f, 1.0f);
+  AugmentConfig cfg;
+  cfg.pad = 0;
+  cfg.horizontal_flip = false;
+  Tensor out = AugmentImageBatch(batch, cfg, &rng);
+  for (int64_t i = 0; i < batch.num_elements(); ++i) {
+    EXPECT_FLOAT_EQ(out.at(i), batch.at(i));
+  }
+}
+
+TEST(AugmentTest, PreservesShape) {
+  Rng rng(2);
+  Tensor batch(Shape{3, 1, 6, 6}, 1.0f);
+  AugmentConfig cfg;
+  Tensor out = AugmentImageBatch(batch, cfg, &rng);
+  EXPECT_EQ(out.shape(), batch.shape());
+}
+
+TEST(AugmentTest, OutputIsShiftOrFlipOfInput) {
+  // With a delta image, the augmented output must contain exactly one lit
+  // pixel (possibly zero if shifted out), at a position within `pad` of the
+  // original or its mirror.
+  Rng rng(3);
+  AugmentConfig cfg;
+  cfg.pad = 1;
+  for (int trial = 0; trial < 20; ++trial) {
+    Tensor batch(Shape{1, 1, 5, 5}, 0.0f);
+    batch.at(0, 0, 2, 2) = 1.0f;
+    Tensor out = AugmentImageBatch(batch, cfg, &rng);
+    int lit = 0;
+    for (int64_t y = 0; y < 5; ++y) {
+      for (int64_t x = 0; x < 5; ++x) {
+        if (out.at(0, 0, y, x) == 1.0f) {
+          ++lit;
+          EXPECT_NEAR(y, 2, 1);
+          EXPECT_NEAR(x, 2, 1);  // center column: mirror == original
+        } else {
+          EXPECT_FLOAT_EQ(out.at(0, 0, y, x), 0.0f);
+        }
+      }
+    }
+    EXPECT_LE(lit, 1);
+  }
+}
+
+TEST(AugmentTest, ProducesVariedOutputs) {
+  Rng rng(4);
+  Tensor batch(Shape{1, 1, 6, 6});
+  batch.FillNormal(&rng, 0.0f, 1.0f);
+  AugmentConfig cfg;
+  cfg.pad = 2;
+  std::set<float> first_pixels;
+  for (int i = 0; i < 16; ++i) {
+    Tensor out = AugmentImageBatch(batch, cfg, &rng);
+    first_pixels.insert(out.at(0, 0, 0, 0));
+  }
+  EXPECT_GT(first_pixels.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Batching
+// ---------------------------------------------------------------------------
+
+TEST(BatcherTest, CoversAllIndicesOnce) {
+  Rng rng(5);
+  const auto batches = MakeBatches(103, 16, /*shuffle=*/true, &rng);
+  EXPECT_EQ(batches.size(), 7u);  // 6 full + remainder of 7
+  std::vector<int64_t> all;
+  for (const auto& b : batches) all.insert(all.end(), b.begin(), b.end());
+  std::sort(all.begin(), all.end());
+  for (int64_t i = 0; i < 103; ++i) {
+    EXPECT_EQ(all[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(BatcherTest, UnshuffledIsSequential) {
+  const auto batches = MakeBatches(10, 4, /*shuffle=*/false, nullptr);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0], (std::vector<int64_t>{0, 1, 2, 3}));
+  EXPECT_EQ(batches[2], (std::vector<int64_t>{8, 9}));
+}
+
+TEST(BatcherTest, ShuffleChangesOrder) {
+  Rng rng(6);
+  const auto batches = MakeBatches(64, 64, /*shuffle=*/true, &rng);
+  ASSERT_EQ(batches.size(), 1u);
+  bool sequential = true;
+  for (int64_t i = 0; i < 64; ++i) {
+    if (batches[0][static_cast<size_t>(i)] != i) sequential = false;
+  }
+  EXPECT_FALSE(sequential);
+}
+
+TEST(BatcherTest, BatchLargerThanDataIsOneBatch) {
+  const auto batches = MakeBatches(5, 100, /*shuffle=*/false, nullptr);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].size(), 5u);
+}
+
+}  // namespace
+}  // namespace edde

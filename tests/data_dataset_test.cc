@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+
+namespace edde {
+namespace {
+
+Dataset MakeToy() {
+  // 4 samples of 2x1x1 "images" with values 10i, labels i % 3.
+  Tensor features(Shape{4, 2, 1, 1});
+  for (int64_t i = 0; i < 4; ++i) {
+    features.at(i, 0, 0, 0) = static_cast<float>(10 * i);
+    features.at(i, 1, 0, 0) = static_cast<float>(10 * i + 1);
+  }
+  return Dataset("toy", features, {0, 1, 2, 0}, 3);
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  Dataset d = MakeToy();
+  EXPECT_EQ(d.size(), 4);
+  EXPECT_EQ(d.num_classes(), 3);
+  EXPECT_EQ(d.sample_elements(), 2);
+  EXPECT_EQ(d.SampleDims(), (std::vector<int64_t>{2, 1, 1}));
+  EXPECT_EQ(d.name(), "toy");
+}
+
+TEST(DatasetTest, GatherFeaturesCopiesRows) {
+  Dataset d = MakeToy();
+  Tensor batch = d.GatherFeatures({2, 0});
+  ASSERT_EQ(batch.shape(), Shape({2, 2, 1, 1}));
+  EXPECT_FLOAT_EQ(batch.at(0, 0, 0, 0), 20.0f);
+  EXPECT_FLOAT_EQ(batch.at(1, 0, 0, 0), 0.0f);
+}
+
+TEST(DatasetTest, GatherLabels) {
+  Dataset d = MakeToy();
+  EXPECT_EQ(d.GatherLabels({3, 1}), (std::vector<int>{0, 1}));
+}
+
+TEST(DatasetTest, SubsetAllowsRepetition) {
+  Dataset d = MakeToy();
+  Dataset boot = d.Subset({1, 1, 1}, "boot");
+  EXPECT_EQ(boot.size(), 3);
+  EXPECT_EQ(boot.name(), "boot");
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_FLOAT_EQ(boot.features().at(i, 0, 0, 0), 10.0f);
+    EXPECT_EQ(boot.labels()[static_cast<size_t>(i)], 1);
+  }
+}
+
+TEST(DatasetTest, SubsetDefaultNameAppendsSuffix) {
+  Dataset d = MakeToy();
+  EXPECT_EQ(d.Subset({0}).name(), "toy/subset");
+}
+
+TEST(DatasetTest, CopyIsCheapAndShared) {
+  Dataset d = MakeToy();
+  Dataset copy = d;
+  EXPECT_EQ(copy.features().data(), d.features().data());
+}
+
+TEST(DatasetDeathTest, LabelOutOfRangeAborts) {
+  Tensor features(Shape{1, 2});
+  EXPECT_DEATH(Dataset("bad", features, {5}, 3), "Check failed");
+}
+
+TEST(DatasetDeathTest, SizeMismatchAborts) {
+  Tensor features(Shape{2, 2});
+  EXPECT_DEATH(Dataset("bad", features, {0}, 2), "Check failed");
+}
+
+TEST(DatasetDeathTest, GatherOutOfRangeAborts) {
+  Dataset d = MakeToy();
+  EXPECT_DEATH(d.GatherFeatures({4}), "Check failed");
+}
+
+}  // namespace
+}  // namespace edde

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "data/sampling.h"
+
+namespace edde {
+namespace {
+
+TEST(BootstrapTest, IndicesInRangeAndRequestedCount) {
+  Rng rng(1);
+  const auto idx = BootstrapIndices(100, 250, &rng);
+  EXPECT_EQ(idx.size(), 250u);
+  for (int64_t i : idx) {
+    EXPECT_GE(i, 0);
+    EXPECT_LT(i, 100);
+  }
+}
+
+TEST(BootstrapTest, CoversAboutTwoThirdsOfPopulation) {
+  // Classic bootstrap property: a resample of size n covers ~63.2% of the
+  // population in expectation.
+  Rng rng(2);
+  const int64_t n = 2000;
+  const auto idx = BootstrapIndices(n, n, &rng);
+  std::set<int64_t> unique(idx.begin(), idx.end());
+  const double coverage = static_cast<double>(unique.size()) / n;
+  EXPECT_NEAR(coverage, 0.632, 0.04);
+}
+
+TEST(WeightedResampleTest, FollowsWeights) {
+  Rng rng(3);
+  const std::vector<double> weights = {0.1, 0.0, 0.6, 0.3};
+  const auto idx = WeightedResampleIndices(weights, 60000, &rng);
+  std::vector<int64_t> counts(4, 0);
+  for (int64_t i : idx) ++counts[static_cast<size_t>(i)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0] / 60000.0, 0.1, 0.01);
+  EXPECT_NEAR(counts[2] / 60000.0, 0.6, 0.01);
+  EXPECT_NEAR(counts[3] / 60000.0, 0.3, 0.01);
+}
+
+TEST(WeightedResampleTest, UnnormalizedWeightsWork) {
+  Rng rng(4);
+  const std::vector<double> weights = {5.0, 15.0};
+  const auto idx = WeightedResampleIndices(weights, 40000, &rng);
+  int64_t ones = std::count(idx.begin(), idx.end(), 1);
+  EXPECT_NEAR(ones / 40000.0, 0.75, 0.02);
+}
+
+TEST(WeightedResampleDeathTest, NegativeWeightAborts) {
+  Rng rng(5);
+  std::vector<double> weights = {0.5, -0.1};
+  EXPECT_DEATH(WeightedResampleIndices(weights, 10, &rng), "negative");
+}
+
+TEST(WeightedResampleDeathTest, ZeroMassAborts) {
+  Rng rng(5);
+  std::vector<double> weights = {0.0, 0.0};
+  EXPECT_DEATH(WeightedResampleIndices(weights, 10, &rng), "sum to zero");
+}
+
+// Parameterized k-fold property sweep.
+class KFoldTest : public ::testing::TestWithParam<std::tuple<int64_t, int>> {};
+
+TEST_P(KFoldTest, FoldsPartitionTheRange) {
+  const auto [n, k] = GetParam();
+  Rng rng(6);
+  const auto folds = KFoldIndices(n, k, &rng);
+  ASSERT_EQ(folds.size(), static_cast<size_t>(k));
+  std::vector<int64_t> all;
+  int64_t max_size = 0, min_size = n;
+  for (const auto& fold : folds) {
+    all.insert(all.end(), fold.begin(), fold.end());
+    max_size = std::max<int64_t>(max_size, static_cast<int64_t>(fold.size()));
+    min_size = std::min<int64_t>(min_size, static_cast<int64_t>(fold.size()));
+  }
+  // Partition: every index exactly once.
+  std::sort(all.begin(), all.end());
+  std::vector<int64_t> expected(static_cast<size_t>(n));
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(all, expected);
+  // Near-equal sizes.
+  EXPECT_LE(max_size - min_size, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, KFoldTest,
+    ::testing::Values(std::make_tuple(int64_t{10}, 2),
+                      std::make_tuple(int64_t{100}, 6),
+                      std::make_tuple(int64_t{101}, 6),
+                      std::make_tuple(int64_t{97}, 10),
+                      std::make_tuple(int64_t{6}, 6)));
+
+TEST(KFoldTest, ShuffledAcrossFolds) {
+  Rng rng(7);
+  const auto folds = KFoldIndices(1000, 4, &rng);
+  // Fold 0 should not be simply {0..249} — its mean should be near the
+  // population mean.
+  double mean = 0.0;
+  for (int64_t i : folds[0]) mean += static_cast<double>(i);
+  mean /= static_cast<double>(folds[0].size());
+  EXPECT_NEAR(mean, 499.5, 60.0);
+}
+
+TEST(KFoldDeathTest, RejectsFewerSamplesThanFolds) {
+  Rng rng(8);
+  EXPECT_DEATH(KFoldIndices(3, 4, &rng), "Check failed");
+}
+
+TEST(NormalizeWeightsTest, SumsToOne) {
+  std::vector<double> w = {1.0, 3.0, 4.0};
+  NormalizeWeights(&w);
+  EXPECT_DOUBLE_EQ(w[0] + w[1] + w[2], 1.0);
+  EXPECT_DOUBLE_EQ(w[0], 0.125);
+}
+
+TEST(NormalizeWeightsDeathTest, ZeroSumAborts) {
+  std::vector<double> w = {0.0, 0.0};
+  EXPECT_DEATH(NormalizeWeights(&w), "zero-sum");
+}
+
+}  // namespace
+}  // namespace edde

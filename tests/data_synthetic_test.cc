@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/synthetic_image.h"
+#include "data/synthetic_text.h"
+
+namespace edde {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Synthetic images
+// ---------------------------------------------------------------------------
+
+SyntheticImageConfig SmallImageConfig() {
+  SyntheticImageConfig cfg;
+  cfg.num_classes = 4;
+  cfg.train_size = 256;
+  cfg.test_size = 128;
+  cfg.image_size = 8;
+  cfg.seed = 77;
+  return cfg;
+}
+
+TEST(SyntheticImageTest, ShapesAndSizes) {
+  const auto data = MakeSyntheticImageData(SmallImageConfig());
+  EXPECT_EQ(data.train.size(), 256);
+  EXPECT_EQ(data.test.size(), 128);
+  EXPECT_EQ(data.train.features().shape(), Shape({256, 3, 8, 8}));
+  EXPECT_EQ(data.train.num_classes(), 4);
+}
+
+TEST(SyntheticImageTest, DeterministicForSameSeed) {
+  const auto a = MakeSyntheticImageData(SmallImageConfig());
+  const auto b = MakeSyntheticImageData(SmallImageConfig());
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (int64_t i = 0; i < a.train.features().num_elements(); ++i) {
+    ASSERT_FLOAT_EQ(a.train.features().at(i), b.train.features().at(i));
+  }
+  EXPECT_EQ(a.train.labels(), b.train.labels());
+}
+
+TEST(SyntheticImageTest, DifferentSeedsDiffer) {
+  auto cfg = SmallImageConfig();
+  const auto a = MakeSyntheticImageData(cfg);
+  cfg.seed = 78;
+  const auto b = MakeSyntheticImageData(cfg);
+  double diff = 0.0;
+  for (int64_t i = 0; i < a.train.features().num_elements(); ++i) {
+    diff += std::fabs(a.train.features().at(i) - b.train.features().at(i));
+  }
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(SyntheticImageTest, AllClassesRepresented) {
+  const auto data = MakeSyntheticImageData(SmallImageConfig());
+  std::set<int> train_classes(data.train.labels().begin(),
+                              data.train.labels().end());
+  EXPECT_EQ(train_classes.size(), 4u);
+}
+
+TEST(SyntheticImageTest, ClassesAreSeparable) {
+  // Nearest-prototype-by-class-mean classification on *clean-label* test
+  // data must beat chance by a wide margin, else no model could learn.
+  auto cfg = SmallImageConfig();
+  cfg.noise = 0.5f;
+  const auto data = MakeSyntheticImageData(cfg);
+  const int64_t d = data.train.sample_elements();
+
+  // Class means from train.
+  std::vector<std::vector<double>> means(
+      4, std::vector<double>(static_cast<size_t>(d), 0.0));
+  std::vector<int> counts(4, 0);
+  for (int64_t i = 0; i < data.train.size(); ++i) {
+    const int y = data.train.labels()[static_cast<size_t>(i)];
+    ++counts[static_cast<size_t>(y)];
+    for (int64_t j = 0; j < d; ++j) {
+      means[static_cast<size_t>(y)][static_cast<size_t>(j)] +=
+          data.train.features().data()[i * d + j];
+    }
+  }
+  for (int c = 0; c < 4; ++c) {
+    for (auto& v : means[static_cast<size_t>(c)]) {
+      v /= counts[static_cast<size_t>(c)];
+    }
+  }
+
+  int correct = 0;
+  for (int64_t i = 0; i < data.test.size(); ++i) {
+    double best = 1e300;
+    int best_c = 0;
+    for (int c = 0; c < 4; ++c) {
+      double dist = 0.0;
+      for (int64_t j = 0; j < d; ++j) {
+        const double delta = data.test.features().data()[i * d + j] -
+                             means[static_cast<size_t>(c)][static_cast<size_t>(j)];
+        dist += delta * delta;
+      }
+      if (dist < best) {
+        best = dist;
+        best_c = c;
+      }
+    }
+    if (best_c == data.test.labels()[static_cast<size_t>(i)]) ++correct;
+  }
+  const double acc = static_cast<double>(correct) / data.test.size();
+  EXPECT_GT(acc, 0.5);  // chance is 0.25
+}
+
+TEST(SyntheticImageTest, NoiseKnobReducesSeparability) {
+  auto easy_cfg = SmallImageConfig();
+  easy_cfg.noise = 0.1f;
+  auto hard_cfg = SmallImageConfig();
+  hard_cfg.noise = 3.0f;
+  const auto easy = MakeSyntheticImageData(easy_cfg);
+  const auto hard = MakeSyntheticImageData(hard_cfg);
+  // Variance of the hard set should dwarf the easy set's.
+  auto variance = [](const Dataset& d) {
+    const double mean = d.features().Mean();
+    double var = 0.0;
+    for (int64_t i = 0; i < d.features().num_elements(); ++i) {
+      const double delta = d.features().at(i) - mean;
+      var += delta * delta;
+    }
+    return var / static_cast<double>(d.features().num_elements());
+  };
+  EXPECT_GT(variance(hard.train), variance(easy.train) * 2);
+}
+
+TEST(SyntheticImageDeathTest, RejectsDegenerateConfig) {
+  auto cfg = SmallImageConfig();
+  cfg.num_classes = 1;
+  EXPECT_DEATH(MakeSyntheticImageData(cfg), "Check failed");
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic text
+// ---------------------------------------------------------------------------
+
+SyntheticTextConfig SmallTextConfig() {
+  SyntheticTextConfig cfg;
+  cfg.vocab_size = 100;
+  cfg.seq_len = 20;
+  cfg.train_size = 256;
+  cfg.test_size = 128;
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST(SyntheticTextTest, ShapesAndBinaryLabels) {
+  const auto data = MakeSyntheticTextData(SmallTextConfig());
+  EXPECT_EQ(data.train.features().shape(), Shape({256, 20}));
+  EXPECT_EQ(data.train.num_classes(), 2);
+  for (int y : data.train.labels()) {
+    EXPECT_TRUE(y == 0 || y == 1);
+  }
+}
+
+TEST(SyntheticTextTest, TokenIdsWithinVocab) {
+  const auto cfg = SmallTextConfig();
+  const auto data = MakeSyntheticTextData(cfg);
+  for (int64_t i = 0; i < data.train.features().num_elements(); ++i) {
+    const float v = data.train.features().at(i);
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LT(v, static_cast<float>(cfg.vocab_size));
+    EXPECT_FLOAT_EQ(v, std::round(v));  // integral ids
+  }
+}
+
+TEST(SyntheticTextTest, VocabLayoutPartitionsBands) {
+  const auto cfg = SmallTextConfig();
+  const auto layout = GetVocabLayout(cfg);
+  EXPECT_EQ(layout.pos_begin, 1);
+  EXPECT_EQ(layout.pos_end, layout.neg_begin);
+  EXPECT_EQ(layout.neg_end, layout.negator_begin);
+  EXPECT_EQ(layout.negator_end, layout.filler_begin);
+  EXPECT_LT(layout.filler_begin, cfg.vocab_size);
+}
+
+TEST(SyntheticTextTest, DeterministicForSameSeed) {
+  const auto a = MakeSyntheticTextData(SmallTextConfig());
+  const auto b = MakeSyntheticTextData(SmallTextConfig());
+  EXPECT_EQ(a.train.labels(), b.train.labels());
+  for (int64_t i = 0; i < a.train.features().num_elements(); ++i) {
+    ASSERT_FLOAT_EQ(a.train.features().at(i), b.train.features().at(i));
+  }
+}
+
+TEST(SyntheticTextTest, SentimentTokenCountPredictsLabel) {
+  // A bag-of-words heuristic (ignoring negation) should beat chance but not
+  // be perfect — negation is the signal TextCNN's bigram filters exploit.
+  const auto cfg = SmallTextConfig();
+  const auto layout = GetVocabLayout(cfg);
+  const auto data = MakeSyntheticTextData(cfg);
+  int correct = 0;
+  int decided = 0;
+  for (int64_t i = 0; i < data.test.size(); ++i) {
+    int score = 0;
+    for (int64_t t = 0; t < cfg.seq_len; ++t) {
+      const int tok = static_cast<int>(
+          data.test.features().at(i * cfg.seq_len + t));
+      if (tok >= layout.pos_begin && tok < layout.pos_end) ++score;
+      if (tok >= layout.neg_begin && tok < layout.neg_end) --score;
+    }
+    if (score == 0) continue;
+    ++decided;
+    const int guess = score > 0 ? 1 : 0;
+    if (guess == data.test.labels()[static_cast<size_t>(i)]) ++correct;
+  }
+  ASSERT_GT(decided, 50);
+  const double acc = static_cast<double>(correct) / decided;
+  EXPECT_GT(acc, 0.6);
+  EXPECT_LT(acc, 0.999);
+}
+
+TEST(SyntheticTextTest, BothClassesPresent) {
+  const auto data = MakeSyntheticTextData(SmallTextConfig());
+  int pos = 0;
+  for (int y : data.train.labels()) pos += y;
+  EXPECT_GT(pos, 50);
+  EXPECT_LT(pos, 206);
+}
+
+TEST(SyntheticTextDeathTest, VocabTooSmallAborts) {
+  auto cfg = SmallTextConfig();
+  cfg.vocab_size = 10;  // smaller than the sentiment bands
+  EXPECT_DEATH(MakeSyntheticTextData(cfg), "vocab too small");
+}
+
+}  // namespace
+}  // namespace edde

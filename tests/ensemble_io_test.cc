@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "ensemble/ensemble_io.h"
+#include "nn/mlp.h"
+#include "test_util.h"
+
+namespace edde {
+namespace {
+
+using testing::MakeBlobsSplit;
+
+MlpConfig SmallCfg() {
+  MlpConfig cfg;
+  cfg.in_features = 6;
+  cfg.hidden = {10};
+  cfg.num_classes = 3;
+  return cfg;
+}
+
+ModelFactory SmallFactory() {
+  return [](uint64_t seed) {
+    return std::make_unique<Mlp>(SmallCfg(), seed);
+  };
+}
+
+EnsembleModel MakeTrainedish(int members) {
+  EnsembleModel m;
+  for (int t = 0; t < members; ++t) {
+    m.AddMember(SmallFactory()(static_cast<uint64_t>(100 + t)),
+                0.5 + 0.25 * t);
+  }
+  return m;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(EnsembleIoTest, RoundTripPreservesPredictionsAndAlphas) {
+  EnsembleModel original = MakeTrainedish(3);
+  const std::string path = TempPath("ens_roundtrip.bin");
+  ASSERT_TRUE(SaveEnsemble(original, path).ok());
+
+  Result<EnsembleModel> loaded = LoadEnsemble(path, SmallFactory());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EnsembleModel restored = std::move(loaded).ValueOrDie();
+  ASSERT_EQ(restored.size(), 3);
+  for (int64_t t = 0; t < 3; ++t) {
+    EXPECT_NEAR(restored.alpha(t), original.alpha(t), 1e-6);
+  }
+
+  const auto data = MakeBlobsSplit(32, 0, 6, 3, 1);
+  Tensor p_orig = original.PredictProbs(data.train);
+  Tensor p_rest = restored.PredictProbs(data.train);
+  for (int64_t i = 0; i < p_orig.num_elements(); ++i) {
+    EXPECT_FLOAT_EQ(p_orig.at(i), p_rest.at(i));
+  }
+}
+
+TEST(EnsembleIoTest, EmptyEnsembleIsInvalidArgument) {
+  EnsembleModel empty;
+  EXPECT_EQ(SaveEnsemble(empty, TempPath("empty.bin")).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EnsembleIoTest, MissingFileIsIOError) {
+  Result<EnsembleModel> r =
+      LoadEnsemble("/nonexistent/ens.bin", SmallFactory());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(EnsembleIoTest, GarbageMagicIsCorruption) {
+  const std::string path = TempPath("ens_garbage.bin");
+  FILE* f = fopen(path.c_str(), "wb");
+  fwrite("garbage-not-an-ensemble", 1, 23, f);
+  fclose(f);
+  Result<EnsembleModel> r = LoadEnsemble(path, SmallFactory());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(EnsembleIoTest, WrongFactoryArchitectureIsInvalidArgument) {
+  EnsembleModel original = MakeTrainedish(2);
+  const std::string path = TempPath("ens_arch.bin");
+  ASSERT_TRUE(SaveEnsemble(original, path).ok());
+  const ModelFactory other_factory = [](uint64_t seed) {
+    MlpConfig cfg = SmallCfg();
+    cfg.hidden = {10, 10};  // different depth
+    return std::make_unique<Mlp>(cfg, seed);
+  };
+  Result<EnsembleModel> r = LoadEnsemble(path, other_factory);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EnsembleIoTest, TruncatedFileIsCorruption) {
+  EnsembleModel original = MakeTrainedish(2);
+  const std::string full_path = TempPath("ens_full.bin");
+  ASSERT_TRUE(SaveEnsemble(original, full_path).ok());
+  // Copy the first half of the bytes.
+  FILE* in = fopen(full_path.c_str(), "rb");
+  fseek(in, 0, SEEK_END);
+  const long size = ftell(in);
+  fseek(in, 0, SEEK_SET);
+  std::vector<char> buf(static_cast<size_t>(size / 2));
+  ASSERT_EQ(fread(buf.data(), 1, buf.size(), in), buf.size());
+  fclose(in);
+  const std::string cut_path = TempPath("ens_cut.bin");
+  FILE* out = fopen(cut_path.c_str(), "wb");
+  fwrite(buf.data(), 1, buf.size(), out);
+  fclose(out);
+
+  Result<EnsembleModel> r = LoadEnsemble(cut_path, SmallFactory());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace edde

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ensemble/adaboost_m1.h"
+#include "ensemble/adaboost_nc.h"
+#include "ensemble/bagging.h"
+#include "ensemble/bans.h"
+#include "ensemble/single.h"
+#include "ensemble/snapshot.h"
+#include "metrics/diversity.h"
+#include "metrics/metrics.h"
+#include "nn/mlp.h"
+#include "test_util.h"
+
+namespace edde {
+namespace {
+
+using testing::MakeBlobsSplit;
+
+struct Fixture {
+  testing::BlobSplit data = MakeBlobsSplit(384, 192, 6, 3, 1, /*spread=*/1.6f);
+  Dataset& train = data.train;
+  Dataset& test = data.test;
+  ModelFactory factory = [](uint64_t seed) {
+    MlpConfig cfg;
+    cfg.in_features = 6;
+    cfg.hidden = {16};
+    cfg.num_classes = 3;
+    return std::make_unique<Mlp>(cfg, seed);
+  };
+  MethodConfig config = [] {
+    MethodConfig mc;
+    mc.num_members = 3;
+    mc.epochs_per_member = 8;
+    mc.batch_size = 32;
+    mc.sgd.learning_rate = 0.1f;
+    mc.sgd.weight_decay = 0.0f;
+    mc.seed = 9;
+    return mc;
+  }();
+};
+
+// Shared expectations for every method: right member count, positive alphas,
+// above-chance accuracy.
+void ExpectHealthyEnsemble(EnsembleMethod* method, const Fixture& fx,
+                           int expected_members, double min_acc = 0.7) {
+  EnsembleModel model = method->Train(fx.train, fx.factory);
+  EXPECT_EQ(model.size(), expected_members) << method->name();
+  for (int64_t t = 0; t < model.size(); ++t) {
+    EXPECT_GT(model.alpha(t), 0.0) << method->name();
+  }
+  EXPECT_GT(model.EvaluateAccuracy(fx.test), min_acc) << method->name();
+}
+
+TEST(SingleModelTest, TrainsOneModelWithFullBudget) {
+  Fixture fx;
+  SingleModel method(fx.config);
+  ExpectHealthyEnsemble(&method, fx, /*expected_members=*/1);
+}
+
+TEST(BaggingTest, TrainsRequestedMembers) {
+  Fixture fx;
+  Bagging method(fx.config);
+  ExpectHealthyEnsemble(&method, fx, 3);
+}
+
+TEST(BaggingTest, MembersDiffer) {
+  Fixture fx;
+  Bagging method(fx.config);
+  EnsembleModel model = method.Train(fx.train, fx.factory);
+  const auto probs = model.MemberProbs(fx.test);
+  EXPECT_GT(PairwiseDiversity(probs[0], probs[1]), 0.001);
+}
+
+TEST(AdaBoostM1Test, TrainsAndWeightsMembers) {
+  Fixture fx;
+  AdaBoostM1 method(fx.config);
+  ExpectHealthyEnsemble(&method, fx, 3);
+}
+
+TEST(AdaBoostNCTest, TrainsAndWeightsMembers) {
+  Fixture fx;
+  AdaBoostNC method(fx.config);
+  ExpectHealthyEnsemble(&method, fx, 3);
+}
+
+TEST(AdaBoostNCTest, PenaltyStrengthChangesTheTrainingTrajectory) {
+  // λ is AdaBoost.NC's diversity knob: it reshapes the sample weights, so
+  // different strengths must produce measurably different ensembles (the
+  // direction of the diversity change is noisy at unit-test scale, so only
+  // the effect's existence and ensemble health are asserted).
+  Fixture fx;
+  AdaBoostNC weak(fx.config, /*penalty_strength=*/0.0);
+  AdaBoostNC strong(fx.config, /*penalty_strength=*/6.0);
+  EnsembleModel weak_model = weak.Train(fx.train, fx.factory);
+  EnsembleModel strong_model = strong.Train(fx.train, fx.factory);
+  const double div_weak = EnsembleDiversity(weak_model.MemberProbs(fx.test));
+  const double div_strong =
+      EnsembleDiversity(strong_model.MemberProbs(fx.test));
+  EXPECT_NE(div_weak, div_strong);
+  EXPECT_GT(weak_model.EvaluateAccuracy(fx.test), 0.6);
+  EXPECT_GT(strong_model.EvaluateAccuracy(fx.test), 0.6);
+}
+
+TEST(SnapshotTest, TakesOneSnapshotPerCycle) {
+  Fixture fx;
+  SnapshotEnsemble method(fx.config);
+  ExpectHealthyEnsemble(&method, fx, 3);
+}
+
+TEST(SnapshotTest, ConsecutiveSnapshotsAreSimilar) {
+  // The defining property the paper criticizes: warm-started snapshots are
+  // much more similar to each other than independently trained bagging
+  // members.
+  Fixture fx;
+  SnapshotEnsemble snapshot(fx.config);
+  Bagging bagging(fx.config);
+  const auto snap_probs =
+      snapshot.Train(fx.train, fx.factory).MemberProbs(fx.test);
+  const auto bag_probs =
+      bagging.Train(fx.train, fx.factory).MemberProbs(fx.test);
+  EXPECT_LT(EnsembleDiversity(snap_probs), EnsembleDiversity(bag_probs));
+}
+
+TEST(BansTest, TrainsGenerationChain) {
+  Fixture fx;
+  Bans method(fx.config);
+  ExpectHealthyEnsemble(&method, fx, 3);
+}
+
+TEST(BansTest, LaterGenerationsMatchTeacherMoreThanStrangers) {
+  Fixture fx;
+  Bans method(fx.config, /*distill_weight=*/2.0f);
+  EnsembleModel model = method.Train(fx.train, fx.factory);
+  const auto probs = model.MemberProbs(fx.train);
+  // Generation 2 distilled from generation 1: their similarity should beat
+  // the similarity between generation 1 and a fresh bagging-style model.
+  const double kd_sim = PairwiseSimilarity(probs[0], probs[1]);
+  EXPECT_GT(kd_sim, 0.7);
+}
+
+TEST(EvalCurveTest, MethodsRecordOnePointPerMember) {
+  Fixture fx;
+  Bagging method(fx.config);
+  std::vector<CurvePoint> points;
+  EvalCurve curve{&fx.test, &points};
+  method.Train(fx.train, fx.factory, curve);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].first, 8);
+  EXPECT_EQ(points[1].first, 16);
+  EXPECT_EQ(points[2].first, 24);
+  for (const auto& [epochs, acc] : points) {
+    EXPECT_GT(acc, 1.0 / 3.0);
+  }
+}
+
+TEST(EvalCurveTest, SingleModelProbesAtMemberBoundaries) {
+  Fixture fx;
+  SingleModel method(fx.config);
+  std::vector<CurvePoint> points;
+  EvalCurve curve{&fx.test, &points};
+  method.Train(fx.train, fx.factory, curve);
+  ASSERT_EQ(points.size(), 3u);  // 24 epochs probed every 8
+  EXPECT_EQ(points.back().first, 24);
+}
+
+TEST(MethodNamesTest, MatchThePapersTables) {
+  Fixture fx;
+  EXPECT_EQ(SingleModel(fx.config).name(), "Single Model");
+  EXPECT_EQ(Bagging(fx.config).name(), "Bagging");
+  EXPECT_EQ(AdaBoostM1(fx.config).name(), "AdaBoost.M1");
+  EXPECT_EQ(AdaBoostNC(fx.config).name(), "AdaBoost.NC");
+  EXPECT_EQ(AdaBoostNC(fx.config, 2.0, true).name(), "AdaBoost.NC (transfer)");
+  EXPECT_EQ(SnapshotEnsemble(fx.config).name(), "Snapshot");
+  EXPECT_EQ(Bans(fx.config).name(), "BANs");
+}
+
+TEST(DeterminismTest, SameSeedSameEnsembleAccuracy) {
+  Fixture fx;
+  Bagging a(fx.config), b(fx.config);
+  const double acc_a = a.Train(fx.train, fx.factory).EvaluateAccuracy(fx.test);
+  const double acc_b = b.Train(fx.train, fx.factory).EvaluateAccuracy(fx.test);
+  EXPECT_DOUBLE_EQ(acc_a, acc_b);
+}
+
+}  // namespace
+}  // namespace edde

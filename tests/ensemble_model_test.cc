@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ensemble/ensemble_model.h"
+#include "metrics/metrics.h"
+#include "nn/mlp.h"
+#include "test_util.h"
+
+namespace edde {
+namespace {
+
+using testing::MakeBlobs;
+
+std::unique_ptr<Mlp> SmallMlp(uint64_t seed, int in = 4, int k = 3) {
+  MlpConfig cfg;
+  cfg.in_features = in;
+  cfg.hidden = {8};
+  cfg.num_classes = k;
+  return std::make_unique<Mlp>(cfg, seed);
+}
+
+TEST(EnsembleModelTest, EmptyByDefault) {
+  EnsembleModel m;
+  EXPECT_EQ(m.size(), 0);
+}
+
+TEST(EnsembleModelTest, AddMemberStoresAlpha) {
+  EnsembleModel m;
+  m.AddMember(SmallMlp(1), 0.5);
+  m.AddMember(SmallMlp(2), 1.5);
+  EXPECT_EQ(m.size(), 2);
+  EXPECT_DOUBLE_EQ(m.alpha(0), 0.5);
+  EXPECT_DOUBLE_EQ(m.alpha(1), 1.5);
+}
+
+TEST(EnsembleModelDeathTest, RejectsNonPositiveAlpha) {
+  EnsembleModel m;
+  EXPECT_DEATH(m.AddMember(SmallMlp(1), 0.0), "positive");
+}
+
+TEST(EnsembleModelDeathTest, PredictOnEmptyAborts) {
+  EnsembleModel m;
+  Dataset data = MakeBlobs(8, 4, 3, 1);
+  EXPECT_DEATH(m.PredictProbs(data), "empty ensemble");
+}
+
+TEST(EnsembleModelTest, PredictionsAreDistributions) {
+  EnsembleModel m;
+  m.AddMember(SmallMlp(1), 1.0);
+  m.AddMember(SmallMlp(2), 2.0);
+  Dataset data = MakeBlobs(16, 4, 3, 2);
+  Tensor probs = m.PredictProbs(data);
+  ASSERT_EQ(probs.shape(), Shape({16, 3}));
+  for (int64_t i = 0; i < 16; ++i) {
+    double row = 0.0;
+    for (int64_t c = 0; c < 3; ++c) {
+      EXPECT_GE(probs.at(i, c), 0.0f);
+      row += probs.at(i, c);
+    }
+    EXPECT_NEAR(row, 1.0, 1e-5);
+  }
+}
+
+TEST(EnsembleModelTest, SingleMemberEqualsThatModel) {
+  EnsembleModel m;
+  auto model = SmallMlp(3);
+  Mlp* raw = model.get();
+  m.AddMember(std::move(model), 2.0);
+  Dataset data = MakeBlobs(10, 4, 3, 3);
+  Tensor ens = m.PredictProbs(data);
+  Tensor solo = PredictProbs(raw, data);
+  for (int64_t i = 0; i < ens.num_elements(); ++i) {
+    EXPECT_NEAR(ens.at(i), solo.at(i), 1e-6);
+  }
+}
+
+TEST(EnsembleModelTest, AlphaWeightingFollowsEq16) {
+  // H = (α1 p1 + α2 p2) / (α1 + α2).
+  EnsembleModel m;
+  auto m1 = SmallMlp(4);
+  auto m2 = SmallMlp(5);
+  Mlp* r1 = m1.get();
+  Mlp* r2 = m2.get();
+  m.AddMember(std::move(m1), 3.0);
+  m.AddMember(std::move(m2), 1.0);
+  Dataset data = MakeBlobs(6, 4, 3, 4);
+  Tensor p1 = PredictProbs(r1, data);
+  Tensor p2 = PredictProbs(r2, data);
+  Tensor ens = m.PredictProbs(data);
+  for (int64_t i = 0; i < ens.num_elements(); ++i) {
+    EXPECT_NEAR(ens.at(i), 0.75f * p1.at(i) + 0.25f * p2.at(i), 1e-5);
+  }
+}
+
+TEST(EnsembleModelTest, HugeAlphaDominates) {
+  EnsembleModel m;
+  auto m1 = SmallMlp(6);
+  Mlp* r1 = m1.get();
+  m.AddMember(std::move(m1), 1e6);
+  m.AddMember(SmallMlp(7), 1e-6);
+  Dataset data = MakeBlobs(8, 4, 3, 5);
+  Tensor ens = m.PredictProbs(data);
+  Tensor solo = PredictProbs(r1, data);
+  for (int64_t i = 0; i < ens.num_elements(); ++i) {
+    EXPECT_NEAR(ens.at(i), solo.at(i), 1e-4);
+  }
+}
+
+TEST(EnsembleModelTest, MemberProbsMatchesIndividualPredictions) {
+  EnsembleModel m;
+  auto m1 = SmallMlp(8);
+  Mlp* r1 = m1.get();
+  m.AddMember(std::move(m1), 1.0);
+  m.AddMember(SmallMlp(9), 1.0);
+  Dataset data = MakeBlobs(5, 4, 3, 6);
+  const auto member_probs = m.MemberProbs(data);
+  ASSERT_EQ(member_probs.size(), 2u);
+  Tensor direct = PredictProbs(r1, data);
+  for (int64_t i = 0; i < direct.num_elements(); ++i) {
+    EXPECT_FLOAT_EQ(member_probs[0].at(i), direct.at(i));
+  }
+}
+
+TEST(EnsembleModelTest, AverageMemberAccuracyIsMeanOfAccuracies) {
+  EnsembleModel m;
+  auto m1 = SmallMlp(10);
+  auto m2 = SmallMlp(11);
+  Mlp* r1 = m1.get();
+  Mlp* r2 = m2.get();
+  m.AddMember(std::move(m1), 1.0);
+  m.AddMember(std::move(m2), 1.0);
+  Dataset data = MakeBlobs(40, 4, 3, 7);
+  const double avg = m.AverageMemberAccuracy(data);
+  const double manual =
+      (EvaluateAccuracy(r1, data) + EvaluateAccuracy(r2, data)) / 2.0;
+  EXPECT_DOUBLE_EQ(avg, manual);
+}
+
+}  // namespace
+}  // namespace edde

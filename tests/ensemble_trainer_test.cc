@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "ensemble/trainer.h"
+#include "metrics/metrics.h"
+#include "nn/mlp.h"
+#include "test_util.h"
+
+namespace edde {
+namespace {
+
+using testing::MakeBlobs;
+
+MlpConfig BlobMlp() {
+  MlpConfig cfg;
+  cfg.in_features = 6;
+  cfg.hidden = {16};
+  cfg.num_classes = 3;
+  return cfg;
+}
+
+TrainConfig FastTrain(int epochs = 10) {
+  TrainConfig tc;
+  tc.epochs = epochs;
+  tc.batch_size = 32;
+  tc.sgd.learning_rate = 0.1f;
+  tc.sgd.weight_decay = 0.0f;
+  tc.seed = 5;
+  return tc;
+}
+
+TEST(TrainerTest, LearnsBlobsAboveChance) {
+  const auto data = testing::MakeBlobsSplit(256, 128, 6, 3, 1);
+  Mlp model(BlobMlp(), 3);
+  const double before = EvaluateAccuracy(&model, data.test);
+  TrainModel(&model, data.train, FastTrain(), TrainContext{});
+  const double after = EvaluateAccuracy(&model, data.test);
+  EXPECT_GT(after, 0.8);
+  EXPECT_GT(after, before);
+}
+
+TEST(TrainerTest, ReturnsDecreasingLoss) {
+  const Dataset train = MakeBlobs(128, 6, 3, 4);
+  Mlp model(BlobMlp(), 5);
+  std::vector<double> losses;
+  TrainModel(&model, train, FastTrain(8), TrainContext{},
+             [&](int /*epoch*/, double loss) { losses.push_back(loss); });
+  ASSERT_EQ(losses.size(), 8u);
+  EXPECT_LT(losses.back(), losses.front());
+}
+
+TEST(TrainerTest, EpochCallbackSeesEveryEpoch) {
+  const Dataset train = MakeBlobs(64, 6, 3, 6);
+  Mlp model(BlobMlp(), 7);
+  std::vector<int> epochs;
+  TrainModel(&model, train, FastTrain(5), TrainContext{},
+             [&](int epoch, double /*loss*/) { epochs.push_back(epoch); });
+  EXPECT_EQ(epochs, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(TrainerTest, ScheduleIsApplied) {
+  // With a constant-zero LR schedule, weights must not move.
+  const Dataset train = MakeBlobs(64, 6, 3, 8);
+  Mlp model(BlobMlp(), 9);
+  const float before = model.Parameters()[0]->value.at(0);
+  TrainConfig tc = FastTrain(2);
+  tc.schedule = std::make_shared<ConstantLr>(0.0f);
+  TrainModel(&model, train, tc, TrainContext{});
+  EXPECT_FLOAT_EQ(model.Parameters()[0]->value.at(0), before);
+}
+
+TEST(TrainerTest, SampleWeightsBiasTheFit) {
+  // Duplicate-free two-class blobs; give weight only to class-0 samples.
+  // The model should then predict class 0 almost everywhere.
+  const Dataset train = MakeBlobs(200, 6, 2, 10, /*spread=*/2.5f);
+  std::vector<float> weights(200);
+  for (int64_t i = 0; i < 200; ++i) {
+    weights[static_cast<size_t>(i)] =
+        train.labels()[static_cast<size_t>(i)] == 0 ? 2.0f : 0.0f;
+  }
+  MlpConfig cfg = BlobMlp();
+  cfg.num_classes = 2;
+  Mlp model(cfg, 11);
+  TrainContext ctx;
+  ctx.sample_weights = &weights;
+  TrainModel(&model, train, FastTrain(15), ctx);
+  const auto preds = PredictLabels(&model, train);
+  int zeros = 0;
+  for (int p : preds) {
+    if (p == 0) ++zeros;
+  }
+  EXPECT_GT(zeros, 180);
+}
+
+TEST(TrainerTest, DiversityContextPushesAwayFromReference) {
+  // Train with a very strong diversity reward against a fixed reference that
+  // equals the one-hot labels: the model should be pushed *away* from it,
+  // hurting accuracy versus plain training.
+  const Dataset train = MakeBlobs(200, 6, 3, 12);
+  Tensor ref(Shape{200, 3}, 0.0f);
+  for (int64_t i = 0; i < 200; ++i) {
+    ref.at(i, train.labels()[static_cast<size_t>(i)]) = 1.0f;
+  }
+  MlpConfig cfg = BlobMlp();
+
+  Mlp plain(cfg, 13);
+  TrainModel(&plain, train, FastTrain(12), TrainContext{});
+  const double plain_acc = EvaluateAccuracy(&plain, train);
+
+  Mlp diverse(cfg, 13);
+  TrainContext ctx;
+  ctx.reference_probs = &ref;
+  ctx.loss.diversity_gamma = 5.0f;
+  TrainModel(&diverse, train, FastTrain(12), ctx);
+  const double diverse_acc = EvaluateAccuracy(&diverse, train);
+
+  EXPECT_LT(diverse_acc, plain_acc);
+}
+
+TEST(TrainerTest, DeterministicGivenSeeds) {
+  const Dataset train = MakeBlobs(128, 6, 3, 14);
+  Mlp a(BlobMlp(), 15), b(BlobMlp(), 15);
+  TrainModel(&a, train, FastTrain(4), TrainContext{});
+  TrainModel(&b, train, FastTrain(4), TrainContext{});
+  auto pa = a.Parameters(), pb = b.Parameters();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    for (int64_t j = 0; j < pa[i]->value.num_elements(); ++j) {
+      ASSERT_FLOAT_EQ(pa[i]->value.data()[j], pb[i]->value.data()[j]);
+    }
+  }
+}
+
+TEST(ScaleWeightsTest, MeanBecomesOne) {
+  const std::vector<double> w = {0.1, 0.2, 0.3, 0.4};
+  const auto scaled = ScaleWeightsToMeanOne(w);
+  double mean = 0.0;
+  for (float v : scaled) mean += v;
+  mean /= 4.0;
+  EXPECT_NEAR(mean, 1.0, 1e-6);
+  // Relative proportions preserved.
+  EXPECT_NEAR(scaled[3] / scaled[0], 4.0, 1e-5);
+}
+
+TEST(TrainerDeathTest, MismatchedWeightSizeAborts) {
+  const Dataset train = MakeBlobs(32, 6, 3, 16);
+  Mlp model(BlobMlp(), 17);
+  std::vector<float> weights(10, 1.0f);
+  TrainContext ctx;
+  ctx.sample_weights = &weights;
+  EXPECT_DEATH(TrainModel(&model, train, FastTrain(1), ctx), "Check failed");
+}
+
+}  // namespace
+}  // namespace edde

@@ -1,0 +1,274 @@
+/// Tests for the library extensions beyond the paper's core algorithm:
+/// Adam, NCL, classical diversity statistics, majority-vote combination.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ensemble/ncl.h"
+#include "metrics/diversity.h"
+#include "metrics/metrics.h"
+#include "nn/dense.h"
+#include "nn/mlp.h"
+#include "optim/adam.h"
+#include "test_util.h"
+
+namespace edde {
+namespace {
+
+using testing::MakeBlobsSplit;
+
+// ---------------------------------------------------------------------------
+// Adam
+// ---------------------------------------------------------------------------
+
+TEST(AdamTest, ConvergesOnLinearRegression) {
+  Rng rng(1);
+  Dense layer(4, 2, &rng);
+  Tensor x(Shape{8, 4});
+  x.FillNormal(&rng, 0.0f, 1.0f);
+  Dense teacher(4, 2, &rng);
+  Tensor target = teacher.Forward(x, false);
+
+  AdamConfig cfg;
+  cfg.learning_rate = 0.02f;
+  Adam opt(&layer, cfg);
+  double first = 0.0, last = 0.0;
+  for (int i = 0; i < 600; ++i) {
+    // Adam holds a constant-scale step near the optimum; decay to finish.
+    if (i == 400) opt.set_learning_rate(0.002f);
+    Tensor out = layer.Forward(x, true);
+    Tensor grad(out.shape());
+    double loss = 0.0;
+    for (int64_t j = 0; j < out.num_elements(); ++j) {
+      const float d = out.at(j) - target.at(j);
+      grad.at(j) = d;
+      loss += 0.5 * d * d;
+    }
+    layer.Backward(grad);
+    opt.Step();
+    layer.ZeroGrad();
+    if (i == 0) first = loss;
+    last = loss;
+  }
+  EXPECT_LT(last, first * 2e-3);
+  EXPECT_EQ(opt.steps_taken(), 600);
+}
+
+TEST(AdamTest, StepSizeBoundedByLearningRate) {
+  // Adam's per-coordinate step is at most ~lr regardless of gradient scale.
+  Rng rng(2);
+  Dense layer(3, 3, &rng);
+  AdamConfig cfg;
+  cfg.learning_rate = 0.01f;
+  Adam opt(&layer, cfg);
+  Parameter* w = layer.Parameters()[0];
+  const Tensor before = w->value.Clone();
+  w->grad.Fill(1e6f);  // enormous gradient
+  opt.Step();
+  for (int64_t i = 0; i < w->value.num_elements(); ++i) {
+    EXPECT_LE(std::fabs(w->value.at(i) - before.at(i)), 0.02f);
+  }
+}
+
+TEST(AdamTest, SkipsNonTrainable) {
+  Rng rng(3);
+  Dense layer(3, 3, &rng);
+  auto params = layer.Parameters();
+  params[1]->trainable = false;
+  AdamConfig cfg;
+  Adam opt(&layer, cfg);
+  params[1]->grad.Fill(10.0f);
+  const float before = params[1]->value.at(0);
+  opt.Step();
+  EXPECT_FLOAT_EQ(params[1]->value.at(0), before);
+}
+
+TEST(AdamTest, TrainsBlobsFasterThanOneEpochSgdBaseline) {
+  const auto data = MakeBlobsSplit(256, 128, 6, 3, 4);
+  MlpConfig cfg;
+  cfg.in_features = 6;
+  cfg.hidden = {16};
+  cfg.num_classes = 3;
+  Mlp model(cfg, 5);
+  AdamConfig acfg;
+  acfg.learning_rate = 0.01f;
+  Adam opt(&model, acfg);
+  Rng rng(6);
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    Tensor logits = model.Forward(data.train.features(), true);
+    LossResult loss = SoftmaxCrossEntropyLoss(logits, data.train.labels());
+    model.Backward(loss.grad_logits);
+    opt.Step();
+    model.ZeroGrad();
+  }
+  EXPECT_GT(EvaluateAccuracy(&model, data.test), 0.6);
+}
+
+// ---------------------------------------------------------------------------
+// Classical diversity statistics
+// ---------------------------------------------------------------------------
+
+TEST(DisagreementTest, IdenticalAndOpposite) {
+  EXPECT_DOUBLE_EQ(DisagreementMeasure({1, 2, 3}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(DisagreementMeasure({1, 2, 3}, {2, 3, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(DisagreementMeasure({1, 2, 3, 4}, {1, 2, 0, 0}), 0.5);
+}
+
+TEST(QStatisticTest, IdenticallyCorrectClassifiersGiveZeroDenominator) {
+  // Both always correct: N00 = N01 = N10 = 0 -> denominator 0 -> 0 fallback.
+  EXPECT_DOUBLE_EQ(QStatistic({0, 1}, {0, 1}, {0, 1}), 0.0);
+}
+
+TEST(QStatisticTest, CorrelatedErrorsGivePositiveQ) {
+  // Same samples right, same samples wrong -> Q = +1.
+  const std::vector<int> labels = {0, 0, 1, 1};
+  const std::vector<int> a = {0, 9, 1, 9};
+  const std::vector<int> b = {0, 8, 1, 8};
+  EXPECT_DOUBLE_EQ(QStatistic(a, b, labels), 1.0);
+}
+
+TEST(QStatisticTest, ComplementaryErrorsGiveNegativeQ) {
+  // a wrong exactly where b is right and vice versa -> Q = −1.
+  const std::vector<int> labels = {0, 0, 1, 1};
+  const std::vector<int> a = {0, 9, 9, 1};
+  const std::vector<int> b = {9, 0, 1, 9};
+  EXPECT_DOUBLE_EQ(QStatistic(a, b, labels), -1.0);
+}
+
+TEST(KappaStatisticTest, IdenticalErrorPatternsGiveKappaOne) {
+  const std::vector<int> labels = {0, 0, 1, 1};
+  const std::vector<int> a = {0, 9, 1, 9};
+  EXPECT_DOUBLE_EQ(KappaStatistic(a, a, labels), 1.0);
+}
+
+TEST(KappaStatisticTest, ComplementaryErrorsGiveNegativeKappa) {
+  const std::vector<int> labels = {0, 0, 1, 1};
+  const std::vector<int> a = {0, 9, 9, 1};
+  const std::vector<int> b = {9, 0, 1, 9};
+  EXPECT_LT(KappaStatistic(a, b, labels), 0.0);
+}
+
+TEST(EnsembleDisagreementTest, AveragesPairs) {
+  const std::vector<std::vector<int>> preds = {{0, 0}, {0, 0}, {1, 1}};
+  // Pairs: (0,1)=0, (0,2)=1, (1,2)=1 -> mean 2/3.
+  EXPECT_NEAR(EnsembleDisagreement(preds), 2.0 / 3.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// NCL
+// ---------------------------------------------------------------------------
+
+TEST(NclTest, TrainsSimultaneouslyAndPredictsAboveChance) {
+  const auto data = MakeBlobsSplit(256, 128, 6, 3, 7, /*spread=*/1.6f);
+  const ModelFactory factory = [](uint64_t seed) {
+    MlpConfig cfg;
+    cfg.in_features = 6;
+    cfg.hidden = {16};
+    cfg.num_classes = 3;
+    return std::make_unique<Mlp>(cfg, seed);
+  };
+  MethodConfig mc;
+  mc.num_members = 3;
+  mc.epochs_per_member = 8;
+  mc.batch_size = 32;
+  mc.sgd.learning_rate = 0.1f;
+  mc.sgd.weight_decay = 0.0f;
+  mc.seed = 8;
+  NclEnsemble ncl(mc, /*lambda=*/0.5f);
+  EnsembleModel model = ncl.Train(data.train, factory);
+  EXPECT_EQ(model.size(), 3);
+  EXPECT_GT(model.EvaluateAccuracy(data.test), 0.7);
+  EXPECT_EQ(ncl.name(), "NCL");
+}
+
+TEST(NclTest, LambdaIncreasesDiversity) {
+  const auto data = MakeBlobsSplit(256, 128, 6, 3, 9, /*spread=*/1.6f);
+  const ModelFactory factory = [](uint64_t seed) {
+    MlpConfig cfg;
+    cfg.in_features = 6;
+    cfg.hidden = {16};
+    cfg.num_classes = 3;
+    return std::make_unique<Mlp>(cfg, seed);
+  };
+  MethodConfig mc;
+  mc.num_members = 3;
+  mc.epochs_per_member = 8;
+  mc.batch_size = 32;
+  mc.sgd.learning_rate = 0.1f;
+  mc.sgd.weight_decay = 0.0f;
+  mc.seed = 10;
+  NclEnsemble weak(mc, 0.0f);
+  NclEnsemble strong(mc, 1.5f);
+  const double div_weak = EnsembleDiversity(
+      weak.Train(data.train, factory).MemberProbs(data.test));
+  const double div_strong = EnsembleDiversity(
+      strong.Train(data.train, factory).MemberProbs(data.test));
+  EXPECT_GT(div_strong, div_weak);
+}
+
+TEST(NclTest, RecordsOneCurvePoint) {
+  const auto data = MakeBlobsSplit(128, 64, 6, 3, 11);
+  const ModelFactory factory = [](uint64_t seed) {
+    MlpConfig cfg;
+    cfg.in_features = 6;
+    cfg.num_classes = 3;
+    return std::make_unique<Mlp>(cfg, seed);
+  };
+  MethodConfig mc;
+  mc.num_members = 2;
+  mc.epochs_per_member = 3;
+  mc.batch_size = 32;
+  mc.seed = 12;
+  NclEnsemble ncl(mc);
+  std::vector<CurvePoint> points;
+  EvalCurve curve{&data.test, &points};
+  ncl.Train(data.train, factory, curve);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].first, 6);
+}
+
+// ---------------------------------------------------------------------------
+// Majority vote
+// ---------------------------------------------------------------------------
+
+TEST(MajorityVoteTest, AgreesWithAveragingWhenMembersAgree) {
+  EnsembleModel m;
+  MlpConfig cfg;
+  cfg.in_features = 6;
+  cfg.num_classes = 3;
+  auto base = std::make_unique<Mlp>(cfg, 1);
+  // Three copies of the same model: vote == averaging == single prediction.
+  for (int t = 0; t < 3; ++t) {
+    auto copy = std::make_unique<Mlp>(cfg, 1);
+    m.AddMember(std::move(copy), 1.0);
+  }
+  const auto data = MakeBlobsSplit(40, 0, 6, 3, 13);
+  EXPECT_EQ(m.PredictLabelsMajorityVote(data.train),
+            m.PredictLabels(data.train));
+}
+
+TEST(MajorityVoteTest, MajorityBeatsLoneDissenter) {
+  EnsembleModel m;
+  MlpConfig cfg;
+  cfg.in_features = 6;
+  cfg.num_classes = 3;
+  // Two identical members (seed 1) and one different (seed 2): the vote
+  // must equal the duplicated member's prediction everywhere.
+  m.AddMember(std::make_unique<Mlp>(cfg, 1), 1.0);
+  m.AddMember(std::make_unique<Mlp>(cfg, 1), 1.0);
+  m.AddMember(std::make_unique<Mlp>(cfg, 2), 5.0);  // heavier α, still loses
+  const auto data = MakeBlobsSplit(40, 0, 6, 3, 14);
+  Mlp reference(cfg, 1);
+  EXPECT_EQ(m.PredictLabelsMajorityVote(data.train),
+            PredictLabels(&reference, data.train));
+}
+
+TEST(MajorityVoteDeathTest, EmptyEnsembleAborts) {
+  EnsembleModel m;
+  const auto data = MakeBlobsSplit(4, 0, 6, 3, 15);
+  EXPECT_DEATH(m.PredictLabelsMajorityVote(data.train), "empty ensemble");
+}
+
+}  // namespace
+}  // namespace edde

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "nn/checkpoint.h"
+#include "nn/mlp.h"
+#include "nn/resnet.h"
+
+namespace edde {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+bool ModulesEqual(Module* a, Module* b) {
+  auto pa = a->Parameters();
+  auto pb = b->Parameters();
+  if (pa.size() != pb.size()) return false;
+  for (size_t i = 0; i < pa.size(); ++i) {
+    if (pa[i]->value.shape() != pb[i]->value.shape()) return false;
+    for (int64_t j = 0; j < pa[i]->value.num_elements(); ++j) {
+      if (pa[i]->value.data()[j] != pb[i]->value.data()[j]) return false;
+    }
+  }
+  return true;
+}
+
+TEST(CheckpointTest, SaveLoadRoundTripsMlp) {
+  MlpConfig cfg;
+  cfg.in_features = 6;
+  cfg.hidden = {10};
+  cfg.num_classes = 4;
+  Mlp src(cfg, 1), dst(cfg, 2);
+  ASSERT_FALSE(ModulesEqual(&src, &dst));
+  const std::string path = TempPath("mlp.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(&src, path).ok());
+  ASSERT_TRUE(LoadCheckpoint(&dst, path).ok());
+  EXPECT_TRUE(ModulesEqual(&src, &dst));
+}
+
+TEST(CheckpointTest, RoundTripsResNetWithBatchNormBuffers) {
+  ResNetConfig cfg;
+  cfg.depth = 8;
+  cfg.base_width = 2;
+  cfg.num_classes = 3;
+  ResNet src(cfg, 3), dst(cfg, 4);
+  // Touch the running statistics so they are non-trivial.
+  Rng rng(5);
+  Tensor x(Shape{4, 3, 8, 8});
+  x.FillNormal(&rng, 0.5f, 2.0f);
+  src.Forward(x, /*training=*/true);
+  const std::string path = TempPath("resnet.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(&src, path).ok());
+  ASSERT_TRUE(LoadCheckpoint(&dst, path).ok());
+  EXPECT_TRUE(ModulesEqual(&src, &dst));
+  // Eval-mode outputs (which use running stats) must agree exactly.
+  Tensor ya = src.Forward(x, false);
+  Tensor yb = dst.Forward(x, false);
+  for (int64_t i = 0; i < ya.num_elements(); ++i) {
+    EXPECT_FLOAT_EQ(ya.at(i), yb.at(i));
+  }
+}
+
+TEST(CheckpointTest, ArchitectureMismatchIsError) {
+  MlpConfig small, big;
+  small.in_features = 4;
+  big.in_features = 8;
+  Mlp src(small, 1), dst(big, 2);
+  const std::string path = TempPath("mismatch.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(&src, path).ok());
+  Status s = LoadCheckpoint(&dst, path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointTest, GarbageFileIsCorruption) {
+  const std::string path = TempPath("garbage.ckpt");
+  FILE* f = fopen(path.c_str(), "wb");
+  fwrite("not a checkpoint", 1, 16, f);
+  fclose(f);
+  MlpConfig cfg;
+  Mlp m(cfg, 1);
+  Status s = LoadCheckpoint(&m, path);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(CheckpointTest, MissingFileIsIOError) {
+  MlpConfig cfg;
+  Mlp m(cfg, 1);
+  Status s = LoadCheckpoint(&m, "/nonexistent/nowhere.ckpt");
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+}
+
+TEST(CopyParametersTest, CopiesValuesNotGradients) {
+  MlpConfig cfg;
+  Mlp src(cfg, 1), dst(cfg, 2);
+  // Put a sentinel gradient in dst; copying values must not disturb it.
+  dst.Parameters()[0]->grad.Fill(7.0f);
+  ASSERT_TRUE(CopyParameters(&src, &dst).ok());
+  EXPECT_TRUE(ModulesEqual(&src, &dst));
+  EXPECT_FLOAT_EQ(dst.Parameters()[0]->grad.at(0), 7.0f);
+}
+
+TEST(CopyParametersTest, MismatchIsError) {
+  MlpConfig a, b;
+  a.hidden = {4};
+  b.hidden = {4, 4};
+  Mlp src(a, 1), dst(b, 2);
+  EXPECT_FALSE(CopyParameters(&src, &dst).ok());
+}
+
+}  // namespace
+}  // namespace edde

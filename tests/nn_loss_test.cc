@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace edde {
+namespace {
+
+Tensor RandomLogits(int n, int k, uint64_t seed, float stddev = 1.5f) {
+  Rng rng(seed);
+  Tensor t(Shape{n, k});
+  t.FillNormal(&rng, 0.0f, stddev);
+  return t;
+}
+
+Tensor RandomProbs(int n, int k, uint64_t seed) {
+  return Softmax(RandomLogits(n, k, seed));
+}
+
+// Numerically differentiates the loss with respect to logits.
+Tensor NumericalGradLogits(const Tensor& logits, const std::vector<int>& y,
+                           const std::vector<float>& w, const Tensor& ref,
+                           const LossConfig& cfg, double eps = 1e-3) {
+  Tensor grad(logits.shape());
+  Tensor probe = logits.Clone();
+  for (int64_t i = 0; i < logits.num_elements(); ++i) {
+    const float saved = probe.at(i);
+    probe.at(i) = saved + static_cast<float>(eps);
+    const double fp = SoftmaxCrossEntropyLoss(probe, y, w, ref, cfg).loss;
+    probe.at(i) = saved - static_cast<float>(eps);
+    const double fm = SoftmaxCrossEntropyLoss(probe, y, w, ref, cfg).loss;
+    probe.at(i) = saved;
+    grad.at(i) = static_cast<float>((fp - fm) / (2 * eps));
+  }
+  return grad;
+}
+
+void ExpectGradClose(const Tensor& analytic, const Tensor& numeric,
+                     double tol = 2e-3) {
+  ASSERT_EQ(analytic.shape(), numeric.shape());
+  for (int64_t i = 0; i < analytic.num_elements(); ++i) {
+    EXPECT_NEAR(analytic.at(i), numeric.at(i), tol) << "component " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Plain cross entropy
+// ---------------------------------------------------------------------------
+
+TEST(CrossEntropyTest, KnownValue) {
+  // Uniform logits over 4 classes: loss = log(4).
+  Tensor logits(Shape{1, 4}, 0.0f);
+  LossResult r = SoftmaxCrossEntropyLoss(logits, {2});
+  EXPECT_NEAR(r.loss, std::log(4.0), 1e-6);
+}
+
+TEST(CrossEntropyTest, PerfectPredictionHasTinyLoss) {
+  Tensor logits(Shape{1, 3}, {-20.0f, 20.0f, -20.0f});
+  LossResult r = SoftmaxCrossEntropyLoss(logits, {1});
+  EXPECT_LT(r.loss, 1e-4);
+}
+
+TEST(CrossEntropyTest, GradientIsProbsMinusOneHotOverN) {
+  Tensor logits = RandomLogits(3, 4, 1);
+  const std::vector<int> y = {0, 2, 3};
+  LossResult r = SoftmaxCrossEntropyLoss(logits, y);
+  Tensor p = Softmax(logits);
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t c = 0; c < 4; ++c) {
+      const float expected =
+          (p.at(i, c) - (y[static_cast<size_t>(i)] == c ? 1.0f : 0.0f)) / 3.0f;
+      EXPECT_NEAR(r.grad_logits.at(i, c), expected, 1e-5);
+    }
+  }
+}
+
+TEST(CrossEntropyTest, GradientMatchesFiniteDifferences) {
+  Tensor logits = RandomLogits(4, 5, 2);
+  const std::vector<int> y = {0, 1, 2, 4};
+  LossResult r = SoftmaxCrossEntropyLoss(logits, y);
+  ExpectGradClose(r.grad_logits,
+                  NumericalGradLogits(logits, y, {}, Tensor(), LossConfig{}));
+}
+
+TEST(CrossEntropyTest, ProbsFieldIsSoftmax) {
+  Tensor logits = RandomLogits(2, 3, 3);
+  LossResult r = SoftmaxCrossEntropyLoss(logits, {0, 1});
+  Tensor p = Softmax(logits);
+  for (int64_t i = 0; i < p.num_elements(); ++i) {
+    EXPECT_FLOAT_EQ(r.probs.at(i), p.at(i));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sample weights
+// ---------------------------------------------------------------------------
+
+TEST(WeightedLossTest, WeightsScaleLossLinearly) {
+  Tensor logits = RandomLogits(2, 3, 4);
+  const std::vector<int> y = {0, 1};
+  const double base =
+      SoftmaxCrossEntropyLoss(logits, y, {1.0f, 1.0f}, Tensor(), LossConfig{})
+          .loss;
+  const double doubled =
+      SoftmaxCrossEntropyLoss(logits, y, {2.0f, 2.0f}, Tensor(), LossConfig{})
+          .loss;
+  EXPECT_NEAR(doubled, 2.0 * base, 1e-6);
+}
+
+TEST(WeightedLossTest, ZeroWeightSampleContributesNothing) {
+  Tensor logits = RandomLogits(2, 3, 5);
+  const std::vector<int> y = {0, 1};
+  LossResult r = SoftmaxCrossEntropyLoss(logits, y, {0.0f, 1.0f}, Tensor(),
+                                         LossConfig{});
+  for (int64_t c = 0; c < 3; ++c) {
+    EXPECT_FLOAT_EQ(r.grad_logits.at(0, c), 0.0f);
+  }
+}
+
+TEST(WeightedLossTest, WeightedGradientMatchesFiniteDifferences) {
+  Tensor logits = RandomLogits(3, 4, 6);
+  const std::vector<int> y = {1, 3, 0};
+  const std::vector<float> w = {0.5f, 2.0f, 1.3f};
+  LossResult r = SoftmaxCrossEntropyLoss(logits, y, w, Tensor(), LossConfig{});
+  ExpectGradClose(r.grad_logits,
+                  NumericalGradLogits(logits, y, w, Tensor(), LossConfig{}));
+}
+
+// ---------------------------------------------------------------------------
+// Diversity-driven term (paper Eq. 10 / 11)
+// ---------------------------------------------------------------------------
+
+TEST(DiversityLossTest, RewardsDisagreementWithReference) {
+  Tensor logits = RandomLogits(2, 4, 7);
+  const std::vector<int> y = {0, 1};
+  Tensor ref = Softmax(logits);  // reference == own prediction: distance 0
+  LossConfig cfg;
+  cfg.diversity_gamma = 0.5f;
+  const double loss_same =
+      SoftmaxCrossEntropyLoss(logits, y, {}, ref, cfg).loss;
+  Tensor far_ref = RandomProbs(2, 4, 1234);
+  const double loss_far =
+      SoftmaxCrossEntropyLoss(logits, y, {}, far_ref, cfg).loss;
+  // Disagreeing with the reference lowers the loss (the term is a reward).
+  EXPECT_LT(loss_far, loss_same);
+}
+
+TEST(DiversityLossTest, LossEqualsCEMinusGammaTimesDistance) {
+  Tensor logits = RandomLogits(3, 5, 8);
+  const std::vector<int> y = {0, 2, 4};
+  Tensor ref = RandomProbs(3, 5, 9);
+  LossConfig cfg;
+  cfg.diversity_gamma = 0.3f;
+  const double with_div =
+      SoftmaxCrossEntropyLoss(logits, y, {}, ref, cfg).loss;
+  const double plain = SoftmaxCrossEntropyLoss(logits, y).loss;
+  const auto dist = RowL2Distance(Softmax(logits), ref);
+  double mean_dist = 0.0;
+  for (float d : dist) mean_dist += d;
+  mean_dist /= 3.0;
+  EXPECT_NEAR(with_div, plain - 0.3 * mean_dist, 1e-6);
+}
+
+TEST(DiversityLossTest, GradientMatchesFiniteDifferences) {
+  Tensor logits = RandomLogits(3, 4, 10);
+  const std::vector<int> y = {1, 0, 3};
+  Tensor ref = RandomProbs(3, 4, 11);
+  LossConfig cfg;
+  cfg.diversity_gamma = 0.4f;
+  LossResult r = SoftmaxCrossEntropyLoss(logits, y, {}, ref, cfg);
+  ExpectGradClose(r.grad_logits, NumericalGradLogits(logits, y, {}, ref, cfg),
+                  5e-3);
+}
+
+TEST(DiversityLossTest, WeightedDiversityGradientMatchesFiniteDifferences) {
+  // The full paper Eq. 10: weights and γ together.
+  Tensor logits = RandomLogits(2, 6, 12);
+  const std::vector<int> y = {5, 2};
+  const std::vector<float> w = {1.7f, 0.4f};
+  Tensor ref = RandomProbs(2, 6, 13);
+  LossConfig cfg;
+  cfg.diversity_gamma = 0.2f;
+  LossResult r = SoftmaxCrossEntropyLoss(logits, y, w, ref, cfg);
+  ExpectGradClose(r.grad_logits, NumericalGradLogits(logits, y, w, ref, cfg),
+                  5e-3);
+}
+
+TEST(DiversityLossDeathTest, MissingReferenceAborts) {
+  Tensor logits = RandomLogits(1, 3, 14);
+  LossConfig cfg;
+  cfg.diversity_gamma = 0.1f;
+  EXPECT_DEATH(SoftmaxCrossEntropyLoss(logits, {0}, {}, Tensor(), cfg),
+               "requires reference");
+}
+
+// ---------------------------------------------------------------------------
+// Distillation term (BANs)
+// ---------------------------------------------------------------------------
+
+TEST(DistillLossTest, RewardsAgreementWithTeacher) {
+  Tensor logits = RandomLogits(2, 4, 15);
+  const std::vector<int> y = {0, 1};
+  Tensor own = Softmax(logits);
+  Tensor far_ref = RandomProbs(2, 4, 99);
+  LossConfig cfg;
+  cfg.distill_weight = 1.0f;
+  const double loss_same =
+      SoftmaxCrossEntropyLoss(logits, y, {}, own, cfg).loss;
+  const double loss_far =
+      SoftmaxCrossEntropyLoss(logits, y, {}, far_ref, cfg).loss;
+  // Matching the teacher lowers the loss — the sign is opposite to the
+  // diversity term.
+  EXPECT_LT(loss_same, loss_far);
+}
+
+TEST(DistillLossTest, GradientMatchesFiniteDifferences) {
+  Tensor logits = RandomLogits(3, 4, 16);
+  const std::vector<int> y = {2, 0, 1};
+  Tensor ref = RandomProbs(3, 4, 17);
+  LossConfig cfg;
+  cfg.distill_weight = 0.8f;
+  LossResult r = SoftmaxCrossEntropyLoss(logits, y, {}, ref, cfg);
+  ExpectGradClose(r.grad_logits, NumericalGradLogits(logits, y, {}, ref, cfg),
+                  5e-3);
+}
+
+TEST(CombinedLossTest, DiversityAndDistillTogetherMatchFiniteDifferences) {
+  // Not a paper configuration, but the API admits it; gradients must still
+  // be exact.
+  Tensor logits = RandomLogits(2, 5, 18);
+  const std::vector<int> y = {4, 1};
+  Tensor ref = RandomProbs(2, 5, 19);
+  LossConfig cfg;
+  cfg.diversity_gamma = 0.2f;
+  cfg.distill_weight = 0.3f;
+  LossResult r = SoftmaxCrossEntropyLoss(logits, y, {}, ref, cfg);
+  ExpectGradClose(r.grad_logits, NumericalGradLogits(logits, y, {}, ref, cfg),
+                  5e-3);
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized γ sweep: loss decreases monotonically in γ for a fixed
+// disagreeing reference (the reward grows with γ).
+// ---------------------------------------------------------------------------
+
+class GammaSweepTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(GammaSweepTest, LossDecreasesAsGammaGrows) {
+  const float gamma = GetParam();
+  Tensor logits = RandomLogits(4, 6, 20);
+  const std::vector<int> y = {0, 1, 2, 3};
+  Tensor ref = RandomProbs(4, 6, 21);
+  LossConfig smaller, larger;
+  smaller.diversity_gamma = gamma;
+  larger.diversity_gamma = gamma + 0.1f;
+  const double l_small =
+      SoftmaxCrossEntropyLoss(logits, y, {}, ref, smaller).loss;
+  const double l_large =
+      SoftmaxCrossEntropyLoss(logits, y, {}, ref, larger).loss;
+  EXPECT_LT(l_large, l_small);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperGammaGrid, GammaSweepTest,
+                         ::testing::Values(0.0f, 0.1f, 0.3f, 0.5f, 1.0f));
+
+}  // namespace
+}  // namespace edde

@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace edde {
+namespace {
+
+Tensor RandomTensor(Shape shape, Rng* rng, float stddev = 1.0f) {
+  Tensor t(std::move(shape));
+  t.FillNormal(rng, 0.0f, stddev);
+  return t;
+}
+
+// Naive O(MNK) reference gemm.
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b, bool ta, bool tb) {
+  const int64_t m = ta ? a.shape().dim(1) : a.shape().dim(0);
+  const int64_t k = ta ? a.shape().dim(0) : a.shape().dim(1);
+  const int64_t n = tb ? b.shape().dim(0) : b.shape().dim(1);
+  Tensor c(Shape{m, n}, 0.0f);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = ta ? a.at(p, i) : a.at(i, p);
+        const float bv = tb ? b.at(j, p) : b.at(p, j);
+        acc += static_cast<double>(av) * bv;
+      }
+      c.at(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Gemm, parameterized over transpose flags and sizes
+// ---------------------------------------------------------------------------
+
+class GemmTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool, int, int, int>> {};
+
+TEST_P(GemmTest, MatchesNaiveReference) {
+  const auto [ta, tb, m, n, k] = GetParam();
+  Rng rng(101 + m * 7 + n * 3 + k);
+  Tensor a = RandomTensor(ta ? Shape{k, m} : Shape{m, k}, &rng);
+  Tensor b = RandomTensor(tb ? Shape{n, k} : Shape{k, n}, &rng);
+  Tensor c(Shape{m, n}, 0.0f);
+  Gemm(ta, tb, 1.0f, a, b, 0.0f, &c);
+  Tensor expected = NaiveMatMul(a, b, ta, tb);
+  for (int64_t i = 0; i < c.num_elements(); ++i) {
+    EXPECT_NEAR(c.at(i), expected.at(i), 1e-3) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, GemmTest,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Values(1, 5, 64),
+                       ::testing::Values(1, 7, 65),
+                       ::testing::Values(1, 9, 70)));
+
+TEST(GemmTest, AccumulatesWithBeta) {
+  Rng rng(5);
+  Tensor a = RandomTensor(Shape{3, 4}, &rng);
+  Tensor b = RandomTensor(Shape{4, 2}, &rng);
+  Tensor c(Shape{3, 2}, 1.0f);
+  Gemm(false, false, 2.0f, a, b, 3.0f, &c);
+  Tensor ref = NaiveMatMul(a, b, false, false);
+  for (int64_t i = 0; i < c.num_elements(); ++i) {
+    EXPECT_NEAR(c.at(i), 2.0f * ref.at(i) + 3.0f, 1e-4);
+  }
+}
+
+TEST(GemmDeathTest, InnerDimensionMismatchAborts) {
+  Tensor a(Shape{2, 3}), b(Shape{4, 2}), c(Shape{2, 2});
+  EXPECT_DEATH(Gemm(false, false, 1.0f, a, b, 0.0f, &c), "inner dimension");
+}
+
+// ---------------------------------------------------------------------------
+// BLAS-1 / elementwise
+// ---------------------------------------------------------------------------
+
+TEST(Blas1Test, AxpyScaleAddSubMulDot) {
+  Tensor x(Shape{3}, {1.0f, 2.0f, 3.0f});
+  Tensor y(Shape{3}, {10.0f, 20.0f, 30.0f});
+  Axpy(2.0f, x, &y);
+  EXPECT_FLOAT_EQ(y.at(2), 36.0f);
+  Scale(0.5f, &y);
+  EXPECT_FLOAT_EQ(y.at(0), 6.0f);
+  Tensor s = Add(x, x);
+  EXPECT_FLOAT_EQ(s.at(1), 4.0f);
+  Tensor d = Sub(s, x);
+  EXPECT_FLOAT_EQ(d.at(1), 2.0f);
+  Tensor p = Mul(x, x);
+  EXPECT_FLOAT_EQ(p.at(2), 9.0f);
+  EXPECT_DOUBLE_EQ(Dot(x, x), 14.0);
+  EXPECT_DOUBLE_EQ(SquaredNorm(x), 14.0);
+}
+
+// ---------------------------------------------------------------------------
+// Softmax family
+// ---------------------------------------------------------------------------
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Rng rng(7);
+  Tensor logits = RandomTensor(Shape{5, 9}, &rng, 3.0f);
+  Tensor p = Softmax(logits);
+  for (int64_t i = 0; i < 5; ++i) {
+    double row = 0.0;
+    for (int64_t j = 0; j < 9; ++j) {
+      const float v = p.at(i, j);
+      EXPECT_GE(v, 0.0f);
+      row += v;
+    }
+    EXPECT_NEAR(row, 1.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxTest, StableUnderLargeLogits) {
+  Tensor logits(Shape{1, 3}, {1000.0f, 1001.0f, 999.0f});
+  Tensor p = Softmax(logits);
+  EXPECT_GT(p.at(0, 1), p.at(0, 0));
+  EXPECT_FALSE(std::isnan(p.at(0, 0)));
+  EXPECT_NEAR(p.at(0, 0) + p.at(0, 1) + p.at(0, 2), 1.0, 1e-5);
+}
+
+TEST(SoftmaxTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(8);
+  Tensor logits = RandomTensor(Shape{4, 6}, &rng, 2.0f);
+  Tensor p = Softmax(logits);
+  Tensor lp = LogSoftmax(logits);
+  for (int64_t i = 0; i < p.num_elements(); ++i) {
+    EXPECT_NEAR(lp.at(i), std::log(p.at(i)), 1e-4);
+  }
+}
+
+TEST(ArgmaxRowsTest, PicksLargest) {
+  Tensor m(Shape{2, 3}, {0.1f, 0.7f, 0.2f, 0.5f, 0.1f, 0.4f});
+  const auto idx = ArgmaxRows(m);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);
+}
+
+TEST(RowL2DistanceTest, MatchesManualNorm) {
+  Tensor a(Shape{2, 2}, {0.0f, 0.0f, 1.0f, 2.0f});
+  Tensor b(Shape{2, 2}, {3.0f, 4.0f, 1.0f, 2.0f});
+  const auto d = RowL2Distance(a, b);
+  EXPECT_NEAR(d[0], 5.0f, 1e-6);
+  EXPECT_NEAR(d[1], 0.0f, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Convolution
+// ---------------------------------------------------------------------------
+
+// Direct convolution reference.
+Tensor NaiveConv2d(const Tensor& input, const Tensor& weight,
+                   const Tensor& bias, const ConvGeom& g) {
+  const int64_t batch = input.shape().dim(0);
+  const int64_t h = input.shape().dim(2);
+  const int64_t w = input.shape().dim(3);
+  const int64_t oh = g.OutExtent(h);
+  const int64_t ow = g.OutExtent(w);
+  Tensor out(Shape{batch, g.out_channels, oh, ow}, 0.0f);
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t oc = 0; oc < g.out_channels; ++oc) {
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t x = 0; x < ow; ++x) {
+          double acc = bias.empty() ? 0.0 : bias.at(oc);
+          for (int64_t ic = 0; ic < g.in_channels; ++ic) {
+            for (int64_t ky = 0; ky < g.kernel; ++ky) {
+              for (int64_t kx = 0; kx < g.kernel; ++kx) {
+                const int64_t iy = y * g.stride + ky - g.padding;
+                const int64_t ix = x * g.stride + kx - g.padding;
+                if (iy < 0 || iy >= h || ix < 0 || ix >= w) continue;
+                acc += static_cast<double>(input.at(n, ic, iy, ix)) *
+                       weight.data()[((oc * g.in_channels + ic) * g.kernel +
+                                      ky) *
+                                         g.kernel +
+                                     kx];
+              }
+            }
+          }
+          out.at(n, oc, y, x) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+class Conv2dOpTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(Conv2dOpTest, ForwardMatchesNaive) {
+  const auto [cin, cout, stride, padding] = GetParam();
+  Rng rng(31);
+  ConvGeom g;
+  g.in_channels = cin;
+  g.out_channels = cout;
+  g.kernel = 3;
+  g.stride = stride;
+  g.padding = padding;
+  Tensor input = RandomTensor(Shape{2, cin, 6, 6}, &rng);
+  Tensor weight = RandomTensor(Shape{cout, cin, 3, 3}, &rng);
+  Tensor bias = RandomTensor(Shape{cout}, &rng);
+  Tensor got = Conv2dForward(input, weight, bias, g);
+  Tensor want = NaiveConv2d(input, weight, bias, g);
+  ASSERT_EQ(got.shape(), want.shape());
+  for (int64_t i = 0; i < got.num_elements(); ++i) {
+    EXPECT_NEAR(got.at(i), want.at(i), 1e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, Conv2dOpTest,
+                         ::testing::Combine(::testing::Values(1, 3),
+                                            ::testing::Values(1, 4),
+                                            ::testing::Values(1, 2),
+                                            ::testing::Values(0, 1)));
+
+TEST(Im2ColTest, Col2ImIsAdjoint) {
+  // <im2col(x), y> == <x, col2im(y)> certifies the backward pass wiring.
+  Rng rng(33);
+  ConvGeom g;
+  g.in_channels = 2;
+  g.out_channels = 1;
+  g.kernel = 3;
+  g.stride = 2;
+  g.padding = 1;
+  const int64_t h = 5, w = 5;
+  const int64_t oh = g.OutExtent(h), ow = g.OutExtent(w);
+  Tensor x = RandomTensor(Shape{2, h, w}, &rng);
+  Tensor y = RandomTensor(Shape{2 * 3 * 3, oh * ow}, &rng);
+  Tensor cols(Shape{2 * 3 * 3, oh * ow});
+  Im2Col(x.data(), 2, h, w, g, cols.data());
+  Tensor xgrad(Shape{2, h, w}, 0.0f);
+  Col2Im(y.data(), 2, h, w, g, xgrad.data());
+  EXPECT_NEAR(Dot(cols, y), Dot(x, xgrad), 1e-2);
+}
+
+TEST(Conv1dTest, KnownKernelValues) {
+  // Single channel, kernel [1, 0, -1]: discrete derivative.
+  Conv1dGeom g;
+  g.in_channels = 1;
+  g.out_channels = 1;
+  g.kernel = 3;
+  Tensor input(Shape{1, 1, 5}, {1.0f, 2.0f, 4.0f, 8.0f, 16.0f});
+  Tensor weight(Shape{1, 1, 3}, {1.0f, 0.0f, -1.0f});
+  Tensor bias(Shape{1}, 0.0f);
+  Tensor out = Conv1dForward(input, weight, bias, g);
+  ASSERT_EQ(out.shape(), Shape({1, 1, 3}));
+  EXPECT_FLOAT_EQ(out.at(0), 1.0f - 4.0f);
+  EXPECT_FLOAT_EQ(out.at(1), 2.0f - 8.0f);
+  EXPECT_FLOAT_EQ(out.at(2), 4.0f - 16.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Pooling
+// ---------------------------------------------------------------------------
+
+TEST(MaxPoolTest, ForwardAndBackwardRouting) {
+  Tensor input(Shape{1, 1, 2, 4},
+               {1.0f, 5.0f, 2.0f, 0.0f, 3.0f, 4.0f, 7.0f, 6.0f});
+  std::vector<int64_t> argmax;
+  Tensor out = MaxPool2dForward(input, 2, &argmax);
+  ASSERT_EQ(out.shape(), Shape({1, 1, 1, 2}));
+  EXPECT_FLOAT_EQ(out.at(0), 5.0f);
+  EXPECT_FLOAT_EQ(out.at(1), 7.0f);
+  Tensor grad_out(Shape{1, 1, 1, 2}, {1.0f, 2.0f});
+  Tensor grad_in = MaxPool2dBackward(input.shape(), grad_out, argmax);
+  EXPECT_FLOAT_EQ(grad_in.at(0, 0, 0, 1), 1.0f);  // routed to the 5
+  EXPECT_FLOAT_EQ(grad_in.at(0, 0, 1, 2), 2.0f);  // routed to the 7
+  EXPECT_DOUBLE_EQ(grad_in.Sum(), 3.0);
+}
+
+TEST(AvgPoolTest, ForwardAveragesAndBackwardSpreads) {
+  Tensor input(Shape{1, 1, 2, 2}, {1.0f, 3.0f, 5.0f, 7.0f});
+  Tensor out = AvgPool2dForward(input, 2);
+  EXPECT_FLOAT_EQ(out.at(0), 4.0f);
+  Tensor grad_out(Shape{1, 1, 1, 1}, {8.0f});
+  Tensor grad_in = AvgPool2dBackward(input.shape(), grad_out, 2);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(grad_in.at(i), 2.0f);
+}
+
+TEST(GlobalAvgPoolTest, ForwardBackwardConsistency) {
+  Rng rng(41);
+  Tensor input = RandomTensor(Shape{2, 3, 4, 4}, &rng);
+  Tensor out = GlobalAvgPool2dForward(input);
+  ASSERT_EQ(out.shape(), Shape({2, 3}));
+  double manual = 0.0;
+  for (int64_t i = 0; i < 16; ++i) manual += input.at(0, 1, i / 4, i % 4);
+  EXPECT_NEAR(out.at(0, 1), manual / 16.0, 1e-5);
+  Tensor grad_out(Shape{2, 3}, 1.0f);
+  Tensor grad_in = GlobalAvgPool2dBackward(input.shape(), grad_out);
+  EXPECT_NEAR(grad_in.at(0), 1.0f / 16.0f, 1e-6);
+  EXPECT_NEAR(grad_in.Sum(), 6.0, 1e-4);
+}
+
+TEST(MaxOverTimeTest, SelectsPerChannelMax) {
+  Tensor input(Shape{1, 2, 3}, {1.0f, 9.0f, 2.0f, 4.0f, 3.0f, 8.0f});
+  std::vector<int64_t> argmax;
+  Tensor out = MaxOverTimeForward(input, &argmax);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 9.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 1), 8.0f);
+  Tensor grad_out(Shape{1, 2}, {1.0f, 2.0f});
+  Tensor grad_in = MaxOverTimeBackward(input.shape(), grad_out, argmax);
+  EXPECT_FLOAT_EQ(grad_in.at(1), 1.0f);
+  EXPECT_FLOAT_EQ(grad_in.at(5), 2.0f);
+  EXPECT_DOUBLE_EQ(grad_in.Sum(), 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Channel concat / split
+// ---------------------------------------------------------------------------
+
+TEST(ConcatChannelsTest, RoundTripsThroughSplit) {
+  Rng rng(43);
+  Tensor a = RandomTensor(Shape{2, 3, 2, 2}, &rng);
+  Tensor b = RandomTensor(Shape{2, 5, 2, 2}, &rng);
+  Tensor cat = ConcatChannels(a, b);
+  ASSERT_EQ(cat.shape(), Shape({2, 8, 2, 2}));
+  EXPECT_FLOAT_EQ(cat.at(1, 2, 1, 1), a.at(1, 2, 1, 1));
+  EXPECT_FLOAT_EQ(cat.at(1, 3, 0, 0), b.at(1, 0, 0, 0));
+  Tensor ga, gb;
+  SplitChannelsGrad(cat, 3, &ga, &gb);
+  for (int64_t i = 0; i < a.num_elements(); ++i) {
+    EXPECT_FLOAT_EQ(ga.at(i), a.at(i));
+  }
+  for (int64_t i = 0; i < b.num_elements(); ++i) {
+    EXPECT_FLOAT_EQ(gb.at(i), b.at(i));
+  }
+}
+
+}  // namespace
+}  // namespace edde

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "tensor/shape.h"
+
+namespace edde {
+namespace {
+
+TEST(ShapeTest, DefaultIsScalar) {
+  Shape s;
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.num_elements(), 1);
+}
+
+TEST(ShapeTest, RankAndDims) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.dim(1), 3);
+  EXPECT_EQ(s.dim(2), 4);
+  EXPECT_EQ(s.num_elements(), 24);
+}
+
+TEST(ShapeTest, NegativeAxisCountsFromBack) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.dim(-1), 4);
+  EXPECT_EQ(s.dim(-3), 2);
+}
+
+TEST(ShapeTest, StridesAreRowMajor) {
+  Shape s{2, 3, 4};
+  const auto strides = s.Strides();
+  ASSERT_EQ(strides.size(), 3u);
+  EXPECT_EQ(strides[0], 12);
+  EXPECT_EQ(strides[1], 4);
+  EXPECT_EQ(strides[2], 1);
+}
+
+TEST(ShapeTest, ZeroDimensionGivesZeroElements) {
+  Shape s{4, 0, 2};
+  EXPECT_EQ(s.num_elements(), 0);
+}
+
+TEST(ShapeTest, EqualityAndToString) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_EQ(Shape({2, 3}).ToString(), "[2, 3]");
+}
+
+TEST(ShapeDeathTest, NegativeDimensionAborts) {
+  EXPECT_DEATH(Shape({2, -1}), "negative dimension");
+}
+
+TEST(ShapeDeathTest, OutOfRangeAxisAborts) {
+  Shape s{2, 3};
+  EXPECT_DEATH(s.dim(2), "Check failed");
+}
+
+}  // namespace
+}  // namespace edde

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace edde {
+namespace {
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.data(), nullptr);
+}
+
+TEST(TensorTest, FillAndAccess) {
+  Tensor t(Shape{2, 3}, 1.5f);
+  EXPECT_EQ(t.num_elements(), 6);
+  EXPECT_FLOAT_EQ(t.at(0), 1.5f);
+  EXPECT_FLOAT_EQ(t.at(1, 2), 1.5f);
+  t.at(1, 2) = 9.0f;
+  EXPECT_FLOAT_EQ(t.at(5), 9.0f);
+}
+
+TEST(TensorTest, InitializerListConstruction) {
+  Tensor t(Shape{2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_FLOAT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(TensorTest, FourDAccessMatchesFlatLayout) {
+  Tensor t(Shape{2, 3, 4, 5});
+  for (int64_t i = 0; i < t.num_elements(); ++i) {
+    t.at(i) = static_cast<float>(i);
+  }
+  // at(n, c, h, w) == flat ((n*C + c)*H + h)*W + w
+  EXPECT_FLOAT_EQ(t.at(1, 2, 3, 4), static_cast<float>(((1 * 3 + 2) * 4 + 3) * 5 + 4));
+}
+
+TEST(TensorTest, CopyIsShallowCloneIsDeep) {
+  Tensor a(Shape{4}, 1.0f);
+  Tensor shallow = a;            // shares the buffer
+  Tensor deep = a.Clone();       // owns a copy
+  a.at(0) = 7.0f;
+  EXPECT_FLOAT_EQ(shallow.at(0), 7.0f);
+  EXPECT_FLOAT_EQ(deep.at(0), 1.0f);
+}
+
+TEST(TensorTest, ReshapeSharesBuffer) {
+  Tensor a(Shape{2, 6}, 0.0f);
+  Tensor b = a.Reshape(Shape{3, 4});
+  b.at(0) = 5.0f;
+  EXPECT_FLOAT_EQ(a.at(0), 5.0f);
+  EXPECT_EQ(b.shape(), Shape({3, 4}));
+}
+
+TEST(TensorDeathTest, ReshapeElementMismatchAborts) {
+  Tensor a(Shape{2, 3});
+  EXPECT_DEATH(a.Reshape(Shape{7}), "reshape");
+}
+
+TEST(TensorTest, CopyFromMatchesValues) {
+  Tensor a(Shape{3}, {1.0f, 2.0f, 3.0f});
+  Tensor b(Shape{3}, 0.0f);
+  b.CopyFrom(a);
+  EXPECT_FLOAT_EQ(b.at(2), 3.0f);
+}
+
+TEST(TensorDeathTest, CopyFromShapeMismatchAborts) {
+  Tensor a(Shape{3});
+  Tensor b(Shape{4});
+  EXPECT_DEATH(b.CopyFrom(a), "shape mismatch");
+}
+
+TEST(TensorTest, SumMeanAbsMax) {
+  Tensor t(Shape{4}, {1.0f, -2.0f, 3.0f, -4.0f});
+  EXPECT_DOUBLE_EQ(t.Sum(), -2.0);
+  EXPECT_DOUBLE_EQ(t.Mean(), -0.5);
+  EXPECT_FLOAT_EQ(t.AbsMax(), 4.0f);
+}
+
+TEST(TensorTest, ApplyTransformsElementwise) {
+  Tensor t(Shape{3}, {1.0f, 2.0f, 3.0f});
+  t.Apply([](float v) { return v * v; });
+  EXPECT_FLOAT_EQ(t.at(2), 9.0f);
+}
+
+TEST(TensorTest, FillNormalHasRoughlyCorrectMoments) {
+  Rng rng(123);
+  Tensor t(Shape{20000});
+  t.FillNormal(&rng, 1.0f, 2.0f);
+  EXPECT_NEAR(t.Mean(), 1.0, 0.1);
+  double var = 0.0;
+  for (int64_t i = 0; i < t.num_elements(); ++i) {
+    const double d = t.at(i) - t.Mean();
+    var += d * d;
+  }
+  var /= static_cast<double>(t.num_elements());
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(TensorTest, FillUniformStaysInRange) {
+  Rng rng(7);
+  Tensor t(Shape{1000});
+  t.FillUniform(&rng, -0.5f, 0.5f);
+  EXPECT_LE(t.AbsMax(), 0.5f);
+  EXPECT_NEAR(t.Mean(), 0.0, 0.05);
+}
+
+TEST(TensorTest, ToStringTruncates) {
+  Tensor t(Shape{100}, 0.0f);
+  const std::string s = t.ToString(4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+TEST(TensorTest, FactoryHelpers) {
+  EXPECT_DOUBLE_EQ(Tensor::Zeros(Shape{5}).Sum(), 0.0);
+  EXPECT_DOUBLE_EQ(Tensor::Ones(Shape{5}).Sum(), 5.0);
+}
+
+}  // namespace
+}  // namespace edde

@@ -1,0 +1,70 @@
+#ifndef EDDE_TESTS_TEST_UTIL_H_
+#define EDDE_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/module.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace edde {
+namespace testing {
+
+/// Result of a finite-difference gradient verification.
+struct GradCheckResult {
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  int64_t checked = 0;
+};
+
+/// Verifies a module's Backward against central finite differences.
+///
+/// Builds the scalar objective f = Σ (probe ⊙ Forward(x)) for a fixed random
+/// probe tensor, computes analytic input/parameter gradients via Backward,
+/// then compares against (f(θ+ε) − f(θ−ε)) / 2ε elementwise. For large
+/// tensors only `max_checks_per_tensor` randomly chosen coordinates are
+/// probed. Training mode is used, so stochastic layers (dropout) must be
+/// configured deterministically by the caller.
+GradCheckResult CheckModuleGradients(Module* module, const Tensor& input,
+                                     bool training, Rng* rng,
+                                     double epsilon = 1e-3,
+                                     int64_t max_checks_per_tensor = 24);
+
+/// Convenience: asserts-style bound used by layer tests.
+constexpr double kGradCheckTolerance = 2e-2;
+
+/// Builds a k-class Gaussian-blob dataset with (N, dim) features — a cheap
+/// learnable task for MLP-based ensemble tests. `spread` is the noise stddev
+/// around the class centers (larger = harder).
+Dataset MakeBlobs(int64_t n, int64_t dim, int num_classes, uint64_t seed,
+                  float spread = 1.0f);
+
+/// Train/test blob pair drawn from the *same* class centers (the train and
+/// test sets of one task, not two different tasks).
+struct BlobSplit {
+  Dataset train;
+  Dataset test;
+};
+BlobSplit MakeBlobsSplit(int64_t n_train, int64_t n_test, int64_t dim,
+                         int num_classes, uint64_t seed, float spread = 1.0f);
+
+/// Directional-derivative check for whole models: picks one random direction
+/// d over all trainable parameters, compares the analytic ∇f·d against the
+/// central difference (f(θ+εd) − f(θ−εd)) / 2ε. Robust to ReLU kinks that
+/// break per-coordinate finite differences on deep float32 networks.
+struct DirCheckResult {
+  double analytic = 0.0;
+  double numeric = 0.0;
+  double rel_error = 0.0;
+};
+DirCheckResult CheckDirectionalDerivative(Module* module, const Tensor& input,
+                                          bool training, Rng* rng,
+                                          double epsilon = 1e-3);
+
+}  // namespace testing
+}  // namespace edde
+
+#endif  // EDDE_TESTS_TEST_UTIL_H_
