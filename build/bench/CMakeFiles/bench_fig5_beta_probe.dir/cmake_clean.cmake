@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_beta_probe.dir/bench_fig5_beta_probe.cc.o"
+  "CMakeFiles/bench_fig5_beta_probe.dir/bench_fig5_beta_probe.cc.o.d"
+  "bench_fig5_beta_probe"
+  "bench_fig5_beta_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_beta_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

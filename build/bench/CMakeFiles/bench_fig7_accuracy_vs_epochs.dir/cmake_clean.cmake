@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_accuracy_vs_epochs.dir/bench_fig7_accuracy_vs_epochs.cc.o"
+  "CMakeFiles/bench_fig7_accuracy_vs_epochs.dir/bench_fig7_accuracy_vs_epochs.cc.o.d"
+  "bench_fig7_accuracy_vs_epochs"
+  "bench_fig7_accuracy_vs_epochs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_accuracy_vs_epochs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

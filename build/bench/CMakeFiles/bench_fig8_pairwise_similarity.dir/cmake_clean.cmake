@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_pairwise_similarity.dir/bench_fig8_pairwise_similarity.cc.o"
+  "CMakeFiles/bench_fig8_pairwise_similarity.dir/bench_fig8_pairwise_similarity.cc.o.d"
+  "bench_fig8_pairwise_similarity"
+  "bench_fig8_pairwise_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_pairwise_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_cv.dir/bench_table2_cv.cc.o"
+  "CMakeFiles/bench_table2_cv.dir/bench_table2_cv.cc.o.d"
+  "bench_table2_cv"
+  "bench_table2_cv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_cv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

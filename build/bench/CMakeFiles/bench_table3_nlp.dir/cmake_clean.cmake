@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_nlp.dir/bench_table3_nlp.cc.o"
+  "CMakeFiles/bench_table3_nlp.dir/bench_table3_nlp.cc.o.d"
+  "bench_table3_nlp"
+  "bench_table3_nlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_nlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

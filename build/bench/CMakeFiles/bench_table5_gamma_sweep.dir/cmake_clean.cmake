@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_gamma_sweep.dir/bench_table5_gamma_sweep.cc.o"
+  "CMakeFiles/bench_table5_gamma_sweep.dir/bench_table5_gamma_sweep.cc.o.d"
+  "bench_table5_gamma_sweep"
+  "bench_table5_gamma_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_gamma_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

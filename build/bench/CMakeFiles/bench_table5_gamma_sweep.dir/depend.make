@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table5_gamma_sweep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edde_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/edde_bench_common.dir/bench_common.cc.o.d"
+  "libedde_bench_common.a"
+  "libedde_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edde_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libedde_bench_common.a"
+)

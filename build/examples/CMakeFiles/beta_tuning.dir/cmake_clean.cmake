@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beta_tuning.dir/beta_tuning.cpp.o"
+  "CMakeFiles/beta_tuning.dir/beta_tuning.cpp.o.d"
+  "beta_tuning"
+  "beta_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beta_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cv_ensemble_comparison.dir/cv_ensemble_comparison.cpp.o"
+  "CMakeFiles/cv_ensemble_comparison.dir/cv_ensemble_comparison.cpp.o.d"
+  "cv_ensemble_comparison"
+  "cv_ensemble_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cv_ensemble_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlp_sentiment.dir/nlp_sentiment.cpp.o"
+  "CMakeFiles/nlp_sentiment.dir/nlp_sentiment.cpp.o.d"
+  "nlp_sentiment"
+  "nlp_sentiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlp_sentiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

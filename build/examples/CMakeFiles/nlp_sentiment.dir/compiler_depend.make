@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nlp_sentiment.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for nlp_sentiment.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edde_core.dir/core/beta_selector.cc.o"
+  "CMakeFiles/edde_core.dir/core/beta_selector.cc.o.d"
+  "CMakeFiles/edde_core.dir/core/edde.cc.o"
+  "CMakeFiles/edde_core.dir/core/edde.cc.o.d"
+  "CMakeFiles/edde_core.dir/core/knowledge_transfer.cc.o"
+  "CMakeFiles/edde_core.dir/core/knowledge_transfer.cc.o.d"
+  "libedde_core.a"
+  "libedde_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edde_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/augment.cc" "src/CMakeFiles/edde_data.dir/data/augment.cc.o" "gcc" "src/CMakeFiles/edde_data.dir/data/augment.cc.o.d"
+  "/root/repo/src/data/batcher.cc" "src/CMakeFiles/edde_data.dir/data/batcher.cc.o" "gcc" "src/CMakeFiles/edde_data.dir/data/batcher.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/edde_data.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/edde_data.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/sampling.cc" "src/CMakeFiles/edde_data.dir/data/sampling.cc.o" "gcc" "src/CMakeFiles/edde_data.dir/data/sampling.cc.o.d"
+  "/root/repo/src/data/synthetic_image.cc" "src/CMakeFiles/edde_data.dir/data/synthetic_image.cc.o" "gcc" "src/CMakeFiles/edde_data.dir/data/synthetic_image.cc.o.d"
+  "/root/repo/src/data/synthetic_text.cc" "src/CMakeFiles/edde_data.dir/data/synthetic_text.cc.o" "gcc" "src/CMakeFiles/edde_data.dir/data/synthetic_text.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edde_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edde_utils.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edde_data.dir/data/augment.cc.o"
+  "CMakeFiles/edde_data.dir/data/augment.cc.o.d"
+  "CMakeFiles/edde_data.dir/data/batcher.cc.o"
+  "CMakeFiles/edde_data.dir/data/batcher.cc.o.d"
+  "CMakeFiles/edde_data.dir/data/dataset.cc.o"
+  "CMakeFiles/edde_data.dir/data/dataset.cc.o.d"
+  "CMakeFiles/edde_data.dir/data/sampling.cc.o"
+  "CMakeFiles/edde_data.dir/data/sampling.cc.o.d"
+  "CMakeFiles/edde_data.dir/data/synthetic_image.cc.o"
+  "CMakeFiles/edde_data.dir/data/synthetic_image.cc.o.d"
+  "CMakeFiles/edde_data.dir/data/synthetic_text.cc.o"
+  "CMakeFiles/edde_data.dir/data/synthetic_text.cc.o.d"
+  "libedde_data.a"
+  "libedde_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edde_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ensemble/adaboost_m1.cc" "src/CMakeFiles/edde_ensemble.dir/ensemble/adaboost_m1.cc.o" "gcc" "src/CMakeFiles/edde_ensemble.dir/ensemble/adaboost_m1.cc.o.d"
+  "/root/repo/src/ensemble/adaboost_nc.cc" "src/CMakeFiles/edde_ensemble.dir/ensemble/adaboost_nc.cc.o" "gcc" "src/CMakeFiles/edde_ensemble.dir/ensemble/adaboost_nc.cc.o.d"
+  "/root/repo/src/ensemble/bagging.cc" "src/CMakeFiles/edde_ensemble.dir/ensemble/bagging.cc.o" "gcc" "src/CMakeFiles/edde_ensemble.dir/ensemble/bagging.cc.o.d"
+  "/root/repo/src/ensemble/bans.cc" "src/CMakeFiles/edde_ensemble.dir/ensemble/bans.cc.o" "gcc" "src/CMakeFiles/edde_ensemble.dir/ensemble/bans.cc.o.d"
+  "/root/repo/src/ensemble/ensemble_io.cc" "src/CMakeFiles/edde_ensemble.dir/ensemble/ensemble_io.cc.o" "gcc" "src/CMakeFiles/edde_ensemble.dir/ensemble/ensemble_io.cc.o.d"
+  "/root/repo/src/ensemble/ensemble_model.cc" "src/CMakeFiles/edde_ensemble.dir/ensemble/ensemble_model.cc.o" "gcc" "src/CMakeFiles/edde_ensemble.dir/ensemble/ensemble_model.cc.o.d"
+  "/root/repo/src/ensemble/ncl.cc" "src/CMakeFiles/edde_ensemble.dir/ensemble/ncl.cc.o" "gcc" "src/CMakeFiles/edde_ensemble.dir/ensemble/ncl.cc.o.d"
+  "/root/repo/src/ensemble/single.cc" "src/CMakeFiles/edde_ensemble.dir/ensemble/single.cc.o" "gcc" "src/CMakeFiles/edde_ensemble.dir/ensemble/single.cc.o.d"
+  "/root/repo/src/ensemble/snapshot.cc" "src/CMakeFiles/edde_ensemble.dir/ensemble/snapshot.cc.o" "gcc" "src/CMakeFiles/edde_ensemble.dir/ensemble/snapshot.cc.o.d"
+  "/root/repo/src/ensemble/trainer.cc" "src/CMakeFiles/edde_ensemble.dir/ensemble/trainer.cc.o" "gcc" "src/CMakeFiles/edde_ensemble.dir/ensemble/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edde_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edde_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edde_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edde_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edde_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edde_utils.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edde_ensemble.dir/ensemble/adaboost_m1.cc.o"
+  "CMakeFiles/edde_ensemble.dir/ensemble/adaboost_m1.cc.o.d"
+  "CMakeFiles/edde_ensemble.dir/ensemble/adaboost_nc.cc.o"
+  "CMakeFiles/edde_ensemble.dir/ensemble/adaboost_nc.cc.o.d"
+  "CMakeFiles/edde_ensemble.dir/ensemble/bagging.cc.o"
+  "CMakeFiles/edde_ensemble.dir/ensemble/bagging.cc.o.d"
+  "CMakeFiles/edde_ensemble.dir/ensemble/bans.cc.o"
+  "CMakeFiles/edde_ensemble.dir/ensemble/bans.cc.o.d"
+  "CMakeFiles/edde_ensemble.dir/ensemble/ensemble_io.cc.o"
+  "CMakeFiles/edde_ensemble.dir/ensemble/ensemble_io.cc.o.d"
+  "CMakeFiles/edde_ensemble.dir/ensemble/ensemble_model.cc.o"
+  "CMakeFiles/edde_ensemble.dir/ensemble/ensemble_model.cc.o.d"
+  "CMakeFiles/edde_ensemble.dir/ensemble/ncl.cc.o"
+  "CMakeFiles/edde_ensemble.dir/ensemble/ncl.cc.o.d"
+  "CMakeFiles/edde_ensemble.dir/ensemble/single.cc.o"
+  "CMakeFiles/edde_ensemble.dir/ensemble/single.cc.o.d"
+  "CMakeFiles/edde_ensemble.dir/ensemble/snapshot.cc.o"
+  "CMakeFiles/edde_ensemble.dir/ensemble/snapshot.cc.o.d"
+  "CMakeFiles/edde_ensemble.dir/ensemble/trainer.cc.o"
+  "CMakeFiles/edde_ensemble.dir/ensemble/trainer.cc.o.d"
+  "libedde_ensemble.a"
+  "libedde_ensemble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edde_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

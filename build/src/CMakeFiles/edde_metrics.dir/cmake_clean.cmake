@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edde_metrics.dir/metrics/bias_variance.cc.o"
+  "CMakeFiles/edde_metrics.dir/metrics/bias_variance.cc.o.d"
+  "CMakeFiles/edde_metrics.dir/metrics/diversity.cc.o"
+  "CMakeFiles/edde_metrics.dir/metrics/diversity.cc.o.d"
+  "CMakeFiles/edde_metrics.dir/metrics/metrics.cc.o"
+  "CMakeFiles/edde_metrics.dir/metrics/metrics.cc.o.d"
+  "libedde_metrics.a"
+  "libedde_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edde_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cc" "src/CMakeFiles/edde_nn.dir/nn/activation.cc.o" "gcc" "src/CMakeFiles/edde_nn.dir/nn/activation.cc.o.d"
+  "/root/repo/src/nn/batchnorm.cc" "src/CMakeFiles/edde_nn.dir/nn/batchnorm.cc.o" "gcc" "src/CMakeFiles/edde_nn.dir/nn/batchnorm.cc.o.d"
+  "/root/repo/src/nn/checkpoint.cc" "src/CMakeFiles/edde_nn.dir/nn/checkpoint.cc.o" "gcc" "src/CMakeFiles/edde_nn.dir/nn/checkpoint.cc.o.d"
+  "/root/repo/src/nn/conv1d.cc" "src/CMakeFiles/edde_nn.dir/nn/conv1d.cc.o" "gcc" "src/CMakeFiles/edde_nn.dir/nn/conv1d.cc.o.d"
+  "/root/repo/src/nn/conv2d.cc" "src/CMakeFiles/edde_nn.dir/nn/conv2d.cc.o" "gcc" "src/CMakeFiles/edde_nn.dir/nn/conv2d.cc.o.d"
+  "/root/repo/src/nn/dense.cc" "src/CMakeFiles/edde_nn.dir/nn/dense.cc.o" "gcc" "src/CMakeFiles/edde_nn.dir/nn/dense.cc.o.d"
+  "/root/repo/src/nn/densenet.cc" "src/CMakeFiles/edde_nn.dir/nn/densenet.cc.o" "gcc" "src/CMakeFiles/edde_nn.dir/nn/densenet.cc.o.d"
+  "/root/repo/src/nn/dropout.cc" "src/CMakeFiles/edde_nn.dir/nn/dropout.cc.o" "gcc" "src/CMakeFiles/edde_nn.dir/nn/dropout.cc.o.d"
+  "/root/repo/src/nn/embedding.cc" "src/CMakeFiles/edde_nn.dir/nn/embedding.cc.o" "gcc" "src/CMakeFiles/edde_nn.dir/nn/embedding.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/CMakeFiles/edde_nn.dir/nn/init.cc.o" "gcc" "src/CMakeFiles/edde_nn.dir/nn/init.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/CMakeFiles/edde_nn.dir/nn/loss.cc.o" "gcc" "src/CMakeFiles/edde_nn.dir/nn/loss.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/CMakeFiles/edde_nn.dir/nn/mlp.cc.o" "gcc" "src/CMakeFiles/edde_nn.dir/nn/mlp.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/edde_nn.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/edde_nn.dir/nn/module.cc.o.d"
+  "/root/repo/src/nn/pooling.cc" "src/CMakeFiles/edde_nn.dir/nn/pooling.cc.o" "gcc" "src/CMakeFiles/edde_nn.dir/nn/pooling.cc.o.d"
+  "/root/repo/src/nn/resnet.cc" "src/CMakeFiles/edde_nn.dir/nn/resnet.cc.o" "gcc" "src/CMakeFiles/edde_nn.dir/nn/resnet.cc.o.d"
+  "/root/repo/src/nn/sequential.cc" "src/CMakeFiles/edde_nn.dir/nn/sequential.cc.o" "gcc" "src/CMakeFiles/edde_nn.dir/nn/sequential.cc.o.d"
+  "/root/repo/src/nn/textcnn.cc" "src/CMakeFiles/edde_nn.dir/nn/textcnn.cc.o" "gcc" "src/CMakeFiles/edde_nn.dir/nn/textcnn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edde_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edde_utils.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

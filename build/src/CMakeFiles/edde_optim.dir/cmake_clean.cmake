@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edde_optim.dir/optim/adam.cc.o"
+  "CMakeFiles/edde_optim.dir/optim/adam.cc.o.d"
+  "CMakeFiles/edde_optim.dir/optim/schedule.cc.o"
+  "CMakeFiles/edde_optim.dir/optim/schedule.cc.o.d"
+  "CMakeFiles/edde_optim.dir/optim/sgd.cc.o"
+  "CMakeFiles/edde_optim.dir/optim/sgd.cc.o.d"
+  "libedde_optim.a"
+  "libedde_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edde_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

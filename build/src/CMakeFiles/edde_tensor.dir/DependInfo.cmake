@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/ops.cc" "src/CMakeFiles/edde_tensor.dir/tensor/ops.cc.o" "gcc" "src/CMakeFiles/edde_tensor.dir/tensor/ops.cc.o.d"
+  "/root/repo/src/tensor/rng.cc" "src/CMakeFiles/edde_tensor.dir/tensor/rng.cc.o" "gcc" "src/CMakeFiles/edde_tensor.dir/tensor/rng.cc.o.d"
+  "/root/repo/src/tensor/shape.cc" "src/CMakeFiles/edde_tensor.dir/tensor/shape.cc.o" "gcc" "src/CMakeFiles/edde_tensor.dir/tensor/shape.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/edde_tensor.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/edde_tensor.dir/tensor/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edde_utils.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

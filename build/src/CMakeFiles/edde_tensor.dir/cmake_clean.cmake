@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edde_tensor.dir/tensor/ops.cc.o"
+  "CMakeFiles/edde_tensor.dir/tensor/ops.cc.o.d"
+  "CMakeFiles/edde_tensor.dir/tensor/rng.cc.o"
+  "CMakeFiles/edde_tensor.dir/tensor/rng.cc.o.d"
+  "CMakeFiles/edde_tensor.dir/tensor/shape.cc.o"
+  "CMakeFiles/edde_tensor.dir/tensor/shape.cc.o.d"
+  "CMakeFiles/edde_tensor.dir/tensor/tensor.cc.o"
+  "CMakeFiles/edde_tensor.dir/tensor/tensor.cc.o.d"
+  "libedde_tensor.a"
+  "libedde_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edde_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

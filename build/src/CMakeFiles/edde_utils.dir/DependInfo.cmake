@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/utils/flags.cc" "src/CMakeFiles/edde_utils.dir/utils/flags.cc.o" "gcc" "src/CMakeFiles/edde_utils.dir/utils/flags.cc.o.d"
+  "/root/repo/src/utils/logging.cc" "src/CMakeFiles/edde_utils.dir/utils/logging.cc.o" "gcc" "src/CMakeFiles/edde_utils.dir/utils/logging.cc.o.d"
+  "/root/repo/src/utils/serialize.cc" "src/CMakeFiles/edde_utils.dir/utils/serialize.cc.o" "gcc" "src/CMakeFiles/edde_utils.dir/utils/serialize.cc.o.d"
+  "/root/repo/src/utils/status.cc" "src/CMakeFiles/edde_utils.dir/utils/status.cc.o" "gcc" "src/CMakeFiles/edde_utils.dir/utils/status.cc.o.d"
+  "/root/repo/src/utils/table.cc" "src/CMakeFiles/edde_utils.dir/utils/table.cc.o" "gcc" "src/CMakeFiles/edde_utils.dir/utils/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

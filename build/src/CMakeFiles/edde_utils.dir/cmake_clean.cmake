@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edde_utils.dir/utils/flags.cc.o"
+  "CMakeFiles/edde_utils.dir/utils/flags.cc.o.d"
+  "CMakeFiles/edde_utils.dir/utils/logging.cc.o"
+  "CMakeFiles/edde_utils.dir/utils/logging.cc.o.d"
+  "CMakeFiles/edde_utils.dir/utils/serialize.cc.o"
+  "CMakeFiles/edde_utils.dir/utils/serialize.cc.o.d"
+  "CMakeFiles/edde_utils.dir/utils/status.cc.o"
+  "CMakeFiles/edde_utils.dir/utils/status.cc.o.d"
+  "CMakeFiles/edde_utils.dir/utils/table.cc.o"
+  "CMakeFiles/edde_utils.dir/utils/table.cc.o.d"
+  "libedde_utils.a"
+  "libedde_utils.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edde_utils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

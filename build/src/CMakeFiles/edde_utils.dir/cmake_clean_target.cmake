@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libedde_utils.a"
+)

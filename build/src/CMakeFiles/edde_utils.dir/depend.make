@@ -1,0 +1,2 @@
+# Empty dependencies file for edde_utils.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_beta_selector_test.cc" "tests/CMakeFiles/core_beta_selector_test.dir/core_beta_selector_test.cc.o" "gcc" "tests/CMakeFiles/core_beta_selector_test.dir/core_beta_selector_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/edde_test_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edde_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edde_ensemble.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edde_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edde_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edde_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edde_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edde_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edde_utils.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_beta_selector_test.dir/core_beta_selector_test.cc.o"
+  "CMakeFiles/core_beta_selector_test.dir/core_beta_selector_test.cc.o.d"
+  "core_beta_selector_test"
+  "core_beta_selector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_beta_selector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

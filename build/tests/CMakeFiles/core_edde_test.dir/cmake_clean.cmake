@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_edde_test.dir/core_edde_test.cc.o"
+  "CMakeFiles/core_edde_test.dir/core_edde_test.cc.o.d"
+  "core_edde_test"
+  "core_edde_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_edde_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for core_edde_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_transfer_test.dir/core_transfer_test.cc.o"
+  "CMakeFiles/core_transfer_test.dir/core_transfer_test.cc.o.d"
+  "core_transfer_test"
+  "core_transfer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_transfer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_augment_test.dir/data_augment_test.cc.o"
+  "CMakeFiles/data_augment_test.dir/data_augment_test.cc.o.d"
+  "data_augment_test"
+  "data_augment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_augment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

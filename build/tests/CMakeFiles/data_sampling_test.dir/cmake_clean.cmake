@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_sampling_test.dir/data_sampling_test.cc.o"
+  "CMakeFiles/data_sampling_test.dir/data_sampling_test.cc.o.d"
+  "data_sampling_test"
+  "data_sampling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edde_test_util.dir/test_util.cc.o"
+  "CMakeFiles/edde_test_util.dir/test_util.cc.o.d"
+  "libedde_test_util.a"
+  "libedde_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edde_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libedde_test_util.a"
+)

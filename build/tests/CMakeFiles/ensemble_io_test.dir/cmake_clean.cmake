@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensemble_io_test.dir/ensemble_io_test.cc.o"
+  "CMakeFiles/ensemble_io_test.dir/ensemble_io_test.cc.o.d"
+  "ensemble_io_test"
+  "ensemble_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

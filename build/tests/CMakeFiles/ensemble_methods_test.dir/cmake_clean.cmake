@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensemble_methods_test.dir/ensemble_methods_test.cc.o"
+  "CMakeFiles/ensemble_methods_test.dir/ensemble_methods_test.cc.o.d"
+  "ensemble_methods_test"
+  "ensemble_methods_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble_methods_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensemble_model_test.dir/ensemble_model_test.cc.o"
+  "CMakeFiles/ensemble_model_test.dir/ensemble_model_test.cc.o.d"
+  "ensemble_model_test"
+  "ensemble_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

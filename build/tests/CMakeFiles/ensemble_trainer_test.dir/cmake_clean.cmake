@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensemble_trainer_test.dir/ensemble_trainer_test.cc.o"
+  "CMakeFiles/ensemble_trainer_test.dir/ensemble_trainer_test.cc.o.d"
+  "ensemble_trainer_test"
+  "ensemble_trainer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

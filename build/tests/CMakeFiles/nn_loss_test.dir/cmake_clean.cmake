@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_loss_test.dir/nn_loss_test.cc.o"
+  "CMakeFiles/nn_loss_test.dir/nn_loss_test.cc.o.d"
+  "nn_loss_test"
+  "nn_loss_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_loss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

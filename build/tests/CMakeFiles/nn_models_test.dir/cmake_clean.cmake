@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_models_test.dir/nn_models_test.cc.o"
+  "CMakeFiles/nn_models_test.dir/nn_models_test.cc.o.d"
+  "nn_models_test"
+  "nn_models_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_rng_test.dir/tensor_rng_test.cc.o"
+  "CMakeFiles/tensor_rng_test.dir/tensor_rng_test.cc.o.d"
+  "tensor_rng_test"
+  "tensor_rng_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_rng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_shape_test.dir/tensor_shape_test.cc.o"
+  "CMakeFiles/tensor_shape_test.dir/tensor_shape_test.cc.o.d"
+  "tensor_shape_test"
+  "tensor_shape_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

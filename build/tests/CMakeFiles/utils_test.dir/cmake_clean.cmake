@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utils_test.dir/utils_test.cc.o"
+  "CMakeFiles/utils_test.dir/utils_test.cc.o.d"
+  "utils_test"
+  "utils_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utils_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
