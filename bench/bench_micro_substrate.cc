@@ -7,13 +7,16 @@
 #include <memory>
 
 #include "data/synthetic_image.h"
+#include "ensemble/ensemble_model.h"
 #include "metrics/diversity.h"
 #include "nn/loss.h"
+#include "nn/mlp.h"
 #include "nn/resnet.h"
 #include "nn/textcnn.h"
 #include "optim/sgd.h"
 #include "tensor/ops.h"
 #include "tensor/rng.h"
+#include "utils/threadpool.h"
 
 namespace edde {
 namespace {
@@ -37,6 +40,28 @@ void BM_Gemm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+// Gemm scaling across pool sizes: Args are {matrix size, threads}. The
+// ISSUE-1 acceptance bar compares the 4-thread row against the 1-thread row.
+void BM_GemmThreads(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  SetNumThreads(static_cast<int>(state.range(1)));
+  Tensor a = RandomTensor(Shape{n, n}, 1);
+  Tensor b = RandomTensor(Shape{n, n}, 2);
+  Tensor c(Shape{n, n});
+  for (auto _ : state) {
+    Gemm(false, false, 1.0f, a, b, 0.0f, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  SetNumThreads(0);
+}
+BENCHMARK(BM_GemmThreads)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({512, 1})
+    ->Args({512, 4});
 
 void BM_GemmTransB(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -186,6 +211,39 @@ void BM_SyntheticImageGeneration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SyntheticImageGeneration);
+
+// Ensemble inference scaling: Args are {members, threads}. Members evaluate
+// concurrently (each owns its model), so this measures the inter-op layer.
+void BM_EnsemblePredictProbs(benchmark::State& state) {
+  const int num_members = static_cast<int>(state.range(0));
+  SetNumThreads(static_cast<int>(state.range(1)));
+  SyntheticImageConfig data_cfg;
+  data_cfg.train_size = 256;
+  data_cfg.test_size = 256;
+  const auto data = MakeSyntheticImageData(data_cfg);
+
+  EnsembleModel ensemble;
+  for (int t = 0; t < num_members; ++t) {
+    ResNetConfig cfg;
+    cfg.depth = 8;
+    cfg.base_width = 8;
+    cfg.num_classes = data_cfg.num_classes;
+    ensemble.AddMember(
+        std::make_unique<ResNet>(cfg, static_cast<uint64_t>(t + 1)), 1.0);
+  }
+  for (auto _ : state) {
+    Tensor probs = ensemble.PredictProbs(data.test, /*batch_size=*/64);
+    benchmark::DoNotOptimize(probs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * num_members *
+                          data_cfg.test_size);
+  SetNumThreads(0);
+}
+BENCHMARK(BM_EnsemblePredictProbs)
+    ->Args({4, 1})
+    ->Args({4, 2})
+    ->Args({4, 4})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_PairwiseDiversity(benchmark::State& state) {
   Tensor a = Softmax(RandomTensor(Shape{1024, 20}, 10));

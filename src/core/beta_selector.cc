@@ -5,6 +5,7 @@
 #include "data/sampling.h"
 #include "metrics/metrics.h"
 #include "utils/logging.h"
+#include "utils/threadpool.h"
 
 namespace edde {
 
@@ -46,32 +47,57 @@ BetaProbeResult SelectBeta(const Dataset& train, const ModelFactory& factory,
   teacher_tc.seed = rng.NextU64();
   TrainModel(teacher.get(), teacher_data, teacher_tc, TrainContext{});
 
+  // The grid points are independent probes off the same frozen teacher, so
+  // they train concurrently. Student construction and warm start draw from
+  // the shared RNG serially, in grid order — the same draw sequence as the
+  // sequential implementation — so the probe is deterministic for every
+  // thread count.
+  const int64_t num_betas = static_cast<int64_t>(config.beta_grid.size());
+  struct Probe {
+    std::unique_ptr<Module> student;
+    uint64_t train_seed = 0;
+    double seen_acc = 0.0;
+    double unseen_acc = 0.0;
+  };
+  std::vector<Probe> probes(static_cast<size_t>(num_betas));
+  for (int64_t b = 0; b < num_betas; ++b) {
+    Probe& probe = probes[static_cast<size_t>(b)];
+    probe.student = factory(rng.NextU64());
+    TransferKnowledge(teacher.get(), probe.student.get(),
+                      config.beta_grid[static_cast<size_t>(b)],
+                      config.granularity);
+    probe.train_seed = rng.NextU64();
+  }
+
+  ParallelFor(0, num_betas, 1, [&](int64_t b0, int64_t b1) {
+    for (int64_t b = b0; b < b1; ++b) {
+      Probe& probe = probes[static_cast<size_t>(b)];
+      // Mean accuracy on the two probe folds over the first epochs.
+      TrainConfig student_tc;
+      student_tc.epochs = config.probe_epochs;
+      student_tc.batch_size = config.batch_size;
+      student_tc.sgd = config.sgd;
+      student_tc.seed = probe.train_seed;
+      Module* raw = probe.student.get();
+      TrainModel(raw, student_data, student_tc, TrainContext{},
+                 [&](int /*epoch*/, double /*loss*/) {
+                   probe.seen_acc += EvaluateAccuracy(raw, seen_fold);
+                   probe.unseen_acc += EvaluateAccuracy(raw, unseen_fold);
+                 });
+      probe.seen_acc /= config.probe_epochs;
+      probe.unseen_acc /= config.probe_epochs;
+    }
+  });
+
   BetaProbeResult result;
   result.selected_beta = config.beta_grid.back();
   bool selected = false;
-
-  for (double beta : config.beta_grid) {
-    std::unique_ptr<Module> student = factory(rng.NextU64());
-    TransferKnowledge(teacher.get(), student.get(), beta, config.granularity);
-
-    // Mean accuracy on the two probe folds over the first epochs.
-    double seen_acc = 0.0, unseen_acc = 0.0;
-    TrainConfig student_tc;
-    student_tc.epochs = config.probe_epochs;
-    student_tc.batch_size = config.batch_size;
-    student_tc.sgd = config.sgd;
-    student_tc.seed = rng.NextU64();
-    Module* raw = student.get();
-    TrainModel(raw, student_data, student_tc, TrainContext{},
-               [&](int /*epoch*/, double /*loss*/) {
-                 seen_acc += EvaluateAccuracy(raw, seen_fold);
-                 unseen_acc += EvaluateAccuracy(raw, unseen_fold);
-               });
-    seen_acc /= config.probe_epochs;
-    unseen_acc /= config.probe_epochs;
-
-    result.points.push_back(BetaProbePoint{beta, seen_acc, unseen_acc});
-    if (!selected && seen_acc - unseen_acc <= config.tolerance) {
+  for (int64_t b = 0; b < num_betas; ++b) {
+    const Probe& probe = probes[static_cast<size_t>(b)];
+    const double beta = config.beta_grid[static_cast<size_t>(b)];
+    result.points.push_back(
+        BetaProbePoint{beta, probe.seen_acc, probe.unseen_acc});
+    if (!selected && probe.seen_acc - probe.unseen_acc <= config.tolerance) {
       result.selected_beta = beta;
       selected = true;
       // Keep scanning to fill the full Fig. 5 curve.

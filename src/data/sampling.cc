@@ -1,6 +1,7 @@
 #include "data/sampling.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "utils/logging.h"
@@ -51,9 +52,20 @@ std::vector<std::vector<int64_t>> KFoldIndices(int64_t n, int k, Rng* rng) {
 }
 
 void NormalizeWeights(std::vector<double>* weights) {
+  EDDE_CHECK(!weights->empty());
   double total = 0.0;
   for (double w : *weights) total += w;
-  EDDE_CHECK_GT(total, 0.0) << "cannot normalize zero-sum weights";
+  // A boosting round can zero every weight (all samples classified
+  // correctly) or blow them up to inf/nan; normalizing would divide by zero
+  // or propagate the non-finite values into the next round. Fall back to
+  // the uniform distribution instead of aborting mid-training.
+  if (!(total > 0.0) || !std::isfinite(total)) {
+    EDDE_LOG(WARNING) << "degenerate weight vector (sum=" << total
+                      << "); falling back to uniform weights";
+    const double uniform = 1.0 / static_cast<double>(weights->size());
+    for (double& w : *weights) w = uniform;
+    return;
+  }
   for (double& w : *weights) w /= total;
 }
 

@@ -4,31 +4,56 @@
 
 #include "data/sampling.h"
 #include "utils/logging.h"
+#include "utils/threadpool.h"
 
 namespace edde {
 
 EnsembleModel Bagging::Train(const Dataset& train, const ModelFactory& factory,
                              const EvalCurve& curve) {
   Rng rng(config_.seed);
+  const int num_members = config_.num_members;
+
+  // Members are independent, so they train concurrently. All RNG draws
+  // (bootstrap indices, factory seed, shuffle seed) happen serially up
+  // front in the same order as the sequential implementation, so every
+  // member sees the same seeds regardless of thread count.
+  struct MemberPlan {
+    Dataset boot;
+    uint64_t factory_seed = 0;
+    uint64_t train_seed = 0;
+  };
+  std::vector<MemberPlan> plans(static_cast<size_t>(num_members));
+  for (int t = 0; t < num_members; ++t) {
+    const auto indices = BootstrapIndices(train.size(), train.size(), &rng);
+    plans[static_cast<size_t>(t)].boot =
+        train.Subset(indices, train.name() + "/bootstrap");
+    plans[static_cast<size_t>(t)].factory_seed = rng.NextU64();
+    plans[static_cast<size_t>(t)].train_seed = rng.NextU64();
+  }
+
+  std::vector<std::unique_ptr<Module>> models(
+      static_cast<size_t>(num_members));
+  ParallelFor(0, num_members, 1, [&](int64_t t0, int64_t t1) {
+    for (int64_t t = t0; t < t1; ++t) {
+      const MemberPlan& plan = plans[static_cast<size_t>(t)];
+      std::unique_ptr<Module> model = factory(plan.factory_seed);
+      TrainConfig tc;
+      tc.epochs = config_.epochs_per_member;
+      tc.batch_size = config_.batch_size;
+      tc.sgd = config_.sgd;
+      tc.schedule = std::make_shared<StepDecayLr>(config_.sgd.learning_rate);
+      tc.augment = config_.augment;
+      tc.augment_config = config_.augment_config;
+      tc.seed = plan.train_seed;
+      TrainModel(model.get(), plan.boot, tc, TrainContext{});
+      models[static_cast<size_t>(t)] = std::move(model);
+    }
+  });
+
   EnsembleModel ensemble;
   int cumulative_epochs = 0;
-
-  for (int t = 0; t < config_.num_members; ++t) {
-    const auto indices = BootstrapIndices(train.size(), train.size(), &rng);
-    const Dataset boot = train.Subset(indices, train.name() + "/bootstrap");
-
-    std::unique_ptr<Module> model = factory(rng.NextU64());
-    TrainConfig tc;
-    tc.epochs = config_.epochs_per_member;
-    tc.batch_size = config_.batch_size;
-    tc.sgd = config_.sgd;
-    tc.schedule = std::make_shared<StepDecayLr>(config_.sgd.learning_rate);
-    tc.augment = config_.augment;
-    tc.augment_config = config_.augment_config;
-    tc.seed = rng.NextU64();
-    TrainModel(model.get(), boot, tc, TrainContext{});
-
-    ensemble.AddMember(std::move(model), 1.0);
+  for (int t = 0; t < num_members; ++t) {
+    ensemble.AddMember(std::move(models[static_cast<size_t>(t)]), 1.0);
     cumulative_epochs += config_.epochs_per_member;
     if (curve.enabled()) {
       curve.points->emplace_back(cumulative_epochs,

@@ -3,6 +3,7 @@
 #include "metrics/metrics.h"
 #include "tensor/ops.h"
 #include "utils/logging.h"
+#include "utils/threadpool.h"
 
 namespace edde {
 
@@ -18,10 +19,13 @@ Tensor EnsembleModel::PredictProbs(const Dataset& data,
   EDDE_CHECK(!members_.empty()) << "empty ensemble";
   double alpha_sum = 0.0;
   for (double a : alphas_) alpha_sum += a;
+  // Members are evaluated concurrently — each owns its model, so the only
+  // shared state is the read-only dataset. The α-weighted combination stays
+  // serial in member order, keeping the reduction deterministic.
+  const std::vector<Tensor> probs = MemberProbs(data, batch_size);
   Tensor combined(Shape{data.size(), data.num_classes()}, 0.0f);
-  for (size_t t = 0; t < members_.size(); ++t) {
-    Tensor p = edde::PredictProbs(members_[t].get(), data, batch_size);
-    Axpy(static_cast<float>(alphas_[t] / alpha_sum), p, &combined);
+  for (size_t t = 0; t < probs.size(); ++t) {
+    Axpy(static_cast<float>(alphas_[t] / alpha_sum), probs[t], &combined);
   }
   return combined;
 }
@@ -36,6 +40,15 @@ std::vector<int> EnsembleModel::PredictLabelsMajorityVote(
   EDDE_CHECK(!members_.empty()) << "empty ensemble";
   const int64_t n = data.size();
   const int k = data.num_classes();
+  const int64_t num_members = size();
+  std::vector<std::vector<int>> member_preds(
+      static_cast<size_t>(num_members));
+  ParallelFor(0, num_members, 1, [&](int64_t t0, int64_t t1) {
+    for (int64_t t = t0; t < t1; ++t) {
+      member_preds[static_cast<size_t>(t)] = edde::PredictLabels(
+          members_[static_cast<size_t>(t)].get(), data, batch_size);
+    }
+  });
   // votes[i][c] accumulates α-weighted-by-tiebreak counts: a vote counts 1,
   // plus a vanishing α-proportional epsilon so ties resolve toward the
   // heavier member.
@@ -44,8 +57,7 @@ std::vector<int> EnsembleModel::PredictLabelsMajorityVote(
   double alpha_sum = 0.0;
   for (double a : alphas_) alpha_sum += a;
   for (size_t t = 0; t < members_.size(); ++t) {
-    const auto preds = edde::PredictLabels(members_[t].get(), data,
-                                           batch_size);
+    const auto& preds = member_preds[t];
     const double tiebreak = 1e-6 * alphas_[t] / alpha_sum;
     for (int64_t i = 0; i < n; ++i) {
       votes[static_cast<size_t>(i)][static_cast<size_t>(
@@ -73,22 +85,31 @@ double EnsembleModel::EvaluateAccuracy(const Dataset& data,
 
 std::vector<Tensor> EnsembleModel::MemberProbs(const Dataset& data,
                                                int64_t batch_size) const {
-  std::vector<Tensor> out;
-  out.reserve(members_.size());
-  for (const auto& m : members_) {
-    out.push_back(edde::PredictProbs(m.get(), data, batch_size));
-  }
+  const int64_t num_members = size();
+  std::vector<Tensor> out(static_cast<size_t>(num_members));
+  ParallelFor(0, num_members, 1, [&](int64_t t0, int64_t t1) {
+    for (int64_t t = t0; t < t1; ++t) {
+      out[static_cast<size_t>(t)] = edde::PredictProbs(
+          members_[static_cast<size_t>(t)].get(), data, batch_size);
+    }
+  });
   return out;
 }
 
 double EnsembleModel::AverageMemberAccuracy(const Dataset& data,
                                             int64_t batch_size) const {
   EDDE_CHECK(!members_.empty());
+  const int64_t num_members = size();
+  std::vector<double> member_acc(static_cast<size_t>(num_members), 0.0);
+  ParallelFor(0, num_members, 1, [&](int64_t t0, int64_t t1) {
+    for (int64_t t = t0; t < t1; ++t) {
+      member_acc[static_cast<size_t>(t)] = edde::EvaluateAccuracy(
+          members_[static_cast<size_t>(t)].get(), data, batch_size);
+    }
+  });
   double acc = 0.0;
-  for (const auto& m : members_) {
-    acc += edde::EvaluateAccuracy(m.get(), data, batch_size);
-  }
-  return acc / static_cast<double>(members_.size());
+  for (double a : member_acc) acc += a;
+  return acc / static_cast<double>(num_members);
 }
 
 }  // namespace edde

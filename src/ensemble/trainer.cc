@@ -1,5 +1,6 @@
 #include "ensemble/trainer.h"
 
+#include <cmath>
 #include <cstring>
 
 #include "data/batcher.h"
@@ -82,7 +83,14 @@ std::vector<float> ScaleWeightsToMeanOne(const std::vector<double>& weights) {
   EDDE_CHECK(!weights.empty());
   double total = 0.0;
   for (double w : weights) total += w;
-  EDDE_CHECK_GT(total, 0.0);
+  // Degenerate boosting state (all-zero or non-finite weights) would turn
+  // every per-sample loss weight into 0, inf or nan. Train unweighted
+  // instead of corrupting the gradients.
+  if (!(total > 0.0) || !std::isfinite(total)) {
+    EDDE_LOG(WARNING) << "degenerate sample weights (sum=" << total
+                      << "); falling back to uniform weights";
+    return std::vector<float>(weights.size(), 1.0f);
+  }
   const double scale = static_cast<double>(weights.size()) / total;
   std::vector<float> out(weights.size());
   for (size_t i = 0; i < weights.size(); ++i) {

@@ -111,7 +111,11 @@ double KappaStatistic(const std::vector<int>& preds_a,
   const double pa = (c.n11 + c.n10) / n;  // P(a correct)
   const double pb = (c.n11 + c.n01) / n;  // P(b correct)
   const double p_exp = pa * pb + (1.0 - pa) * (1.0 - pb);
-  return p_exp == 1.0 ? 0.0 : (p_obs - p_exp) / (1.0 - p_exp);
+  // p_exp == 1 only when both predictors are always-correct or both are
+  // always-wrong, i.e. they agree on every sample. That is perfect
+  // agreement (κ = 1), not independence — returning 0 here would report two
+  // identical predictors as maximally diverse.
+  return p_exp == 1.0 ? 1.0 : (p_obs - p_exp) / (1.0 - p_exp);
 }
 
 double EnsembleDisagreement(

@@ -6,10 +6,23 @@
 #include <limits>
 
 #include "utils/logging.h"
+#include "utils/threadpool.h"
 
 namespace edde {
 
 namespace {
+
+// Row-grain targeting roughly `target_work` scalar ops per chunk, so tiny
+// tensors (tests, per-sample gemms) take the serial path inside ParallelFor
+// and stay bit-identical to the pre-threading implementation. Row-parallel
+// kernels write disjoint rows and keep the serial accumulation order within
+// each row, so results are bit-identical for every thread count anyway; the
+// grain only controls scheduling overhead.
+int64_t RowGrain(int64_t work_per_row, int64_t target_work) {
+  if (work_per_row < 1) work_per_row = 1;
+  const int64_t grain = target_work / work_per_row;
+  return grain < 1 ? 1 : grain;
+}
 
 // Inner kernel: c[M,N] += alpha * a[M,K] * b[K,N] for row-major contiguous
 // blocks, K-innermost with register accumulation over rows of b.
@@ -79,22 +92,29 @@ void Gemm(bool trans_a, bool trans_b, float alpha, const Tensor& a,
     ldb = n;
   }
 
-  // Cache blocking.
+  // Cache blocking; the row dimension is additionally split across the
+  // thread pool. Each chunk owns a disjoint set of C rows and walks the
+  // k/n blocks in the same serial order as the single-threaded code, so the
+  // accumulation order per row — and hence the result — is bit-identical
+  // regardless of thread count.
   constexpr int64_t kBlockM = 64;
   constexpr int64_t kBlockN = 256;
   constexpr int64_t kBlockK = 64;
   float* pc = c->data();
-  for (int64_t i0 = 0; i0 < m; i0 += kBlockM) {
-    const int64_t mb = std::min(kBlockM, m - i0);
-    for (int64_t p0 = 0; p0 < k; p0 += kBlockK) {
-      const int64_t kblk = std::min(kBlockK, k - p0);
-      for (int64_t j0 = 0; j0 < n; j0 += kBlockN) {
-        const int64_t nb = std::min(kBlockN, n - j0);
-        GemmBlockNN(mb, nb, kblk, alpha, pa + i0 * lda + p0, lda,
-                    pb + p0 * ldb + j0, ldb, pc + i0 * n + j0, n);
+  const int64_t grain = std::max(kBlockM, RowGrain(n * k, 1 << 18));
+  ParallelFor(0, m, grain, [&](int64_t r0, int64_t r1) {
+    for (int64_t i0 = r0; i0 < r1; i0 += kBlockM) {
+      const int64_t mb = std::min(kBlockM, r1 - i0);
+      for (int64_t p0 = 0; p0 < k; p0 += kBlockK) {
+        const int64_t kblk = std::min(kBlockK, k - p0);
+        for (int64_t j0 = 0; j0 < n; j0 += kBlockN) {
+          const int64_t nb = std::min(kBlockN, n - j0);
+          GemmBlockNN(mb, nb, kblk, alpha, pa + i0 * lda + p0, lda,
+                      pb + p0 * ldb + j0, ldb, pc + i0 * n + j0, n);
+        }
       }
     }
-  }
+  });
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -159,19 +179,21 @@ Tensor Softmax(const Tensor& logits) {
   const int64_t n = logits.shape().dim(0);
   const int64_t k = logits.shape().dim(1);
   Tensor out(logits.shape());
-  for (int64_t i = 0; i < n; ++i) {
-    const float* row = logits.data() + i * k;
-    float* orow = out.data() + i * k;
-    float mx = row[0];
-    for (int64_t j = 1; j < k; ++j) mx = std::max(mx, row[j]);
-    double total = 0.0;
-    for (int64_t j = 0; j < k; ++j) {
-      orow[j] = std::exp(row[j] - mx);
-      total += orow[j];
+  ParallelFor(0, n, RowGrain(k, 1 << 14), [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const float* row = logits.data() + i * k;
+      float* orow = out.data() + i * k;
+      float mx = row[0];
+      for (int64_t j = 1; j < k; ++j) mx = std::max(mx, row[j]);
+      double total = 0.0;
+      for (int64_t j = 0; j < k; ++j) {
+        orow[j] = std::exp(row[j] - mx);
+        total += orow[j];
+      }
+      const float inv = static_cast<float>(1.0 / total);
+      for (int64_t j = 0; j < k; ++j) orow[j] *= inv;
     }
-    const float inv = static_cast<float>(1.0 / total);
-    for (int64_t j = 0; j < k; ++j) orow[j] *= inv;
-  }
+  });
   return out;
 }
 
@@ -180,16 +202,18 @@ Tensor LogSoftmax(const Tensor& logits) {
   const int64_t n = logits.shape().dim(0);
   const int64_t k = logits.shape().dim(1);
   Tensor out(logits.shape());
-  for (int64_t i = 0; i < n; ++i) {
-    const float* row = logits.data() + i * k;
-    float* orow = out.data() + i * k;
-    float mx = row[0];
-    for (int64_t j = 1; j < k; ++j) mx = std::max(mx, row[j]);
-    double total = 0.0;
-    for (int64_t j = 0; j < k; ++j) total += std::exp(row[j] - mx);
-    const float lse = mx + static_cast<float>(std::log(total));
-    for (int64_t j = 0; j < k; ++j) orow[j] = row[j] - lse;
-  }
+  ParallelFor(0, n, RowGrain(k, 1 << 14), [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const float* row = logits.data() + i * k;
+      float* orow = out.data() + i * k;
+      float mx = row[0];
+      for (int64_t j = 1; j < k; ++j) mx = std::max(mx, row[j]);
+      double total = 0.0;
+      for (int64_t j = 0; j < k; ++j) total += std::exp(row[j] - mx);
+      const float lse = mx + static_cast<float>(std::log(total));
+      for (int64_t j = 0; j < k; ++j) orow[j] = row[j] - lse;
+    }
+  });
   return out;
 }
 
@@ -215,16 +239,18 @@ std::vector<float> RowL2Distance(const Tensor& a, const Tensor& b) {
   const int64_t n = a.shape().dim(0);
   const int64_t k = a.shape().dim(1);
   std::vector<float> out(static_cast<size_t>(n));
-  for (int64_t i = 0; i < n; ++i) {
-    const float* ra = a.data() + i * k;
-    const float* rb = b.data() + i * k;
-    double acc = 0.0;
-    for (int64_t j = 0; j < k; ++j) {
-      const double d = static_cast<double>(ra[j]) - rb[j];
-      acc += d * d;
+  ParallelFor(0, n, RowGrain(k, 1 << 14), [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const float* ra = a.data() + i * k;
+      const float* rb = b.data() + i * k;
+      double acc = 0.0;
+      for (int64_t j = 0; j < k; ++j) {
+        const double d = static_cast<double>(ra[j]) - rb[j];
+        acc += d * d;
+      }
+      out[static_cast<size_t>(i)] = static_cast<float>(std::sqrt(acc));
     }
-    out[static_cast<size_t>(i)] = static_cast<float>(std::sqrt(acc));
-  }
+  });
   return out;
 }
 
@@ -233,28 +259,31 @@ void Im2Col(const float* input, int64_t channels, int64_t height,
   const int64_t oh = geom.OutExtent(height);
   const int64_t ow = geom.OutExtent(width);
   const int64_t k = geom.kernel;
-  int64_t row = 0;
-  for (int64_t c = 0; c < channels; ++c) {
-    const float* img = input + c * height * width;
-    for (int64_t ky = 0; ky < k; ++ky) {
-      for (int64_t kx = 0; kx < k; ++kx, ++row) {
-        float* out_row = cols + row * oh * ow;
-        for (int64_t y = 0; y < oh; ++y) {
-          const int64_t iy = y * geom.stride + ky - geom.padding;
-          if (iy < 0 || iy >= height) {
-            std::memset(out_row + y * ow, 0, sizeof(float) * ow);
-            continue;
-          }
-          const float* src = img + iy * width;
-          for (int64_t x = 0; x < ow; ++x) {
-            const int64_t ix = x * geom.stride + kx - geom.padding;
-            out_row[y * ow + x] =
-                (ix >= 0 && ix < width) ? src[ix] : 0.0f;
-          }
+  // Each unrolled row (c, ky, kx) writes a disjoint stripe of `cols`, so the
+  // rows parallelize freely.
+  const int64_t num_rows = channels * k * k;
+  ParallelFor(0, num_rows, RowGrain(oh * ow, 1 << 14),
+              [&](int64_t r0, int64_t r1) {
+    for (int64_t row = r0; row < r1; ++row) {
+      const int64_t c = row / (k * k);
+      const int64_t ky = (row / k) % k;
+      const int64_t kx = row % k;
+      const float* img = input + c * height * width;
+      float* out_row = cols + row * oh * ow;
+      for (int64_t y = 0; y < oh; ++y) {
+        const int64_t iy = y * geom.stride + ky - geom.padding;
+        if (iy < 0 || iy >= height) {
+          std::memset(out_row + y * ow, 0, sizeof(float) * ow);
+          continue;
+        }
+        const float* src = img + iy * width;
+        for (int64_t x = 0; x < ow; ++x) {
+          const int64_t ix = x * geom.stride + kx - geom.padding;
+          out_row[y * ow + x] = (ix >= 0 && ix < width) ? src[ix] : 0.0f;
         }
       }
     }
-  }
+  });
 }
 
 void Col2Im(const float* cols, int64_t channels, int64_t height,
@@ -262,24 +291,31 @@ void Col2Im(const float* cols, int64_t channels, int64_t height,
   const int64_t oh = geom.OutExtent(height);
   const int64_t ow = geom.OutExtent(width);
   const int64_t k = geom.kernel;
-  int64_t row = 0;
-  for (int64_t c = 0; c < channels; ++c) {
-    float* img = input_grad + c * height * width;
-    for (int64_t ky = 0; ky < k; ++ky) {
-      for (int64_t kx = 0; kx < k; ++kx, ++row) {
-        const float* in_row = cols + row * oh * ow;
-        for (int64_t y = 0; y < oh; ++y) {
-          const int64_t iy = y * geom.stride + ky - geom.padding;
-          if (iy < 0 || iy >= height) continue;
-          float* dst = img + iy * width;
-          for (int64_t x = 0; x < ow; ++x) {
-            const int64_t ix = x * geom.stride + kx - geom.padding;
-            if (ix >= 0 && ix < width) dst[ix] += in_row[y * ow + x];
+  // Kernel offsets of one channel accumulate into overlapping pixels, so
+  // parallelism stops at the channel level: channels own disjoint image
+  // planes and the (ky, kx, y) accumulation order within a channel stays
+  // serial — bit-identical for every thread count.
+  ParallelFor(0, channels, RowGrain(k * k * oh * ow, 1 << 14),
+              [&](int64_t c0, int64_t c1) {
+    for (int64_t c = c0; c < c1; ++c) {
+      float* img = input_grad + c * height * width;
+      int64_t row = c * k * k;
+      for (int64_t ky = 0; ky < k; ++ky) {
+        for (int64_t kx = 0; kx < k; ++kx, ++row) {
+          const float* in_row = cols + row * oh * ow;
+          for (int64_t y = 0; y < oh; ++y) {
+            const int64_t iy = y * geom.stride + ky - geom.padding;
+            if (iy < 0 || iy >= height) continue;
+            float* dst = img + iy * width;
+            for (int64_t x = 0; x < ow; ++x) {
+              const int64_t ix = x * geom.stride + kx - geom.padding;
+              if (ix >= 0 && ix < width) dst[ix] += in_row[y * ow + x];
+            }
           }
         }
       }
     }
-  }
+  });
 }
 
 Tensor Conv2dForward(const Tensor& input, const Tensor& weight,
@@ -296,23 +332,28 @@ Tensor Conv2dForward(const Tensor& input, const Tensor& weight,
   const int64_t cols_rows = cin * geom.kernel * geom.kernel;
 
   Tensor output(Shape{batch, geom.out_channels, oh, ow});
-  Tensor cols(Shape{cols_rows, oh * ow});
   Tensor w2d = weight.Reshape(Shape{geom.out_channels, cols_rows});
-  for (int64_t n = 0; n < batch; ++n) {
-    Im2Col(input.data() + n * cin * h * w, cin, h, w, geom, cols.data());
+  // Samples are independent: parallelize the batch loop with per-chunk
+  // scratch buffers. The nested Im2Col/Gemm calls detect they are inside a
+  // parallel region and run serially, so there is no oversubscription.
+  ParallelFor(0, batch, 1, [&](int64_t n0, int64_t n1) {
+    Tensor cols(Shape{cols_rows, oh * ow});
     Tensor out2d(Shape{geom.out_channels, oh * ow});
-    Gemm(false, false, 1.0f, w2d, cols, 0.0f, &out2d);
-    float* dst = output.data() + n * geom.out_channels * oh * ow;
-    std::memcpy(dst, out2d.data(),
-                sizeof(float) * geom.out_channels * oh * ow);
-    if (!bias.empty()) {
-      for (int64_t oc = 0; oc < geom.out_channels; ++oc) {
-        const float bv = bias.data()[oc];
-        float* ochan = dst + oc * oh * ow;
-        for (int64_t i = 0; i < oh * ow; ++i) ochan[i] += bv;
+    for (int64_t n = n0; n < n1; ++n) {
+      Im2Col(input.data() + n * cin * h * w, cin, h, w, geom, cols.data());
+      Gemm(false, false, 1.0f, w2d, cols, 0.0f, &out2d);
+      float* dst = output.data() + n * geom.out_channels * oh * ow;
+      std::memcpy(dst, out2d.data(),
+                  sizeof(float) * geom.out_channels * oh * ow);
+      if (!bias.empty()) {
+        for (int64_t oc = 0; oc < geom.out_channels; ++oc) {
+          const float bv = bias.data()[oc];
+          float* ochan = dst + oc * oh * ow;
+          for (int64_t i = 0; i < oh * ow; ++i) ochan[i] += bv;
+        }
       }
     }
-  }
+  });
   return output;
 }
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 #include <set>
 
@@ -117,9 +118,25 @@ TEST(NormalizeWeightsTest, SumsToOne) {
   EXPECT_DOUBLE_EQ(w[0], 0.125);
 }
 
-TEST(NormalizeWeightsDeathTest, ZeroSumAborts) {
+TEST(NormalizeWeightsTest, ZeroSumFallsBackToUniform) {
+  // A boosting round that classifies everything correctly can zero every
+  // weight; normalization must recover instead of dividing by zero.
   std::vector<double> w = {0.0, 0.0};
-  EXPECT_DEATH(NormalizeWeights(&w), "zero-sum");
+  NormalizeWeights(&w);
+  EXPECT_DOUBLE_EQ(w[0], 0.5);
+  EXPECT_DOUBLE_EQ(w[1], 0.5);
+}
+
+TEST(NormalizeWeightsTest, NonFiniteSumFallsBackToUniform) {
+  std::vector<double> w = {std::numeric_limits<double>::infinity(), 1.0};
+  NormalizeWeights(&w);
+  EXPECT_DOUBLE_EQ(w[0], 0.5);
+  EXPECT_DOUBLE_EQ(w[1], 0.5);
+
+  std::vector<double> v = {std::numeric_limits<double>::quiet_NaN(), 1.0};
+  NormalizeWeights(&v);
+  EXPECT_DOUBLE_EQ(v[0], 0.5);
+  EXPECT_DOUBLE_EQ(v[1], 0.5);
 }
 
 }  // namespace

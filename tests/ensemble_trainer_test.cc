@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "ensemble/trainer.h"
 #include "metrics/metrics.h"
 #include "nn/mlp.h"
@@ -138,6 +140,19 @@ TEST(ScaleWeightsTest, MeanBecomesOne) {
   EXPECT_NEAR(mean, 1.0, 1e-6);
   // Relative proportions preserved.
   EXPECT_NEAR(scaled[3] / scaled[0], 4.0, 1e-5);
+}
+
+TEST(ScaleWeightsTest, ZeroSumFallsBackToUniform) {
+  const auto scaled = ScaleWeightsToMeanOne({0.0, 0.0, 0.0});
+  ASSERT_EQ(scaled.size(), 3u);
+  for (float v : scaled) EXPECT_FLOAT_EQ(v, 1.0f);
+}
+
+TEST(ScaleWeightsTest, NonFiniteSumFallsBackToUniform) {
+  const auto scaled = ScaleWeightsToMeanOne(
+      {std::numeric_limits<double>::infinity(), 1.0});
+  ASSERT_EQ(scaled.size(), 2u);
+  for (float v : scaled) EXPECT_FLOAT_EQ(v, 1.0f);
 }
 
 TEST(TrainerDeathTest, MismatchedWeightSizeAborts) {

@@ -126,6 +126,39 @@ TEST(SimilarityMatrixTest, UnitDiagonalSymmetric) {
 }
 
 // ---------------------------------------------------------------------------
+// κ / Q statistics — degenerate-denominator regressions
+// ---------------------------------------------------------------------------
+
+TEST(KappaStatisticTest, IdenticalAlwaysCorrectPredictorsAgreeFully) {
+  // Both predictors right on every sample: p_exp == 1. Two identical
+  // predictors are in perfect agreement, so κ must be 1, not 0.
+  const std::vector<int> labels = {0, 1, 2, 1};
+  EXPECT_DOUBLE_EQ(KappaStatistic(labels, labels, labels), 1.0);
+}
+
+TEST(KappaStatisticTest, IdenticalAlwaysWrongPredictorsAgreeFully) {
+  const std::vector<int> labels = {0, 1, 2, 1};
+  const std::vector<int> wrong = {1, 2, 0, 2};
+  EXPECT_DOUBLE_EQ(KappaStatistic(wrong, wrong, labels), 1.0);
+}
+
+TEST(KappaStatisticTest, IndependentMixedPredictorsStayFinite) {
+  const std::vector<int> labels = {0, 0, 0, 0};
+  const std::vector<int> a = {0, 0, 1, 1};
+  const std::vector<int> b = {0, 1, 0, 1};
+  // pa = pb = 0.5, p_exp = 0.5, p_obs = 0.5 -> κ = 0 (independence).
+  EXPECT_NEAR(KappaStatistic(a, b, labels), 0.0, 1e-12);
+}
+
+TEST(QStatisticTest, ZeroDenominatorReturnsZero) {
+  // n11 = n00 = 0 and n01 * n10 = 0 -> denominator 0; Q is defined as 0.
+  const std::vector<int> labels = {0, 0};
+  const std::vector<int> a = {0, 0};
+  const std::vector<int> b = {1, 1};
+  EXPECT_DOUBLE_EQ(QStatistic(a, b, labels), 0.0);
+}
+
+// ---------------------------------------------------------------------------
 // Bias-variance decomposition (paper Fig. 1)
 // ---------------------------------------------------------------------------
 

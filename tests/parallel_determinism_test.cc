@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/beta_selector.h"
+#include "core/edde.h"
+#include "ensemble/bagging.h"
+#include "nn/mlp.h"
+#include "test_util.h"
+#include "utils/threadpool.h"
+
+namespace edde {
+namespace {
+
+using testing::MakeBlobsSplit;
+
+// The determinism contract of the parallel substrate (DESIGN.md): the same
+// seeds must produce the same ensemble regardless of the thread count. All
+// RNG draws happen serially in a fixed order, and the row-parallel kernels
+// keep their serial per-row accumulation order, so 1 thread and 4 threads
+// must match bit for bit — not merely approximately.
+
+struct Fixture {
+  testing::BlobSplit data = MakeBlobsSplit(256, 128, 6, 3, 1, /*spread=*/1.5f);
+  ModelFactory factory = [](uint64_t seed) {
+    MlpConfig cfg;
+    cfg.in_features = 6;
+    cfg.hidden = {12};
+    cfg.num_classes = 3;
+    return std::make_unique<Mlp>(cfg, seed);
+  };
+  MethodConfig config = [] {
+    MethodConfig mc;
+    mc.num_members = 3;
+    mc.epochs_per_member = 4;
+    mc.batch_size = 32;
+    mc.sgd.learning_rate = 0.1f;
+    mc.seed = 11;
+    return mc;
+  }();
+};
+
+class ParallelDeterminismTest : public ::testing::Test {
+ protected:
+  ~ParallelDeterminismTest() override { SetNumThreads(0); }
+};
+
+void ExpectIdenticalProbs(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.num_elements(), b.num_elements());
+  for (int64_t i = 0; i < a.num_elements(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i]) << "probability " << i << " differs";
+  }
+}
+
+TEST_F(ParallelDeterminismTest, EddeEnsembleIdenticalAcrossThreadCounts) {
+  Fixture fx;
+  EddeOptions options;
+  options.gamma = 0.1f;
+  options.beta = 0.7;
+
+  SetNumThreads(1);
+  EnsembleModel serial = EddeMethod(fx.config, options).Train(
+      fx.data.train, fx.factory);
+  const double acc1 = serial.EvaluateAccuracy(fx.data.test);
+  const Tensor probs1 = serial.PredictProbs(fx.data.test);
+
+  SetNumThreads(4);
+  EnsembleModel threaded = EddeMethod(fx.config, options).Train(
+      fx.data.train, fx.factory);
+  const double acc4 = threaded.EvaluateAccuracy(fx.data.test);
+  const Tensor probs4 = threaded.PredictProbs(fx.data.test);
+
+  EXPECT_DOUBLE_EQ(acc1, acc4);
+  ExpectIdenticalProbs(probs1, probs4);
+}
+
+TEST_F(ParallelDeterminismTest, BaggingEnsembleIdenticalAcrossThreadCounts) {
+  Fixture fx;
+
+  SetNumThreads(1);
+  EnsembleModel serial = Bagging(fx.config).Train(fx.data.train, fx.factory);
+  const double acc1 = serial.EvaluateAccuracy(fx.data.test);
+  const Tensor probs1 = serial.PredictProbs(fx.data.test);
+
+  SetNumThreads(4);
+  EnsembleModel threaded = Bagging(fx.config).Train(fx.data.train, fx.factory);
+  const double acc4 = threaded.EvaluateAccuracy(fx.data.test);
+  const Tensor probs4 = threaded.PredictProbs(fx.data.test);
+
+  EXPECT_DOUBLE_EQ(acc1, acc4);
+  ExpectIdenticalProbs(probs1, probs4);
+}
+
+TEST_F(ParallelDeterminismTest, BetaProbeIdenticalAcrossThreadCounts) {
+  Fixture fx;
+  BetaProbeConfig cfg;
+  cfg.beta_grid = {0.2, 0.5, 0.8};
+  cfg.teacher_epochs = 2;
+  cfg.probe_epochs = 2;
+  cfg.batch_size = 32;
+  cfg.seed = 5;
+
+  SetNumThreads(1);
+  const BetaProbeResult serial = SelectBeta(fx.data.train, fx.factory, cfg);
+  SetNumThreads(4);
+  const BetaProbeResult threaded = SelectBeta(fx.data.train, fx.factory, cfg);
+
+  EXPECT_DOUBLE_EQ(serial.selected_beta, threaded.selected_beta);
+  ASSERT_EQ(serial.points.size(), threaded.points.size());
+  for (size_t i = 0; i < serial.points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial.points[i].acc_seen_fold,
+                     threaded.points[i].acc_seen_fold);
+    EXPECT_DOUBLE_EQ(serial.points[i].acc_unseen_fold,
+                     threaded.points[i].acc_unseen_fold);
+  }
+}
+
+}  // namespace
+}  // namespace edde
