@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
 
 #include "ensemble/adaboost_m1.h"
 #include "ensemble/adaboost_nc.h"
@@ -14,6 +15,7 @@
 #include "nn/resnet.h"
 #include "nn/textcnn.h"
 #include "utils/logging.h"
+#include "utils/metrics.h"
 
 namespace edde {
 namespace bench {
@@ -30,6 +32,7 @@ Scale ParseScale(const std::string& value) {
 bool InitExperiment(FlagParser* flags, int argc, char** argv) {
   flags->Define("scale", "tiny", "workload scale: tiny|small|paper");
   flags->Define("seed", "42", "RNG seed for data and training");
+  DefineCommonFlags(flags);
   const Status status = flags->Parse(argc, argv);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
@@ -39,7 +42,13 @@ bool InitExperiment(FlagParser* flags, int argc, char** argv) {
     flags->PrintHelp(argv[0]);
     return false;
   }
+  ApplyCommonFlags(*flags);
   return true;
+}
+
+void FinishExperiment() {
+  std::printf("\n-- telemetry --\n");
+  MetricsRegistry::Global().PrintSummary(std::cout);
 }
 
 namespace {

@@ -22,9 +22,15 @@ enum class Scale { kTiny, kSmall, kPaper };
 /// Parses "--scale" values; aborts on unknown strings.
 Scale ParseScale(const std::string& value);
 
-/// Registers the flags shared by all experiment binaries (--scale, --seed)
-/// and parses argv. Returns false (after printing help) if --help was given.
+/// Registers the flags shared by all experiment binaries (--scale, --seed,
+/// --metrics_path) and parses argv. Returns false (after printing help) if
+/// --help was given.
 bool InitExperiment(FlagParser* flags, int argc, char** argv);
+
+/// Prints the telemetry summary collected during the run (per-region trace
+/// timings, counters, gauges — see utils/metrics.h). Call at the end of
+/// every experiment binary.
+void FinishExperiment();
 
 /// An image-classification workload (synthetic stand-in for CIFAR).
 struct CvWorkload {

@@ -69,6 +69,7 @@ int Run(int argc, char** argv) {
                 result.selected_beta);
   }
   std::printf("total wall time: %.1fs\n", total.Seconds());
+  FinishExperiment();
   return 0;
 }
 

@@ -81,6 +81,7 @@ int Run(int argc, char** argv) {
     std::printf("\n");
   }
   std::printf("total wall time: %.1fs\n", total.Seconds());
+  FinishExperiment();
   return 0;
 }
 

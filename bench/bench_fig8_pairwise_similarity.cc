@@ -88,6 +88,7 @@ int Run(int argc, char** argv) {
                  total.Seconds());
   }
   std::printf("total wall time: %.1fs\n", total.Seconds());
+  FinishExperiment();
   return 0;
 }
 

@@ -50,6 +50,7 @@ int Run(int argc, char** argv) {
   }
   table.Print(std::cout);
   std::printf("\ntotal wall time: %.1fs\n", total.Seconds());
+  FinishExperiment();
   return 0;
 }
 

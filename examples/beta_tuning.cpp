@@ -21,10 +21,12 @@ int main(int argc, char** argv) {
   edde::FlagParser flags;
   flags.Define("seed", "42", "RNG seed");
   flags.Define("out_dir", "/tmp", "directory for member checkpoints");
+  edde::DefineCommonFlags(&flags);
   if (!flags.Parse(argc, argv).ok() || flags.help_requested()) {
     flags.PrintHelp(argv[0]);
     return flags.help_requested() ? 0 : 1;
   }
+  edde::ApplyCommonFlags(flags);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
 
   edde::SyntheticImageConfig data_cfg;

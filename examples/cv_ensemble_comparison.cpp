@@ -26,10 +26,12 @@ int main(int argc, char** argv) {
   edde::FlagParser flags;
   flags.Define("classes", "10", "number of classes");
   flags.Define("seed", "42", "RNG seed");
+  edde::DefineCommonFlags(&flags);
   if (!flags.Parse(argc, argv).ok() || flags.help_requested()) {
     flags.PrintHelp(argv[0]);
     return flags.help_requested() ? 0 : 1;
   }
+  edde::ApplyCommonFlags(flags);
   const int classes = flags.GetInt("classes");
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
 

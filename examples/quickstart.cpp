@@ -5,6 +5,9 @@
 /// Build & run:
 ///   cmake -B build -G Ninja && cmake --build build
 ///   ./build/examples/quickstart [--members=4] [--epochs=6] [--seed=42]
+///
+/// Pass --metrics_path=/tmp/edde.jsonl (or set EDDE_METRICS_PATH) to dump
+/// per-epoch and per-round telemetry as JSONL — see utils/metrics.h.
 
 #include <cstdio>
 
@@ -21,10 +24,12 @@ int main(int argc, char** argv) {
   flags.Define("members", "4", "ensemble size T");
   flags.Define("epochs", "12", "epochs per member");
   flags.Define("seed", "42", "RNG seed");
+  edde::DefineCommonFlags(&flags);
   if (!flags.Parse(argc, argv).ok() || flags.help_requested()) {
     flags.PrintHelp(argv[0]);
     return flags.help_requested() ? 0 : 1;
   }
+  edde::ApplyCommonFlags(flags);
 
   // 1. Data: a procedurally generated stand-in for CIFAR-10 (see DESIGN.md).
   edde::SyntheticImageConfig data_cfg;

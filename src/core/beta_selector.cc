@@ -5,7 +5,9 @@
 #include "data/sampling.h"
 #include "metrics/metrics.h"
 #include "utils/logging.h"
+#include "utils/metrics.h"
 #include "utils/threadpool.h"
+#include "utils/trace.h"
 
 namespace edde {
 
@@ -45,7 +47,10 @@ BetaProbeResult SelectBeta(const Dataset& train, const ModelFactory& factory,
   teacher_tc.schedule =
       std::make_shared<StepDecayLr>(config.sgd.learning_rate);
   teacher_tc.seed = rng.NextU64();
-  TrainModel(teacher.get(), teacher_data, teacher_tc, TrainContext{});
+  {
+    TraceScope trace("beta_probe/teacher");
+    TrainModel(teacher.get(), teacher_data, teacher_tc, TrainContext{});
+  }
 
   // The grid points are independent probes off the same frozen teacher, so
   // they train concurrently. Student construction and warm start draw from
@@ -69,8 +74,12 @@ BetaProbeResult SelectBeta(const Dataset& train, const ModelFactory& factory,
     probe.train_seed = rng.NextU64();
   }
 
+  static Counter* const probe_counter =
+      MetricsRegistry::Global().GetCounter("beta_probe.probes");
   ParallelFor(0, num_betas, 1, [&](int64_t b0, int64_t b1) {
     for (int64_t b = b0; b < b1; ++b) {
+      TraceScope trace("beta_probe/probe");
+      probe_counter->Increment();
       Probe& probe = probes[static_cast<size_t>(b)];
       // Mean accuracy on the two probe folds over the first epochs.
       TrainConfig student_tc;
@@ -80,7 +89,7 @@ BetaProbeResult SelectBeta(const Dataset& train, const ModelFactory& factory,
       student_tc.seed = probe.train_seed;
       Module* raw = probe.student.get();
       TrainModel(raw, student_data, student_tc, TrainContext{},
-                 [&](int /*epoch*/, double /*loss*/) {
+                 [&](const EpochStats& /*stats*/) {
                    probe.seen_acc += EvaluateAccuracy(raw, seen_fold);
                    probe.unseen_acc += EvaluateAccuracy(raw, unseen_fold);
                  });

@@ -5,17 +5,61 @@
 #include <memory>
 
 #include "data/sampling.h"
+#include "metrics/diversity.h"
 #include "metrics/metrics.h"
 #include "tensor/ops.h"
 #include "utils/logging.h"
+#include "utils/metrics.h"
+#include "utils/timer.h"
+#include "utils/trace.h"
 
 namespace edde {
 
 namespace {
 
 constexpr double kHalfSqrt2 = 0.7071067811865476;  // √2 / 2
-constexpr double kAlphaMin = 1e-3;
-constexpr double kAlphaMax = 4.0;
+
+/// Min/mean/max of the per-sample weight distribution W_t.
+void SummarizeWeights(const std::vector<double>& weights,
+                      EddeRoundStats* stats) {
+  double lo = weights[0], hi = weights[0], total = 0.0;
+  for (double w : weights) {
+    lo = std::min(lo, w);
+    hi = std::max(hi, w);
+    total += w;
+  }
+  stats->weight_min = lo;
+  stats->weight_max = hi;
+  stats->weight_mean = total / static_cast<double>(weights.size());
+}
+
+/// Records one round's stats into the observer vector, the aggregate
+/// instruments, and (when a sink is configured) the JSONL event log.
+void RecordRoundStats(const EddeRoundStats& stats,
+                      std::vector<EddeRoundStats>* observer) {
+  if (observer != nullptr) observer->push_back(stats);
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("edde.rounds")->Increment();
+  if (stats.alpha_clamped) {
+    registry.GetCounter("edde.alpha_clamp_hits")->Increment();
+  }
+  TraceHistogram("edde/round")->Record(stats.round_seconds);
+  if (registry.events_enabled()) {
+    registry.EmitEvent(JsonBuilder()
+                           .Add("record", "edde_round")
+                           .Add("round", stats.round)
+                           .Add("alpha", stats.alpha)
+                           .Add("alpha_clamped", stats.alpha_clamped)
+                           .Add("correct_sim_mass", stats.correct_sim_mass)
+                           .Add("wrong_sim_mass", stats.wrong_sim_mass)
+                           .Add("mean_pairwise_div", stats.mean_pairwise_div)
+                           .Add("weight_min", stats.weight_min)
+                           .Add("weight_mean", stats.weight_mean)
+                           .Add("weight_max", stats.weight_max)
+                           .Add("round_seconds", stats.round_seconds)
+                           .Build());
+  }
+}
 
 }  // namespace
 
@@ -77,6 +121,14 @@ EnsembleModel EddeMethod::Train(const Dataset& train,
   EnsembleModel ensemble;
   int cumulative_epochs = 0;
 
+  // Round-stats collection is read-only observation: it draws nothing from
+  // the RNG, so trained ensembles are bit-identical with telemetry on or
+  // off. The Eq. 7 diversity recomputation needs every member's training
+  // probs, so that history is kept only when somebody is listening.
+  const bool collect_stats = options_.round_stats != nullptr ||
+                             MetricsRegistry::Global().events_enabled();
+  std::vector<Tensor> member_train_probs;
+
   auto make_train_config = [&](int epochs) {
     TrainConfig tc;
     tc.epochs = epochs;
@@ -91,6 +143,7 @@ EnsembleModel EddeMethod::Train(const Dataset& train,
 
   // ---- Line 3-5: first member, plain training on uniform weights. ----
   {
+    Timer round_timer;
     std::unique_ptr<Module> h1 = factory(rng.NextU64());
     TrainModel(h1.get(), train, make_train_config(first_epochs),
                TrainContext{});
@@ -108,20 +161,35 @@ EnsembleModel EddeMethod::Train(const Dataset& train,
       }
     }
     const double wrong = static_cast<double>(n - correct);
-    const double alpha1 = std::clamp(
+    const double raw_alpha1 =
         0.5 * std::log(std::max(static_cast<double>(correct), 1.0) /
-                       std::max(wrong, 1.0)),
-        kAlphaMin, kAlphaMax);
+                       std::max(wrong, 1.0));
+    const double alpha1 = std::clamp(raw_alpha1, kAlphaMin, kAlphaMax);
+    if (collect_stats) {
+      member_train_probs.push_back(PredictProbs(h1.get(), train));
+    }
     ensemble.AddMember(std::move(h1), alpha1);
     cumulative_epochs += first_epochs;
     if (curve.enabled()) {
       curve.points->emplace_back(cumulative_epochs,
                                  ensemble.EvaluateAccuracy(*curve.eval));
     }
+
+    EddeRoundStats stats;
+    stats.round = 1;
+    stats.alpha = alpha1;
+    stats.alpha_clamped = raw_alpha1 != alpha1;
+    stats.correct_sim_mass = static_cast<double>(correct);
+    stats.wrong_sim_mass = wrong;
+    stats.mean_pairwise_div = 0.0;  // Eq. 7 needs T >= 2
+    SummarizeWeights(weights, &stats);
+    stats.round_seconds = round_timer.Seconds();
+    RecordRoundStats(stats, options_.round_stats);
   }
 
   // ---- Lines 6-15: subsequent members. ----
   for (int t = 2; t <= config_.num_members; ++t) {
+    Timer round_timer;
     // Soft targets of the current ensemble H_{t−1} on the training set.
     const Tensor ensemble_probs = ensemble.PredictProbs(train);
     Tensor diversity_reference = ensemble_probs;
@@ -195,17 +263,33 @@ EnsembleModel EddeMethod::Train(const Dataset& train,
         wrong_mass += mass;
       }
     }
-    const double alpha = std::clamp(
+    const double raw_alpha =
         0.5 * std::log(std::max(correct_mass, 1e-12) /
-                       std::max(wrong_mass, 1e-12)),
-        kAlphaMin, kAlphaMax);
+                       std::max(wrong_mass, 1e-12));
+    const double alpha = std::clamp(raw_alpha, kAlphaMin, kAlphaMax);
 
+    if (collect_stats) {
+      member_train_probs.push_back(member_probs);
+    }
     ensemble.AddMember(std::move(ht), alpha);
     cumulative_epochs += config_.epochs_per_member;
     if (curve.enabled()) {
       curve.points->emplace_back(cumulative_epochs,
                                  ensemble.EvaluateAccuracy(*curve.eval));
     }
+
+    EddeRoundStats stats;
+    stats.round = t;
+    stats.alpha = alpha;
+    stats.alpha_clamped = raw_alpha != alpha;
+    stats.correct_sim_mass = correct_mass;
+    stats.wrong_sim_mass = wrong_mass;
+    if (collect_stats) {
+      stats.mean_pairwise_div = EnsembleDiversity(member_train_probs);
+    }
+    SummarizeWeights(weights, &stats);
+    stats.round_seconds = round_timer.Seconds();
+    RecordRoundStats(stats, options_.round_stats);
   }
   return ensemble;
 }

@@ -9,6 +9,33 @@
 
 namespace edde {
 
+/// Clamp bounds for the member weight α_t (Eq. 15): the log-ratio is kept
+/// strictly positive and bounded so one member can neither be silenced nor
+/// dominate the vote. Exported for tests and telemetry consumers.
+inline constexpr double kAlphaMin = 1e-3;
+inline constexpr double kAlphaMax = 4.0;
+
+/// Telemetry of one EDDE boosting round (Algorithm 1 lines 6-15): the
+/// quantities the paper analyses in Tables IV-VI, captured while training
+/// instead of recomputed afterwards. Collected only when a metrics sink is
+/// configured or EddeOptions::round_stats is set; collection is read-only
+/// (no RNG draws), so it never perturbs the trained ensemble.
+struct EddeRoundStats {
+  int round = 0;                  ///< t, 1-based.
+  double alpha = 0.0;             ///< α_t after clamping.
+  bool alpha_clamped = false;     ///< α_t hit kAlphaMin / kAlphaMax.
+  double correct_sim_mass = 0.0;  ///< Σ Sim·W over correct samples (Eq. 15);
+                                  ///< round 1: correct count.
+  double wrong_sim_mass = 0.0;    ///< Σ Sim·W over misclassified samples;
+                                  ///< round 1: wrong count.
+  double mean_pairwise_div = 0.0; ///< Eq. 7 over members so far on the
+                                  ///< training set; 0 while T < 2.
+  double weight_min = 0.0;        ///< Per-sample weight distribution W_t
+  double weight_mean = 0.0;       ///< after the round's update —
+  double weight_max = 0.0;        ///< degenerate spreads flag collapse.
+  double round_seconds = 0.0;     ///< Wall time of the round.
+};
+
 /// Options of the EDDE algorithm (paper Algorithm 1) plus the ablation and
 /// design-choice switches called out in DESIGN.md.
 struct EddeOptions {
@@ -57,6 +84,11 @@ struct EddeOptions {
 
   /// Optional display-name suffix used by ablation benches.
   std::string name_suffix;
+
+  /// Observer: when set, Train appends one EddeRoundStats per member. The
+  /// same stats are emitted as JSONL records when a metrics sink is
+  /// configured (see utils/metrics.h), independent of this pointer.
+  std::vector<EddeRoundStats>* round_stats = nullptr;
 };
 
 /// Efficient Diversity-Driven Ensemble — the paper's primary contribution.

@@ -4,7 +4,9 @@
 
 #include "data/sampling.h"
 #include "utils/logging.h"
+#include "utils/metrics.h"
 #include "utils/threadpool.h"
+#include "utils/trace.h"
 
 namespace edde {
 
@@ -33,8 +35,12 @@ EnsembleModel Bagging::Train(const Dataset& train, const ModelFactory& factory,
 
   std::vector<std::unique_ptr<Module>> models(
       static_cast<size_t>(num_members));
+  static Counter* const member_counter =
+      MetricsRegistry::Global().GetCounter("bagging.members_trained");
   ParallelFor(0, num_members, 1, [&](int64_t t0, int64_t t1) {
     for (int64_t t = t0; t < t1; ++t) {
+      TraceScope trace("bagging/member");
+      member_counter->Increment();
       const MemberPlan& plan = plans[static_cast<size_t>(t)];
       std::unique_ptr<Module> model = factory(plan.factory_seed);
       TrainConfig tc;

@@ -4,6 +4,8 @@
 
 #include "metrics/metrics.h"
 #include "utils/logging.h"
+#include "utils/metrics.h"
+#include "utils/trace.h"
 
 namespace edde {
 
@@ -14,7 +16,11 @@ EnsembleModel Bans::Train(const Dataset& train, const ModelFactory& factory,
   Tensor teacher_probs;  // previous generation's soft targets on `train`
   int cumulative_epochs = 0;
 
+  static Counter* const member_counter =
+      MetricsRegistry::Global().GetCounter("bans.members_trained");
   for (int t = 0; t < config_.num_members; ++t) {
+    TraceScope trace("bans/member");
+    member_counter->Increment();
     std::unique_ptr<Module> model = factory(rng.NextU64());
     TrainConfig tc;
     tc.epochs = config_.epochs_per_member;

@@ -28,9 +28,9 @@ EnsembleModel SingleModel::Train(const Dataset& train,
   if (curve.enabled()) {
     // Probe at member-budget boundaries so the curve is comparable to the
     // ensemble methods'.
-    cb = [&](int epoch, double /*loss*/) {
-      if ((epoch + 1) % config_.epochs_per_member == 0) {
-        curve.points->emplace_back(epoch + 1,
+    cb = [&](const EpochStats& stats) {
+      if ((stats.epoch + 1) % config_.epochs_per_member == 0) {
+        curve.points->emplace_back(stats.epoch + 1,
                                    EvaluateAccuracy(raw, *curve.eval));
       }
     };

@@ -4,6 +4,8 @@
 
 #include "nn/checkpoint.h"
 #include "utils/logging.h"
+#include "utils/metrics.h"
+#include "utils/trace.h"
 
 namespace edde {
 
@@ -15,8 +17,12 @@ EnsembleModel SnapshotEnsemble::Train(const Dataset& train,
   const int cycle_epochs = config_.epochs_per_member;
   std::unique_ptr<Module> model = factory(rng.NextU64());
 
+  static Counter* const cycle_counter =
+      MetricsRegistry::Global().GetCounter("snapshot.cycles");
   EnsembleModel ensemble;
   for (int cycle = 0; cycle < cycles; ++cycle) {
+    TraceScope trace("snapshot/cycle");
+    cycle_counter->Increment();
     TrainConfig tc;
     tc.epochs = cycle_epochs;
     tc.batch_size = config_.batch_size;

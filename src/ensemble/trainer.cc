@@ -5,6 +5,9 @@
 
 #include "data/batcher.h"
 #include "utils/logging.h"
+#include "utils/metrics.h"
+#include "utils/timer.h"
+#include "utils/trace.h"
 
 namespace edde {
 
@@ -27,8 +30,22 @@ double TrainModel(Module* model, const Dataset& train,
   Sgd optimizer(model, config.sgd);
   const bool image_batch = train.features().shape().rank() == 4;
 
+  // Cached instruments: the aggregates are always on (a handful of atomic
+  // adds per batch), the JSONL epoch records only when a sink is set.
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static Counter* const epoch_counter =
+      MetricsRegistry::Global().GetCounter("trainer.epochs");
+  static Counter* const batch_counter =
+      MetricsRegistry::Global().GetCounter("trainer.batches");
+  static Counter* const sample_counter =
+      MetricsRegistry::Global().GetCounter("trainer.samples");
+  static Histogram* const batch_time = TraceHistogram("trainer.batch");
+  static Histogram* const epoch_time = TraceHistogram("trainer.epoch");
+  TraceScope train_scope(TraceHistogram("trainer.train_model"));
+
   double last_epoch_loss = 0.0;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    Timer epoch_timer;
     if (config.schedule != nullptr) {
       optimizer.set_learning_rate(
           config.schedule->LearningRate(epoch, config.epochs));
@@ -38,6 +55,7 @@ double TrainModel(Module* model, const Dataset& train,
     double epoch_loss = 0.0;
     int64_t seen = 0;
     for (const auto& batch : batches) {
+      Timer batch_timer;
       Tensor x = train.GatherFeatures(batch);
       if (config.augment && image_batch) {
         x = AugmentImageBatch(x, config.augment_config, &rng);
@@ -72,9 +90,40 @@ double TrainModel(Module* model, const Dataset& train,
 
       epoch_loss += loss.loss * static_cast<double>(batch.size());
       seen += static_cast<int64_t>(batch.size());
+      batch_time->Record(batch_timer.Seconds());
     }
     last_epoch_loss = epoch_loss / static_cast<double>(seen);
-    if (on_epoch) on_epoch(epoch, last_epoch_loss);
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.mean_loss = last_epoch_loss;
+    stats.learning_rate = optimizer.learning_rate();
+    stats.samples = seen;
+    stats.batches = static_cast<int64_t>(batches.size());
+    stats.epoch_seconds = epoch_timer.Seconds();
+    stats.samples_per_sec =
+        stats.epoch_seconds > 0.0
+            ? static_cast<double>(seen) / stats.epoch_seconds
+            : 0.0;
+
+    epoch_counter->Increment();
+    batch_counter->Increment(stats.batches);
+    sample_counter->Increment(stats.samples);
+    epoch_time->Record(stats.epoch_seconds);
+    if (registry.events_enabled()) {
+      registry.EmitEvent(JsonBuilder()
+                             .Add("record", "epoch")
+                             .Add("dataset", train.name())
+                             .Add("epoch", stats.epoch)
+                             .Add("loss", stats.mean_loss)
+                             .Add("lr", stats.learning_rate)
+                             .Add("samples", stats.samples)
+                             .Add("batches", stats.batches)
+                             .Add("epoch_seconds", stats.epoch_seconds)
+                             .Add("samples_per_sec", stats.samples_per_sec)
+                             .Build());
+    }
+    if (on_epoch) on_epoch(stats);
   }
   return last_epoch_loss;
 }
@@ -87,6 +136,11 @@ std::vector<float> ScaleWeightsToMeanOne(const std::vector<double>& weights) {
   // every per-sample loss weight into 0, inf or nan. Train unweighted
   // instead of corrupting the gradients.
   if (!(total > 0.0) || !std::isfinite(total)) {
+    // Counted so the fallback is observable in production telemetry, not
+    // just in a log line somebody has to be watching.
+    MetricsRegistry::Global()
+        .GetCounter("trainer.degenerate_weight_batches")
+        ->Increment();
     EDDE_LOG(WARNING) << "degenerate sample weights (sum=" << total
                       << "); falling back to uniform weights";
     return std::vector<float>(weights.size(), 1.0f);

@@ -45,8 +45,20 @@ struct TrainContext {
   LossConfig loss;
 };
 
-/// Called after every epoch with (epoch index, mean training loss).
-using EpochCallback = std::function<void(int, double)>;
+/// Per-epoch training telemetry handed to EpochCallback and, when a
+/// metrics sink is configured, emitted as one JSONL record per epoch.
+struct EpochStats {
+  int epoch = 0;                ///< 0-based epoch index.
+  double mean_loss = 0.0;       ///< Mean per-sample training loss.
+  double learning_rate = 0.0;   ///< LR in effect this epoch.
+  int64_t samples = 0;          ///< Samples consumed this epoch.
+  int64_t batches = 0;          ///< Minibatches this epoch.
+  double epoch_seconds = 0.0;   ///< Wall time of the epoch.
+  double samples_per_sec = 0.0; ///< Training throughput.
+};
+
+/// Called after every epoch.
+using EpochCallback = std::function<void(const EpochStats&)>;
 
 /// Trains `model` on `train` by minibatch SGD and returns the mean training
 /// loss of the final epoch. Per-sample weights and reference soft targets

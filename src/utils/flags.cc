@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "utils/logging.h"
+#include "utils/metrics.h"
 
 namespace edde {
 
@@ -73,6 +74,19 @@ double FlagParser::GetDouble(const std::string& name) const {
 bool FlagParser::GetBool(const std::string& name) const {
   std::string v = GetString(name);
   return v == "true" || v == "1" || v == "yes";
+}
+
+void DefineCommonFlags(FlagParser* parser) {
+  parser->Define("metrics_path", "",
+                 "write telemetry (epoch/round records + aggregates) as "
+                 "JSONL to this path; also: EDDE_METRICS_PATH env var");
+}
+
+void ApplyCommonFlags(const FlagParser& parser) {
+  const std::string metrics_path = parser.GetString("metrics_path");
+  if (!metrics_path.empty()) {
+    MetricsRegistry::Global().SetSinkPath(metrics_path);
+  }
 }
 
 }  // namespace edde

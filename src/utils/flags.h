@@ -47,6 +47,15 @@ class FlagParser {
   bool help_requested_ = false;
 };
 
+/// Registers the cross-cutting flags every example/bench binary shares:
+///   --metrics_path  telemetry JSONL sink (same effect as EDDE_METRICS_PATH)
+void DefineCommonFlags(FlagParser* parser);
+
+/// Applies the flags registered by DefineCommonFlags after Parse():
+/// configures the MetricsRegistry JSONL sink when --metrics_path is set
+/// (the flag wins over the environment variable).
+void ApplyCommonFlags(const FlagParser& parser);
+
 }  // namespace edde
 
 #endif  // EDDE_UTILS_FLAGS_H_

@@ -1,0 +1,468 @@
+#include "utils/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+
+#include "utils/table.h"
+
+namespace edde {
+
+namespace telemetry_internal {
+
+size_t ShardIndex() {
+  // Round-robin shard assignment at first use per thread: cheaper and more
+  // uniform than hashing thread ids, and stable for the thread's lifetime.
+  static std::atomic<size_t> next{0};
+  thread_local const size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMinDouble(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value < current && !target->compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMaxDouble(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value > current && !target->compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace telemetry_internal
+
+namespace {
+
+using telemetry_internal::kShards;
+
+/// Hard cap on buffered events so a long-running service cannot grow the
+/// log without bound; overflow is counted and reported in the dump.
+constexpr size_t kMaxBufferedEvents = 1 << 20;
+
+int BucketIndex(double value) {
+  int i = 0;
+  double bound = Histogram::kBucketBase;
+  while (value > bound && i < Histogram::kNumBuckets - 1) {
+    bound *= 2.0;
+    ++i;
+  }
+  return i;
+}
+
+std::string FormatJsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Counter / Histogram
+// ---------------------------------------------------------------------------
+
+int64_t Counter::Value() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (auto& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Record(double value) {
+  if (!(value >= 0.0) || !std::isfinite(value)) value = 0.0;
+  Shard& shard = shards_[telemetry_internal::ShardIndex()];
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  telemetry_internal::AtomicMinDouble(&shard.min, value);
+  telemetry_internal::AtomicMaxDouble(&shard.max, value);
+  telemetry_internal::AtomicAddDouble(&shard.sum, value);
+  shard.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  for (auto& shard : shards_) {
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0.0, std::memory_order_relaxed);
+    shard.min.store(std::numeric_limits<double>::infinity(),
+                    std::memory_order_relaxed);
+    shard.max.store(-std::numeric_limits<double>::infinity(),
+                    std::memory_order_relaxed);
+    for (auto& bucket : shard.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+int64_t Histogram::Count() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0.0;
+  for (const auto& shard : shards_) {
+    total += shard.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Min() const {
+  double result = 0.0;
+  bool seen = false;
+  for (const auto& shard : shards_) {
+    if (shard.count.load(std::memory_order_relaxed) == 0) continue;
+    const double v = shard.min.load(std::memory_order_relaxed);
+    result = seen ? std::min(result, v) : v;
+    seen = true;
+  }
+  return result;
+}
+
+double Histogram::Max() const {
+  double result = 0.0;
+  for (const auto& shard : shards_) {
+    if (shard.count.load(std::memory_order_relaxed) == 0) continue;
+    result = std::max(result, shard.max.load(std::memory_order_relaxed));
+  }
+  return result;
+}
+
+double Histogram::Mean() const {
+  const int64_t n = Count();
+  return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> counts(kNumBuckets, 0);
+  for (const auto& shard : shards_) {
+    for (int i = 0; i < kNumBuckets; ++i) {
+      counts[static_cast<size_t>(i)] +=
+          shard.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return counts;
+}
+
+double Histogram::BucketUpperBound(int i) {
+  if (i >= kNumBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return kBucketBase * std::ldexp(1.0, i);
+}
+
+double Histogram::ApproxQuantile(double q) const {
+  const int64_t n = Count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<int64_t>(std::ceil(
+      q * static_cast<double>(n)));
+  const std::vector<int64_t> counts = BucketCounts();
+  int64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += counts[static_cast<size_t>(i)];
+    if (cumulative >= target) {
+      const double bound = BucketUpperBound(i);
+      // The unbounded tail has no upper bound; the exact max is tighter.
+      return std::isfinite(bound) ? std::min(bound, Max()) : Max();
+    }
+  }
+  return Max();
+}
+
+// ---------------------------------------------------------------------------
+// JsonBuilder
+// ---------------------------------------------------------------------------
+
+std::string JsonBuilder::Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonBuilder::Key(const std::string& key) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  body_ += Escape(key);
+  body_ += "\":";
+}
+
+JsonBuilder& JsonBuilder::Add(const std::string& key,
+                              const std::string& value) {
+  Key(key);
+  body_ += '"';
+  body_ += Escape(value);
+  body_ += '"';
+  return *this;
+}
+
+JsonBuilder& JsonBuilder::Add(const std::string& key, const char* value) {
+  return Add(key, std::string(value));
+}
+
+JsonBuilder& JsonBuilder::Add(const std::string& key, double value) {
+  Key(key);
+  body_ += FormatJsonNumber(value);
+  return *this;
+}
+
+JsonBuilder& JsonBuilder::Add(const std::string& key, int64_t value) {
+  Key(key);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonBuilder& JsonBuilder::Add(const std::string& key, int value) {
+  return Add(key, static_cast<int64_t>(value));
+}
+
+JsonBuilder& JsonBuilder::Add(const std::string& key, bool value) {
+  Key(key);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonBuilder& JsonBuilder::AddRaw(const std::string& key,
+                                 const std::string& raw) {
+  Key(key);
+  body_ += raw;
+  return *this;
+}
+
+std::string JsonBuilder::Build() const { return "{" + body_ + "}"; }
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked singleton: instruments stay valid through static destruction,
+  // and the at-exit dump below can run safely.
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry();
+    if (const char* env = std::getenv("EDDE_METRICS_PATH");
+        env != nullptr && env[0] != '\0') {
+      r->SetSinkPath(env);
+    }
+    std::atexit([] {
+      const Status status = Global().DumpToSink();
+      if (!status.ok()) {
+        std::fprintf(stderr, "metrics dump failed: %s\n",
+                     status.ToString().c_str());
+      }
+    });
+    return r;
+  }();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::EmitEvent(const std::string& json_object) {
+  if (!events_enabled()) return;
+  std::lock_guard<std::mutex> lock(events_mu_);
+  if (events_.size() >= kMaxBufferedEvents) {
+    ++events_dropped_;
+    return;
+  }
+  events_.push_back(json_object);
+}
+
+void MetricsRegistry::SetSinkPath(const std::string& path) {
+  std::lock_guard<std::mutex> lock(events_mu_);
+  sink_path_ = path;
+  events_enabled_.store(!path.empty(), std::memory_order_relaxed);
+}
+
+std::string MetricsRegistry::sink_path() const {
+  std::lock_guard<std::mutex> lock(events_mu_);
+  return sink_path_;
+}
+
+Status MetricsRegistry::DumpJsonl(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open metrics sink: " + path);
+  }
+  {
+    std::lock_guard<std::mutex> lock(events_mu_);
+    for (const auto& event : events_) out << event << '\n';
+    if (events_dropped_ > 0) {
+      out << JsonBuilder()
+                 .Add("type", "meta")
+                 .Add("events_dropped", events_dropped_)
+                 .Build()
+          << '\n';
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    out << JsonBuilder()
+               .Add("type", "counter")
+               .Add("name", name)
+               .Add("value", counter->Value())
+               .Build()
+        << '\n';
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out << JsonBuilder()
+               .Add("type", "gauge")
+               .Add("name", name)
+               .Add("value", gauge->Value())
+               .Build()
+        << '\n';
+  }
+  for (const auto& [name, hist] : histograms_) {
+    std::string buckets = "[";
+    const std::vector<int64_t> counts = hist->BucketCounts();
+    bool first = true;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (counts[static_cast<size_t>(i)] == 0) continue;
+      if (!first) buckets += ',';
+      first = false;
+      const double bound = Histogram::BucketUpperBound(i);
+      buckets += '[';
+      buckets += std::isfinite(bound) ? FormatJsonNumber(bound) : "null";
+      buckets += ',';
+      buckets += std::to_string(counts[static_cast<size_t>(i)]);
+      buckets += ']';
+    }
+    buckets += ']';
+    out << JsonBuilder()
+               .Add("type", "histogram")
+               .Add("name", name)
+               .Add("count", hist->Count())
+               .Add("sum", hist->Sum())
+               .Add("min", hist->Min())
+               .Add("max", hist->Max())
+               .Add("mean", hist->Mean())
+               .Add("p50", hist->ApproxQuantile(0.5))
+               .Add("p95", hist->ApproxQuantile(0.95))
+               .AddRaw("buckets", buckets)
+               .Build()
+        << '\n';
+  }
+  out.flush();
+  if (!out.good()) return Status::IOError("metrics sink write failed");
+  return Status::OK();
+}
+
+Status MetricsRegistry::DumpToSink() const {
+  const std::string path = sink_path();
+  if (path.empty()) return Status::OK();
+  return DumpJsonl(path);
+}
+
+void MetricsRegistry::PrintSummary(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool any = false;
+  if (!counters_.empty() || !gauges_.empty()) {
+    TablePrinter scalars({"Metric", "Kind", "Value"});
+    for (const auto& [name, counter] : counters_) {
+      scalars.AddRow({name, "counter", std::to_string(counter->Value())});
+    }
+    for (const auto& [name, gauge] : gauges_) {
+      scalars.AddRow({name, "gauge", FormatFloat(gauge->Value(), 3)});
+    }
+    scalars.Print(os);
+    any = true;
+  }
+  if (!histograms_.empty()) {
+    if (any) os << '\n';
+    TablePrinter timings(
+        {"Region", "Count", "Total s", "Mean ms", "p95 ms", "Max ms"});
+    for (const auto& [name, hist] : histograms_) {
+      timings.AddRow({name, std::to_string(hist->Count()),
+                      FormatFloat(hist->Sum(), 3),
+                      FormatFloat(hist->Mean() * 1e3, 3),
+                      FormatFloat(hist->ApproxQuantile(0.95) * 1e3, 3),
+                      FormatFloat(hist->Max() * 1e3, 3)});
+    }
+    timings.Print(os);
+    any = true;
+  }
+  if (!any) os << "(no telemetry recorded)\n";
+}
+
+void MetricsRegistry::Reset() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, counter] : counters_) counter->Reset();
+    for (auto& [name, gauge] : gauges_) gauge->Set(0.0);
+    for (auto& [name, hist] : histograms_) hist->Reset();
+  }
+  std::lock_guard<std::mutex> lock(events_mu_);
+  events_.clear();
+  events_dropped_ = 0;
+}
+
+}  // namespace edde

@@ -1,0 +1,232 @@
+#ifndef EDDE_UTILS_METRICS_H_
+#define EDDE_UTILS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "utils/status.h"
+
+namespace edde {
+
+/// Process-wide telemetry registry.
+///
+/// Three aggregate instrument kinds — Counter, Gauge, Histogram — plus an
+/// ordered event log of pre-serialized JSON records (per-epoch training
+/// stats, per-round EDDE stats). Aggregates are always live and are safe to
+/// update concurrently from ParallelFor workers: counters and histograms
+/// shard their state across cache-line-aligned atomic cells, so concurrent
+/// increments never lock and never lose updates. Reads sum the shards and
+/// are exact once the writers have joined (ParallelFor regions establish
+/// the necessary happens-before edge when they return).
+///
+/// Event records are buffered only while a JSONL sink is configured —
+/// either via the EDDE_METRICS_PATH environment variable (read once, at
+/// first registry use; the file is written automatically at process exit)
+/// or programmatically / via the shared --metrics_path flag with
+/// SetSinkPath. With no sink configured, events_enabled() is false and the
+/// emitters skip record construction entirely, so telemetry stays dark on
+/// the hot path. Telemetry never draws from any RNG: results are
+/// bit-identical with the sink on or off (see parallel_determinism_test).
+
+namespace telemetry_internal {
+
+/// Shard fan-out for counters/histograms. More shards = less contention,
+/// more memory; 16 covers the thread counts the pool runs at.
+constexpr int kShards = 16;
+
+/// One cache line per cell so two shards never false-share.
+struct alignas(64) Cell {
+  std::atomic<int64_t> value{0};
+};
+
+/// Stable per-thread shard index in [0, kShards).
+size_t ShardIndex();
+
+/// value += delta for atomic<double> (CAS loop; relaxed order — exactness
+/// across threads comes from the caller's join, not the metric itself).
+void AtomicAddDouble(std::atomic<double>* target, double delta);
+void AtomicMinDouble(std::atomic<double>* target, double value);
+void AtomicMaxDouble(std::atomic<double>* target, double value);
+
+}  // namespace telemetry_internal
+
+/// Monotonic event count, sharded for contended increments.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(int64_t delta = 1) {
+    shards_[telemetry_internal::ShardIndex()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  /// Sum over shards; exact once concurrent writers have joined.
+  int64_t Value() const;
+
+  /// Zeroes the counter in place. Not safe concurrently with writers.
+  void Reset();
+
+ private:
+  telemetry_internal::Cell shards_[telemetry_internal::kShards];
+};
+
+/// Last-write-wins scalar (pool size, queue depth, config echoes).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    telemetry_internal::AtomicAddDouble(&value_, delta);
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Distribution of non-negative samples (wall times, batch sizes): exact
+/// count/sum/min/max plus power-of-two buckets from 1µs for approximate
+/// percentiles. Sharded like Counter; Record never locks.
+class Histogram {
+ public:
+  /// Bucket i holds samples <= kBucketBase * 2^i seconds; the last bucket
+  /// is unbounded. 1µs … ~17min with 31 finite bounds.
+  static constexpr int kNumBuckets = 32;
+  static constexpr double kBucketBase = 1e-6;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Records one sample. Negative / non-finite values clamp to 0.
+  void Record(double value);
+
+  int64_t Count() const;
+  double Sum() const;
+  /// 0 when empty.
+  double Min() const;
+  double Max() const;
+  /// Sum / Count; 0 when empty.
+  double Mean() const;
+  /// Upper bound of the bucket holding quantile `q` in [0, 1] (an
+  /// overestimate of at most 2x); exact Max() for the unbounded bucket.
+  double ApproxQuantile(double q) const;
+  /// Aggregated per-bucket counts (size kNumBuckets).
+  std::vector<int64_t> BucketCounts() const;
+  /// Inclusive upper bound of bucket `i` (+inf for the last).
+  static double BucketUpperBound(int i);
+
+  /// Zeroes the histogram in place. Not safe concurrently with writers.
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<int64_t> count{0};
+    // min/max start at ±inf so concurrent first records race safely
+    // through the CAS loops; readers skip shards with count == 0.
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+    std::atomic<double> sum{0.0};
+    std::atomic<int64_t> buckets[kNumBuckets] = {};
+  };
+  Shard shards_[telemetry_internal::kShards];
+};
+
+/// Incremental builder for one flat JSON object (one JSONL line). Handles
+/// string escaping and non-finite doubles (emitted as null, which JSON
+/// requires).
+class JsonBuilder {
+ public:
+  JsonBuilder& Add(const std::string& key, const std::string& value);
+  JsonBuilder& Add(const std::string& key, const char* value);
+  JsonBuilder& Add(const std::string& key, double value);
+  JsonBuilder& Add(const std::string& key, int64_t value);
+  JsonBuilder& Add(const std::string& key, int value);
+  JsonBuilder& Add(const std::string& key, bool value);
+  /// Splices `raw` in verbatim (arrays / nested objects).
+  JsonBuilder& AddRaw(const std::string& key, const std::string& raw);
+
+  /// The finished "{...}" object.
+  std::string Build() const;
+
+  /// JSON string escaping helper (quotes, backslashes, control chars).
+  static std::string Escape(const std::string& s);
+
+ private:
+  void Key(const std::string& key);
+  std::string body_;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry. First call reads EDDE_METRICS_PATH and
+  /// registers an at-exit JSONL dump when it is set.
+  static MetricsRegistry& Global();
+
+  /// Named instrument lookup; creates on first use. Returned pointers are
+  /// stable for the process lifetime — hot paths should cache them.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// True when a JSONL sink is configured; emitters gate record
+  /// construction on this so telemetry is free when disabled.
+  bool events_enabled() const {
+    return events_enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Appends one pre-serialized JSON object (see JsonBuilder) to the event
+  /// log. No-op when events are disabled; drops (and counts) records past
+  /// the buffer cap instead of growing without bound.
+  void EmitEvent(const std::string& json_object);
+
+  /// Configures ("" clears) the JSONL sink path and toggles events.
+  void SetSinkPath(const std::string& path);
+  std::string sink_path() const;
+
+  /// Writes the full telemetry state as JSONL: buffered events in emission
+  /// order, then counters, gauges and histograms sorted by name.
+  Status DumpJsonl(const std::string& path) const;
+
+  /// DumpJsonl to the configured sink; OK no-op when no sink is set.
+  Status DumpToSink() const;
+
+  /// Renders counters/gauges plus a per-region timing table (histograms)
+  /// through utils/table. Used by the bench harnesses.
+  void PrintSummary(std::ostream& os) const;
+
+  /// Zeroes every instrument in place and drops buffered events. Cached
+  /// instrument pointers stay valid (instruments are never destroyed).
+  /// Test support; not safe concurrently with writers.
+  void Reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+
+  mutable std::mutex events_mu_;
+  std::vector<std::string> events_;
+  int64_t events_dropped_ = 0;
+  std::string sink_path_;
+  std::atomic<bool> events_enabled_{false};
+};
+
+}  // namespace edde
+
+#endif  // EDDE_UTILS_METRICS_H_

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "utils/logging.h"
+#include "utils/metrics.h"
+#include "utils/trace.h"
 
 namespace edde {
 
@@ -75,7 +77,24 @@ class ThreadPool {
   // participates. Serialized across callers so concurrent top-level regions
   // queue instead of interleaving half-sized slices.
   void Run(int64_t num_chunks, const std::function<void(int64_t)>& fn) {
-    std::lock_guard<std::mutex> run_lock(run_mu_);
+    static Counter* const regions =
+        MetricsRegistry::Global().GetCounter("threadpool.regions");
+    static Counter* const chunks =
+        MetricsRegistry::Global().GetCounter("threadpool.chunks");
+    static Histogram* const queue_wait =
+        TraceHistogram("threadpool.queue_wait");
+    static Histogram* const region_time = TraceHistogram("threadpool.region");
+
+    std::unique_lock<std::mutex> run_lock(run_mu_, std::defer_lock);
+    {
+      // Contention on run_mu_ is queue wait: time a concurrent caller's
+      // region spends blocked behind the region currently in flight.
+      TraceScope wait_scope(queue_wait);
+      run_lock.lock();
+    }
+    TraceScope region_scope(region_time);
+    regions->Increment();
+    chunks->Increment(num_chunks);
     auto task = std::make_shared<Task>();
     task->run_chunk = fn;
     task->num_chunks = num_chunks;
@@ -162,6 +181,9 @@ ThreadPool* GetPool() {
     const int n =
         g_thread_override > 0 ? g_thread_override : ResolveDefaultThreads();
     g_pool = std::make_unique<ThreadPool>(n);
+    MetricsRegistry::Global()
+        .GetGauge("threadpool.threads")
+        ->Set(static_cast<double>(n));
   }
   return g_pool.get();
 }

@@ -1,0 +1,12 @@
+#include "utils/trace.h"
+
+#include <string>
+
+namespace edde {
+
+Histogram* TraceHistogram(const char* label) {
+  return MetricsRegistry::Global().GetHistogram(std::string("time/") +
+                                                label);
+}
+
+}  // namespace edde

@@ -1,0 +1,52 @@
+#ifndef EDDE_UTILS_TRACE_H_
+#define EDDE_UTILS_TRACE_H_
+
+#include <chrono>
+
+#include "utils/metrics.h"
+
+namespace edde {
+
+/// Resolves the per-region timing histogram for `label` ("time/<label>" in
+/// MetricsRegistry). Hot paths cache the returned pointer (it is stable for
+/// the process lifetime) instead of constructing a TraceScope per
+/// iteration.
+Histogram* TraceHistogram(const char* label);
+
+/// RAII wall-time region timer. On destruction the elapsed seconds are
+/// recorded into the label's "time/<label>" histogram, so repeated entries
+/// of the same region aggregate into count / total / min / max /
+/// percentiles. Safe to nest and to use concurrently from ParallelFor
+/// workers; never touches any RNG, so traced code stays bit-deterministic.
+///
+///   void TrainMember(...) {
+///     TraceScope trace("bagging/member");
+///     ...
+///   }
+class TraceScope {
+ public:
+  explicit TraceScope(const char* label)
+      : histogram_(TraceHistogram(label)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  /// Pre-resolved histogram variant for hot regions.
+  explicit TraceScope(Histogram* histogram)
+      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+
+  ~TraceScope() {
+    histogram_->Record(std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start_)
+                           .count());
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace edde
+
+#endif  // EDDE_UTILS_TRACE_H_

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 
 #include "core/edde.h"
@@ -182,6 +183,75 @@ TEST(EddeTest, MultiplicativeWeightUpdateVariantRuns) {
   EnsembleModel model = method.Train(fx.train, fx.factory);
   EXPECT_EQ(model.size(), 4);
   EXPECT_GT(model.EvaluateAccuracy(fx.test), 0.7);
+}
+
+// ---------------------------------------------------------------------------
+// Round telemetry (EddeRoundStats)
+// ---------------------------------------------------------------------------
+
+TEST(EddeRoundStatsTest, OneRecordPerMemberWithSaneValues) {
+  Fixture fx;
+  std::vector<EddeRoundStats> stats;
+  EddeOptions eo = fx.options;
+  eo.round_stats = &stats;
+  EddeMethod method(fx.config, eo);
+  EnsembleModel model = method.Train(fx.train, fx.factory);
+  ASSERT_EQ(stats.size(), 4u);
+  for (size_t i = 0; i < stats.size(); ++i) {
+    const EddeRoundStats& s = stats[i];
+    EXPECT_EQ(s.round, static_cast<int>(i) + 1);
+    // α_t mirrors the ensemble's member weight and obeys the Eq. 15 clamp.
+    EXPECT_DOUBLE_EQ(s.alpha, model.alpha(static_cast<int64_t>(i)));
+    EXPECT_GE(s.alpha, kAlphaMin);
+    EXPECT_LE(s.alpha, kAlphaMax);
+    EXPECT_TRUE(std::isfinite(s.correct_sim_mass));
+    EXPECT_TRUE(std::isfinite(s.wrong_sim_mass));
+    EXPECT_GE(s.correct_sim_mass, 0.0);
+    EXPECT_GE(s.wrong_sim_mass, 0.0);
+    // The per-sample weight summary must describe a real distribution. The
+    // mean is accumulated in floating point, so give it one ulp of slack
+    // for the uniform-weight round where min == mean == max.
+    EXPECT_GT(s.weight_min, 0.0);
+    EXPECT_LE(s.weight_min, s.weight_mean * (1.0 + 1e-12));
+    EXPECT_LE(s.weight_mean, s.weight_max * (1.0 + 1e-12));
+    EXPECT_GE(s.round_seconds, 0.0);
+    // Eq. 7 needs two members; later rounds must report a real diversity.
+    if (s.round < 2) {
+      EXPECT_EQ(s.mean_pairwise_div, 0.0);
+    } else {
+      EXPECT_GT(s.mean_pairwise_div, 0.0);
+      EXPECT_TRUE(std::isfinite(s.mean_pairwise_div));
+    }
+  }
+}
+
+TEST(EddeRoundStatsTest, FinalRoundDivMatchesRecomputation) {
+  Fixture fx;
+  std::vector<EddeRoundStats> stats;
+  EddeOptions eo = fx.options;
+  eo.round_stats = &stats;
+  EddeMethod method(fx.config, eo);
+  EnsembleModel model = method.Train(fx.train, fx.factory);
+  ASSERT_EQ(stats.size(), 4u);
+  // The recorded final-round Eq. 7 diversity is computed from the members'
+  // training-set probs; recomputing from the trained ensemble must agree
+  // exactly (same deterministic code path, same inputs).
+  const double recomputed = EnsembleDiversity(model.MemberProbs(fx.train));
+  EXPECT_DOUBLE_EQ(stats.back().mean_pairwise_div, recomputed);
+}
+
+TEST(EddeRoundStatsTest, ObserverDoesNotPerturbTraining) {
+  Fixture fx;
+  EddeMethod plain(fx.config, fx.options);
+  const double acc_plain =
+      plain.Train(fx.train, fx.factory).EvaluateAccuracy(fx.test);
+  std::vector<EddeRoundStats> stats;
+  EddeOptions eo = fx.options;
+  eo.round_stats = &stats;
+  EddeMethod observed(fx.config, eo);
+  const double acc_observed =
+      observed.Train(fx.train, fx.factory).EvaluateAccuracy(fx.test);
+  EXPECT_DOUBLE_EQ(acc_plain, acc_observed);
 }
 
 // Parameterized sweep over the paper's γ grid (Table V): all settings must

@@ -2,7 +2,9 @@
 
 #include <cstdio>
 #include <memory>
+#include <vector>
 
+#include "core/edde.h"
 #include "ensemble/ensemble_io.h"
 #include "nn/mlp.h"
 #include "test_util.h"
@@ -117,6 +119,84 @@ TEST(EnsembleIoTest, TruncatedFileIsCorruption) {
   Result<EnsembleModel> r = LoadEnsemble(cut_path, SmallFactory());
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(EnsembleIoTest, AlphaClampBoundaryWeightsRoundTrip) {
+  // EDDE's Eq. 15 clamp makes kAlphaMin / kAlphaMax the extreme member
+  // weights a trained ensemble can carry; both must survive serialization.
+  EnsembleModel original;
+  original.AddMember(SmallFactory()(100), kAlphaMin);
+  original.AddMember(SmallFactory()(101), kAlphaMax);
+  const std::string path = TempPath("ens_alpha_clamp.bin");
+  ASSERT_TRUE(SaveEnsemble(original, path).ok());
+  Result<EnsembleModel> loaded = LoadEnsemble(path, SmallFactory());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const EnsembleModel restored = std::move(loaded).ValueOrDie();
+  ASSERT_EQ(restored.size(), 2);
+  EXPECT_NEAR(restored.alpha(0), kAlphaMin, 1e-9);
+  EXPECT_NEAR(restored.alpha(1), kAlphaMax, 1e-9);
+}
+
+std::vector<char> ReadAll(const std::string& path) {
+  FILE* f = fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  fseek(f, 0, SEEK_END);
+  std::vector<char> buf(static_cast<size_t>(ftell(f)));
+  fseek(f, 0, SEEK_SET);
+  EXPECT_EQ(fread(buf.data(), 1, buf.size(), f), buf.size());
+  fclose(f);
+  return buf;
+}
+
+void WriteAll(const std::string& path, const char* data, size_t size) {
+  FILE* f = fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(fwrite(data, 1, size, f), size);
+  fclose(f);
+}
+
+TEST(EnsembleIoTest, ZeroMemberFileIsCorruption) {
+  // Craft a file with a valid magic followed by a zero member count: the
+  // loader must reject it with a clean Status, never return an empty model.
+  EnsembleModel one = MakeTrainedish(1);
+  const std::string real_path = TempPath("ens_one.bin");
+  ASSERT_TRUE(SaveEnsemble(one, real_path).ok());
+  const std::vector<char> real = ReadAll(real_path);
+  ASSERT_GE(real.size(), 12u);  // u32 magic + u64 member count
+
+  std::vector<char> crafted(real.begin(), real.begin() + 4);  // keep magic
+  crafted.resize(12, 0);  // member count = 0
+  const std::string crafted_path = TempPath("ens_zero_members.bin");
+  WriteAll(crafted_path, crafted.data(), crafted.size());
+
+  Result<EnsembleModel> r = LoadEnsemble(crafted_path, SmallFactory());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(EnsembleIoTest, EveryTruncationPointFailsCleanly) {
+  // Cutting the file at *any* byte must produce a non-ok Status (IOError
+  // for the empty file, Corruption otherwise) — never a crash, hang, or a
+  // silently short ensemble.
+  EnsembleModel original = MakeTrainedish(2);
+  const std::string full_path = TempPath("ens_sweep_full.bin");
+  ASSERT_TRUE(SaveEnsemble(original, full_path).ok());
+  const std::vector<char> full = ReadAll(full_path);
+  ASSERT_GT(full.size(), 16u);
+
+  const std::string cut_path = TempPath("ens_sweep_cut.bin");
+  // Every prefix in the header region, then a spread through the params.
+  std::vector<size_t> cuts;
+  for (size_t n = 0; n < 64 && n < full.size(); ++n) cuts.push_back(n);
+  for (size_t n = 64; n < full.size(); n += full.size() / 16) cuts.push_back(n);
+  for (size_t n : cuts) {
+    WriteAll(cut_path, full.data(), n);
+    Result<EnsembleModel> r = LoadEnsemble(cut_path, SmallFactory());
+    ASSERT_FALSE(r.ok()) << "prefix of " << n << " bytes loaded successfully";
+    ASSERT_TRUE(r.status().code() == StatusCode::kCorruption ||
+                r.status().code() == StatusCode::kIOError)
+        << "prefix " << n << ": " << r.status();
+  }
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include "metrics/metrics.h"
 #include "nn/mlp.h"
 #include "test_util.h"
+#include "utils/metrics.h"
 
 namespace edde {
 namespace {
@@ -45,7 +46,7 @@ TEST(TrainerTest, ReturnsDecreasingLoss) {
   Mlp model(BlobMlp(), 5);
   std::vector<double> losses;
   TrainModel(&model, train, FastTrain(8), TrainContext{},
-             [&](int /*epoch*/, double loss) { losses.push_back(loss); });
+             [&](const EpochStats& stats) { losses.push_back(stats.mean_loss); });
   ASSERT_EQ(losses.size(), 8u);
   EXPECT_LT(losses.back(), losses.front());
 }
@@ -55,8 +56,28 @@ TEST(TrainerTest, EpochCallbackSeesEveryEpoch) {
   Mlp model(BlobMlp(), 7);
   std::vector<int> epochs;
   TrainModel(&model, train, FastTrain(5), TrainContext{},
-             [&](int epoch, double /*loss*/) { epochs.push_back(epoch); });
+             [&](const EpochStats& stats) { epochs.push_back(stats.epoch); });
   EXPECT_EQ(epochs, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(TrainerTest, EpochStatsFieldsAreConsistent) {
+  const Dataset train = MakeBlobs(100, 6, 3, 6);
+  Mlp model(BlobMlp(), 7);
+  std::vector<EpochStats> stats;
+  TrainModel(&model, train, FastTrain(3), TrainContext{},
+             [&](const EpochStats& s) { stats.push_back(s); });
+  ASSERT_EQ(stats.size(), 3u);
+  for (const EpochStats& s : stats) {
+    EXPECT_TRUE(std::isfinite(s.mean_loss));
+    EXPECT_EQ(s.samples, 100);
+    // 100 samples at batch_size 32 -> 4 batches (last one partial).
+    EXPECT_EQ(s.batches, 4);
+    EXPECT_FLOAT_EQ(static_cast<float>(s.learning_rate), 0.1f);
+    EXPECT_GT(s.epoch_seconds, 0.0);
+    EXPECT_GT(s.samples_per_sec, 0.0);
+  }
+  EXPECT_EQ(stats[0].epoch, 0);
+  EXPECT_EQ(stats[2].epoch, 2);
 }
 
 TEST(TrainerTest, ScheduleIsApplied) {
@@ -146,6 +167,27 @@ TEST(ScaleWeightsTest, ZeroSumFallsBackToUniform) {
   const auto scaled = ScaleWeightsToMeanOne({0.0, 0.0, 0.0});
   ASSERT_EQ(scaled.size(), 3u);
   for (float v : scaled) EXPECT_FLOAT_EQ(v, 1.0f);
+}
+
+TEST(ScaleWeightsTest, DegenerateFallbackWarnsAndCounts) {
+  Counter* counter = MetricsRegistry::Global().GetCounter(
+      "trainer.degenerate_weight_batches");
+  const int64_t before = counter->Value();
+  ::testing::internal::CaptureStderr();
+  const auto scaled = ScaleWeightsToMeanOne({0.0, 0.0});
+  const std::string log = ::testing::internal::GetCapturedStderr();
+  ASSERT_EQ(scaled.size(), 2u);
+  for (float v : scaled) EXPECT_FLOAT_EQ(v, 1.0f);
+  EXPECT_EQ(counter->Value(), before + 1);
+  EXPECT_NE(log.find("degenerate sample weights"), std::string::npos);
+}
+
+TEST(ScaleWeightsTest, HealthyWeightsDoNotTouchDegenerateCounter) {
+  Counter* counter = MetricsRegistry::Global().GetCounter(
+      "trainer.degenerate_weight_batches");
+  const int64_t before = counter->Value();
+  (void)ScaleWeightsToMeanOne({0.5, 1.5});
+  EXPECT_EQ(counter->Value(), before);
 }
 
 TEST(ScaleWeightsTest, NonFiniteSumFallsBackToUniform) {

@@ -1,12 +1,16 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/beta_selector.h"
 #include "core/edde.h"
 #include "ensemble/bagging.h"
+#include "ensemble/trainer.h"
 #include "nn/mlp.h"
 #include "test_util.h"
+#include "utils/metrics.h"
 #include "utils/threadpool.h"
 
 namespace edde {
@@ -89,6 +93,93 @@ TEST_F(ParallelDeterminismTest, BaggingEnsembleIdenticalAcrossThreadCounts) {
 
   EXPECT_DOUBLE_EQ(acc1, acc4);
   ExpectIdenticalProbs(probs1, probs4);
+}
+
+void ExpectIdenticalParameters(Module* a, Module* b) {
+  const auto pa = a->Parameters(), pb = b->Parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i]->value.num_elements(), pb[i]->value.num_elements());
+    for (int64_t j = 0; j < pa[i]->value.num_elements(); ++j) {
+      ASSERT_EQ(pa[i]->value.data()[j], pb[i]->value.data()[j])
+          << "parameter " << i << " element " << j << " differs";
+    }
+  }
+}
+
+TEST_F(ParallelDeterminismTest, RepeatedTrainingIsBitIdentical) {
+  // Same factory, config and seed twice in the same process: every
+  // parameter must match bit for bit — a regression gate for any hidden
+  // global state (telemetry included) leaking into training.
+  Fixture fx;
+  TrainConfig tc;
+  tc.epochs = 4;
+  tc.batch_size = 32;
+  tc.sgd.learning_rate = 0.1f;
+  tc.seed = 21;
+
+  std::unique_ptr<Module> a = fx.factory(77);
+  TrainModel(a.get(), fx.data.train, tc, TrainContext{});
+  std::unique_ptr<Module> b = fx.factory(77);
+  TrainModel(b.get(), fx.data.train, tc, TrainContext{});
+  ExpectIdenticalParameters(a.get(), b.get());
+}
+
+TEST_F(ParallelDeterminismTest, MetricsSinkDoesNotPerturbTraining) {
+  // ISSUE acceptance criterion: telemetry must never draw RNG or reorder
+  // arithmetic, so training with the JSONL sink enabled is bit-identical
+  // to training with it off.
+  Fixture fx;
+  TrainConfig tc;
+  tc.epochs = 4;
+  tc.batch_size = 32;
+  tc.sgd.learning_rate = 0.1f;
+  tc.seed = 22;
+
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.SetSinkPath("");
+  std::vector<double> losses_off;
+  std::unique_ptr<Module> off = fx.factory(78);
+  TrainModel(off.get(), fx.data.train, tc, TrainContext{},
+             [&](const EpochStats& s) { losses_off.push_back(s.mean_loss); });
+
+  const std::string sink = ::testing::TempDir() + "/determinism_metrics.jsonl";
+  reg.SetSinkPath(sink);
+  std::vector<double> losses_on;
+  std::unique_ptr<Module> on = fx.factory(78);
+  TrainModel(on.get(), fx.data.train, tc, TrainContext{},
+             [&](const EpochStats& s) { losses_on.push_back(s.mean_loss); });
+  reg.SetSinkPath("");
+
+  ASSERT_EQ(losses_off.size(), losses_on.size());
+  for (size_t i = 0; i < losses_off.size(); ++i) {
+    EXPECT_EQ(losses_off[i], losses_on[i]) << "epoch " << i;
+  }
+  ExpectIdenticalParameters(off.get(), on.get());
+}
+
+TEST_F(ParallelDeterminismTest, MetricsSinkDoesNotPerturbEddeTraining) {
+  // Same gate at the ensemble level: EDDE's round-stats collection
+  // (PredictProbs history + Eq. 7 recomputation) is read-only observation.
+  Fixture fx;
+  EddeOptions options;
+  options.gamma = 0.1f;
+  options.beta = 0.7;
+
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.SetSinkPath("");
+  EnsembleModel off = EddeMethod(fx.config, options).Train(
+      fx.data.train, fx.factory);
+  const Tensor probs_off = off.PredictProbs(fx.data.test);
+
+  const std::string sink = ::testing::TempDir() + "/determinism_edde.jsonl";
+  reg.SetSinkPath(sink);
+  EnsembleModel on = EddeMethod(fx.config, options).Train(
+      fx.data.train, fx.factory);
+  reg.SetSinkPath("");
+  const Tensor probs_on = on.PredictProbs(fx.data.test);
+
+  ExpectIdenticalProbs(probs_off, probs_on);
 }
 
 TEST_F(ParallelDeterminismTest, BetaProbeIdenticalAcrossThreadCounts) {
