@@ -3,7 +3,12 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "ensemble/adaboost_m1.h"
 #include "ensemble/adaboost_nc.h"
@@ -16,9 +21,41 @@
 #include "nn/textcnn.h"
 #include "utils/logging.h"
 #include "utils/metrics.h"
+#include "utils/run_manifest.h"
+#include "utils/threadpool.h"
+#include "utils/trace.h"
 
 namespace edde {
 namespace bench {
+
+namespace {
+
+std::mutex g_headlines_mu;
+std::vector<std::pair<std::string, double>>& Headlines() {
+  static auto* headlines = new std::vector<std::pair<std::string, double>>();
+  return *headlines;
+}
+
+std::string& BenchOutOverride() {
+  static auto* path = new std::string();
+  return *path;
+}
+
+/// Chained FNV-1a over a dataset split, so the manifest records which bytes
+/// a result was computed from (synthetic generators drift too).
+uint64_t FingerprintSplit(const TrainTestSplit& split) {
+  auto fold = [](const Dataset& d, uint64_t basis) {
+    const Tensor& x = d.features();
+    basis = FingerprintBytes(
+        x.data(), static_cast<size_t>(x.num_elements()) * sizeof(float),
+        basis);
+    return FingerprintBytes(d.labels().data(),
+                            d.labels().size() * sizeof(int), basis);
+  };
+  return fold(split.test, fold(split.train, 1469598103934665603ull));
+}
+
+}  // namespace
 
 Scale ParseScale(const std::string& value) {
   if (value == "tiny") return Scale::kTiny;
@@ -32,6 +69,13 @@ Scale ParseScale(const std::string& value) {
 bool InitExperiment(FlagParser* flags, int argc, char** argv) {
   flags->Define("scale", "tiny", "workload scale: tiny|small|paper");
   flags->Define("seed", "42", "RNG seed for data and training");
+  flags->Define("bench_out", "",
+                "path of the machine-readable bench output "
+                "(default: BENCH_<name>.json in the working directory)");
+  flags->Define("num_threads", "0",
+                "thread-pool size (0 = auto; benches floor auto at 4 so the "
+                "parallel substrate is always exercised — results are "
+                "bit-identical across pool sizes)");
   DefineCommonFlags(flags);
   const Status status = flags->Parse(argc, argv);
   if (!status.ok()) {
@@ -42,13 +86,86 @@ bool InitExperiment(FlagParser* flags, int argc, char** argv) {
     flags->PrintHelp(argv[0]);
     return false;
   }
+  ManifestSetProgram(argv[0]);
+  SetTraceThreadName("main");
   ApplyCommonFlags(*flags);
+  const int num_threads = flags->GetInt("num_threads");
+  const char* env_threads = std::getenv("EDDE_NUM_THREADS");
+  if (num_threads > 0) {
+    SetNumThreads(num_threads);
+  } else if ((env_threads == nullptr || env_threads[0] == '\0') &&
+             std::thread::hardware_concurrency() < 4) {
+    // On small CI boxes auto-detection would serialize the pool; the chunk
+    // boundaries are thread-count-independent so this cannot change any
+    // result, only the timeline's worker tracks and the wall time. An
+    // explicit EDDE_NUM_THREADS (or --num_threads) always wins.
+    SetNumThreads(4);
+  }
+  BenchOutOverride() = flags->GetString("bench_out");
   return true;
 }
 
-void FinishExperiment() {
+void RecordHeadline(const std::string& key, double value) {
+  std::lock_guard<std::mutex> lock(g_headlines_mu);
+  Headlines().emplace_back(key, value);
+}
+
+void FinishExperiment(const std::string& bench_name) {
   std::printf("\n-- telemetry --\n");
-  MetricsRegistry::Global().PrintSummary(std::cout);
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.PrintSummary(std::cout);
+
+  std::string regions_json = "[";
+  bool first = true;
+  for (const std::string& name : registry.HistogramNames()) {
+    const Histogram* h = registry.GetHistogram(name);
+    if (h->Count() == 0) continue;
+    if (!first) regions_json += ",";
+    first = false;
+    regions_json += JsonBuilder()
+                        .Add("region", name)
+                        .Add("count", h->Count())
+                        .Add("total_seconds", h->Sum())
+                        .Add("mean_seconds", h->Mean())
+                        .Add("min_seconds", h->Min())
+                        .Add("max_seconds", h->Max())
+                        .Add("p50_seconds", h->ApproxQuantile(0.5))
+                        .Add("p99_seconds", h->ApproxQuantile(0.99))
+                        .Build();
+  }
+  regions_json += "]";
+
+  std::string headlines_json = "[";
+  {
+    std::lock_guard<std::mutex> lock(g_headlines_mu);
+    for (size_t i = 0; i < Headlines().size(); ++i) {
+      if (i > 0) headlines_json += ",";
+      headlines_json += JsonBuilder()
+                            .Add("key", Headlines()[i].first)
+                            .Add("value", Headlines()[i].second)
+                            .Build();
+    }
+  }
+  headlines_json += "]";
+
+  const std::string json = JsonBuilder()
+                               .Add("schema", 1)
+                               .Add("bench", bench_name)
+                               .AddRaw("manifest", RunManifestJson())
+                               .AddRaw("regions", regions_json)
+                               .AddRaw("headlines", headlines_json)
+                               .Build();
+  const std::string path = BenchOutOverride().empty()
+                               ? "BENCH_" + bench_name + ".json"
+                               : BenchOutOverride();
+  std::ofstream out(path, std::ios::trunc);
+  out << json << "\n";
+  out.flush();
+  if (!out.good()) {
+    EDDE_LOG(ERROR) << "failed to write bench output: " << path;
+  } else {
+    std::printf("\nbench output: %s\n", path.c_str());
+  }
 }
 
 namespace {
@@ -89,6 +206,7 @@ CvWorkload MakeC10Like(Scale scale, uint64_t seed) {
   w.dataset_name = "C10-like";
   w.data = MakeSyntheticImageData(cfg);
   w.num_classes = cfg.num_classes;
+  ManifestAddDataset(w.dataset_name, FingerprintSplit(w.data));
   return w;
 }
 
@@ -107,6 +225,7 @@ CvWorkload MakeC100Like(Scale scale, uint64_t seed) {
   w.dataset_name = "C100-like";
   w.data = MakeSyntheticImageData(cfg);
   w.num_classes = cfg.num_classes;
+  ManifestAddDataset(w.dataset_name, FingerprintSplit(w.data));
   return w;
 }
 
@@ -120,6 +239,7 @@ NlpWorkload MakeImdbLike(Scale scale, uint64_t seed) {
   w.config.seed = seed + 2;
   w.dataset_name = "IMDB-like";
   w.data = MakeSyntheticTextData(w.config);
+  ManifestAddDataset(w.dataset_name, FingerprintSplit(w.data));
   return w;
 }
 
@@ -134,6 +254,7 @@ NlpWorkload MakeMrLike(Scale scale, uint64_t seed) {
   w.config.seed = seed + 3;
   w.dataset_name = "MR-like";
   w.data = MakeSyntheticTextData(w.config);
+  ManifestAddDataset(w.dataset_name, FingerprintSplit(w.data));
   return w;
 }
 

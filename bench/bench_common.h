@@ -23,14 +23,22 @@ enum class Scale { kTiny, kSmall, kPaper };
 Scale ParseScale(const std::string& value);
 
 /// Registers the flags shared by all experiment binaries (--scale, --seed,
-/// --metrics_path) and parses argv. Returns false (after printing help) if
-/// --help was given.
+/// --metrics_path, --trace_path, --log_level, --bench_out) and parses
+/// argv. Returns false (after printing help) if --help was given. Also
+/// seeds the RunManifest (program name, seed, flag values) and installs
+/// the crash flight recorder.
 bool InitExperiment(FlagParser* flags, int argc, char** argv);
 
+/// Records one headline result (test accuracy, diversity, ...) for the
+/// machine-readable bench output written by FinishExperiment.
+void RecordHeadline(const std::string& key, double value);
+
 /// Prints the telemetry summary collected during the run (per-region trace
-/// timings, counters, gauges — see utils/metrics.h). Call at the end of
-/// every experiment binary.
-void FinishExperiment();
+/// timings, counters, gauges — see utils/metrics.h) and writes
+/// BENCH_<bench_name>.json — run manifest + per-region timing summaries +
+/// the RecordHeadline values — for tools/bench_diff. Call at the end of
+/// every experiment binary. --bench_out overrides the output path.
+void FinishExperiment(const std::string& bench_name);
 
 /// An image-classification workload (synthetic stand-in for CIFAR).
 struct CvWorkload {

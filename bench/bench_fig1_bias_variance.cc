@@ -16,7 +16,7 @@
 #include "metrics/bias_variance.h"
 #include "metrics/metrics.h"
 #include "utils/table.h"
-#include "utils/timer.h"
+#include "utils/trace.h"
 
 namespace edde {
 namespace bench {
@@ -56,6 +56,8 @@ int Run(int argc, char** argv) {
     }
     const BiasVariance bv = DecomposeBiasVariance(
         member_preds, w.data.test.labels(), w.num_classes);
+    RecordHeadline(name + "/bias", bv.bias);
+    RecordHeadline(name + "/variance", bv.variance);
     table.AddRow({name, FormatFloat(bv.bias, 4), FormatFloat(bv.variance, 4),
                   FormatFloat(bv.variance_unbiased, 4),
                   FormatFloat(bv.variance_biased, 4),
@@ -65,7 +67,7 @@ int Run(int argc, char** argv) {
   }
   table.Print(std::cout);
   std::printf("\ntotal wall time: %.1fs\n", total.Seconds());
-  FinishExperiment();
+  FinishExperiment("fig1_bias_variance");
   return 0;
 }
 

@@ -17,7 +17,7 @@
 #include "bench_common.h"
 #include "core/beta_selector.h"
 #include "utils/table.h"
-#include "utils/timer.h"
+#include "utils/trace.h"
 
 namespace edde {
 namespace bench {
@@ -67,9 +67,10 @@ int Run(int argc, char** argv) {
     table.Print(std::cout);
     std::printf("selected beta for %s: %.1f\n\n", arch.name.c_str(),
                 result.selected_beta);
+    RecordHeadline(arch.name + "/selected_beta", result.selected_beta);
   }
   std::printf("total wall time: %.1fs\n", total.Seconds());
-  FinishExperiment();
+  FinishExperiment("fig5_beta_probe");
   return 0;
 }
 

@@ -17,7 +17,7 @@
 
 #include "bench_common.h"
 #include "utils/table.h"
-#include "utils/timer.h"
+#include "utils/trace.h"
 
 namespace edde {
 namespace bench {
@@ -72,6 +72,10 @@ int Run(int argc, char** argv) {
         if (!series.empty()) series += "  ";
         series += std::to_string(epochs) + ": " + FormatPercent(acc);
       }
+      if (!points.empty()) {
+        RecordHeadline(arch.name + "/" + method->name() + "/final_acc",
+                       points.back().second);
+      }
       table.AddRow({method->name(), series});
       std::fprintf(stderr, "[fig7] %s/%s done (%.1fs elapsed)\n",
                    arch.name.c_str(), method->name().c_str(),
@@ -81,7 +85,7 @@ int Run(int argc, char** argv) {
     std::printf("\n");
   }
   std::printf("total wall time: %.1fs\n", total.Seconds());
-  FinishExperiment();
+  FinishExperiment("fig7_accuracy_vs_epochs");
   return 0;
 }
 

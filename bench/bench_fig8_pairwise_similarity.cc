@@ -14,7 +14,7 @@
 #include "ensemble/snapshot.h"
 #include "metrics/diversity.h"
 #include "utils/table.h"
-#include "utils/timer.h"
+#include "utils/trace.h"
 
 namespace edde {
 namespace bench {
@@ -44,6 +44,7 @@ void PrintMatrix(const std::string& name,
   }
   table.Print(std::cout);
   std::printf("mean off-diagonal similarity: %.4f\n\n", off_diag / count);
+  RecordHeadline(name + "/mean_offdiag_similarity", off_diag / count);
 }
 
 int Run(int argc, char** argv) {
@@ -88,7 +89,7 @@ int Run(int argc, char** argv) {
                  total.Seconds());
   }
   std::printf("total wall time: %.1fs\n", total.Seconds());
-  FinishExperiment();
+  FinishExperiment("fig8_pairwise_similarity");
   return 0;
 }
 

@@ -1,0 +1,58 @@
+/// Smoke bench — the smallest EDDE run that exercises the full
+/// observability surface: spans from `edde/round` down through
+/// `trainer.epoch`/`trainer.batch` and the pool workers, the RunManifest
+/// in every artifact, and a BENCH_smoke.json for tools/bench_diff. CI
+/// runs this with --trace_path/--metrics_path and validates the outputs;
+/// it has to finish in seconds.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "utils/table.h"
+#include "utils/trace.h"
+
+namespace edde {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  if (!InitExperiment(&flags, argc, argv)) return 0;
+  const Scale scale = ParseScale(flags.GetString("scale"));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  PrintBanner("Smoke: minimal EDDE run for observability validation",
+              "not a paper experiment — emits every observability artifact "
+              "(trace, metrics JSONL, BENCH_smoke.json) as fast as possible",
+              scale, seed);
+
+  const CvWorkload w = MakeC10Like(scale, seed);
+  Budget budget = MakeCvBudget(scale, seed);
+  budget.method.num_members = 2;
+  budget.method.epochs_per_member = 2;
+  budget.total_epochs = 4;
+  budget.edde_first_epochs = 2;
+  budget.edde_rest_epochs = 2;
+
+  const ModelFactory factory = MakeResNetFactory(scale, w.num_classes);
+  auto method = MakeEdde(budget, Arch::kResNet,
+                         PaperEddeOptions(Arch::kResNet, budget));
+
+  Timer total;
+  EnsembleModel model = method->Train(w.data.train, factory);
+  const double acc = model.EvaluateAccuracy(w.data.test);
+  RecordHeadline("EDDE/ensemble_acc", acc);
+  std::printf("EDDE (%d members x %d epochs): test accuracy %s\n",
+              budget.method.num_members, budget.method.epochs_per_member,
+              FormatPercent(acc).c_str());
+
+  std::printf("total wall time: %.1fs\n", total.Seconds());
+  FinishExperiment("smoke");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace edde
+
+int main(int argc, char** argv) { return edde::bench::Run(argc, argv); }

@@ -14,7 +14,7 @@
 
 #include "bench_common.h"
 #include "utils/table.h"
-#include "utils/timer.h"
+#include "utils/trace.h"
 
 namespace edde {
 namespace bench {
@@ -58,6 +58,8 @@ int Run(int argc, char** argv) {
       Timer row_timer;
       const double acc10 = run_cell(method.get(), c10);
       const double acc100 = run_cell(method.get(), c100);
+      RecordHeadline(arch.name + "/" + method->name() + "/c10", acc10);
+      RecordHeadline(arch.name + "/" + method->name() + "/c100", acc100);
       table.AddRow({arch.name, method->name(), FormatPercent(acc10),
                     FormatPercent(acc100)});
       std::fprintf(stderr, "[table2] %s/%s done in %.1fs\n",
@@ -68,7 +70,7 @@ int Run(int argc, char** argv) {
     std::printf("\n");
   }
   std::printf("total wall time: %.1fs\n", total.Seconds());
-  FinishExperiment();
+  FinishExperiment("table2_cv");
   return 0;
 }
 

@@ -13,7 +13,7 @@
 
 #include "bench_common.h"
 #include "utils/table.h"
-#include "utils/timer.h"
+#include "utils/trace.h"
 
 namespace edde {
 namespace bench {
@@ -50,6 +50,8 @@ int Run(int argc, char** argv) {
     Timer row_timer;
     const double acc_imdb = run_cell(imdb);
     const double acc_mr = run_cell(mr);
+    RecordHeadline(method->name() + "/imdb", acc_imdb);
+    RecordHeadline(method->name() + "/mr", acc_mr);
     table.AddRow({"Text-CNN", method->name(),
                   std::to_string(is_edde ? edde_total : budget.total_epochs),
                   FormatPercent(acc_imdb), FormatPercent(acc_mr)});
@@ -58,7 +60,7 @@ int Run(int argc, char** argv) {
   }
   table.Print(std::cout);
   std::printf("\ntotal wall time: %.1fs\n", total.Seconds());
-  FinishExperiment();
+  FinishExperiment("table3_nlp");
   return 0;
 }
 

@@ -18,7 +18,7 @@
 #include "ensemble/snapshot.h"
 #include "metrics/diversity.h"
 #include "utils/table.h"
-#include "utils/timer.h"
+#include "utils/trace.h"
 
 namespace edde {
 namespace bench {
@@ -73,6 +73,8 @@ int Run(int argc, char** argv) {
     const double avg = model.AverageMemberAccuracy(w.data.test);
     const double ens = model.EvaluateAccuracy(w.data.test);
     const double div = EnsembleDiversity(model.MemberProbs(w.data.test));
+    RecordHeadline(row.name + "/ensemble_acc", ens);
+    RecordHeadline(row.name + "/diversity", div);
     table.AddRow({row.name, std::to_string(row.epochs), FormatPercent(avg),
                   FormatPercent(ens), FormatPercent(ens - avg),
                   FormatFloat(div, 4)});
@@ -81,7 +83,7 @@ int Run(int argc, char** argv) {
   }
   table.Print(std::cout);
   std::printf("\ntotal wall time: %.1fs\n", total.Seconds());
-  FinishExperiment();
+  FinishExperiment("table4_diversity");
   return 0;
 }
 

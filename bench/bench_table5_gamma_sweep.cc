@@ -11,7 +11,7 @@
 #include "bench_common.h"
 #include "metrics/diversity.h"
 #include "utils/table.h"
-#include "utils/timer.h"
+#include "utils/trace.h"
 
 namespace edde {
 namespace bench {
@@ -41,8 +41,10 @@ int Run(int argc, char** argv) {
     eo.name_suffix.clear();
     auto method = MakeEdde(budget, Arch::kResNet, eo);
     EnsembleModel model = method->Train(w.data.train, factory);
+    const double acc = model.EvaluateAccuracy(w.data.test);
+    RecordHeadline("gamma_" + FormatFloat(gamma, 1) + "/ensemble_acc", acc);
     table.AddRow({"EDDE", "gamma = " + FormatFloat(gamma, 1),
-                  FormatPercent(model.EvaluateAccuracy(w.data.test)),
+                  FormatPercent(acc),
                   FormatFloat(EnsembleDiversity(model.MemberProbs(w.data.test)),
                               4)});
     std::fprintf(stderr, "[table5] gamma=%.1f done (%.1fs elapsed)\n", gamma,
@@ -50,7 +52,7 @@ int Run(int argc, char** argv) {
   }
   table.Print(std::cout);
   std::printf("\ntotal wall time: %.1fs\n", total.Seconds());
-  FinishExperiment();
+  FinishExperiment("table5_gamma_sweep");
   return 0;
 }
 

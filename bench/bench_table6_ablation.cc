@@ -21,7 +21,7 @@
 #include "ensemble/adaboost_nc.h"
 #include "metrics/diversity.h"
 #include "utils/table.h"
-#include "utils/timer.h"
+#include "utils/trace.h"
 
 namespace edde {
 namespace bench {
@@ -49,8 +49,9 @@ int Run(int argc, char** argv) {
 
   auto add_row = [&](const std::string& name, EnsembleMethod* method) {
     EnsembleModel model = method->Train(w.data.train, factory);
-    table.AddRow({name,
-                  FormatPercent(model.EvaluateAccuracy(w.data.test)),
+    const double acc = model.EvaluateAccuracy(w.data.test);
+    RecordHeadline(name + "/ensemble_acc", acc);
+    table.AddRow({name, FormatPercent(acc),
                   FormatFloat(EnsembleDiversity(model.MemberProbs(w.data.test)),
                               4),
                   FormatPercent(model.AverageMemberAccuracy(w.data.test))});
@@ -111,7 +112,7 @@ int Run(int argc, char** argv) {
 
   table.Print(std::cout);
   std::printf("\ntotal wall time: %.1fs\n", total.Seconds());
-  FinishExperiment();
+  FinishExperiment("table6_ablation");
   return 0;
 }
 

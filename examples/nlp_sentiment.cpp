@@ -14,7 +14,7 @@
 #include "nn/textcnn.h"
 #include "utils/flags.h"
 #include "utils/table.h"
-#include "utils/timer.h"
+#include "utils/trace.h"
 
 int main(int argc, char** argv) {
   edde::FlagParser flags;

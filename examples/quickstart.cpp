@@ -17,7 +17,7 @@
 #include "metrics/diversity.h"
 #include "nn/resnet.h"
 #include "utils/flags.h"
-#include "utils/timer.h"
+#include "utils/trace.h"
 
 int main(int argc, char** argv) {
   edde::FlagParser flags;

@@ -10,7 +10,6 @@
 #include "tensor/ops.h"
 #include "utils/logging.h"
 #include "utils/metrics.h"
-#include "utils/timer.h"
 #include "utils/trace.h"
 
 namespace edde {
@@ -43,7 +42,8 @@ void RecordRoundStats(const EddeRoundStats& stats,
   if (stats.alpha_clamped) {
     registry.GetCounter("edde.alpha_clamp_hits")->Increment();
   }
-  TraceHistogram("edde/round")->Record(stats.round_seconds);
+  TraceCounter("edde.alpha", stats.alpha);
+  TraceCounter("edde.mean_pairwise_div", stats.mean_pairwise_div);
   if (registry.events_enabled()) {
     registry.EmitEvent(JsonBuilder()
                            .Add("record", "edde_round")
@@ -141,8 +141,11 @@ EnsembleModel EddeMethod::Train(const Dataset& train,
     return tc;
   };
 
+  static const TraceRegion* const round_region = GetTraceRegion("edde/round");
+
   // ---- Line 3-5: first member, plain training on uniform weights. ----
   {
+    TraceScope round_scope(round_region);
     Timer round_timer;
     std::unique_ptr<Module> h1 = factory(rng.NextU64());
     TrainModel(h1.get(), train, make_train_config(first_epochs),
@@ -189,6 +192,7 @@ EnsembleModel EddeMethod::Train(const Dataset& train,
 
   // ---- Lines 6-15: subsequent members. ----
   for (int t = 2; t <= config_.num_members; ++t) {
+    TraceScope round_scope(round_region);
     Timer round_timer;
     // Soft targets of the current ensemble H_{t−1} on the training set.
     const Tensor ensemble_probs = ensemble.PredictProbs(train);

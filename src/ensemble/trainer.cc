@@ -6,7 +6,6 @@
 #include "data/batcher.h"
 #include "utils/logging.h"
 #include "utils/metrics.h"
-#include "utils/timer.h"
 #include "utils/trace.h"
 
 namespace edde {
@@ -39,12 +38,15 @@ double TrainModel(Module* model, const Dataset& train,
       MetricsRegistry::Global().GetCounter("trainer.batches");
   static Counter* const sample_counter =
       MetricsRegistry::Global().GetCounter("trainer.samples");
-  static Histogram* const batch_time = TraceHistogram("trainer.batch");
-  static Histogram* const epoch_time = TraceHistogram("trainer.epoch");
-  TraceScope train_scope(TraceHistogram("trainer.train_model"));
+  static const TraceRegion* const batch_region =
+      GetTraceRegion("trainer.batch");
+  static const TraceRegion* const epoch_region =
+      GetTraceRegion("trainer.epoch");
+  TraceScope train_scope(GetTraceRegion("trainer.train_model"));
 
   double last_epoch_loss = 0.0;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    TraceScope epoch_scope(epoch_region);
     Timer epoch_timer;
     if (config.schedule != nullptr) {
       optimizer.set_learning_rate(
@@ -55,7 +57,7 @@ double TrainModel(Module* model, const Dataset& train,
     double epoch_loss = 0.0;
     int64_t seen = 0;
     for (const auto& batch : batches) {
-      Timer batch_timer;
+      TraceScope batch_scope(batch_region);
       Tensor x = train.GatherFeatures(batch);
       if (config.augment && image_batch) {
         x = AugmentImageBatch(x, config.augment_config, &rng);
@@ -90,7 +92,6 @@ double TrainModel(Module* model, const Dataset& train,
 
       epoch_loss += loss.loss * static_cast<double>(batch.size());
       seen += static_cast<int64_t>(batch.size());
-      batch_time->Record(batch_timer.Seconds());
     }
     last_epoch_loss = epoch_loss / static_cast<double>(seen);
 
@@ -109,7 +110,8 @@ double TrainModel(Module* model, const Dataset& train,
     epoch_counter->Increment();
     batch_counter->Increment(stats.batches);
     sample_counter->Increment(stats.samples);
-    epoch_time->Record(stats.epoch_seconds);
+    TraceCounter("trainer.loss", stats.mean_loss);
+    TraceCounter("trainer.samples_per_sec", stats.samples_per_sec);
     if (registry.events_enabled()) {
       registry.EmitEvent(JsonBuilder()
                              .Add("record", "epoch")

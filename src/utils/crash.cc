@@ -1,0 +1,214 @@
+#include "utils/crash.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "utils/logging.h"
+#include "utils/metrics.h"
+#include "utils/run_manifest.h"
+#include "utils/trace.h"
+
+namespace edde {
+
+namespace {
+
+// ---------------------------------------------------------------- log ring
+
+/// Newest kLogRingSlots records, each truncated to kLogRecordBytes. Fixed
+/// storage so the signal handler can read it without allocation. Slots are
+/// claimed with a fetch_add, so concurrent loggers never interleave within
+/// one slot; a reader racing a writer sees at worst one garbled line.
+constexpr uint64_t kLogRingSlots = 128;
+constexpr size_t kLogRecordBytes = 384;
+
+char g_log_ring[kLogRingSlots][kLogRecordBytes];
+std::atomic<uint64_t> g_log_head{0};
+
+// ------------------------------------------------------------ report path
+
+/// Directory + "/edde_crash_" prefix, pre-built at SetCrashReportDir time
+/// so the handler only appends digits. Fixed buffer; never freed.
+constexpr size_t kPathBytes = 512;
+char g_report_prefix[kPathBytes] = "edde_crash_";
+std::mutex g_report_dir_mu;
+
+/// Set once a report has been written (or the fatal path ran) so the
+/// cascade fatal-log -> abort -> SIGABRT handler emits a single report.
+std::atomic<bool> g_crash_handled{false};
+
+std::atomic<bool> g_handlers_installed{false};
+
+size_t SafeAppendStr(char* buf, size_t cap, size_t pos, const char* s) {
+  while (*s != '\0' && pos + 1 < cap) buf[pos++] = *s++;
+  return pos;
+}
+
+size_t SafeAppendUint(char* buf, size_t cap, size_t pos, uint64_t v) {
+  char digits[24];
+  int n = 0;
+  do {
+    digits[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0 && n < 24);
+  while (n > 0 && pos + 1 < cap) buf[pos++] = digits[--n];
+  return pos;
+}
+
+void WriteAll(int fd, const char* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n <= 0) return;
+    done += static_cast<size_t>(n);
+  }
+}
+
+void WriteStr(int fd, const char* s) { WriteAll(fd, s, std::strlen(s)); }
+
+const char* SignalName(int sig) {
+  switch (sig) {
+    case SIGSEGV:
+      return "SIGSEGV";
+    case SIGABRT:
+      return "SIGABRT";
+    case SIGFPE:
+      return "SIGFPE";
+    case SIGBUS:
+      return "SIGBUS";
+    case SIGILL:
+      return "SIGILL";
+  }
+  return "signal";
+}
+
+void CrashSignalHandler(int sig) {
+  // The fatal-log path already wrote the report (and flushed sinks) before
+  // raising SIGABRT; don't write a second one.
+  if (!g_crash_handled.exchange(true, std::memory_order_acq_rel)) {
+    WriteCrashReport(SignalName(sig));
+  }
+  // Restore the default disposition and re-raise so the process dies with
+  // the original signal (core dumps, CI exit codes stay meaningful).
+  std::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+}  // namespace
+
+void InstallCrashHandler() {
+  if (g_handlers_installed.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
+  const int signals[] = {SIGSEGV, SIGABRT, SIGFPE, SIGBUS, SIGILL};
+  for (const int sig : signals) {
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = CrashSignalHandler;
+    sigemptyset(&action.sa_mask);
+    // No SA_RESETHAND: the handler restores SIG_DFL itself after the
+    // report, and SA_NODEFER is unnecessary since it never returns.
+    ::sigaction(sig, &action, nullptr);
+  }
+}
+
+void SetCrashReportDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(g_report_dir_mu);
+  size_t pos = 0;
+  if (!dir.empty()) {
+    pos = SafeAppendStr(g_report_prefix, kPathBytes, pos, dir.c_str());
+    pos = SafeAppendStr(g_report_prefix, kPathBytes, pos, "/");
+  }
+  pos = SafeAppendStr(g_report_prefix, kPathBytes, pos, "edde_crash_");
+  g_report_prefix[pos] = '\0';
+}
+
+bool WriteCrashReport(const char* reason) {
+  // Build "<prefix><pid>.txt" without allocating.
+  char path[kPathBytes + 32];
+  size_t pos = SafeAppendStr(path, sizeof(path), 0, g_report_prefix);
+  pos = SafeAppendUint(path, sizeof(path), pos,
+                       static_cast<uint64_t>(::getpid()));
+  pos = SafeAppendStr(path, sizeof(path), pos, ".txt");
+  path[pos] = '\0';
+
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+
+  WriteStr(fd, "=== EDDE crash report ===\nreason: ");
+  WriteStr(fd, reason != nullptr ? reason : "unknown");
+  WriteStr(fd, "\n\n--- run manifest ---\n");
+  WriteStr(fd, RunManifestJsonForSignal());
+  WriteStr(fd, "\n\n--- recent log records (oldest first) ---\n");
+  {
+    // Static: 128 * 384 = 48 KiB would be heavy on the crashed stack.
+    static char log_snapshot[kLogRingSlots * kLogRecordBytes + 1];
+    const size_t n = crash_internal::SnapshotLogRing(log_snapshot,
+                                                     sizeof(log_snapshot));
+    WriteAll(fd, log_snapshot, n);
+  }
+  WriteStr(fd, "\n--- open trace spans ---\n");
+  {
+    static char span_snapshot[16 * 1024];
+    const size_t n = trace_internal::SnapshotOpenSpans(
+        span_snapshot, sizeof(span_snapshot));
+    if (n == 0) {
+      WriteStr(fd, "  (none)\n");
+    } else {
+      WriteAll(fd, span_snapshot, n);
+    }
+  }
+  WriteStr(fd, "=== end of report ===\n");
+  ::close(fd);
+
+  // Point whoever is watching stderr at the artifact.
+  WriteStr(2, "edde: crash report written to ");
+  WriteStr(2, path);
+  WriteStr(2, "\n");
+  return true;
+}
+
+namespace crash_internal {
+
+void AppendLogRecord(const char* data, size_t size) {
+  const uint64_t slot =
+      g_log_head.fetch_add(1, std::memory_order_relaxed) % kLogRingSlots;
+  char* dst = g_log_ring[slot];
+  const size_t n = size < kLogRecordBytes - 1 ? size : kLogRecordBytes - 1;
+  std::memcpy(dst, data, n);
+  dst[n] = '\0';
+}
+
+size_t SnapshotLogRing(char* out, size_t cap) {
+  if (cap == 0) return 0;
+  const uint64_t head = g_log_head.load(std::memory_order_acquire);
+  const uint64_t count = head < kLogRingSlots ? head : kLogRingSlots;
+  size_t pos = 0;
+  for (uint64_t i = head - count; i < head; ++i) {
+    const char* record = g_log_ring[i % kLogRingSlots];
+    if (record[0] == '\0') continue;
+    pos = SafeAppendStr(out, cap, pos, record);
+    if (pos > 0 && out[pos - 1] != '\n') {
+      pos = SafeAppendStr(out, cap, pos, "\n");
+    }
+  }
+  out[pos] = '\0';
+  return pos;
+}
+
+void HandleFatalLogMessage() {
+  if (g_crash_handled.exchange(true, std::memory_order_acq_rel)) return;
+  // Normal (non-signal) context: flush the sinks so a mid-run fatal still
+  // leaves a parseable metrics JSONL and a loadable trace. Errors are
+  // swallowed — the process is going down for the original failure.
+  (void)MetricsRegistry::Global().DumpToSink();
+  (void)DumpTrace();
+  WriteCrashReport("EDDE_CHECK failure / LOG(FATAL)");
+}
+
+}  // namespace crash_internal
+}  // namespace edde

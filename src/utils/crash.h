@@ -1,0 +1,55 @@
+#ifndef EDDE_UTILS_CRASH_H_
+#define EDDE_UTILS_CRASH_H_
+
+#include <cstddef>
+#include <string>
+
+namespace edde {
+
+/// Crash flight recorder.
+///
+/// Every EDDE_LOG record is copied into a bounded in-memory ring (newest
+/// ~128 records), so a crash can show the log tail even when stderr went to
+/// /dev/null. InstallCrashHandler() hooks SIGSEGV / SIGABRT / SIGFPE /
+/// SIGBUS / SIGILL; on delivery the handler writes
+/// `edde_crash_<pid>.txt` (run manifest, the log ring, every thread's
+/// currently open trace spans) using only async-signal-tolerant writes —
+/// pre-serialized buffers, open/write/close, no allocation — then re-raises
+/// with the default disposition so the exit status is unchanged.
+///
+/// The EDDE_CHECK / LOG(FATAL) path goes further: it runs in normal (not
+/// signal) context, so before aborting it also flushes the metrics JSONL
+/// sink and the trace buffer. A mid-run fatal therefore still leaves a
+/// parseable JSONL file and a loadable trace.
+
+/// Installs the signal handlers (idempotent; first call wins).
+void InstallCrashHandler();
+
+/// Directory for `edde_crash_<pid>.txt` reports ("" = current directory).
+void SetCrashReportDir(const std::string& dir);
+
+/// Writes a crash report now. `reason` is a short NUL-terminated tag
+/// ("SIGSEGV", "EDDE_CHECK failure"). Async-signal-tolerant. Returns true
+/// when the report file was written.
+bool WriteCrashReport(const char* reason);
+
+namespace crash_internal {
+
+/// Appends one formatted log record (already including the severity/file
+/// prefix) to the flight-recorder ring. Called by the logging backend for
+/// every emitted record; lock-free, truncates long records.
+void AppendLogRecord(const char* data, size_t size);
+
+/// Copies the ring's records, oldest first, into `out` (cap bytes,
+/// NUL-terminated). Returns bytes written. Async-signal-tolerant.
+size_t SnapshotLogRing(char* out, size_t cap);
+
+/// Fatal-path hook invoked by LogMessage before abort(): flushes the
+/// metrics and trace sinks, then writes a crash report. Reentrancy-guarded
+/// so the SIGABRT that follows does not produce a second report.
+void HandleFatalLogMessage();
+
+}  // namespace crash_internal
+}  // namespace edde
+
+#endif  // EDDE_UTILS_CRASH_H_

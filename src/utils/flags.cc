@@ -3,8 +3,11 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "utils/crash.h"
 #include "utils/logging.h"
 #include "utils/metrics.h"
+#include "utils/run_manifest.h"
+#include "utils/trace.h"
 
 namespace edde {
 
@@ -76,10 +79,29 @@ bool FlagParser::GetBool(const std::string& name) const {
   return v == "true" || v == "1" || v == "yes";
 }
 
+bool FlagParser::Has(const std::string& name) const {
+  return flags_.find(name) != flags_.end();
+}
+
+std::vector<std::pair<std::string, std::string>> FlagParser::Values() const {
+  std::vector<std::pair<std::string, std::string>> values;
+  values.reserve(flags_.size());
+  for (const auto& [name, info] : flags_) {
+    values.emplace_back(name, info.value);
+  }
+  return values;
+}
+
 void DefineCommonFlags(FlagParser* parser) {
   parser->Define("metrics_path", "",
                  "write telemetry (epoch/round records + aggregates) as "
                  "JSONL to this path; also: EDDE_METRICS_PATH env var");
+  parser->Define("trace_path", "",
+                 "write a Chrome/Perfetto trace_event timeline to this "
+                 "path; also: EDDE_TRACE_PATH env var");
+  parser->Define("log_level", "",
+                 "minimum emitted log level: debug|info|warning|error|"
+                 "fatal; also: EDDE_LOG_LEVEL env var");
 }
 
 void ApplyCommonFlags(const FlagParser& parser) {
@@ -87,6 +109,30 @@ void ApplyCommonFlags(const FlagParser& parser) {
   if (!metrics_path.empty()) {
     MetricsRegistry::Global().SetSinkPath(metrics_path);
   }
+  const std::string trace_path = parser.GetString("trace_path");
+  if (!trace_path.empty()) {
+    SetTracePath(trace_path);
+  }
+  const std::string log_level = parser.GetString("log_level");
+  if (!log_level.empty()) {
+    LogLevel level;
+    if (ParseLogLevel(log_level, &level)) {
+      SetMinLogLevel(level);
+    } else {
+      EDDE_LOG(WARNING) << "ignoring invalid --log_level=" << log_level
+                        << " (want debug|info|warning|error|fatal)";
+    }
+  }
+  // Provenance: the parsed configuration becomes part of every artifact
+  // this run writes, and from here on a crash leaves a flight-recorder
+  // report next to them.
+  for (const auto& [name, value] : parser.Values()) {
+    ManifestSetFlag(name, value);
+  }
+  if (parser.Has("seed")) {
+    ManifestSetSeed(static_cast<uint64_t>(parser.GetInt("seed")));
+  }
+  InstallCrashHandler();
 }
 
 }  // namespace edde

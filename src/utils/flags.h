@@ -37,6 +37,13 @@ class FlagParser {
   double GetDouble(const std::string& name) const;
   bool GetBool(const std::string& name) const;
 
+  /// True when `name` was registered with Define().
+  bool Has(const std::string& name) const;
+
+  /// Every registered flag's current value, sorted by name. Used to record
+  /// the parsed configuration into the RunManifest.
+  std::vector<std::pair<std::string, std::string>> Values() const;
+
  private:
   struct FlagInfo {
     std::string value;
@@ -49,11 +56,15 @@ class FlagParser {
 
 /// Registers the cross-cutting flags every example/bench binary shares:
 ///   --metrics_path  telemetry JSONL sink (same effect as EDDE_METRICS_PATH)
+///   --trace_path    Chrome trace_event timeline (same as EDDE_TRACE_PATH)
+///   --log_level     minimum emitted log level (same as EDDE_LOG_LEVEL)
 void DefineCommonFlags(FlagParser* parser);
 
 /// Applies the flags registered by DefineCommonFlags after Parse():
-/// configures the MetricsRegistry JSONL sink when --metrics_path is set
-/// (the flag wins over the environment variable).
+/// configures the MetricsRegistry JSONL sink / trace sink / log level when
+/// the corresponding flag is set (flags win over environment variables),
+/// records every parsed flag value (plus --seed when the binary defines
+/// one) into the RunManifest, and installs the crash flight recorder.
 void ApplyCommonFlags(const FlagParser& parser);
 
 }  // namespace edde

@@ -1,0 +1,74 @@
+#ifndef EDDE_UTILS_JSON_H_
+#define EDDE_UTILS_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "utils/status.h"
+
+namespace edde {
+
+/// Minimal JSON document reader for this repo's own machine-readable
+/// artifacts (metrics JSONL lines, Chrome trace files, BENCH_*.json). It is
+/// a strict RFC-8259 subset reader — no comments, no trailing commas —
+/// sized for tools (`bench_diff`) and structural tests, not for untrusted
+/// hot-path input. Writing stays with JsonBuilder (utils/metrics.h).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; EDDE_CHECK on kind mismatch.
+  bool AsBool() const;
+  double AsNumber() const;
+  const std::string& AsString() const;
+  const std::vector<JsonValue>& AsArray() const;
+
+  /// Object member access. `Get` returns nullptr when the key is absent
+  /// (or the value is not an object); `Has` is the presence test.
+  bool Has(const std::string& key) const;
+  const JsonValue* Get(const std::string& key) const;
+
+  /// Convenience lookups with fallbacks for absent / mistyped members.
+  double GetNumberOr(const std::string& key, double fallback) const;
+  std::string GetStringOr(const std::string& key,
+                          const std::string& fallback) const;
+
+  /// Object keys in document order (empty unless is_object()).
+  const std::vector<std::string>& ObjectKeys() const;
+
+  /// Parses one complete JSON document from `text` (trailing whitespace
+  /// allowed, trailing garbage is an error).
+  static Status Parse(const std::string& text, JsonValue* out);
+
+  /// Parse() over the whole content of `path`.
+  static Status ParseFile(const std::string& path, JsonValue* out);
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  // Document order preserved for ObjectKeys(); lookup goes through index_.
+  std::vector<std::string> keys_;
+  std::vector<JsonValue> members_;
+  std::map<std::string, size_t> index_;
+};
+
+}  // namespace edde
+
+#endif  // EDDE_UTILS_JSON_H_

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstdio>
 
+#include "utils/crash.h"
+
 namespace edde {
 namespace {
 
@@ -24,12 +26,51 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+/// Applies EDDE_LOG_LEVEL once, before the first MinLogLevel() read, so an
+/// operator can turn on debug logging without touching flags.
+bool ApplyEnvLogLevel() {
+  if (const char* env = std::getenv("EDDE_LOG_LEVEL");
+      env != nullptr && env[0] != '\0') {
+    LogLevel level;
+    if (ParseLogLevel(env, &level)) {
+      g_min_level.store(static_cast<int>(level));
+    } else {
+      std::fprintf(stderr,
+                   "[WARN logging.cc] ignoring invalid EDDE_LOG_LEVEL=\"%s\" "
+                   "(want debug|info|warning|error|fatal)\n",
+                   env);
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
-LogLevel MinLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
+LogLevel MinLogLevel() {
+  static const bool env_applied = ApplyEnvLogLevel();
+  (void)env_applied;
+  return static_cast<LogLevel>(g_min_level.load());
+}
 
 void SetMinLogLevel(LogLevel level) {
   g_min_level.store(static_cast<int>(level));
+}
+
+bool ParseLogLevel(const std::string& text, LogLevel* out) {
+  if (text == "debug" || text == "0") {
+    *out = LogLevel::kDebug;
+  } else if (text == "info" || text == "1") {
+    *out = LogLevel::kInfo;
+  } else if (text == "warning" || text == "warn" || text == "2") {
+    *out = LogLevel::kWarning;
+  } else if (text == "error" || text == "3") {
+    *out = LogLevel::kError;
+  } else if (text == "fatal" || text == "4") {
+    *out = LogLevel::kFatal;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 namespace internal {
@@ -45,9 +86,16 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   stream_ << "\n";
-  std::fputs(stream_.str().c_str(), stderr);
+  const std::string message = stream_.str();
+  // Every emitted record also lands in the crash flight-recorder ring, so
+  // a crash report can show the log tail even when stderr was discarded.
+  crash_internal::AppendLogRecord(message.c_str(), message.size());
+  std::fputs(message.c_str(), stderr);
   std::fflush(stderr);
   if (level_ == LogLevel::kFatal) {
+    // Flush the metrics/trace sinks and write the crash report while still
+    // in normal (non-signal) context, then die with the usual abort.
+    crash_internal::HandleFatalLogMessage();
     std::abort();
   }
 }

@@ -17,11 +17,18 @@ enum class LogLevel : int {
   kFatal = 4,
 };
 
-/// Returns the process-wide minimum level that is actually emitted.
+/// Returns the process-wide minimum level that is actually emitted. The
+/// first call applies the EDDE_LOG_LEVEL environment variable (if set and
+/// valid) as the initial minimum; the --log_level flag / SetMinLogLevel
+/// override it.
 LogLevel MinLogLevel();
 
 /// Sets the process-wide minimum level. Messages below it are discarded.
 void SetMinLogLevel(LogLevel level);
+
+/// Parses "debug" / "info" / "warning" / "error" / "fatal" (or the numeric
+/// 0-4) into a level. Returns false on unknown input.
+bool ParseLogLevel(const std::string& text, LogLevel* out);
 
 namespace internal {
 

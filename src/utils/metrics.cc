@@ -7,6 +7,8 @@
 #include <fstream>
 #include <limits>
 
+#include "utils/logging.h"
+#include "utils/run_manifest.h"
 #include "utils/table.h"
 
 namespace edde {
@@ -297,8 +299,7 @@ MetricsRegistry& MetricsRegistry::Global() {
     std::atexit([] {
       const Status status = Global().DumpToSink();
       if (!status.ok()) {
-        std::fprintf(stderr, "metrics dump failed: %s\n",
-                     status.ToString().c_str());
+        EDDE_LOG(ERROR) << "metrics dump failed: " << status.ToString();
       }
     });
     return r;
@@ -327,6 +328,14 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
   return slot.get();
 }
 
+std::vector<std::string> MetricsRegistry::HistogramNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) names.push_back(name);
+  return names;
+}
+
 void MetricsRegistry::EmitEvent(const std::string& json_object) {
   if (!events_enabled()) return;
   std::lock_guard<std::mutex> lock(events_mu_);
@@ -353,6 +362,14 @@ Status MetricsRegistry::DumpJsonl(const std::string& path) const {
   if (!out.is_open()) {
     return Status::IOError("cannot open metrics sink: " + path);
   }
+  // Provenance header: the stream's first record identifies the run that
+  // produced it (program, seed, flags, dataset fingerprints — see
+  // utils/run_manifest.h).
+  out << JsonBuilder()
+             .Add("record", "run_manifest")
+             .AddRaw("manifest", RunManifestJson())
+             .Build()
+      << '\n';
   {
     std::lock_guard<std::mutex> lock(events_mu_);
     for (const auto& event : events_) out << event << '\n';

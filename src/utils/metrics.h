@@ -181,6 +181,11 @@ class MetricsRegistry {
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
 
+  /// Names of every registered histogram, sorted. Resolve each through
+  /// GetHistogram; used by the bench harness to export per-region timing
+  /// summaries.
+  std::vector<std::string> HistogramNames() const;
+
   /// True when a JSONL sink is configured; emitters gate record
   /// construction on this so telemetry is free when disabled.
   bool events_enabled() const {

@@ -1,0 +1,208 @@
+#include "utils/run_manifest.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <mutex>
+
+#include <unistd.h>
+
+#include "utils/metrics.h"
+
+namespace edde {
+
+namespace {
+
+/// Crash-handler copy of the serialized manifest. 16 KiB covers hundreds
+/// of flags/datasets; overflow truncates (the buffer always stays
+/// NUL-terminated valid prefix + marker).
+constexpr size_t kSignalBufferSize = 16 * 1024;
+char g_signal_json[kSignalBufferSize] = "{}";
+
+std::string DescribeBuildType() {
+  std::string type;
+  // __OPTIMIZE__ rather than NDEBUG: the build keeps asserts on in -O2.
+#if defined(__OPTIMIZE__)
+  type = "optimized";
+#else
+  type = "debug";
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+  type += "+asan";
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  type += "+asan";
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+  type += "+tsan";
+#endif
+  return type;
+}
+
+std::string FormatStartTimeUtc(std::time_t t) {
+  std::tm tm_utc{};
+  gmtime_r(&t, &tm_utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
+}
+
+struct ManifestState {
+  std::mutex mu;
+  RunManifest manifest;
+
+  ManifestState() {
+    const auto now = std::chrono::system_clock::now();
+    const std::time_t t = std::chrono::system_clock::to_time_t(now);
+    manifest.compiler = __VERSION__;
+    manifest.build_type = DescribeBuildType();
+    manifest.start_time_utc = FormatStartTimeUtc(t);
+    manifest.start_unix_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            now.time_since_epoch())
+            .count();
+    manifest.pid = static_cast<int>(::getpid());
+    if (const char* env = std::getenv("EDDE_NUM_THREADS")) {
+      manifest.num_threads_env = env;
+    }
+  }
+};
+
+// Leaked singleton, same reasoning as MetricsRegistry: the crash handler
+// and at-exit dumps must be able to read it at any point of shutdown.
+ManifestState& State() {
+  static ManifestState* state = new ManifestState();
+  return *state;
+}
+
+std::string SerializeLocked(const RunManifest& m) {
+  std::string flags = "{";
+  for (size_t i = 0; i < m.flags.size(); ++i) {
+    if (i > 0) flags += ',';
+    flags += '"' + JsonBuilder::Escape(m.flags[i].first) + "\":\"" +
+             JsonBuilder::Escape(m.flags[i].second) + '"';
+  }
+  flags += '}';
+  std::string datasets = "{";
+  for (size_t i = 0; i < m.datasets.size(); ++i) {
+    if (i > 0) datasets += ',';
+    char hex[24];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(m.datasets[i].second));
+    datasets += '"' + JsonBuilder::Escape(m.datasets[i].first) + "\":\"" +
+                hex + '"';
+  }
+  datasets += '}';
+  return JsonBuilder()
+      .Add("schema", 1)
+      .Add("program", m.program)
+      .Add("compiler", m.compiler)
+      .Add("build_type", m.build_type)
+      .Add("start_time_utc", m.start_time_utc)
+      .Add("start_unix_ms", m.start_unix_ms)
+      .Add("pid", m.pid)
+      .Add("seed", static_cast<int64_t>(m.seed))
+      .Add("num_threads", m.num_threads)
+      .Add("num_threads_env", m.num_threads_env)
+      .AddRaw("flags", flags)
+      .AddRaw("datasets", datasets)
+      .Build();
+}
+
+/// Re-serializes into the signal buffer. Called with the manifest lock
+/// held, so writers never interleave; the signal handler reads without the
+/// lock and tolerates a stale snapshot.
+void RefreshSignalBufferLocked(const RunManifest& m) {
+  const std::string json = SerializeLocked(m);
+  const size_t n = json.size() < kSignalBufferSize - 1
+                       ? json.size()
+                       : kSignalBufferSize - 1;
+  std::memcpy(g_signal_json, json.data(), n);
+  g_signal_json[n] = '\0';
+}
+
+}  // namespace
+
+RunManifest GetRunManifest() {
+  ManifestState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.manifest;
+}
+
+void ManifestSetProgram(const std::string& program) {
+  // Basename only: the build directory carries no provenance.
+  std::string base = program;
+  const auto slash = base.find_last_of('/');
+  if (slash != std::string::npos) base = base.substr(slash + 1);
+  ManifestState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.manifest.program = base;
+  RefreshSignalBufferLocked(state.manifest);
+}
+
+void ManifestSetSeed(uint64_t seed) {
+  ManifestState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.manifest.seed = seed;
+  RefreshSignalBufferLocked(state.manifest);
+}
+
+void ManifestSetNumThreads(int num_threads) {
+  ManifestState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.manifest.num_threads = num_threads;
+  RefreshSignalBufferLocked(state.manifest);
+}
+
+void ManifestSetFlag(const std::string& name, const std::string& value) {
+  ManifestState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (auto& [flag, old_value] : state.manifest.flags) {
+    if (flag == name) {
+      old_value = value;
+      RefreshSignalBufferLocked(state.manifest);
+      return;
+    }
+  }
+  state.manifest.flags.emplace_back(name, value);
+  RefreshSignalBufferLocked(state.manifest);
+}
+
+void ManifestAddDataset(const std::string& name, uint64_t fingerprint) {
+  ManifestState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (auto& [dataset, old_fp] : state.manifest.datasets) {
+    if (dataset == name) {
+      old_fp = fingerprint;
+      RefreshSignalBufferLocked(state.manifest);
+      return;
+    }
+  }
+  state.manifest.datasets.emplace_back(name, fingerprint);
+  RefreshSignalBufferLocked(state.manifest);
+}
+
+std::string RunManifestJson() {
+  ManifestState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  // First serialization also primes the signal buffer, so even a process
+  // that never touches a setter crashes with compiler/pid/start-time set.
+  RefreshSignalBufferLocked(state.manifest);
+  return SerializeLocked(state.manifest);
+}
+
+const char* RunManifestJsonForSignal() { return g_signal_json; }
+
+uint64_t FingerprintBytes(const void* data, size_t size, uint64_t basis) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = basis;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace edde

@@ -1,0 +1,65 @@
+#ifndef EDDE_UTILS_RUN_MANIFEST_H_
+#define EDDE_UTILS_RUN_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace edde {
+
+/// Run provenance, captured once per process and embedded in every
+/// machine-readable artifact this process writes: the first record of the
+/// metrics JSONL stream, the trace file's `otherData`, every
+/// `BENCH_<name>.json`, and the crash flight-recorder report. The goal is
+/// that any artifact found on disk answers "which binary, which seed, which
+/// flags, which data, how many threads, when" without the shell history
+/// that produced it.
+///
+/// Compile-time fields (compiler, build type, start time, pid) fill in at
+/// first access; runtime fields (program, seed, flag values, dataset
+/// fingerprints, pool size) are pushed by their owners — ApplyCommonFlags,
+/// the bench harness, and the thread pool — via the setters below. All
+/// setters are thread-safe and keep a pre-serialized JSON snapshot current
+/// so the crash handler can emit the manifest without allocating.
+struct RunManifest {
+  std::string program;        ///< argv[0] basename (benches/examples).
+  std::string compiler;       ///< __VERSION__.
+  std::string build_type;     ///< optimized / debug, sanitizer tags.
+  std::string start_time_utc; ///< wall-clock start, ISO-8601 UTC.
+  int64_t start_unix_ms = 0;
+  int pid = 0;
+  uint64_t seed = 0;
+  int num_threads = 0;        ///< resolved pool size; 0 until pool creation.
+  std::string num_threads_env;  ///< raw EDDE_NUM_THREADS value ("" if unset).
+  /// Parsed --flag=value pairs in definition order.
+  std::vector<std::pair<std::string, std::string>> flags;
+  /// name -> FNV-1a fingerprint of the dataset bytes, per workload.
+  std::vector<std::pair<std::string, uint64_t>> datasets;
+};
+
+/// Snapshot of the current manifest (copies under the manifest lock).
+RunManifest GetRunManifest();
+
+void ManifestSetProgram(const std::string& program);
+void ManifestSetSeed(uint64_t seed);
+void ManifestSetNumThreads(int num_threads);
+void ManifestSetFlag(const std::string& name, const std::string& value);
+void ManifestAddDataset(const std::string& name, uint64_t fingerprint);
+
+/// The manifest as one JSON object (JsonBuilder format).
+std::string RunManifestJson();
+
+/// NUL-terminated pre-serialized manifest JSON, refreshed on every setter
+/// call. Safe to read from a signal handler: the buffer is static, and a
+/// torn read during a concurrent update degrades to slightly stale
+/// provenance, never to a fault.
+const char* RunManifestJsonForSignal();
+
+/// FNV-1a over `size` bytes; chainable via `basis` for multi-part data.
+uint64_t FingerprintBytes(const void* data, size_t size,
+                          uint64_t basis = 1469598103934665603ull);
+
+}  // namespace edde
+
+#endif  // EDDE_UTILS_RUN_MANIFEST_H_

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
@@ -10,6 +11,7 @@
 
 #include "utils/logging.h"
 #include "utils/metrics.h"
+#include "utils/run_manifest.h"
 #include "utils/trace.h"
 
 namespace edde {
@@ -58,7 +60,7 @@ class ThreadPool {
     const int workers = num_threads - 1;
     workers_.reserve(static_cast<size_t>(workers > 0 ? workers : 0));
     for (int i = 0; i < workers; ++i) {
-      workers_.emplace_back([this] { WorkerLoop(); });
+      workers_.emplace_back([this, i] { WorkerLoop(i); });
     }
   }
 
@@ -81,9 +83,10 @@ class ThreadPool {
         MetricsRegistry::Global().GetCounter("threadpool.regions");
     static Counter* const chunks =
         MetricsRegistry::Global().GetCounter("threadpool.chunks");
-    static Histogram* const queue_wait =
-        TraceHistogram("threadpool.queue_wait");
-    static Histogram* const region_time = TraceHistogram("threadpool.region");
+    static const TraceRegion* const queue_wait =
+        GetTraceRegion("threadpool.queue_wait");
+    static const TraceRegion* const region_time =
+        GetTraceRegion("threadpool.region");
 
     std::unique_lock<std::mutex> run_lock(run_mu_, std::defer_lock);
     {
@@ -122,6 +125,12 @@ class ThreadPool {
 
  private:
   void DrainChunks(Task* task) {
+    // One timeline span per drain: on a worker track this is the stripe of
+    // a ParallelFor region that ran on that worker, nesting the caller's
+    // own spans (trainer/epoch -> pool/drain) correctly.
+    static const TraceRegion* const drain_region =
+        GetTraceRegion("pool/drain");
+    TraceScope drain_scope(drain_region);
     for (;;) {
       const int64_t chunk =
           task->next.fetch_add(1, std::memory_order_relaxed);
@@ -141,7 +150,11 @@ class ThreadPool {
     }
   }
 
-  void WorkerLoop() {
+  void WorkerLoop(int worker_index) {
+    char track_name[32];
+    std::snprintf(track_name, sizeof(track_name), "pool/worker %d",
+                  worker_index + 1);
+    SetTraceThreadName(track_name);
     uint64_t seen_generation = 0;
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
@@ -184,6 +197,7 @@ ThreadPool* GetPool() {
     MetricsRegistry::Global()
         .GetGauge("threadpool.threads")
         ->Set(static_cast<double>(n));
+    ManifestSetNumThreads(n);
   }
   return g_pool.get();
 }

@@ -1,31 +1,9 @@
 #ifndef EDDE_UTILS_TIMER_H_
 #define EDDE_UTILS_TIMER_H_
 
-#include <chrono>
-
-namespace edde {
-
-/// Monotonic wall-clock stopwatch.
-class Timer {
- public:
-  Timer() : start_(Clock::now()) {}
-
-  /// Resets the stopwatch to now.
-  void Reset() { start_ = Clock::now(); }
-
-  /// Seconds elapsed since construction / last Reset().
-  double Seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
-  }
-
-  /// Milliseconds elapsed since construction / last Reset().
-  double Millis() const { return Seconds() * 1e3; }
-
- private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
-};
-
-}  // namespace edde
+// Timer now lives in utils/trace.h next to TraceScope so the repo has one
+// steady_clock timing primitive. This forwarding header keeps old includes
+// working; new code should include "utils/trace.h" directly.
+#include "utils/trace.h"
 
 #endif  // EDDE_UTILS_TIMER_H_

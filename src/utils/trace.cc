@@ -1,12 +1,410 @@
 #include "utils/trace.h"
 
-#include <string>
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "utils/logging.h"
+#include "utils/run_manifest.h"
 
 namespace edde {
+
+namespace {
+
+/// Spans kept per thread; overflow drops the oldest records (the export
+/// reports the drop count). 1<<16 records x 32 bytes = 2 MiB per traced
+/// thread, allocated lazily on the thread's first span.
+constexpr uint64_t kTraceRingCapacity = 1ull << 16;
+
+/// Threads that can register timeline state. Beyond this, extra threads
+/// trace nothing (counted in the export).
+constexpr int kMaxTraceThreads = 256;
+
+/// One completed span or counter sample in a thread's ring.
+struct TraceRecord {
+  const char* label = nullptr;  ///< registry-owned, stable for process life
+  int64_t ts_us = 0;            ///< microseconds since the trace epoch
+  int64_t payload = 0;          ///< span: duration µs; counter: double bits
+  int32_t kind = 0;             ///< 0 = span, 1 = counter
+  int32_t pad = 0;
+};
+
+constexpr int32_t kKindSpan = 0;
+constexpr int32_t kKindCounter = 1;
+
+/// Per-thread timeline state. Never freed: the export and the crash
+/// handler may read it after the owning thread exited. Writers are
+/// single-threaded (the owning thread); readers tolerate racing with the
+/// most recent writes.
+struct ThreadTraceState {
+  int tid = 0;
+  char name[48] = {0};
+  std::atomic<uint64_t> written{0};  ///< records ever appended
+  std::atomic<TraceRecord*> ring{nullptr};
+
+  static constexpr int kMaxOpen = 64;
+  const char* open_labels[kMaxOpen] = {nullptr};
+  int64_t open_start_us[kMaxOpen] = {0};
+  std::atomic<int> open_depth{0};
+};
+
+// Fixed-size registry read directly (no locks) by the crash handler.
+ThreadTraceState* g_thread_states[kMaxTraceThreads] = {nullptr};
+std::atomic<int> g_thread_count{0};
+std::atomic<int64_t> g_threads_lost{0};
+
+struct TraceGlobal {
+  std::atomic<bool> enabled{false};
+  mutable std::mutex mu;             // guards path
+  std::string path;
+  std::mutex register_mu;            // serializes thread registration
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+
+  TraceGlobal() {
+    if (const char* env = std::getenv("EDDE_TRACE_PATH");
+        env != nullptr && env[0] != '\0') {
+      path = env;
+      enabled.store(true, std::memory_order_relaxed);
+    }
+    std::atexit([] {
+      const Status status = DumpTrace();
+      if (!status.ok()) {
+        EDDE_LOG(ERROR) << "trace dump failed: " << status.ToString();
+      }
+    });
+  }
+};
+
+// Leaked singleton, same reasoning as MetricsRegistry.
+TraceGlobal& Global() {
+  static TraceGlobal* global = new TraceGlobal();
+  return *global;
+}
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - Global().epoch)
+      .count();
+}
+
+thread_local ThreadTraceState* t_trace_state = nullptr;
+
+/// Registers (once) and returns the calling thread's timeline state, or
+/// nullptr when the thread table is full.
+ThreadTraceState* ThreadState() {
+  if (t_trace_state != nullptr) return t_trace_state;
+  TraceGlobal& global = Global();
+  std::lock_guard<std::mutex> lock(global.register_mu);
+  const int index = g_thread_count.load(std::memory_order_relaxed);
+  if (index >= kMaxTraceThreads) {
+    g_threads_lost.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  auto* state = new ThreadTraceState();  // leaked by design, see struct doc
+  state->tid = index;
+  std::snprintf(state->name, sizeof(state->name), "thread %d", index);
+  g_thread_states[index] = state;
+  // Publish the slot after the state is fully constructed.
+  g_thread_count.store(index + 1, std::memory_order_release);
+  t_trace_state = state;
+  return state;
+}
+
+void AppendRecord(ThreadTraceState* state, const TraceRecord& record) {
+  TraceRecord* ring = state->ring.load(std::memory_order_relaxed);
+  if (ring == nullptr) {
+    ring = new TraceRecord[kTraceRingCapacity];
+    state->ring.store(ring, std::memory_order_release);
+  }
+  const uint64_t i = state->written.load(std::memory_order_relaxed);
+  ring[i % kTraceRingCapacity] = record;
+  state->written.store(i + 1, std::memory_order_release);
+}
+
+/// Small async-signal-safe append helpers for SnapshotOpenSpans.
+size_t AppendStr(char* buf, size_t cap, size_t pos, const char* s) {
+  while (*s != '\0' && pos + 1 < cap) buf[pos++] = *s++;
+  return pos;
+}
+
+size_t AppendInt(char* buf, size_t cap, size_t pos, int64_t v) {
+  char digits[24];
+  int n = 0;
+  uint64_t u = v < 0 ? static_cast<uint64_t>(-(v + 1)) + 1
+                     : static_cast<uint64_t>(v);
+  if (v < 0 && pos + 1 < cap) buf[pos++] = '-';
+  do {
+    digits[n++] = static_cast<char>('0' + u % 10);
+    u /= 10;
+  } while (u != 0 && n < 24);
+  while (n > 0 && pos + 1 < cap) buf[pos++] = digits[--n];
+  return pos;
+}
+
+}  // namespace
 
 Histogram* TraceHistogram(const char* label) {
   return MetricsRegistry::Global().GetHistogram(std::string("time/") +
                                                 label);
 }
+
+const TraceRegion* GetTraceRegion(const char* label) {
+  // The map node owns both the region and the stable label string the span
+  // records point at; nodes are never erased.
+  static std::mutex mu;
+  static std::map<std::string, TraceRegion>* regions =
+      new std::map<std::string, TraceRegion>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto [it, inserted] = regions->try_emplace(label);
+  if (inserted) {
+    it->second.histogram = TraceHistogram(label);
+    it->second.label = it->first.c_str();
+  }
+  return &it->second;
+}
+
+namespace {
+
+/// Stable storage for counter-track labels. Counters are not regions — no
+/// timing histogram should appear for them in the summary tables — but
+/// their records outlive the call, so the label string must too.
+const char* InternCounterLabel(const char* label) {
+  static std::mutex mu;
+  static std::map<std::string, int>* labels = new std::map<std::string, int>();
+  std::lock_guard<std::mutex> lock(mu);
+  return labels->try_emplace(label).first->first.c_str();
+}
+
+}  // namespace
+
+bool TraceEnabled() {
+  return Global().enabled.load(std::memory_order_relaxed);
+}
+
+void SetTracePath(const std::string& path) {
+  TraceGlobal& global = Global();
+  std::lock_guard<std::mutex> lock(global.mu);
+  global.path = path;
+  global.enabled.store(!path.empty(), std::memory_order_relaxed);
+}
+
+std::string trace_path() {
+  TraceGlobal& global = Global();
+  std::lock_guard<std::mutex> lock(global.mu);
+  return global.path;
+}
+
+void TraceCounter(const char* label, double value) {
+  if (!TraceEnabled()) return;
+  ThreadTraceState* state = ThreadState();
+  if (state == nullptr) return;
+  TraceRecord record;
+  record.label = InternCounterLabel(label);
+  record.ts_us = NowMicros();
+  std::memcpy(&record.payload, &value, sizeof(value));
+  record.kind = kKindCounter;
+  AppendRecord(state, record);
+}
+
+void SetTraceThreadName(const char* name) {
+  ThreadTraceState* state = ThreadState();
+  if (state == nullptr) return;
+  std::snprintf(state->name, sizeof(state->name), "%s", name);
+}
+
+int TraceScope::BeginSpan(const char* label) {
+  ThreadTraceState* state = ThreadState();
+  if (state == nullptr) return -1;
+  const int depth = state->open_depth.load(std::memory_order_relaxed);
+  if (depth >= ThreadTraceState::kMaxOpen) return -1;
+  state->open_labels[depth] = label;
+  state->open_start_us[depth] = NowMicros();
+  // Release so the crash handler never reads a depth whose label slot is
+  // still stale.
+  state->open_depth.store(depth + 1, std::memory_order_release);
+  return depth;
+}
+
+void TraceScope::EndSpan(int depth) {
+  ThreadTraceState* state = t_trace_state;  // BeginSpan registered it
+  TraceRecord record;
+  record.label = state->open_labels[depth];
+  record.ts_us = state->open_start_us[depth];
+  record.payload = NowMicros() - record.ts_us;
+  record.kind = kKindSpan;
+  state->open_depth.store(depth, std::memory_order_relaxed);
+  AppendRecord(state, record);
+}
+
+void ResetTraceBuffers() {
+  const int count = g_thread_count.load(std::memory_order_acquire);
+  for (int i = 0; i < count; ++i) {
+    ThreadTraceState* state = g_thread_states[i];
+    state->written.store(0, std::memory_order_relaxed);
+    state->open_depth.store(0, std::memory_order_relaxed);
+  }
+}
+
+Status DumpTraceTo(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open trace sink: " + path);
+  }
+
+  struct Event {
+    int tid;
+    TraceRecord record;
+  };
+  // Snapshot the rings first so sorting sees a consistent set. Threads
+  // still writing race benignly: we only read the [written - n, written)
+  // window that existed at the acquire load.
+  const int thread_count = g_thread_count.load(std::memory_order_acquire);
+  std::vector<Event> events;
+  std::vector<std::pair<int, std::string>> thread_names;
+  int64_t total_dropped = 0;
+  for (int t = 0; t < thread_count; ++t) {
+    const ThreadTraceState* state = g_thread_states[t];
+    thread_names.emplace_back(state->tid, state->name);
+    const TraceRecord* ring = state->ring.load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    const uint64_t written = state->written.load(std::memory_order_acquire);
+    const uint64_t n = std::min(written, kTraceRingCapacity);
+    total_dropped += static_cast<int64_t>(written - n);
+    for (uint64_t i = written - n; i < written; ++i) {
+      events.push_back(Event{state->tid, ring[i % kTraceRingCapacity]});
+    }
+  }
+  // ts ascending; at equal ts longer spans first, so a parent that began
+  // in the same microsecond as its child precedes it and viewers (and the
+  // structural tests) see proper containment.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.record.ts_us != b.record.ts_us) {
+                       return a.record.ts_us < b.record.ts_us;
+                     }
+                     if (a.record.kind == kKindSpan &&
+                         b.record.kind == kKindSpan) {
+                       return a.record.payload > b.record.payload;
+                     }
+                     return false;
+                   });
+
+  out << "{\"displayTimeUnit\":\"ms\",\n\"otherData\":{\"manifest\":"
+      << RunManifestJson() << ",\"dropped_records\":" << total_dropped
+      << ",\"threads_lost\":"
+      << g_threads_lost.load(std::memory_order_relaxed)
+      << "},\n\"traceEvents\":[\n";
+  bool first = true;
+  auto emit = [&](const std::string& line) {
+    if (!first) out << ",\n";
+    first = false;
+    out << line;
+  };
+  emit(JsonBuilder()
+           .Add("ph", "M")
+           .Add("pid", 1)
+           .Add("tid", 0)
+           .Add("name", "process_name")
+           .AddRaw("args", JsonBuilder()
+                               .Add("name", GetRunManifest().program.empty()
+                                                ? std::string("edde")
+                                                : GetRunManifest().program)
+                               .Build())
+           .Build());
+  for (const auto& [tid, name] : thread_names) {
+    emit(JsonBuilder()
+             .Add("ph", "M")
+             .Add("pid", 1)
+             .Add("tid", tid)
+             .Add("name", "thread_name")
+             .AddRaw("args", JsonBuilder().Add("name", name).Build())
+             .Build());
+    emit(JsonBuilder()
+             .Add("ph", "M")
+             .Add("pid", 1)
+             .Add("tid", tid)
+             .Add("name", "thread_sort_index")
+             .AddRaw("args",
+                     JsonBuilder().Add("sort_index", tid).Build())
+             .Build());
+  }
+  for (const Event& event : events) {
+    const TraceRecord& record = event.record;
+    if (record.label == nullptr) continue;  // torn record from a live ring
+    if (record.kind == kKindSpan) {
+      emit(JsonBuilder()
+               .Add("ph", "X")
+               .Add("pid", 1)
+               .Add("tid", event.tid)
+               .Add("ts", record.ts_us)
+               .Add("dur", record.payload)
+               .Add("cat", "edde")
+               .Add("name", record.label)
+               .Build());
+    } else {
+      double value = 0.0;
+      std::memcpy(&value, &record.payload, sizeof(value));
+      emit(JsonBuilder()
+               .Add("ph", "C")
+               .Add("pid", 1)
+               .Add("tid", event.tid)
+               .Add("ts", record.ts_us)
+               .Add("name", record.label)
+               .AddRaw("args",
+                       JsonBuilder().Add("value", value).Build())
+               .Build());
+    }
+  }
+  out << "\n]}\n";
+  out.flush();
+  if (!out.good()) return Status::IOError("trace sink write failed");
+  return Status::OK();
+}
+
+Status DumpTrace() {
+  const std::string path = trace_path();
+  if (path.empty()) return Status::OK();
+  return DumpTraceTo(path);
+}
+
+namespace trace_internal {
+
+size_t SnapshotOpenSpans(char* buf, size_t cap) {
+  if (cap == 0) return 0;
+  size_t pos = 0;
+  const int count = g_thread_count.load(std::memory_order_acquire);
+  for (int t = 0; t < count; ++t) {
+    const ThreadTraceState* state = g_thread_states[t];
+    if (state == nullptr) continue;
+    const int depth = state->open_depth.load(std::memory_order_acquire);
+    for (int d = 0; d < depth && d < ThreadTraceState::kMaxOpen; ++d) {
+      const char* label = state->open_labels[d];
+      if (label == nullptr) continue;
+      pos = AppendStr(buf, cap, pos, "  tid ");
+      pos = AppendInt(buf, cap, pos, state->tid);
+      pos = AppendStr(buf, cap, pos, " (");
+      pos = AppendStr(buf, cap, pos, state->name);
+      pos = AppendStr(buf, cap, pos, "): ");
+      for (int indent = 0; indent < d; ++indent) {
+        pos = AppendStr(buf, cap, pos, "> ");
+      }
+      pos = AppendStr(buf, cap, pos, label);
+      pos = AppendStr(buf, cap, pos, " since +");
+      pos = AppendInt(buf, cap, pos, state->open_start_us[d]);
+      pos = AppendStr(buf, cap, pos, "us\n");
+    }
+  }
+  buf[pos] = '\0';
+  return pos;
+}
+
+}  // namespace trace_internal
 
 }  // namespace edde

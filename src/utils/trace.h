@@ -2,10 +2,34 @@
 #define EDDE_UTILS_TRACE_H_
 
 #include <chrono>
+#include <cstdint>
+#include <string>
 
 #include "utils/metrics.h"
 
 namespace edde {
+
+/// Monotonic wall-clock stopwatch (the one timing primitive in the repo;
+/// TraceScope composes it with the telemetry instruments below).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the stopwatch to now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction / last Reset().
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
 
 /// Resolves the per-region timing histogram for `label` ("time/<label>" in
 /// MetricsRegistry). Hot paths cache the returned pointer (it is stable for
@@ -13,11 +37,82 @@ namespace edde {
 /// iteration.
 Histogram* TraceHistogram(const char* label);
 
-/// RAII wall-time region timer. On destruction the elapsed seconds are
-/// recorded into the label's "time/<label>" histogram, so repeated entries
-/// of the same region aggregate into count / total / min / max /
-/// percentiles. Safe to nest and to use concurrently from ParallelFor
-/// workers; never touches any RNG, so traced code stays bit-deterministic.
+/// A named trace region: the histogram plus the stable label string used
+/// for timeline spans. Pointers are stable for the process lifetime, so
+/// hot paths cache them like TraceHistogram results.
+struct TraceRegion {
+  Histogram* histogram;
+  const char* label;
+};
+
+/// Region lookup; creates on first use. `label` contents are copied — the
+/// returned region's label points at registry-owned storage.
+const TraceRegion* GetTraceRegion(const char* label);
+
+// ---------------------------------------------------------------------------
+// Span timeline
+// ---------------------------------------------------------------------------
+//
+// When a trace path is configured (--trace_path flag or EDDE_TRACE_PATH env
+// var, mirroring the metrics sink), every TraceScope additionally appends a
+// begin/end span record into a lock-free per-thread ring buffer, and
+// DumpTrace() exports the rings as Chrome/Perfetto `trace_event` JSON — one
+// track per thread (pool workers register their own names), counter tracks
+// from TraceCounter samples, and the RunManifest in `otherData`. With no
+// path configured the per-scope cost is one relaxed atomic load and
+// training results stay bit-identical (tracing never touches any RNG).
+//
+// Rings keep the most recent kTraceRingCapacity spans per thread; overflow
+// drops the oldest records and the export reports how many were dropped.
+
+/// True when a trace sink is configured. One relaxed load — callers on hot
+/// paths may gate extra work on it.
+bool TraceEnabled();
+
+/// Configures ("" clears) the trace output path. The file is written by
+/// DumpTrace(), which runs automatically at process exit and on the fatal
+/// log path.
+void SetTracePath(const std::string& path);
+std::string trace_path();
+
+/// Appends one sample to counter track `label` at the current trace time.
+/// No-op when tracing is off. `label` must be a string literal (stored by
+/// pointer).
+void TraceCounter(const char* label, double value);
+
+/// Names the calling thread's track in the exported timeline ("main",
+/// "pool/worker 3", ...). Safe to call before tracing is enabled.
+void SetTraceThreadName(const char* name);
+
+/// Writes the Chrome trace JSON to the configured path; OK no-op when no
+/// path is set.
+Status DumpTrace();
+
+/// Writes the Chrome trace JSON to an explicit path.
+Status DumpTraceTo(const std::string& path);
+
+/// Drops all buffered span records and thread registrations' contents
+/// (thread slots stay registered). Test support; not safe concurrently
+/// with tracing writers.
+void ResetTraceBuffers();
+
+namespace trace_internal {
+
+/// Writes a human-readable listing of every thread's currently open spans
+/// into `buf` (at most `cap` bytes, NUL-terminated). Async-signal-tolerant:
+/// touches only pre-allocated state. Returns the number of bytes written
+/// (excluding the NUL).
+size_t SnapshotOpenSpans(char* buf, size_t cap);
+
+}  // namespace trace_internal
+
+/// RAII region timer. On destruction the elapsed seconds are recorded into
+/// the label's "time/<label>" histogram, so repeated entries of the same
+/// region aggregate into count / total / min / max / percentiles; when a
+/// trace sink is configured the scope additionally becomes one span on the
+/// calling thread's timeline track. Safe to nest and to use concurrently
+/// from ParallelFor workers; never touches any RNG, so traced code stays
+/// bit-deterministic.
 ///
 ///   void TrainMember(...) {
 ///     TraceScope trace("bagging/member");
@@ -25,26 +120,34 @@ Histogram* TraceHistogram(const char* label);
 ///   }
 class TraceScope {
  public:
-  explicit TraceScope(const char* label)
-      : histogram_(TraceHistogram(label)),
-        start_(std::chrono::steady_clock::now()) {}
+  explicit TraceScope(const char* label) : TraceScope(GetTraceRegion(label)) {}
 
-  /// Pre-resolved histogram variant for hot regions.
-  explicit TraceScope(Histogram* histogram)
-      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+  /// Pre-resolved region variant for hot paths.
+  explicit TraceScope(const TraceRegion* region)
+      : region_(region), start_(std::chrono::steady_clock::now()) {
+    if (TraceEnabled()) span_depth_ = BeginSpan(region_->label);
+  }
 
   ~TraceScope() {
-    histogram_->Record(std::chrono::duration<double>(
-                           std::chrono::steady_clock::now() - start_)
-                           .count());
+    region_->histogram->Record(std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - start_)
+                                   .count());
+    if (span_depth_ >= 0) EndSpan(span_depth_);
   }
 
   TraceScope(const TraceScope&) = delete;
   TraceScope& operator=(const TraceScope&) = delete;
 
  private:
-  Histogram* histogram_;
+  /// Pushes an open-span entry on the calling thread; returns its stack
+  /// depth, or -1 when the span could not be recorded (stack full).
+  static int BeginSpan(const char* label);
+  /// Pops the entry at `depth` and appends the completed span record.
+  static void EndSpan(int depth);
+
+  const TraceRegion* region_;
   std::chrono::steady_clock::time_point start_;
+  int span_depth_ = -1;
 };
 
 }  // namespace edde

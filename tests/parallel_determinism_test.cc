@@ -12,6 +12,7 @@
 #include "test_util.h"
 #include "utils/metrics.h"
 #include "utils/threadpool.h"
+#include "utils/trace.h"
 
 namespace edde {
 namespace {
@@ -177,6 +178,30 @@ TEST_F(ParallelDeterminismTest, MetricsSinkDoesNotPerturbEddeTraining) {
   EnsembleModel on = EddeMethod(fx.config, options).Train(
       fx.data.train, fx.factory);
   reg.SetSinkPath("");
+  const Tensor probs_on = on.PredictProbs(fx.data.test);
+
+  ExpectIdenticalProbs(probs_off, probs_on);
+}
+
+TEST_F(ParallelDeterminismTest, TraceSinkDoesNotPerturbTraining) {
+  // PR 3 acceptance criterion: span tracing never touches any RNG and
+  // never reorders arithmetic, so training with --trace_path configured is
+  // bit-identical to training with tracing off.
+  Fixture fx;
+  EddeOptions options;
+  options.gamma = 0.1f;
+  options.beta = 0.7;
+
+  SetTracePath("");
+  SetNumThreads(4);
+  EnsembleModel off = EddeMethod(fx.config, options).Train(
+      fx.data.train, fx.factory);
+  const Tensor probs_off = off.PredictProbs(fx.data.test);
+
+  SetTracePath(::testing::TempDir() + "/determinism_trace.json");
+  EnsembleModel on = EddeMethod(fx.config, options).Train(
+      fx.data.train, fx.factory);
+  SetTracePath("");
   const Tensor probs_on = on.PredictProbs(fx.data.test);
 
   ExpectIdenticalProbs(probs_off, probs_on);

@@ -1,0 +1,117 @@
+#include "utils/json.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+namespace edde {
+namespace {
+
+TEST(JsonValueTest, ParsesScalars) {
+  JsonValue v;
+  ASSERT_TRUE(JsonValue::Parse("null", &v).ok());
+  EXPECT_TRUE(v.is_null());
+
+  ASSERT_TRUE(JsonValue::Parse("true", &v).ok());
+  ASSERT_TRUE(v.is_bool());
+  EXPECT_TRUE(v.AsBool());
+
+  ASSERT_TRUE(JsonValue::Parse("false", &v).ok());
+  EXPECT_FALSE(v.AsBool());
+
+  ASSERT_TRUE(JsonValue::Parse("-12.5e2", &v).ok());
+  ASSERT_TRUE(v.is_number());
+  EXPECT_DOUBLE_EQ(v.AsNumber(), -1250.0);
+
+  ASSERT_TRUE(JsonValue::Parse("\"hi\"", &v).ok());
+  ASSERT_TRUE(v.is_string());
+  EXPECT_EQ(v.AsString(), "hi");
+}
+
+TEST(JsonValueTest, ParsesStringEscapes) {
+  JsonValue v;
+  ASSERT_TRUE(
+      JsonValue::Parse(R"("a\"b\\c\/d\n\tA")", &v).ok());
+  EXPECT_EQ(v.AsString(), "a\"b\\c/d\n\tA");
+}
+
+TEST(JsonValueTest, ParsesNestedObjectsAndArrays) {
+  const std::string doc = R"({
+    "name": "edde",
+    "n": 3,
+    "flags": {"seed": "17", "gamma": "0.1"},
+    "values": [1, 2.5, {"k": true}, []]
+  })";
+  JsonValue v;
+  ASSERT_TRUE(JsonValue::Parse(doc, &v).ok());
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.Get("name")->AsString(), "edde");
+  EXPECT_DOUBLE_EQ(v.Get("n")->AsNumber(), 3.0);
+  EXPECT_EQ(v.Get("flags")->Get("seed")->AsString(), "17");
+  const auto& values = v.Get("values")->AsArray();
+  ASSERT_EQ(values.size(), 4u);
+  EXPECT_DOUBLE_EQ(values[1].AsNumber(), 2.5);
+  EXPECT_TRUE(values[2].Get("k")->AsBool());
+  EXPECT_TRUE(values[3].AsArray().empty());
+}
+
+TEST(JsonValueTest, ObjectKeysPreserveDocumentOrder) {
+  JsonValue v;
+  ASSERT_TRUE(JsonValue::Parse(R"({"z": 1, "a": 2, "m": 3})", &v).ok());
+  const auto& keys = v.ObjectKeys();
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], "z");
+  EXPECT_EQ(keys[1], "a");
+  EXPECT_EQ(keys[2], "m");
+}
+
+TEST(JsonValueTest, MissingKeysAndFallbacks) {
+  JsonValue v;
+  ASSERT_TRUE(JsonValue::Parse(R"({"x": 7, "s": "str"})", &v).ok());
+  EXPECT_TRUE(v.Has("x"));
+  EXPECT_FALSE(v.Has("y"));
+  EXPECT_EQ(v.Get("y"), nullptr);
+  EXPECT_DOUBLE_EQ(v.GetNumberOr("x", -1.0), 7.0);
+  EXPECT_DOUBLE_EQ(v.GetNumberOr("y", -1.0), -1.0);
+  // Mistyped member falls back too.
+  EXPECT_DOUBLE_EQ(v.GetNumberOr("s", -1.0), -1.0);
+  EXPECT_EQ(v.GetStringOr("s", "?"), "str");
+  EXPECT_EQ(v.GetStringOr("x", "?"), "?");
+}
+
+TEST(JsonValueTest, RejectsMalformedDocuments) {
+  JsonValue v;
+  EXPECT_FALSE(JsonValue::Parse("", &v).ok());
+  EXPECT_FALSE(JsonValue::Parse("{", &v).ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]", &v).ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":}", &v).ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated", &v).ok());
+  EXPECT_FALSE(JsonValue::Parse("nul", &v).ok());
+  // Trailing garbage after a complete document is an error.
+  EXPECT_FALSE(JsonValue::Parse("{} {}", &v).ok());
+  EXPECT_FALSE(JsonValue::Parse("1 2", &v).ok());
+}
+
+TEST(JsonValueTest, AcceptsTrailingWhitespace) {
+  JsonValue v;
+  EXPECT_TRUE(JsonValue::Parse("  {\"a\": 1}\n\t ", &v).ok());
+}
+
+TEST(JsonValueTest, ParseFileRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/json_test_doc.json";
+  {
+    std::ofstream out(path);
+    out << R"({"bench": "smoke", "regions": [{"region": "r", "count": 2}]})";
+  }
+  JsonValue v;
+  ASSERT_TRUE(JsonValue::ParseFile(path, &v).ok());
+  EXPECT_EQ(v.Get("bench")->AsString(), "smoke");
+  EXPECT_DOUBLE_EQ(
+      v.Get("regions")->AsArray()[0].GetNumberOr("count", 0), 2.0);
+
+  EXPECT_FALSE(JsonValue::ParseFile(path + ".does-not-exist", &v).ok());
+}
+
+}  // namespace
+}  // namespace edde

@@ -315,7 +315,7 @@ TEST(TraceScopeTest, AggregatesIntoTimeHistogram) {
     TraceScope scope("test.trace.region");
   }
   {
-    TraceScope scope(h);
+    TraceScope scope(GetTraceRegion("test.trace.region"));
   }
   EXPECT_EQ(h->Count(), before + 2);
   EXPECT_GE(h->Min(), 0.0);
@@ -324,11 +324,12 @@ TEST(TraceScopeTest, AggregatesIntoTimeHistogram) {
 TEST(TraceScopeTest, ConcurrentScopesAllLand) {
   SetNumThreads(4);
   Histogram* h = TraceHistogram("test.trace.concurrent");
+  const TraceRegion* region = GetTraceRegion("test.trace.concurrent");
   const int64_t before = h->Count();
   constexpr int64_t kN = 1000;
   ParallelFor(0, kN, 10, [&](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) {
-      TraceScope scope(h);
+      TraceScope scope(region);
     }
   });
   EXPECT_EQ(h->Count(), before + kN);

@@ -1,0 +1,229 @@
+/// bench_diff — compares two machine-readable bench outputs
+/// (BENCH_<name>.json, written by the bench harness's FinishExperiment)
+/// and reports per-region timing deltas and headline metric deltas.
+///
+///   bench_diff [--threshold=0.15] baseline.json candidate.json
+///   bench_diff --self-check file.json
+///
+/// A region regresses when the candidate's mean wall time exceeds the
+/// baseline's by more than the threshold fraction (and the region is big
+/// enough to matter — tiny regions are all scheduling noise). A headline
+/// regresses when its value drops by more than the threshold fraction.
+/// Exit code: 0 = no regressions, 1 = regressions found, 2 = bad
+/// input/usage. --self-check validates one file's structure and diffs it
+/// against itself (must produce zero regressions) — CI uses it to prove
+/// the whole bench-output pipeline round-trips.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "utils/json.h"
+#include "utils/table.h"
+
+namespace edde {
+namespace {
+
+/// Regions whose total time is below this are too small to judge — a few
+/// milliseconds of scheduling jitter would read as a 200% regression.
+constexpr double kMinComparableSeconds = 0.01;
+
+struct Region {
+  std::string name;
+  int64_t count = 0;
+  double total_seconds = 0.0;
+  double mean_seconds = 0.0;
+};
+
+struct Headline {
+  std::string key;
+  double value = 0.0;
+};
+
+struct BenchFile {
+  std::string bench;
+  std::string program;
+  std::string seed;
+  std::vector<Region> regions;
+  std::vector<Headline> headlines;
+};
+
+bool LoadBenchFile(const std::string& path, BenchFile* out,
+                   std::string* error) {
+  JsonValue root;
+  const Status status = JsonValue::ParseFile(path, &root);
+  if (!status.ok()) {
+    *error = status.ToString();
+    return false;
+  }
+  if (!root.Has("bench") || !root.Has("manifest") || !root.Has("regions") ||
+      !root.Has("headlines")) {
+    *error = path + ": missing bench/manifest/regions/headlines key";
+    return false;
+  }
+  out->bench = root.Get("bench")->AsString();
+  const JsonValue& manifest = *root.Get("manifest");
+  out->program = manifest.GetStringOr("program", "?");
+  out->seed = std::to_string(
+      static_cast<long long>(manifest.GetNumberOr("seed", 0)));
+  for (const JsonValue& r : root.Get("regions")->AsArray()) {
+    Region region;
+    region.name = r.GetStringOr("region", "");
+    if (region.name.empty()) {
+      *error = path + ": region entry without a name";
+      return false;
+    }
+    region.count = static_cast<int64_t>(r.GetNumberOr("count", 0));
+    region.total_seconds = r.GetNumberOr("total_seconds", 0.0);
+    region.mean_seconds = r.GetNumberOr("mean_seconds", 0.0);
+    out->regions.push_back(region);
+  }
+  for (const JsonValue& h : root.Get("headlines")->AsArray()) {
+    out->headlines.push_back(
+        Headline{h.GetStringOr("key", "?"), h.GetNumberOr("value", 0.0)});
+  }
+  return true;
+}
+
+const Region* FindRegion(const BenchFile& f, const std::string& name) {
+  for (const Region& r : f.regions) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+const Headline* FindHeadline(const BenchFile& f, const std::string& key) {
+  for (const Headline& h : f.headlines) {
+    if (h.key == key) return &h;
+  }
+  return nullptr;
+}
+
+std::string FormatDelta(double frac) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", frac * 100.0);
+  return buf;
+}
+
+int Diff(const BenchFile& base, const BenchFile& cand, double threshold) {
+  std::printf("baseline:  %s (bench=%s seed=%s)\n", base.program.c_str(),
+              base.bench.c_str(), base.seed.c_str());
+  std::printf("candidate: %s (bench=%s seed=%s)\n", cand.program.c_str(),
+              cand.bench.c_str(), cand.seed.c_str());
+  std::printf("threshold: %.0f%%\n\n", threshold * 100.0);
+
+  int regressions = 0;
+
+  TablePrinter timing({"Region", "Base mean", "Cand mean", "Delta", ""});
+  for (const Region& b : base.regions) {
+    const Region* c = FindRegion(cand, b.name);
+    if (c == nullptr) {
+      timing.AddRow({b.name, FormatFloat(b.mean_seconds, 6), "-", "gone", ""});
+      continue;
+    }
+    const double frac = b.mean_seconds > 0.0
+                            ? (c->mean_seconds - b.mean_seconds) /
+                                  b.mean_seconds
+                            : 0.0;
+    const bool comparable = b.total_seconds >= kMinComparableSeconds &&
+                            c->total_seconds >= kMinComparableSeconds;
+    const bool regressed = comparable && frac > threshold;
+    if (regressed) ++regressions;
+    timing.AddRow({b.name, FormatFloat(b.mean_seconds, 6),
+                   FormatFloat(c->mean_seconds, 6), FormatDelta(frac),
+                   regressed       ? "REGRESSED"
+                   : !comparable   ? "(noise)"
+                                   : ""});
+  }
+  for (const Region& c : cand.regions) {
+    if (FindRegion(base, c.name) == nullptr) {
+      timing.AddRow({c.name, "-", FormatFloat(c.mean_seconds, 6), "new", ""});
+    }
+  }
+  std::printf("-- per-region timing --\n");
+  timing.Print(std::cout);
+
+  TablePrinter heads({"Headline", "Base", "Cand", "Delta", ""});
+  for (const Headline& b : base.headlines) {
+    const Headline* c = FindHeadline(cand, b.key);
+    if (c == nullptr) {
+      heads.AddRow({b.key, FormatFloat(b.value, 4), "-", "gone", ""});
+      continue;
+    }
+    const double frac =
+        b.value != 0.0 ? (c->value - b.value) / std::fabs(b.value) : 0.0;
+    const bool regressed = frac < -threshold;
+    if (regressed) ++regressions;
+    heads.AddRow({b.key, FormatFloat(b.value, 4), FormatFloat(c->value, 4),
+                  FormatDelta(frac), regressed ? "REGRESSED" : ""});
+  }
+  if (!base.headlines.empty() || !cand.headlines.empty()) {
+    std::printf("\n-- headlines --\n");
+    heads.Print(std::cout);
+  }
+
+  std::printf("\n%d regression(s)\n", regressions);
+  return regressions == 0 ? 0 : 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff [--threshold=FRACTION] BASELINE CANDIDATE\n"
+               "       bench_diff --self-check FILE\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  double threshold = 0.15;
+  bool self_check = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-check") {
+      self_check = true;
+    } else if (arg.rfind("--threshold=", 0) == 0) {
+      threshold = std::atof(arg.c_str() + std::strlen("--threshold="));
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage();
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (self_check ? paths.size() != 1 : paths.size() != 2) return Usage();
+
+  std::string error;
+  BenchFile base;
+  if (!LoadBenchFile(paths[0], &base, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  if (self_check) {
+    std::printf("self-check: %s parses and has a manifest (program=%s)\n\n",
+                paths[0].c_str(), base.program.c_str());
+    const int rc = Diff(base, base, threshold);
+    if (rc != 0) {
+      std::fprintf(stderr, "self-check: file differs from itself?!\n");
+      return 1;
+    }
+    std::printf("self-check: OK\n");
+    return 0;
+  }
+  BenchFile cand;
+  if (!LoadBenchFile(paths[1], &cand, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  return Diff(base, cand, threshold);
+}
+
+}  // namespace
+}  // namespace edde
+
+int main(int argc, char** argv) { return edde::Main(argc, argv); }
