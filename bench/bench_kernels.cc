@@ -1,0 +1,201 @@
+/// Kernel micro-benchmarks for the packed GEMM layer and the row kernels
+/// behind it (DESIGN.md §10). Sweeps paper-relevant shapes — the 512³
+/// acceptance shape, dense-layer and im2col-conv shaped GEMMs — across
+/// every available kernel (scalar reference, portable SIMD, AVX2) and
+/// records GFLOP/s plus the allocation audit (tensor allocs + arena slab
+/// growth at steady state must both be zero) into BENCH_kernels.json.
+///
+/// CI gates on the *ratio* headlines (`gemm512.speedup_vs_scalar`,
+/// `alloc.steady_state_zero`), which are robust across machines because
+/// numerator and denominator come from the same run; the absolute GFLOP/s
+/// numbers are informational.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+#include "utils/arena.h"
+#include "utils/metrics.h"
+#include "utils/threadpool.h"
+#include "utils/trace.h"
+
+namespace edde {
+namespace bench {
+namespace {
+
+struct GemmShape {
+  const char* name;  // headline prefix
+  int64_t m, n, k;
+};
+
+/// Times `Gemm` for one kernel at one shape: one warm-up call (also grows
+/// the scratch arena to its high-water mark), then a calibrated loop long
+/// enough to clear bench_diff's noise floor.
+double TimeGemmGflops(GemmKernel kernel, const GemmShape& shape,
+                      double min_seconds, Rng* rng) {
+  SetGemmKernel(kernel);
+  Tensor a(Shape{shape.m, shape.k});
+  Tensor b(Shape{shape.k, shape.n});
+  Tensor c(Shape{shape.m, shape.n});
+  a.FillUniform(rng, -1.0f, 1.0f);
+  b.FillUniform(rng, -1.0f, 1.0f);
+
+  Gemm(false, false, 1.0f, a, b, 0.0f, &c);  // warm-up
+  Timer calibrate;
+  Gemm(false, false, 1.0f, a, b, 0.0f, &c);
+  const double once = std::max(calibrate.Seconds(), 1e-6);
+  const int reps =
+      static_cast<int>(std::max(1.0, std::min(1000.0, min_seconds / once)));
+
+  Timer timer;
+  for (int r = 0; r < reps; ++r) {
+    Gemm(false, false, 1.0f, a, b, 0.0f, &c);
+  }
+  const double seconds = timer.Seconds() / reps;
+  const double flops = 2.0 * static_cast<double>(shape.m) *
+                       static_cast<double>(shape.n) *
+                       static_cast<double>(shape.k);
+  return flops / seconds / 1e9;
+}
+
+/// Steady-state allocation audit: after a warm-up pass, a batch of GEMM +
+/// softmax calls must perform zero tensor allocations and zero arena slab
+/// growth (the "allocate twice, never again" contract from DESIGN.md §10).
+/// Returns 1.0 when the hot loop is allocation-free, 0.0 otherwise.
+double SteadyStateZeroAlloc(Rng* rng) {
+  Counter* const allocs = MetricsRegistry::Global().GetCounter("tensor.allocs");
+  Counter* const alloc_bytes =
+      MetricsRegistry::Global().GetCounter("tensor.alloc_bytes");
+  ScratchArena& arena = ScratchArena::ForCurrentThread();
+
+  const int64_t m = 96, n = 80, k = 128;
+  Tensor a(Shape{m, k}), bt(Shape{n, k}), c(Shape{m, n});
+  a.FillUniform(rng, -1.0f, 1.0f);
+  bt.FillUniform(rng, -1.0f, 1.0f);
+
+  auto hot_loop = [&] {
+    for (int r = 0; r < 8; ++r) {
+      // trans_b exercises the arena-backed packing path (the old kernel
+      // materialized a transposed Tensor copy here).
+      Gemm(false, true, 1.0f, a, bt, 0.0f, &c);
+    }
+  };
+  hot_loop();  // warm-up: grows arena to high water
+  hot_loop();  // second pass: consolidation (if any) happens here
+
+  const int64_t allocs_before = allocs->Value();
+  const int64_t bytes_before = alloc_bytes->Value();
+  const int64_t slabs_before = arena.slab_allocs();
+  hot_loop();
+  const int64_t alloc_delta = allocs->Value() - allocs_before;
+  const int64_t bytes_delta = alloc_bytes->Value() - bytes_before;
+  const int64_t slab_delta = arena.slab_allocs() - slabs_before;
+
+  std::printf("steady-state hot loop: %lld tensor allocs (%lld bytes), "
+              "%lld arena slab allocs\n",
+              static_cast<long long>(alloc_delta),
+              static_cast<long long>(bytes_delta),
+              static_cast<long long>(slab_delta));
+  RecordHeadline("alloc.hot_loop_tensor_allocs",
+                 static_cast<double>(alloc_delta));
+  RecordHeadline("alloc.hot_loop_arena_slabs",
+                 static_cast<double>(slab_delta));
+  return (alloc_delta == 0 && bytes_delta == 0 && slab_delta == 0) ? 1.0
+                                                                   : 0.0;
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  if (!InitExperiment(&flags, argc, argv)) return 0;
+  const Scale scale = ParseScale(flags.GetString("scale"));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  PrintBanner("Kernels: packed GEMM + row-kernel micro-benchmarks",
+              "not a paper experiment — measures the tensor kernel layer "
+              "(DESIGN.md §10): GFLOP/s per kernel per shape, speedup over "
+              "the scalar reference, steady-state allocation audit",
+              scale, seed);
+  Rng rng(seed);
+
+  // Single-threaded so the numbers measure the micro-kernel, not the pool.
+  SetNumThreads(1);
+  const double min_seconds = scale == Scale::kTiny ? 0.15 : 0.6;
+
+  // Paper-relevant shapes: the 512³ acceptance shape, a dense-layer GEMM
+  // (batch x classes x hidden) and an im2col conv GEMM (out-channels x
+  // output-pixels x patch) as they occur in the ResNet/TextCNN members.
+  const GemmShape shapes[] = {
+      {"gemm512", 512, 512, 512},
+      {"dense", 128, 10, 64},
+      {"conv_im2col", 32, 1024, 288},
+  };
+
+  std::vector<GemmKernel> kernels = {GemmKernel::kScalar,
+                                     GemmKernel::kPortable};
+  if (gemm_internal::Avx2Available()) kernels.push_back(GemmKernel::kAvx2);
+
+  for (const GemmShape& shape : shapes) {
+    double scalar_gflops = 0.0;
+    double best_packed = 0.0;
+    for (GemmKernel kernel : kernels) {
+      TraceScope ts(GetTraceRegion(
+          (std::string("bench.") + shape.name + "." + GemmKernelName(kernel))
+              .c_str()));
+      const double gflops = TimeGemmGflops(kernel, shape, min_seconds, &rng);
+      std::printf("%-12s %-8s m=%-4lld n=%-4lld k=%-4lld  %7.2f GFLOP/s\n",
+                  shape.name, GemmKernelName(kernel),
+                  static_cast<long long>(shape.m),
+                  static_cast<long long>(shape.n),
+                  static_cast<long long>(shape.k), gflops);
+      RecordHeadline(std::string(shape.name) + "." + GemmKernelName(kernel) +
+                         "_gflops",
+                     gflops);
+      if (kernel == GemmKernel::kScalar) {
+        scalar_gflops = gflops;
+      } else {
+        best_packed = std::max(best_packed, gflops);
+      }
+    }
+    RecordHeadline(std::string(shape.name) + ".packed_gflops", best_packed);
+    const double speedup =
+        scalar_gflops > 0.0 ? best_packed / scalar_gflops : 0.0;
+    RecordHeadline(std::string(shape.name) + ".speedup_vs_scalar", speedup);
+    std::printf("%-12s packed speedup vs scalar: %.2fx\n", shape.name,
+                speedup);
+  }
+
+  // Multi-threaded 512³ with automatic dispatch: proves the row partition
+  // composes with the kernel (informational, not gated).
+  SetGemmKernel(GemmKernel::kAuto);
+  SetNumThreads(4);
+  {
+    const GemmShape mt = {"gemm512", 512, 512, 512};
+    const double gflops =
+        TimeGemmGflops(ActiveGemmKernel(), mt, min_seconds, &rng);
+    std::printf("gemm512 auto (%s), 4 threads: %7.2f GFLOP/s\n",
+                GemmKernelName(ActiveGemmKernel()), gflops);
+    RecordHeadline("gemm512.mt4_gflops", gflops);
+  }
+  SetNumThreads(1);
+
+  const double zero_alloc = SteadyStateZeroAlloc(&rng);
+  RecordHeadline("alloc.steady_state_zero", zero_alloc);
+  RecordHeadline("arena.reserved_mb",
+                 static_cast<double>(TotalArenaReservedBytes()) / (1 << 20));
+
+  SetGemmKernel(GemmKernel::kAuto);
+  SetNumThreads(0);
+  FinishExperiment("kernels");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace edde
+
+int main(int argc, char** argv) { return edde::bench::Run(argc, argv); }

@@ -6,20 +6,27 @@
 
 namespace edde {
 
-std::vector<std::vector<int64_t>> MakeBatches(int64_t n, int64_t batch_size,
-                                              bool shuffle, Rng* rng) {
+void BatchPlan::Build(int64_t n, int64_t batch_size, bool shuffle, Rng* rng) {
   EDDE_CHECK_GT(n, 0);
   EDDE_CHECK_GT(batch_size, 0);
-  std::vector<int64_t> order(static_cast<size_t>(n));
-  std::iota(order.begin(), order.end(), 0);
+  batch_size_ = batch_size;
+  order_.resize(static_cast<size_t>(n));
+  std::iota(order_.begin(), order_.end(), 0);
   if (shuffle) {
     EDDE_CHECK(rng != nullptr);
-    rng->Shuffle(&order);
+    rng->Shuffle(&order_);
   }
+}
+
+std::vector<std::vector<int64_t>> MakeBatches(int64_t n, int64_t batch_size,
+                                              bool shuffle, Rng* rng) {
+  BatchPlan plan;
+  plan.Build(n, batch_size, shuffle, rng);
   std::vector<std::vector<int64_t>> batches;
-  for (int64_t start = 0; start < n; start += batch_size) {
-    const int64_t end = std::min(n, start + batch_size);
-    batches.emplace_back(order.begin() + start, order.begin() + end);
+  batches.reserve(static_cast<size_t>(plan.num_batches()));
+  for (int64_t b = 0; b < plan.num_batches(); ++b) {
+    const int64_t* idx = plan.batch(b);
+    batches.emplace_back(idx, idx + plan.batch_len(b));
   }
   return batches;
 }

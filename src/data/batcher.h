@@ -8,10 +8,41 @@
 
 namespace edde {
 
-/// Splits [0, n) into consecutive minibatches of `batch_size` (the last may
-/// be smaller), optionally over a shuffled permutation. Batches carry
-/// *dataset indices* so training loops can look up per-sample boosting
-/// weights and cached ensemble soft targets.
+/// One epoch's minibatch schedule over dataset indices, stored flat so a
+/// training loop can rebuild it every epoch without allocating: the
+/// permutation lives in one vector whose capacity is reused, and each batch
+/// is a (pointer, size) view into it. Batches carry *dataset indices* so
+/// training loops can look up per-sample boosting weights and cached
+/// ensemble soft targets.
+class BatchPlan {
+ public:
+  int64_t num_batches() const {
+    return batch_size_ == 0
+               ? 0
+               : (size() + batch_size_ - 1) / batch_size_;
+  }
+  int64_t size() const { return static_cast<int64_t>(order_.size()); }
+
+  /// Dataset indices of batch `b`; valid until the next Build on this plan.
+  const int64_t* batch(int64_t b) const { return order_.data() + b * batch_size_; }
+  int64_t batch_len(int64_t b) const {
+    const int64_t start = b * batch_size_;
+    const int64_t len = size() - start;
+    return len < batch_size_ ? len : batch_size_;
+  }
+
+  /// Rebuilds the schedule for [0, n) in place (capacity is retained).
+  /// Consecutive slices of `batch_size` (the last may be smaller),
+  /// optionally over a shuffled permutation.
+  void Build(int64_t n, int64_t batch_size, bool shuffle, Rng* rng);
+
+ private:
+  std::vector<int64_t> order_;
+  int64_t batch_size_ = 0;
+};
+
+/// Copying convenience wrapper around BatchPlan::Build for callers that
+/// want owned per-batch vectors (tests, evaluation loops).
 std::vector<std::vector<int64_t>> MakeBatches(int64_t n, int64_t batch_size,
                                               bool shuffle, Rng* rng);
 

@@ -40,27 +40,41 @@ Dataset Dataset::Subset(const std::vector<int64_t>& indices,
 }
 
 Tensor Dataset::GatherFeatures(const std::vector<int64_t>& indices) const {
-  const int64_t row = sample_elements();
-  std::vector<int64_t> dims = SampleDims();
-  dims.insert(dims.begin(), static_cast<int64_t>(indices.size()));
-  Tensor out{Shape(dims)};
-  for (size_t i = 0; i < indices.size(); ++i) {
-    const int64_t src = indices[i];
-    EDDE_CHECK_GE(src, 0);
-    EDDE_CHECK_LT(src, size());
-    std::memcpy(out.data() + static_cast<int64_t>(i) * row,
-                features_.data() + src * row, sizeof(float) * row);
-  }
+  Tensor out;
+  GatherFeaturesInto(indices.data(), static_cast<int64_t>(indices.size()),
+                     &out);
   return out;
 }
 
 std::vector<int> Dataset::GatherLabels(
     const std::vector<int64_t>& indices) const {
-  std::vector<int> out(indices.size());
-  for (size_t i = 0; i < indices.size(); ++i) {
-    out[i] = labels_[static_cast<size_t>(indices[i])];
-  }
+  std::vector<int> out;
+  GatherLabelsInto(indices.data(), static_cast<int64_t>(indices.size()), &out);
   return out;
+}
+
+void Dataset::GatherFeaturesInto(const int64_t* indices, int64_t count,
+                                 Tensor* out) const {
+  const int64_t row = sample_elements();
+  std::vector<int64_t> dims = SampleDims();
+  dims.insert(dims.begin(), count);
+  Shape shape(dims);
+  if (out->empty() || !(out->shape() == shape)) *out = Tensor(shape);
+  for (int64_t i = 0; i < count; ++i) {
+    const int64_t src = indices[i];
+    EDDE_CHECK_GE(src, 0);
+    EDDE_CHECK_LT(src, size());
+    std::memcpy(out->data() + i * row, features_.data() + src * row,
+                sizeof(float) * row);
+  }
+}
+
+void Dataset::GatherLabelsInto(const int64_t* indices, int64_t count,
+                               std::vector<int>* out) const {
+  out->resize(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    (*out)[static_cast<size_t>(i)] = labels_[static_cast<size_t>(indices[i])];
+  }
 }
 
 }  // namespace edde

@@ -44,6 +44,15 @@ class Dataset {
   /// Gathers the labels for the given sample indices.
   std::vector<int> GatherLabels(const std::vector<int64_t>& indices) const;
 
+  /// Allocation-free variants for hot training loops: `out` is reused when
+  /// its shape already matches (B, ...) and reallocated otherwise, so a
+  /// steady-state epoch stages every batch into the same buffer. `indices`
+  /// points at `count` dataset indices (e.g. a BatchPlan batch view).
+  void GatherFeaturesInto(const int64_t* indices, int64_t count,
+                          Tensor* out) const;
+  void GatherLabelsInto(const int64_t* indices, int64_t count,
+                        std::vector<int>* out) const;
+
  private:
   std::string name_;
   Tensor features_;

@@ -44,6 +44,18 @@ double TrainModel(Module* model, const Dataset& train,
       GetTraceRegion("trainer.epoch");
   TraceScope train_scope(GetTraceRegion("trainer.train_model"));
 
+  // Staging buffers reused across batches (and epochs): the batch plan's
+  // permutation, the gathered features/labels and the per-batch context
+  // slices all keep their capacity, so a steady-state epoch performs no
+  // per-batch heap allocation on this path. Reusing `x_staging` is safe
+  // because the previous batch's backward pass has finished before the
+  // next gather overwrites it.
+  BatchPlan plan;
+  Tensor x_staging;
+  std::vector<int> y;
+  std::vector<float> weights;
+  Tensor reference;
+
   double last_epoch_loss = 0.0;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     TraceScope epoch_scope(epoch_region);
@@ -52,32 +64,35 @@ double TrainModel(Module* model, const Dataset& train,
       optimizer.set_learning_rate(
           config.schedule->LearningRate(epoch, config.epochs));
     }
-    const auto batches = MakeBatches(n, config.batch_size, /*shuffle=*/true,
-                                     &rng);
+    plan.Build(n, config.batch_size, /*shuffle=*/true, &rng);
     double epoch_loss = 0.0;
     int64_t seen = 0;
-    for (const auto& batch : batches) {
+    for (int64_t b = 0; b < plan.num_batches(); ++b) {
       TraceScope batch_scope(batch_region);
-      Tensor x = train.GatherFeatures(batch);
+      const int64_t* batch = plan.batch(b);
+      const int64_t bsz = plan.batch_len(b);
+      train.GatherFeaturesInto(batch, bsz, &x_staging);
+      Tensor x = x_staging;
       if (config.augment && image_batch) {
-        x = AugmentImageBatch(x, config.augment_config, &rng);
+        x = AugmentImageBatch(x_staging, config.augment_config, &rng);
       }
-      const std::vector<int> y = train.GatherLabels(batch);
+      train.GatherLabelsInto(batch, bsz, &y);
 
       // Per-batch slices of the per-sample context.
-      std::vector<float> weights;
+      weights.clear();
       if (context.sample_weights != nullptr) {
-        weights.reserve(batch.size());
-        for (int64_t idx : batch) {
+        weights.reserve(static_cast<size_t>(bsz));
+        for (int64_t i = 0; i < bsz; ++i) {
           weights.push_back(
-              (*context.sample_weights)[static_cast<size_t>(idx)]);
+              (*context.sample_weights)[static_cast<size_t>(batch[i])]);
         }
       }
-      Tensor reference;
       if (context.reference_probs != nullptr) {
-        reference = Tensor(Shape{static_cast<int64_t>(batch.size()), k});
-        for (size_t i = 0; i < batch.size(); ++i) {
-          std::memcpy(reference.data() + static_cast<int64_t>(i) * k,
+        if (reference.empty() || reference.shape().dim(0) != bsz) {
+          reference = Tensor(Shape{bsz, k});
+        }
+        for (int64_t i = 0; i < bsz; ++i) {
+          std::memcpy(reference.data() + i * k,
                       context.reference_probs->data() + batch[i] * k,
                       sizeof(float) * k);
         }
@@ -90,8 +105,8 @@ double TrainModel(Module* model, const Dataset& train,
       optimizer.Step();
       model->ZeroGrad();
 
-      epoch_loss += loss.loss * static_cast<double>(batch.size());
-      seen += static_cast<int64_t>(batch.size());
+      epoch_loss += loss.loss * static_cast<double>(bsz);
+      seen += bsz;
     }
     last_epoch_loss = epoch_loss / static_cast<double>(seen);
 
@@ -100,7 +115,7 @@ double TrainModel(Module* model, const Dataset& train,
     stats.mean_loss = last_epoch_loss;
     stats.learning_rate = optimizer.learning_rate();
     stats.samples = seen;
-    stats.batches = static_cast<int64_t>(batches.size());
+    stats.batches = plan.num_batches();
     stats.epoch_seconds = epoch_timer.Seconds();
     stats.samples_per_sec =
         stats.epoch_seconds > 0.0

@@ -8,28 +8,27 @@ namespace edde {
 
 Tensor ReLU::Forward(const Tensor& input, bool /*training*/) {
   Tensor output(input.shape());
-  cached_mask_ = Tensor(input.shape());
   const float* x = input.data();
   float* y = output.data();
-  float* m = cached_mask_.data();
   const int64_t n = input.num_elements();
-  for (int64_t i = 0; i < n; ++i) {
-    const bool on = x[i] > 0.0f;
-    y[i] = on ? x[i] : 0.0f;
-    m[i] = on ? 1.0f : 0.0f;
-  }
+#pragma omp simd
+  for (int64_t i = 0; i < n; ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  // The output itself encodes the mask (y > 0 iff x > 0 passed through),
+  // so backward needs no separate mask tensor.
+  cached_output_ = output;
   return output;
 }
 
 Tensor ReLU::Backward(const Tensor& grad_output) {
-  EDDE_CHECK(!cached_mask_.empty()) << "Backward before Forward";
-  EDDE_CHECK(grad_output.shape() == cached_mask_.shape());
+  EDDE_CHECK(!cached_output_.empty()) << "Backward before Forward";
+  EDDE_CHECK(grad_output.shape() == cached_output_.shape());
   Tensor grad_input(grad_output.shape());
   const float* dy = grad_output.data();
-  const float* m = cached_mask_.data();
+  const float* y = cached_output_.data();
   float* dx = grad_input.data();
   const int64_t n = grad_output.num_elements();
-  for (int64_t i = 0; i < n; ++i) dx[i] = dy[i] * m[i];
+#pragma omp simd
+  for (int64_t i = 0; i < n; ++i) dx[i] = y[i] > 0.0f ? dy[i] : 0.0f;
   return grad_input;
 }
 

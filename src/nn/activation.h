@@ -19,7 +19,7 @@ class ReLU : public Module {
   std::string name() const override { return "relu"; }
 
  private:
-  Tensor cached_mask_;  // 1 where input > 0
+  Tensor cached_output_;  // y > 0 iff the input passed through
 };
 
 /// Hyperbolic tangent, elementwise. Parameter-free.

@@ -23,12 +23,12 @@ Tensor Dense::Forward(const Tensor& input, bool /*training*/) {
   cached_input_ = input;
   const int64_t n = input.shape().dim(0);
   Tensor output(Shape{n, out_features_});
-  // y = x @ W^T
-  Gemm(false, true, 1.0f, input, weight_.value, 0.0f, &output);
-  for (int64_t i = 0; i < n; ++i) {
-    float* row = output.data() + i * out_features_;
-    for (int64_t j = 0; j < out_features_; ++j) row[j] += bias_.value.data()[j];
-  }
+  // y = x @ W^T + b, with the bias broadcast fused into the gemm epilogue
+  // (output columns are features, so the broadcast is per column).
+  GemmEpilogue epi;
+  epi.bias = GemmEpilogue::Bias::kPerCol;
+  epi.bias_data = bias_.value.data();
+  GemmEx(false, true, 1.0f, input, weight_.value, 0.0f, &output, epi);
   return output;
 }
 

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <limits>
 
+#include "tensor/gemm.h"
+#include "utils/arena.h"
 #include "utils/logging.h"
 #include "utils/threadpool.h"
 
@@ -24,97 +26,35 @@ int64_t RowGrain(int64_t work_per_row, int64_t target_work) {
   return grain < 1 ? 1 : grain;
 }
 
-// Inner kernel: c[M,N] += alpha * a[M,K] * b[K,N] for row-major contiguous
-// blocks, K-innermost with register accumulation over rows of b.
-void GemmBlockNN(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
-                 int64_t lda, const float* b, int64_t ldb, float* c,
-                 int64_t ldc) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * lda;
-    float* crow = c + i * ldc;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = alpha * arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * ldb;
-      for (int64_t j = 0; j < n; ++j) {
-        crow[j] += av * brow[j];
-      }
-    }
-  }
+void CheckGemmShapes(bool trans_a, bool trans_b, const Tensor& a,
+                     const Tensor& b, const Tensor& c, int64_t* m, int64_t* n,
+                     int64_t* k) {
+  EDDE_CHECK_EQ(a.shape().rank(), 2);
+  EDDE_CHECK_EQ(b.shape().rank(), 2);
+  EDDE_CHECK_EQ(c.shape().rank(), 2);
+  *m = trans_a ? a.shape().dim(1) : a.shape().dim(0);
+  *k = trans_a ? a.shape().dim(0) : a.shape().dim(1);
+  const int64_t kb = trans_b ? b.shape().dim(1) : b.shape().dim(0);
+  *n = trans_b ? b.shape().dim(0) : b.shape().dim(1);
+  EDDE_CHECK_EQ(*k, kb) << "gemm inner dimension mismatch";
+  EDDE_CHECK_EQ(c.shape().dim(0), *m);
+  EDDE_CHECK_EQ(c.shape().dim(1), *n);
 }
 
 }  // namespace
 
 void Gemm(bool trans_a, bool trans_b, float alpha, const Tensor& a,
           const Tensor& b, float beta, Tensor* c) {
-  EDDE_CHECK_EQ(a.shape().rank(), 2);
-  EDDE_CHECK_EQ(b.shape().rank(), 2);
-  EDDE_CHECK_EQ(c->shape().rank(), 2);
-  const int64_t m = trans_a ? a.shape().dim(1) : a.shape().dim(0);
-  const int64_t k = trans_a ? a.shape().dim(0) : a.shape().dim(1);
-  const int64_t kb = trans_b ? b.shape().dim(1) : b.shape().dim(0);
-  const int64_t n = trans_b ? b.shape().dim(0) : b.shape().dim(1);
-  EDDE_CHECK_EQ(k, kb) << "gemm inner dimension mismatch";
-  EDDE_CHECK_EQ(c->shape().dim(0), m);
-  EDDE_CHECK_EQ(c->shape().dim(1), n);
+  GemmEx(trans_a, trans_b, alpha, a, b, beta, c, GemmEpilogue());
+}
 
-  if (beta == 0.0f) {
-    c->Fill(0.0f);
-  } else if (beta != 1.0f) {
-    Scale(beta, c);
-  }
-
-  // Materialize transposed operands once; simpler than four kernel variants
-  // and the copies are small relative to the O(MNK) work.
-  Tensor a_copy, b_copy;
-  const float* pa = a.data();
-  const float* pb = b.data();
-  int64_t lda = a.shape().dim(1);
-  int64_t ldb = b.shape().dim(1);
-  if (trans_a) {
-    a_copy = Tensor(Shape{m, k});
-    for (int64_t i = 0; i < m; ++i) {
-      for (int64_t p = 0; p < k; ++p) {
-        a_copy.data()[i * k + p] = pa[p * m + i];
-      }
-    }
-    pa = a_copy.data();
-    lda = k;
-  }
-  if (trans_b) {
-    b_copy = Tensor(Shape{k, n});
-    for (int64_t p = 0; p < k; ++p) {
-      for (int64_t j = 0; j < n; ++j) {
-        b_copy.data()[p * n + j] = pb[j * k + p];
-      }
-    }
-    pb = b_copy.data();
-    ldb = n;
-  }
-
-  // Cache blocking; the row dimension is additionally split across the
-  // thread pool. Each chunk owns a disjoint set of C rows and walks the
-  // k/n blocks in the same serial order as the single-threaded code, so the
-  // accumulation order per row — and hence the result — is bit-identical
-  // regardless of thread count.
-  constexpr int64_t kBlockM = 64;
-  constexpr int64_t kBlockN = 256;
-  constexpr int64_t kBlockK = 64;
-  float* pc = c->data();
-  const int64_t grain = std::max(kBlockM, RowGrain(n * k, 1 << 18));
-  ParallelFor(0, m, grain, [&](int64_t r0, int64_t r1) {
-    for (int64_t i0 = r0; i0 < r1; i0 += kBlockM) {
-      const int64_t mb = std::min(kBlockM, r1 - i0);
-      for (int64_t p0 = 0; p0 < k; p0 += kBlockK) {
-        const int64_t kblk = std::min(kBlockK, k - p0);
-        for (int64_t j0 = 0; j0 < n; j0 += kBlockN) {
-          const int64_t nb = std::min(kBlockN, n - j0);
-          GemmBlockNN(mb, nb, kblk, alpha, pa + i0 * lda + p0, lda,
-                      pb + p0 * ldb + j0, ldb, pc + i0 * n + j0, n);
-        }
-      }
-    }
-  });
+void GemmEx(bool trans_a, bool trans_b, float alpha, const Tensor& a,
+            const Tensor& b, float beta, Tensor* c,
+            const GemmEpilogue& epilogue) {
+  int64_t m = 0, n = 0, k = 0;
+  CheckGemmShapes(trans_a, trans_b, a, b, *c, &m, &n, &k);
+  GemmRaw(trans_a, trans_b, m, n, k, alpha, a.data(), a.shape().dim(1),
+          b.data(), b.shape().dim(1), beta, c->data(), n, epilogue);
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -128,12 +68,14 @@ void Axpy(float alpha, const Tensor& x, Tensor* y) {
   const float* px = x.data();
   float* py = y->data();
   const int64_t n = x.num_elements();
+#pragma omp simd
   for (int64_t i = 0; i < n; ++i) py[i] += alpha * px[i];
 }
 
 void Scale(float alpha, Tensor* x) {
   float* p = x->data();
   const int64_t n = x->num_elements();
+#pragma omp simd
   for (int64_t i = 0; i < n; ++i) p[i] *= alpha;
 }
 
@@ -158,6 +100,7 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   const float* pb = b.data();
   float* po = out.data();
   const int64_t n = a.num_elements();
+#pragma omp simd
   for (int64_t i = 0; i < n; ++i) po[i] = pa[i] * pb[i];
   return out;
 }
@@ -174,6 +117,22 @@ double Dot(const Tensor& a, const Tensor& b) {
 
 double SquaredNorm(const Tensor& x) { return Dot(x, x); }
 
+void SoftmaxRow(const float* row, int64_t k, float* orow) {
+  float mx = row[0];
+  // max is exact (no rounding), so the vectorized reduction is
+  // bit-identical to the serial loop.
+#pragma omp simd reduction(max : mx)
+  for (int64_t j = 1; j < k; ++j) mx = std::max(mx, row[j]);
+  double total = 0.0;
+  for (int64_t j = 0; j < k; ++j) {
+    orow[j] = std::exp(row[j] - mx);
+    total += orow[j];
+  }
+  const float inv = static_cast<float>(1.0 / total);
+#pragma omp simd
+  for (int64_t j = 0; j < k; ++j) orow[j] *= inv;
+}
+
 Tensor Softmax(const Tensor& logits) {
   EDDE_CHECK_EQ(logits.shape().rank(), 2);
   const int64_t n = logits.shape().dim(0);
@@ -181,17 +140,7 @@ Tensor Softmax(const Tensor& logits) {
   Tensor out(logits.shape());
   ParallelFor(0, n, RowGrain(k, 1 << 14), [&](int64_t r0, int64_t r1) {
     for (int64_t i = r0; i < r1; ++i) {
-      const float* row = logits.data() + i * k;
-      float* orow = out.data() + i * k;
-      float mx = row[0];
-      for (int64_t j = 1; j < k; ++j) mx = std::max(mx, row[j]);
-      double total = 0.0;
-      for (int64_t j = 0; j < k; ++j) {
-        orow[j] = std::exp(row[j] - mx);
-        total += orow[j];
-      }
-      const float inv = static_cast<float>(1.0 / total);
-      for (int64_t j = 0; j < k; ++j) orow[j] *= inv;
+      SoftmaxRow(logits.data() + i * k, k, out.data() + i * k);
     }
   });
   return out;
@@ -244,6 +193,10 @@ std::vector<float> RowL2Distance(const Tensor& a, const Tensor& b) {
       const float* ra = a.data() + i * k;
       const float* rb = b.data() + i * k;
       double acc = 0.0;
+      // Vector reassociation of the double sum is fine here: the value is
+      // deterministic for a fixed binary and thread-count independent
+      // (per-row), and no test compares it against a serial reference.
+#pragma omp simd reduction(+ : acc)
       for (int64_t j = 0; j < k; ++j) {
         const double d = static_cast<double>(ra[j]) - rb[j];
         acc += d * d;
@@ -332,26 +285,25 @@ Tensor Conv2dForward(const Tensor& input, const Tensor& weight,
   const int64_t cols_rows = cin * geom.kernel * geom.kernel;
 
   Tensor output(Shape{batch, geom.out_channels, oh, ow});
-  Tensor w2d = weight.Reshape(Shape{geom.out_channels, cols_rows});
+  const float* w2d = weight.data();  // (OC, C*k*k) view of the kernel
+  GemmEpilogue epi;
+  if (!bias.empty()) {
+    // Output rows are channels, so the bias broadcast is per C row and the
+    // gemm writes finished activations — no second pass, no out2d staging.
+    epi.bias = GemmEpilogue::Bias::kPerRow;
+    epi.bias_data = bias.data();
+  }
   // Samples are independent: parallelize the batch loop with per-chunk
-  // scratch buffers. The nested Im2Col/Gemm calls detect they are inside a
+  // arena scratch. The nested Im2Col/GemmRaw calls detect they are inside a
   // parallel region and run serially, so there is no oversubscription.
   ParallelFor(0, batch, 1, [&](int64_t n0, int64_t n1) {
-    Tensor cols(Shape{cols_rows, oh * ow});
-    Tensor out2d(Shape{geom.out_channels, oh * ow});
+    ArenaScope scope;
+    float* cols = scope.AllocFloats(cols_rows * oh * ow);
     for (int64_t n = n0; n < n1; ++n) {
-      Im2Col(input.data() + n * cin * h * w, cin, h, w, geom, cols.data());
-      Gemm(false, false, 1.0f, w2d, cols, 0.0f, &out2d);
-      float* dst = output.data() + n * geom.out_channels * oh * ow;
-      std::memcpy(dst, out2d.data(),
-                  sizeof(float) * geom.out_channels * oh * ow);
-      if (!bias.empty()) {
-        for (int64_t oc = 0; oc < geom.out_channels; ++oc) {
-          const float bv = bias.data()[oc];
-          float* ochan = dst + oc * oh * ow;
-          for (int64_t i = 0; i < oh * ow; ++i) ochan[i] += bv;
-        }
-      }
+      Im2Col(input.data() + n * cin * h * w, cin, h, w, geom, cols);
+      GemmRaw(false, false, geom.out_channels, oh * ow, cols_rows, 1.0f, w2d,
+              cols_rows, cols, oh * ow, 0.0f,
+              output.data() + n * geom.out_channels * oh * ow, oh * ow, epi);
     }
   });
   return output;
@@ -369,24 +321,26 @@ Tensor Conv2dBackward(const Tensor& input, const Tensor& weight,
   const int64_t cols_rows = cin * geom.kernel * geom.kernel;
 
   Tensor grad_input(input.shape(), 0.0f);
-  Tensor cols(Shape{cols_rows, oh * ow});
-  Tensor grad_cols(Shape{cols_rows, oh * ow});
-  Tensor w2d = weight.Reshape(Shape{geom.out_channels, cols_rows});
-  Tensor wg2d = weight_grad->Reshape(Shape{geom.out_channels, cols_rows});
+  ArenaScope scope;
+  float* cols = scope.AllocFloats(cols_rows * oh * ow);
+  float* grad_cols = scope.AllocFloats(cols_rows * oh * ow);
+  const float* w2d = weight.data();       // (OC, C*k*k)
+  float* wg2d = weight_grad->data();      // (OC, C*k*k)
 
   for (int64_t n = 0; n < batch; ++n) {
+    // One sample of dY is already a contiguous (OC, OH*OW) matrix; use it
+    // in place instead of staging a go2d copy.
     const float* go = grad_out.data() + n * geom.out_channels * oh * ow;
-    Tensor go2d(Shape{geom.out_channels, oh * ow});
-    std::memcpy(go2d.data(), go, sizeof(float) * geom.out_channels * oh * ow);
 
     // dW += dY @ cols^T
-    Im2Col(input.data() + n * cin * h * w, cin, h, w, geom, cols.data());
-    Gemm(false, true, 1.0f, go2d, cols, 1.0f, &wg2d);
+    Im2Col(input.data() + n * cin * h * w, cin, h, w, geom, cols);
+    GemmRaw(false, true, geom.out_channels, cols_rows, oh * ow, 1.0f, go,
+            oh * ow, cols, oh * ow, 1.0f, wg2d, cols_rows);
 
     // dCols = W^T @ dY ; dX = col2im(dCols)
-    Gemm(true, false, 1.0f, w2d, go2d, 0.0f, &grad_cols);
-    Col2Im(grad_cols.data(), cin, h, w, geom,
-           grad_input.data() + n * cin * h * w);
+    GemmRaw(true, false, cols_rows, oh * ow, geom.out_channels, 1.0f, w2d,
+            cols_rows, go, oh * ow, 0.0f, grad_cols, oh * ow);
+    Col2Im(grad_cols, cin, h, w, geom, grad_input.data() + n * cin * h * w);
 
     if (bias_grad != nullptr && !bias_grad->empty()) {
       for (int64_t oc = 0; oc < geom.out_channels; ++oc) {
@@ -410,29 +364,49 @@ Tensor Conv1dForward(const Tensor& input, const Tensor& weight,
   const int64_t olen = geom.OutExtent(len);
   EDDE_CHECK_GT(olen, 0) << "conv1d output is empty";
 
-  Tensor output(Shape{batch, geom.out_channels, olen}, 0.0f);
-  // Direct triple loop; kernel*channels is small for TextCNN.
-  for (int64_t n = 0; n < batch; ++n) {
-    const float* in = input.data() + n * cin * len;
-    float* out = output.data() + n * geom.out_channels * olen;
-    for (int64_t oc = 0; oc < geom.out_channels; ++oc) {
-      const float* wrow = weight.data() + oc * cin * geom.kernel;
-      float* orow = out + oc * olen;
-      for (int64_t t = 0; t < olen; ++t) {
-        double acc = bias.empty() ? 0.0 : bias.data()[oc];
-        const int64_t start = t * geom.stride - geom.padding;
+  Tensor output(Shape{batch, geom.out_channels, olen});
+  // Each (c, k) tap is an axpy over the valid output positions, which
+  // vectorizes over t (the old layout reduced over the short c*k axis per
+  // output element and could not). Samples are independent, so the batch
+  // loop parallelizes; per-sample work stays serial and deterministic.
+  const int64_t work =
+      geom.out_channels * olen * (cin * geom.kernel + 1);
+  ParallelFor(0, batch, RowGrain(work, 1 << 16), [&](int64_t n0, int64_t n1) {
+    for (int64_t n = n0; n < n1; ++n) {
+      const float* in = input.data() + n * cin * len;
+      float* out = output.data() + n * geom.out_channels * olen;
+      for (int64_t oc = 0; oc < geom.out_channels; ++oc) {
+        const float* wrow = weight.data() + oc * cin * geom.kernel;
+        float* orow = out + oc * olen;
+        const float bv = bias.empty() ? 0.0f : bias.data()[oc];
+#pragma omp simd
+        for (int64_t t = 0; t < olen; ++t) orow[t] = bv;
         for (int64_t c = 0; c < cin; ++c) {
           const float* irow = in + c * len;
           const float* wk = wrow + c * geom.kernel;
           for (int64_t k = 0; k < geom.kernel; ++k) {
-            const int64_t pos = start + k;
-            if (pos >= 0 && pos < len) acc += irow[pos] * wk[k];
+            const float wv = wk[k];
+            // Valid t: 0 <= t*stride + off < len.
+            const int64_t off = k - geom.padding;
+            const int64_t t_lo =
+                off >= 0 ? 0 : (-off + geom.stride - 1) / geom.stride;
+            const int64_t t_hi = std::min(
+                olen, off >= len ? int64_t{0}
+                                 : (len - off + geom.stride - 1) / geom.stride);
+            if (geom.stride == 1) {
+              const float* src = irow + off;
+#pragma omp simd
+              for (int64_t t = t_lo; t < t_hi; ++t) orow[t] += wv * src[t];
+            } else {
+              for (int64_t t = t_lo; t < t_hi; ++t) {
+                orow[t] += wv * irow[t * geom.stride + off];
+              }
+            }
           }
         }
-        orow[t] = static_cast<float>(acc);
       }
     }
-  }
+  });
   return output;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "tensor/gemm.h"
 #include "tensor/tensor.h"
 
 namespace edde {
@@ -14,9 +15,15 @@ namespace edde {
 
 /// C = alpha * op(A) @ op(B) + beta * C, with op controlled by the transpose
 /// flags. A is (M, K) after op, B is (K, N) after op, C must be (M, N).
-/// Cache-blocked row-major implementation.
+/// Packed, cache-blocked, SIMD row-major implementation (tensor/gemm.h).
 void Gemm(bool trans_a, bool trans_b, float alpha, const Tensor& a,
           const Tensor& b, float beta, Tensor* c);
+
+/// Gemm with a fused epilogue (bias broadcast and/or ReLU) applied to the
+/// final C tiles, so layer forward passes skip the extra activation sweep.
+void GemmEx(bool trans_a, bool trans_b, float alpha, const Tensor& a,
+            const Tensor& b, float beta, Tensor* c,
+            const GemmEpilogue& epilogue);
 
 /// Returns A @ B for 2-D tensors.
 Tensor MatMul(const Tensor& a, const Tensor& b);
@@ -49,6 +56,12 @@ double SquaredNorm(const Tensor& x);
 // ---------------------------------------------------------------------------
 // Row-wise ops on (N, K) matrices
 // ---------------------------------------------------------------------------
+
+/// Numerically stabilized softmax of one row of `k` logits into `orow`.
+/// Softmax() and the fused softmax+cross-entropy in nn/loss.cc both call
+/// this, which is what keeps the loss's probs field bit-identical to
+/// Softmax() output.
+void SoftmaxRow(const float* row, int64_t k, float* orow);
 
 /// Row-wise softmax of logits (N, K); numerically stabilized.
 Tensor Softmax(const Tensor& logits);

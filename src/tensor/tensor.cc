@@ -6,10 +6,21 @@
 #include <sstream>
 
 #include "utils/logging.h"
+#include "utils/metrics.h"
 
 namespace edde {
 
 Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+  // Heap-traffic telemetry for the kernel hot path: bench_kernels reads
+  // these to show that steady-state training allocates no per-batch tensor
+  // scratch (the arena absorbs it).
+  static Counter* const allocs =
+      MetricsRegistry::Global().GetCounter("tensor.allocs");
+  static Counter* const alloc_bytes =
+      MetricsRegistry::Global().GetCounter("tensor.alloc_bytes");
+  allocs->Increment();
+  alloc_bytes->Increment(
+      static_cast<int64_t>(sizeof(float)) * shape_.num_elements());
   data_ = std::shared_ptr<float[]>(new float[shape_.num_elements()]);
 }
 

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "utils/arena.h"
 #include "utils/logging.h"
 #include "utils/metrics.h"
 #include "utils/run_manifest.h"
@@ -155,6 +156,10 @@ class ThreadPool {
     std::snprintf(track_name, sizeof(track_name), "pool/worker %d",
                   worker_index + 1);
     SetTraceThreadName(track_name);
+    // Touch the worker's scratch arena up front so its thread_local is
+    // constructed outside any timed region; kernels running on this worker
+    // then bump-allocate from it with no lazy-init branch in the hot path.
+    ScratchArena::ForCurrentThread();
     uint64_t seen_generation = 0;
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {

@@ -1,0 +1,230 @@
+// Exhaustive correctness coverage of the packed GEMM layer: every kernel
+// (scalar reference, portable SIMD, AVX2 when available) against a float64
+// naive reference across odd/tail shapes and transpose combinations, plus
+// epilogue fusion, NaN propagation and bit-determinism guarantees.
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+#include "utils/threadpool.h"
+
+namespace edde {
+namespace {
+
+std::vector<GemmKernel> AvailableKernels() {
+  std::vector<GemmKernel> kernels = {GemmKernel::kScalar,
+                                     GemmKernel::kPortable};
+  if (gemm_internal::Avx2Available()) kernels.push_back(GemmKernel::kAvx2);
+  return kernels;
+}
+
+// Restores automatic dispatch when a test that forces a kernel exits.
+struct KernelGuard {
+  ~KernelGuard() { SetGemmKernel(GemmKernel::kAuto); }
+};
+
+// Stored-layout matrices for op(A) (m, k) and op(B) (k, n).
+Tensor MakeOperand(bool transposed, int64_t rows, int64_t cols, Rng* rng) {
+  Tensor t(transposed ? Shape{cols, rows} : Shape{rows, cols});
+  t.FillUniform(rng, -1.0f, 1.0f);
+  return t;
+}
+
+float OperandAt(const Tensor& t, bool transposed, int64_t i, int64_t j) {
+  return transposed ? t.at(j, i) : t.at(i, j);
+}
+
+// Float64 reference: exact accumulation order is irrelevant at this
+// precision relative to the float32 kernels under test.
+std::vector<double> NaiveGemm(bool trans_a, bool trans_b, int64_t m,
+                              int64_t n, int64_t k, float alpha,
+                              const Tensor& a, const Tensor& b, float beta,
+                              const Tensor& c_in) {
+  std::vector<double> out(static_cast<size_t>(m * n));
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(OperandAt(a, trans_a, i, p)) *
+               OperandAt(b, trans_b, p, j);
+      }
+      out[static_cast<size_t>(i * n + j)] =
+          alpha * acc + static_cast<double>(beta) * c_in.at(i, j);
+    }
+  }
+  return out;
+}
+
+TEST(GemmSweepTest, OddShapesAllKernelsAllTransposes) {
+  KernelGuard guard;
+  const int64_t sizes[] = {1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 33};
+  Rng rng(1234);
+  for (GemmKernel kernel : AvailableKernels()) {
+    SetGemmKernel(kernel);
+    for (int64_t m : sizes) {
+      for (int64_t n : sizes) {
+        for (int64_t k : sizes) {
+          for (int ta = 0; ta < 2; ++ta) {
+            for (int tb = 0; tb < 2; ++tb) {
+              const Tensor a = MakeOperand(ta != 0, m, k, &rng);
+              const Tensor b = MakeOperand(tb != 0, k, n, &rng);
+              Tensor c(Shape{m, n});
+              c.FillUniform(&rng, -1.0f, 1.0f);
+              const std::vector<double> want =
+                  NaiveGemm(ta != 0, tb != 0, m, n, k, 1.0f, a, b, 0.0f, c);
+              Gemm(ta != 0, tb != 0, 1.0f, a, b, 0.0f, &c);
+              for (int64_t i = 0; i < m * n; ++i) {
+                ASSERT_NEAR(c.data()[i], want[static_cast<size_t>(i)], 1e-4)
+                    << GemmKernelName(kernel) << " m=" << m << " n=" << n
+                    << " k=" << k << " ta=" << ta << " tb=" << tb
+                    << " at " << i;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmSweepTest, AlphaBetaAllKernels) {
+  KernelGuard guard;
+  Rng rng(77);
+  const float alphas[] = {1.0f, -0.5f, 2.25f};
+  const float betas[] = {0.0f, 1.0f, -1.5f};
+  for (GemmKernel kernel : AvailableKernels()) {
+    SetGemmKernel(kernel);
+    for (float alpha : alphas) {
+      for (float beta : betas) {
+        const int64_t m = 19, n = 23, k = 31;
+        const Tensor a = MakeOperand(false, m, k, &rng);
+        const Tensor b = MakeOperand(false, k, n, &rng);
+        Tensor c(Shape{m, n});
+        c.FillUniform(&rng, -1.0f, 1.0f);
+        const std::vector<double> want =
+            NaiveGemm(false, false, m, n, k, alpha, a, b, beta, c);
+        Gemm(false, false, alpha, a, b, beta, &c);
+        for (int64_t i = 0; i < m * n; ++i) {
+          ASSERT_NEAR(c.data()[i], want[static_cast<size_t>(i)], 1e-4)
+              << GemmKernelName(kernel) << " alpha=" << alpha
+              << " beta=" << beta << " at " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmEpilogueTest, BiasAndReluAllKernels) {
+  KernelGuard guard;
+  Rng rng(99);
+  const int64_t m = 17, n = 21, k = 13;
+  for (GemmKernel kernel : AvailableKernels()) {
+    SetGemmKernel(kernel);
+    for (int mode = 0; mode < 3; ++mode) {  // per-col, per-row, relu-only
+      const Tensor a = MakeOperand(false, m, k, &rng);
+      const Tensor b = MakeOperand(false, k, n, &rng);
+      Tensor bias(Shape{mode == 1 ? m : n});
+      bias.FillUniform(&rng, -1.0f, 1.0f);
+      GemmEpilogue epi;
+      epi.relu = true;
+      if (mode == 0) {
+        epi.bias = GemmEpilogue::Bias::kPerCol;
+        epi.bias_data = bias.data();
+      } else if (mode == 1) {
+        epi.bias = GemmEpilogue::Bias::kPerRow;
+        epi.bias_data = bias.data();
+      }
+      Tensor c(Shape{m, n});
+      GemmEx(false, false, 1.0f, a, b, 0.0f, &c, epi);
+      const Tensor zero(Shape{m, n}, 0.0f);
+      const std::vector<double> plain =
+          NaiveGemm(false, false, m, n, k, 1.0f, a, b, 0.0f, zero);
+      for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+          double want = plain[static_cast<size_t>(i * n + j)];
+          if (mode == 0) want += bias.at(j);
+          if (mode == 1) want += bias.at(i);
+          if (want < 0.0) want = 0.0;
+          ASSERT_NEAR(c.at(i, j), want, 1e-4)
+              << GemmKernelName(kernel) << " mode=" << mode << " (" << i
+              << "," << j << ")";
+        }
+      }
+    }
+  }
+}
+
+// A zero in A must not short-circuit the k-loop: 0 * NaN = NaN has to reach
+// C on every kernel (the old scalar kernel's `av == 0` skip silently
+// dropped NaN/Inf coming from B).
+TEST(GemmNanTest, ZeroTimesNanPropagatesAllKernels) {
+  KernelGuard guard;
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  for (GemmKernel kernel : AvailableKernels()) {
+    SetGemmKernel(kernel);
+    Tensor a(Shape{2, 3}, {0.0f, 1.0f, 2.0f, 0.0f, 0.0f, 0.0f});
+    Tensor b(Shape{3, 2}, {nan, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f});
+    Tensor c(Shape{2, 2});
+    Gemm(false, false, 1.0f, a, b, 0.0f, &c);
+    // Row 0 multiplies the NaN by a[0][0] == 0; row 1 is all zeros.
+    EXPECT_TRUE(std::isnan(c.at(0, 0))) << GemmKernelName(kernel);
+    EXPECT_TRUE(std::isnan(c.at(1, 0))) << GemmKernelName(kernel);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 3.0f) << GemmKernelName(kernel);
+  }
+}
+
+// For a fixed kernel, results are bit-identical for every thread count and
+// across repeated calls — the row partition and per-row accumulation order
+// do not depend on the pool size.
+TEST(GemmDeterminismTest, BitIdenticalAcrossThreadCounts) {
+  KernelGuard guard;
+  Rng rng(2024);
+  const int64_t m = 200, n = 96, k = 300;
+  const Tensor a = MakeOperand(false, m, k, &rng);
+  const Tensor b = MakeOperand(false, k, n, &rng);
+  for (GemmKernel kernel : AvailableKernels()) {
+    SetGemmKernel(kernel);
+    Tensor c1(Shape{m, n}), c4(Shape{m, n}), c4b(Shape{m, n});
+    SetNumThreads(1);
+    Gemm(false, false, 1.0f, a, b, 0.0f, &c1);
+    SetNumThreads(4);
+    Gemm(false, false, 1.0f, a, b, 0.0f, &c4);
+    Gemm(false, false, 1.0f, a, b, 0.0f, &c4b);
+    SetNumThreads(0);
+    EXPECT_EQ(0, std::memcmp(c1.data(), c4.data(),
+                             sizeof(float) * static_cast<size_t>(m * n)))
+        << GemmKernelName(kernel) << ": 1-thread vs 4-thread mismatch";
+    EXPECT_EQ(0, std::memcmp(c4.data(), c4b.data(),
+                             sizeof(float) * static_cast<size_t>(m * n)))
+        << GemmKernelName(kernel) << ": repeated call mismatch";
+  }
+}
+
+TEST(GemmDispatchTest, KernelNamesAndForcing) {
+  KernelGuard guard;
+  EXPECT_STREQ("scalar", GemmKernelName(GemmKernel::kScalar));
+  EXPECT_STREQ("portable", GemmKernelName(GemmKernel::kPortable));
+  EXPECT_STREQ("avx2", GemmKernelName(GemmKernel::kAvx2));
+  SetGemmKernel(GemmKernel::kScalar);
+  EXPECT_EQ(GemmKernel::kScalar, ActiveGemmKernel());
+  SetGemmKernel(GemmKernel::kAuto);
+  const GemmKernel resolved = ActiveGemmKernel();
+  EXPECT_NE(GemmKernel::kAuto, resolved);
+  // Auto never picks the slow path on its own — but EDDE_GEMM_KERNEL may
+  // force it (CI runs this suite with the env var pinned to each kernel).
+  if (std::getenv("EDDE_GEMM_KERNEL") == nullptr) {
+    EXPECT_NE(GemmKernel::kScalar, resolved);
+  }
+}
+
+}  // namespace
+}  // namespace edde

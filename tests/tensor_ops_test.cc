@@ -79,6 +79,23 @@ TEST(GemmDeathTest, InnerDimensionMismatchAborts) {
   EXPECT_DEATH(Gemm(false, false, 1.0f, a, b, 0.0f, &c), "inner dimension");
 }
 
+// IEEE semantics over short-circuits: a zero in A must still multiply the
+// matching B row, so NaN/Inf from B reach C (the old kernel's zero-skip
+// silently dropped them). tensor_gemm_test covers every kernel variant.
+TEST(GemmTest, NanInBPropagatesThroughZeroInA) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  Tensor a(Shape{1, 3}, {0.0f, 0.0f, 1.0f});
+  Tensor b(Shape{3, 3}, {nan, inf, 1.0f,   //
+                         1.0f, 1.0f, 1.0f,  //
+                         1.0f, 1.0f, 1.0f});
+  Tensor c(Shape{1, 3});
+  Gemm(false, false, 1.0f, a, b, 0.0f, &c);
+  EXPECT_TRUE(std::isnan(c.at(0, 0)));  // 0 * nan
+  EXPECT_TRUE(std::isnan(c.at(0, 1)));  // 0 * inf
+  EXPECT_FLOAT_EQ(c.at(0, 2), 1.0f);
+}
+
 // ---------------------------------------------------------------------------
 // BLAS-1 / elementwise
 // ---------------------------------------------------------------------------
