@@ -19,6 +19,7 @@
 #include "nn/densenet.h"
 #include "nn/resnet.h"
 #include "nn/textcnn.h"
+#include "utils/durable_io.h"
 #include "utils/logging.h"
 #include "utils/metrics.h"
 #include "utils/run_manifest.h"
@@ -39,6 +40,13 @@ std::vector<std::pair<std::string, double>>& Headlines() {
 std::string& BenchOutOverride() {
   static auto* path = new std::string();
   return *path;
+}
+
+/// Checkpoint settings from --checkpoint_dir/--checkpoint_every/--resume,
+/// applied to every Budget the bench builds. Empty dir = disabled (default).
+CheckpointConfig& BenchCheckpoint() {
+  static auto* config = new CheckpointConfig();
+  return *config;
 }
 
 /// Chained FNV-1a over a dataset split, so the manifest records which bytes
@@ -76,6 +84,16 @@ bool InitExperiment(FlagParser* flags, int argc, char** argv) {
                 "thread-pool size (0 = auto; benches floor auto at 4 so the "
                 "parallel substrate is always exercised — results are "
                 "bit-identical across pool sizes)");
+  flags->Define("checkpoint_dir", "",
+                "directory for crash-consistent round/epoch checkpoints "
+                "(empty = checkpointing off; each method gets a "
+                "subdirectory)");
+  flags->Define("checkpoint_every", "1",
+                "checkpoint cadence, in completed rounds and epochs");
+  flags->Define("resume", "true",
+                "resume from the newest valid checkpoint in "
+                "--checkpoint_dir (results are bit-identical to an "
+                "uninterrupted run)");
   DefineCommonFlags(flags);
   const Status status = flags->Parse(argc, argv);
   if (!status.ok()) {
@@ -102,6 +120,11 @@ bool InitExperiment(FlagParser* flags, int argc, char** argv) {
     SetNumThreads(4);
   }
   BenchOutOverride() = flags->GetString("bench_out");
+  CheckpointConfig& ckpt = BenchCheckpoint();
+  ckpt.dir = flags->GetString("checkpoint_dir");
+  ckpt.every_rounds = flags->GetInt("checkpoint_every");
+  ckpt.every_epochs = flags->GetInt("checkpoint_every");
+  ckpt.resume = flags->GetBool("resume");
   return true;
 }
 
@@ -158,11 +181,12 @@ void FinishExperiment(const std::string& bench_name) {
   const std::string path = BenchOutOverride().empty()
                                ? "BENCH_" + bench_name + ".json"
                                : BenchOutOverride();
-  std::ofstream out(path, std::ios::trunc);
-  out << json << "\n";
-  out.flush();
-  if (!out.good()) {
-    EDDE_LOG(ERROR) << "failed to write bench output: " << path;
+  // Atomic commit: tools/bench_diff must never read a torn BENCH_*.json,
+  // even if the bench is killed mid-write.
+  const Status status = AtomicWriteFile(path, json + "\n");
+  if (!status.ok()) {
+    EDDE_LOG(ERROR) << "failed to write bench output: " << path << ": "
+                    << status.ToString();
   } else {
     std::printf("\nbench output: %s\n", path.c_str());
   }
@@ -300,6 +324,7 @@ Budget MakeCvBudget(Scale scale, uint64_t seed) {
   b.method.sgd.learning_rate = 0.1f;
   b.method.augment = true;
   b.method.seed = seed;
+  b.method.checkpoint = BenchCheckpoint();
   b.total_epochs = b.method.num_members * b.method.epochs_per_member;
   // EDDE: the first member gets a long (Snapshot-cycle-sized) budget so the
   // trunk every later member inherits is strong; later members get shorter
@@ -319,6 +344,7 @@ Budget MakeNlpBudget(Scale scale, uint64_t seed) {
   b.method.sgd.weight_decay = 0.0f;  // TextCNN prefers no decay at our scale
   b.method.augment = false;
   b.method.seed = seed;
+  b.method.checkpoint = BenchCheckpoint();
   b.total_epochs = b.method.num_members * b.method.epochs_per_member;
   // Paper: EDDE hits its NLP numbers with *half* the baselines' budget; the
   // first member gets roughly half that budget, the rest split the rest.

@@ -24,6 +24,13 @@ int main(int argc, char** argv) {
   flags.Define("members", "4", "ensemble size T");
   flags.Define("epochs", "12", "epochs per member");
   flags.Define("seed", "42", "RNG seed");
+  flags.Define("checkpoint_dir", "",
+               "directory for crash-consistent checkpoints of the EDDE run "
+               "(empty = off); interrupt with Ctrl-C and rerun to resume");
+  flags.Define("checkpoint_every", "1",
+               "checkpoint cadence, in completed rounds and epochs");
+  flags.Define("resume", "true",
+               "resume from the newest valid checkpoint in --checkpoint_dir");
   edde::DefineCommonFlags(&flags);
   if (!flags.Parse(argc, argv).ok() || flags.help_requested()) {
     flags.PrintHelp(argv[0]);
@@ -71,6 +78,10 @@ int main(int argc, char** argv) {
   const int total = method_cfg.num_members * method_cfg.epochs_per_member;
   edde::MethodConfig edde_cfg = method_cfg;
   edde_cfg.epochs_per_member = method_cfg.epochs_per_member * 3 / 4;
+  edde_cfg.checkpoint.dir = flags.GetString("checkpoint_dir");
+  edde_cfg.checkpoint.every_rounds = flags.GetInt("checkpoint_every");
+  edde_cfg.checkpoint.every_epochs = flags.GetInt("checkpoint_every");
+  edde_cfg.checkpoint.resume = flags.GetBool("resume");
   edde::EddeOptions edde_opts;
   edde_opts.gamma = 0.1f;
   edde_opts.beta = 0.7;

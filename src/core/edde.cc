@@ -5,9 +5,12 @@
 #include <memory>
 
 #include "data/sampling.h"
+#include "ensemble/run_checkpoint.h"
 #include "metrics/diversity.h"
 #include "metrics/metrics.h"
 #include "tensor/ops.h"
+#include "utils/crash.h"
+#include "utils/durable_io.h"
 #include "utils/logging.h"
 #include "utils/metrics.h"
 #include "utils/trace.h"
@@ -59,6 +62,73 @@ void RecordRoundStats(const EddeRoundStats& stats,
                            .Add("round_seconds", stats.round_seconds)
                            .Build());
   }
+}
+
+// EDDE's method-specific checkpoint blob: the per-round stats recorded so
+// far (so a resumed run hands observers the full history) and the eval
+// curve points (recomputing them would re-evaluate on the eval set, and the
+// paper's Fig. 7 data should survive a crash). Packed as a nested section
+// payload; the enclosing generation section carries the CRC.
+std::string PackEddeMethodState(const std::vector<EddeRoundStats>& stats,
+                                const std::vector<CurvePoint>& curve_points) {
+  SectionWriter blob;
+  blob.WriteU64(stats.size());
+  for (const EddeRoundStats& s : stats) {
+    blob.WriteI64(s.round);
+    blob.WriteF64(s.alpha);
+    blob.WriteU32(s.alpha_clamped ? 1 : 0);
+    blob.WriteF64(s.correct_sim_mass);
+    blob.WriteF64(s.wrong_sim_mass);
+    blob.WriteF64(s.mean_pairwise_div);
+    blob.WriteF64(s.weight_min);
+    blob.WriteF64(s.weight_mean);
+    blob.WriteF64(s.weight_max);
+    blob.WriteF64(s.round_seconds);
+  }
+  blob.WriteU64(curve_points.size());
+  for (const CurvePoint& p : curve_points) {
+    blob.WriteI64(p.first);
+    blob.WriteF64(p.second);
+  }
+  return blob.payload();
+}
+
+Status UnpackEddeMethodState(const std::string& payload,
+                             std::vector<EddeRoundStats>* stats,
+                             std::vector<CurvePoint>* curve_points) {
+  SectionReader blob;
+  blob.InitFromPayload(payload);
+  uint64_t stat_count = 0;
+  if (!blob.ReadU64(&stat_count)) return blob.status();
+  stats->clear();
+  for (uint64_t i = 0; i < stat_count; ++i) {
+    EddeRoundStats s;
+    int64_t round = 0;
+    uint32_t clamped = 0;
+    if (!blob.ReadI64(&round) || !blob.ReadF64(&s.alpha) ||
+        !blob.ReadU32(&clamped) || !blob.ReadF64(&s.correct_sim_mass) ||
+        !blob.ReadF64(&s.wrong_sim_mass) ||
+        !blob.ReadF64(&s.mean_pairwise_div) || !blob.ReadF64(&s.weight_min) ||
+        !blob.ReadF64(&s.weight_mean) || !blob.ReadF64(&s.weight_max) ||
+        !blob.ReadF64(&s.round_seconds)) {
+      return blob.status();
+    }
+    s.round = static_cast<int>(round);
+    s.alpha_clamped = clamped != 0;
+    stats->push_back(s);
+  }
+  uint64_t point_count = 0;
+  if (!blob.ReadU64(&point_count)) return blob.status();
+  curve_points->clear();
+  for (uint64_t i = 0; i < point_count; ++i) {
+    int64_t epochs = 0;
+    double accuracy = 0.0;
+    if (!blob.ReadI64(&epochs) || !blob.ReadF64(&accuracy)) {
+      return blob.status();
+    }
+    curve_points->emplace_back(static_cast<int>(epochs), accuracy);
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -129,7 +199,56 @@ EnsembleModel EddeMethod::Train(const Dataset& train,
                              MetricsRegistry::Global().events_enabled();
   std::vector<Tensor> member_train_probs;
 
-  auto make_train_config = [&](int epochs) {
+  // Crash consistency (DESIGN.md §11): one generation per completed round,
+  // plus inflight checkpoints inside each member via the TrainConfig. All
+  // checkpoint work is observation-only — it draws nothing from `rng` — so
+  // trained ensembles are bit-identical with checkpointing on or off.
+  RoundCheckpointer ckpt(config_.checkpoint, name(),
+                         MethodFingerprint(name(), config_, n));
+  std::vector<EddeRoundStats> stats_log;  // full tail, checkpointed
+  std::vector<CurvePoint> curve_log;
+  int start_round = 0;  // rounds already completed (resume)
+  if (ckpt.enabled() && config_.checkpoint.resume) {
+    TrainProgress p;
+    if (ckpt.LoadLatest(factory, &p).ok()) {
+      rng.RestoreState(p.rng);
+      weights = p.weights;
+      for (size_t i = 0; i < p.owned_members.size(); ++i) {
+        ensemble.AddMember(std::move(p.owned_members[i]), p.alphas[i]);
+      }
+      cumulative_epochs = p.cumulative_epochs;
+      start_round = p.round;
+      Status unpacked =
+          UnpackEddeMethodState(p.method_state, &stats_log, &curve_log);
+      if (!unpacked.ok()) {
+        // The generation passed its CRCs, so this is a version skew rather
+        // than corruption; the run continues with an empty history.
+        EDDE_LOG(WARNING) << "discarding EDDE method state: "
+                          << unpacked.ToString();
+        stats_log.clear();
+        curve_log.clear();
+      }
+      // Completed rounds are handed to the observer from the checkpoint
+      // (no JSONL re-emission — those records were already written by the
+      // original process). Derived per-member state is recomputed, which
+      // is exact because PredictProbs is deterministic.
+      if (options_.round_stats != nullptr) {
+        options_.round_stats->insert(options_.round_stats->end(),
+                                     stats_log.begin(), stats_log.end());
+      }
+      if (curve.enabled()) {
+        curve.points->insert(curve.points->end(), curve_log.begin(),
+                             curve_log.end());
+      }
+      if (collect_stats) {
+        for (int64_t i = 0; i < ensemble.size(); ++i) {
+          member_train_probs.push_back(PredictProbs(ensemble.member(i), train));
+        }
+      }
+    }
+  }
+
+  auto make_train_config = [&](int epochs, int round) {
     TrainConfig tc;
     tc.epochs = epochs;
     tc.batch_size = config_.batch_size;
@@ -138,18 +257,51 @@ EnsembleModel EddeMethod::Train(const Dataset& train,
     tc.augment = config_.augment;
     tc.augment_config = config_.augment_config;
     tc.seed = rng.NextU64();
+    if (ckpt.enabled()) {
+      tc.checkpoint.path = ckpt.InflightPath(round);
+      tc.checkpoint.every_epochs = config_.checkpoint.every_epochs;
+      tc.checkpoint.fingerprint =
+          InflightFingerprint(ckpt.fingerprint(), round);
+    }
     return tc;
+  };
+
+  auto write_generation = [&](int round) {
+    if (!ckpt.ShouldWrite(round)) return;
+    TrainProgress p;
+    p.round = round;
+    p.cumulative_epochs = cumulative_epochs;
+    p.rng = rng.SaveState();
+    p.weights = weights;
+    p.alphas = ensemble.alphas();
+    for (int64_t i = 0; i < ensemble.size(); ++i) {
+      p.members.push_back(ensemble.member(i));
+    }
+    p.method_state = PackEddeMethodState(stats_log, curve_log);
+    Status s = ckpt.Write(p);
+    if (!s.ok()) {
+      // Degrade, don't die: a failed generation costs recoverability from
+      // this round, not the run itself.
+      EDDE_LOG(WARNING) << "round checkpoint failed: " << s.ToString();
+      return;
+    }
+    // The member's inflight file is superseded by the durable generation.
+    ckpt.RemoveInflight(round);
   };
 
   static const TraceRegion* const round_region = GetTraceRegion("edde/round");
 
   // ---- Line 3-5: first member, plain training on uniform weights. ----
-  {
+  if (start_round < 1) {
     TraceScope round_scope(round_region);
     Timer round_timer;
     std::unique_ptr<Module> h1 = factory(rng.NextU64());
-    TrainModel(h1.get(), train, make_train_config(first_epochs),
+    TrainModel(h1.get(), train, make_train_config(first_epochs, /*round=*/1),
                TrainContext{});
+    // A signal mid-member means TrainModel stopped at an epoch boundary
+    // after writing its inflight checkpoint; exit before recording a
+    // half-trained member as a completed round.
+    if (ShutdownRequested()) GracefulShutdownExit();
 
     // Line 4 computes α₁ from the correct/incorrect count ratio. We take
     // the ½·log of that ratio so α₁ lives on the same scale as the later
@@ -176,6 +328,7 @@ EnsembleModel EddeMethod::Train(const Dataset& train,
     if (curve.enabled()) {
       curve.points->emplace_back(cumulative_epochs,
                                  ensemble.EvaluateAccuracy(*curve.eval));
+      curve_log.push_back(curve.points->back());
     }
 
     EddeRoundStats stats;
@@ -188,10 +341,13 @@ EnsembleModel EddeMethod::Train(const Dataset& train,
     SummarizeWeights(weights, &stats);
     stats.round_seconds = round_timer.Seconds();
     RecordRoundStats(stats, options_.round_stats);
+    stats_log.push_back(stats);
+    write_generation(1);
   }
 
   // ---- Lines 6-15: subsequent members. ----
-  for (int t = 2; t <= config_.num_members; ++t) {
+  for (int t = std::max(2, start_round + 1); t <= config_.num_members; ++t) {
+    if (ShutdownRequested()) GracefulShutdownExit();
     TraceScope round_scope(round_region);
     Timer round_timer;
     // Soft targets of the current ensemble H_{t−1} on the training set.
@@ -225,8 +381,9 @@ EnsembleModel EddeMethod::Train(const Dataset& train,
       ctx.reference_probs = &diversity_reference;
       ctx.loss.diversity_gamma = options_.gamma;
     }
-    TrainModel(ht.get(), train, make_train_config(config_.epochs_per_member),
-               ctx);
+    TrainModel(ht.get(), train,
+               make_train_config(config_.epochs_per_member, /*round=*/t), ctx);
+    if (ShutdownRequested()) GracefulShutdownExit();
 
     // Lines 8-9: per-sample similarity and bias of the new member.
     const Tensor member_probs = PredictProbs(ht.get(), train);
@@ -280,6 +437,7 @@ EnsembleModel EddeMethod::Train(const Dataset& train,
     if (curve.enabled()) {
       curve.points->emplace_back(cumulative_epochs,
                                  ensemble.EvaluateAccuracy(*curve.eval));
+      curve_log.push_back(curve.points->back());
     }
 
     EddeRoundStats stats;
@@ -294,6 +452,8 @@ EnsembleModel EddeMethod::Train(const Dataset& train,
     SummarizeWeights(weights, &stats);
     stats.round_seconds = round_timer.Seconds();
     RecordRoundStats(stats, options_.round_stats);
+    stats_log.push_back(stats);
+    write_generation(t);
   }
   return ensemble;
 }

@@ -10,6 +10,21 @@
 
 namespace edde {
 
+/// Crash-consistent checkpointing of a training run (DESIGN.md §11).
+/// When `dir` is set, methods write one checkpoint *generation* per
+/// completed round/member (atomic, CRC-framed; see ensemble/run_checkpoint)
+/// and, at `every_epochs` cadence, an *inflight* checkpoint of the member
+/// currently training. On start with `resume`, the newest generation that
+/// passes every CRC is loaded and training continues bit-identically to an
+/// uninterrupted run.
+struct CheckpointConfig {
+  std::string dir;      ///< Empty: checkpointing disabled (zero overhead).
+  int every_rounds = 1; ///< Write a generation every k completed rounds.
+  int every_epochs = 1; ///< Inflight cadence inside a member; 0 disables.
+  int keep = 3;         ///< Generations retained; older ones are deleted.
+  bool resume = true;   ///< Load the newest valid generation on Train().
+};
+
 /// Budget and training hyper-parameters shared by every ensemble method.
 /// The paper compares methods at equal *total epochs*; benches configure
 /// num_members × epochs_per_member so budgets match across methods.
@@ -21,6 +36,7 @@ struct MethodConfig {
   bool augment = false;
   AugmentConfig augment_config;
   uint64_t seed = 7;
+  CheckpointConfig checkpoint;
 };
 
 /// One point of a training-budget/accuracy curve: cumulative training

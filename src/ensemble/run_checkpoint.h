@@ -1,0 +1,116 @@
+#ifndef EDDE_ENSEMBLE_RUN_CHECKPOINT_H_
+#define EDDE_ENSEMBLE_RUN_CHECKPOINT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ensemble/method.h"
+#include "ensemble/trainer.h"
+#include "optim/sgd.h"
+#include "tensor/rng.h"
+#include "utils/status.h"
+
+namespace edde {
+
+/// Crash-consistent run checkpointing (DESIGN.md §11).
+///
+/// A *generation* is one file, `ckpt_<round>.edde`, capturing everything a
+/// method needs to continue bit-identically after the given round: the
+/// serialized member modules, the combination weights α, the boosting
+/// sample-weight vector W_t, the method RNG stream, and an opaque
+/// method-specific blob (e.g. EDDE's round-stats tail + eval-curve points).
+/// Every piece lives in a CRC32-framed section and the file is committed
+/// atomically, so a generation is either fully valid or detectably bad —
+/// LoadLatest() walks generations newest-first and falls back past corrupt
+/// ones instead of crashing.
+///
+/// An *inflight* checkpoint (`inflight_<slot>.edde`) covers the member
+/// currently training: model parameters, SGD momentum, the trainer RNG and
+/// the next epoch index, fingerprint-guarded so a stale file from another
+/// run or round is ignored.
+
+/// Everything one generation stores. `members` (non-owning) feeds Write();
+/// LoadLatest() rebuilds modules through the factory into `owned_members`.
+struct TrainProgress {
+  int round = 0;             ///< Completed rounds (1-based count).
+  int cumulative_epochs = 0;
+  RngState rng;              ///< Method RNG after round `round`'s draws.
+  std::vector<double> weights;  ///< Boosting W_t; empty for weightless methods.
+  std::vector<double> alphas;   ///< One α per member.
+  std::vector<uint64_t> slots;  ///< Member slot ids (parallel methods where
+                                ///< completion order ≠ slot order).
+  std::string method_state;     ///< Opaque method blob (nested sections).
+  std::vector<Module*> members;
+  std::vector<std::unique_ptr<Module>> owned_members;
+};
+
+/// Identity of a training run for checkpoint compatibility: method name +
+/// budget hyper-parameters + seed + dataset size. A checkpoint whose
+/// fingerprint differs is from some other run and is never applied.
+uint64_t MethodFingerprint(const std::string& method_name,
+                           const MethodConfig& config, int64_t dataset_size);
+
+/// Fingerprint of one member-slot's inflight checkpoint within a run.
+uint64_t InflightFingerprint(uint64_t method_fingerprint, int slot);
+
+/// Generation writer/loader for one method run. The configured dir gains a
+/// per-method subdirectory (`<dir>/<sanitized method name>/`), so several
+/// methods sharing one --checkpoint_dir never rotate each other's files.
+/// Thread-compatible: callers that complete members concurrently (bagging)
+/// serialize Write() calls themselves.
+class RoundCheckpointer {
+ public:
+  RoundCheckpointer(const CheckpointConfig& config, std::string method_name,
+                    uint64_t method_fingerprint);
+
+  /// False when no checkpoint dir is configured — every other call is then
+  /// a no-op, so methods can call unconditionally.
+  bool enabled() const { return !config_.dir.empty(); }
+
+  /// True when a generation should be written after `round` completes.
+  bool ShouldWrite(int round) const;
+
+  /// Writes generation `progress.round` atomically, then rotates: only the
+  /// newest `keep` generations survive. Failpoints: checkpoint.round
+  /// (before the write), checkpoint.commit (after commit, before rotation).
+  Status Write(const TrainProgress& progress);
+
+  /// Loads the newest generation whose sections all pass CRC and whose
+  /// fingerprint matches, rebuilding members via `factory(0)` + restore.
+  /// Corrupt/foreign generations are skipped with a warning (graceful
+  /// degradation). NotFound when no usable generation exists.
+  Status LoadLatest(const ModelFactory& factory, TrainProgress* progress);
+
+  /// Path of member-slot `slot`'s inflight checkpoint.
+  std::string InflightPath(int slot) const;
+
+  /// Deletes slot `slot`'s inflight file (after the member completed and
+  /// its generation committed).
+  void RemoveInflight(int slot) const;
+
+  const CheckpointConfig& config() const { return config_; }
+  uint64_t fingerprint() const { return fingerprint_; }
+
+ private:
+  CheckpointConfig config_;
+  std::string method_name_;
+  uint64_t fingerprint_ = 0;
+};
+
+/// Writes a mid-member checkpoint: module params, SGD momentum, trainer RNG
+/// and the index of the next epoch to run. Atomic + CRC-framed.
+Status SaveInflightCheckpoint(const std::string& path, Module* model,
+                              const Sgd& optimizer, const Rng& rng,
+                              int next_epoch, uint64_t fingerprint);
+
+/// Restores a mid-member checkpoint written by SaveInflightCheckpoint.
+/// NotFound when the file does not exist; Corruption when framing/CRC or
+/// the fingerprint check fails (callers treat both as "start from epoch 0").
+Status LoadInflightCheckpoint(const std::string& path, Module* model,
+                              Sgd* optimizer, Rng* rng, int* next_epoch,
+                              uint64_t fingerprint);
+
+}  // namespace edde
+
+#endif  // EDDE_ENSEMBLE_RUN_CHECKPOINT_H_

@@ -4,6 +4,9 @@
 #include <cstring>
 
 #include "data/batcher.h"
+#include "ensemble/run_checkpoint.h"
+#include "utils/crash.h"
+#include "utils/failpoint.h"
 #include "utils/logging.h"
 #include "utils/metrics.h"
 #include "utils/trace.h"
@@ -28,6 +31,28 @@ double TrainModel(Module* model, const Dataset& train,
   Rng rng(config.seed);
   Sgd optimizer(model, config.sgd);
   const bool image_batch = train.features().shape().rank() == 4;
+
+  // Mid-member resume: when an inflight checkpoint for this exact
+  // run/round exists and validates, restore parameters, momentum and the
+  // shuffle RNG and skip the epochs already done. Training is fully
+  // deterministic, so the continued run is bit-identical to one that was
+  // never interrupted. An unusable file (corrupt, stale fingerprint) is
+  // ignored — worst case the member retrains from scratch.
+  int start_epoch = 0;
+  if (config.checkpoint.enabled()) {
+    Status resumed =
+        LoadInflightCheckpoint(config.checkpoint.path, model, &optimizer,
+                               &rng, &start_epoch, config.checkpoint.fingerprint);
+    if (resumed.ok()) {
+      EDDE_LOG(INFO) << "resuming member from " << config.checkpoint.path
+                     << " at epoch " << start_epoch;
+    } else if (resumed.code() != StatusCode::kNotFound) {
+      EDDE_LOG(WARNING) << "ignoring unusable inflight checkpoint "
+                        << config.checkpoint.path << ": "
+                        << resumed.ToString();
+      start_epoch = 0;
+    }
+  }
 
   // Cached instruments: the aggregates are always on (a handful of atomic
   // adds per batch), the JSONL epoch records only when a sink is set.
@@ -57,7 +82,7 @@ double TrainModel(Module* model, const Dataset& train,
   Tensor reference;
 
   double last_epoch_loss = 0.0;
-  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < config.epochs; ++epoch) {
     TraceScope epoch_scope(epoch_region);
     Timer epoch_timer;
     if (config.schedule != nullptr) {
@@ -141,6 +166,30 @@ double TrainModel(Module* model, const Dataset& train,
                              .Build());
     }
     if (on_epoch) on_epoch(stats);
+
+    // Epoch boundary: the safe point for crash consistency and shutdown.
+    const bool shutdown = ShutdownRequested();
+    if (config.checkpoint.enabled() && config.checkpoint.every_epochs > 0) {
+      const int next = epoch + 1;
+      if (next < config.epochs &&
+          (next % config.checkpoint.every_epochs == 0 || shutdown)) {
+        Status s =
+            SaveInflightCheckpoint(config.checkpoint.path, model, optimizer,
+                                   rng, next, config.checkpoint.fingerprint);
+        if (!s.ok()) {
+          // Degrade, don't die: a failed checkpoint costs recoverability,
+          // not the run.
+          EDDE_LOG(WARNING) << "inflight checkpoint write failed: "
+                            << s.ToString();
+        }
+      }
+    }
+    EDDE_FAILPOINT("trainer.epoch");
+    if (shutdown) {
+      // Return to the method's round loop, which owns the graceful exit
+      // (and, under ParallelFor, must not exit from a worker thread).
+      break;
+    }
   }
   return last_epoch_loss;
 }

@@ -19,6 +19,20 @@ namespace edde {
 /// the methods stay architecture-agnostic.
 using ModelFactory = std::function<std::unique_ptr<Module>(uint64_t seed)>;
 
+/// Epoch-granular (mid-member) checkpointing of one TrainModel call.
+/// When `path` is set, TrainModel writes model parameters + optimizer
+/// momentum + RNG state + the next epoch index there every `every_epochs`
+/// epochs, and on entry resumes from the file when it exists, passes its
+/// CRCs, and carries the expected `fingerprint` (a method/round identity —
+/// a stale file from another run or round is ignored, not applied).
+struct InflightCheckpoint {
+  std::string path;      ///< Empty: inflight checkpointing disabled.
+  int every_epochs = 1;  ///< Cadence; 0 disables writes (resume still works).
+  uint64_t fingerprint = 0;
+
+  bool enabled() const { return !path.empty(); }
+};
+
 /// Configuration of one SGD training run.
 struct TrainConfig {
   int epochs = 10;
@@ -31,6 +45,8 @@ struct TrainConfig {
   AugmentConfig augment_config;
   /// Seed for shuffling / augmentation streams.
   uint64_t seed = 1;
+  /// Mid-member crash consistency (see ensemble/run_checkpoint).
+  InflightCheckpoint checkpoint;
 };
 
 /// Per-sample context that the boosting frameworks thread into the loss.

@@ -5,37 +5,29 @@
 namespace edde {
 
 namespace {
-constexpr uint32_t kMagic = 0xEDDE0001;
+constexpr uint32_t kLegacyMagic = 0xEDDE0001;  // unframed, written pre-§11
+constexpr uint32_t kMagic = 0xEDDE0004;        // CRC-framed, atomic commit
+constexpr uint32_t kModuleTag = 1;
+constexpr uint32_t kModuleVersion = 1;
 }  // namespace
 
-Status SaveCheckpoint(Module* module, const std::string& path) {
-  BinaryWriter writer(path);
-  EDDE_RETURN_NOT_OK(writer.status());
+void WriteModuleParams(Module* module, SectionWriter* out) {
   auto params = module->Parameters();
-  writer.WriteU32(kMagic);
-  writer.WriteU64(params.size());
+  out->WriteU64(params.size());
   for (Parameter* p : params) {
-    writer.WriteString(p->name);
+    out->WriteString(p->name);
     const auto& dims = p->value.shape().dims();
-    writer.WriteU64(dims.size());
-    for (int64_t d : dims) writer.WriteI64(d);
-    writer.WriteFloats(p->value.data(),
-                       static_cast<size_t>(p->value.num_elements()));
+    out->WriteU64(dims.size());
+    for (int64_t d : dims) out->WriteI64(d);
+    out->WriteFloats(p->value.data(),
+                     static_cast<size_t>(p->value.num_elements()));
   }
-  return writer.Finish();
 }
 
-Status LoadCheckpoint(Module* module, const std::string& path) {
-  BinaryReader reader(path);
-  EDDE_RETURN_NOT_OK(reader.status());
-  uint32_t magic = 0;
-  if (!reader.ReadU32(&magic)) return reader.status();
-  if (magic != kMagic) {
-    return Status::Corruption("bad checkpoint magic");
-  }
+Status ReadModuleParams(Module* module, SectionReader* in) {
   auto params = module->Parameters();
   uint64_t count = 0;
-  if (!reader.ReadU64(&count)) return reader.status();
+  if (!in->ReadU64(&count)) return in->status();
   if (count != params.size()) {
     return Status::InvalidArgument(
         "checkpoint has " + std::to_string(count) + " parameters, model has " +
@@ -43,22 +35,82 @@ Status LoadCheckpoint(Module* module, const std::string& path) {
   }
   for (Parameter* p : params) {
     std::string name;
-    if (!reader.ReadString(&name)) return reader.status();
+    if (!in->ReadString(&name)) return in->status();
     uint64_t rank = 0;
-    if (!reader.ReadU64(&rank)) return reader.status();
+    if (!in->ReadU64(&rank)) return in->status();
     std::vector<int64_t> dims(rank);
     for (auto& d : dims) {
-      if (!reader.ReadI64(&d)) return reader.status();
+      if (!in->ReadI64(&d)) return in->status();
     }
     if (Shape(dims) != p->value.shape()) {
       return Status::InvalidArgument("checkpoint shape mismatch for " + name);
     }
-    if (!reader.ReadFloats(p->value.data(),
-                           static_cast<size_t>(p->value.num_elements()))) {
-      return reader.status();
+    if (!in->ReadFloats(p->value.data(),
+                        static_cast<size_t>(p->value.num_elements()))) {
+      return in->status();
     }
   }
   return Status::OK();
+}
+
+Status SaveCheckpoint(Module* module, const std::string& path) {
+  BinaryWriter writer(path, Durability::kAtomic);
+  EDDE_RETURN_NOT_OK(writer.status());
+  writer.WriteU32(kMagic);
+  SectionWriter section;
+  WriteModuleParams(module, &section);
+  section.AppendTo(&writer, kModuleTag, kModuleVersion);
+  return writer.Finish();
+}
+
+namespace {
+
+// Pre-§11 files: same field sequence, no framing, no CRC.
+Status LoadLegacyCheckpoint(Module* module, BinaryReader* reader) {
+  auto params = module->Parameters();
+  uint64_t count = 0;
+  if (!reader->ReadU64(&count)) return reader->status();
+  if (count != params.size()) {
+    return Status::InvalidArgument(
+        "checkpoint has " + std::to_string(count) + " parameters, model has " +
+        std::to_string(params.size()));
+  }
+  for (Parameter* p : params) {
+    std::string name;
+    if (!reader->ReadString(&name)) return reader->status();
+    uint64_t rank = 0;
+    if (!reader->ReadU64(&rank)) return reader->status();
+    std::vector<int64_t> dims(rank);
+    for (auto& d : dims) {
+      if (!reader->ReadI64(&d)) return reader->status();
+    }
+    if (Shape(dims) != p->value.shape()) {
+      return Status::InvalidArgument("checkpoint shape mismatch for " + name);
+    }
+    if (!reader->ReadFloats(p->value.data(),
+                            static_cast<size_t>(p->value.num_elements()))) {
+      return reader->status();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status LoadCheckpoint(Module* module, const std::string& path) {
+  BinaryReader reader(path);
+  EDDE_RETURN_NOT_OK(reader.status());
+  uint32_t magic = 0;
+  if (!reader.ReadU32(&magic)) return reader.status();
+  if (magic == kLegacyMagic) {
+    return LoadLegacyCheckpoint(module, &reader);
+  }
+  if (magic != kMagic) {
+    return Status::Corruption("bad checkpoint magic");
+  }
+  SectionReader section;
+  EDDE_RETURN_NOT_OK(section.Load(&reader, kModuleTag));
+  return ReadModuleParams(module, &section);
 }
 
 Status CopyParameters(Module* src, Module* dst) {

@@ -4,18 +4,32 @@
 #include <string>
 
 #include "nn/module.h"
+#include "utils/durable_io.h"
 #include "utils/status.h"
 
 namespace edde {
 
 /// Serializes all of `module`'s parameters (including non-trainable buffers
 /// such as batch-norm running statistics) to a binary checkpoint file.
+/// Since the durability work (DESIGN.md §11) the file is written atomically
+/// (temp → fsync → rename) and the parameter block is CRC32-framed, so a
+/// torn or bit-flipped checkpoint is detected on load instead of silently
+/// corrupting the model.
 Status SaveCheckpoint(Module* module, const std::string& path);
 
 /// Restores parameters saved with SaveCheckpoint. The module must have an
 /// identical architecture (same parameter count, shapes and order);
-/// mismatches return Corruption/InvalidArgument.
+/// mismatches return Corruption/InvalidArgument. Both the current
+/// CRC-framed format and the legacy unframed one are readable.
 Status LoadCheckpoint(Module* module, const std::string& path);
+
+/// Appends every parameter (name, shape, values) to a section payload —
+/// the building block run checkpoints embed per ensemble member.
+void WriteModuleParams(Module* module, SectionWriter* out);
+
+/// Restores parameters written by WriteModuleParams into a structurally
+/// identical module.
+Status ReadModuleParams(Module* module, SectionReader* in);
 
 /// In-memory parameter copy from `src` to `dst`. The modules must be
 /// structurally identical. Copies values only (not gradients).

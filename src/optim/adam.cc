@@ -44,4 +44,39 @@ void Adam::Step() {
   }
 }
 
+void Adam::SaveState(SectionWriter* out) const {
+  out->WriteI64(steps_);
+  out->WriteU64(m_.size());
+  for (size_t i = 0; i < m_.size(); ++i) {
+    out->WriteU64(static_cast<uint64_t>(m_[i].num_elements()));
+    out->WriteFloats(m_[i].data(), static_cast<size_t>(m_[i].num_elements()));
+    out->WriteFloats(v_[i].data(), static_cast<size_t>(v_[i].num_elements()));
+  }
+}
+
+Status Adam::LoadState(SectionReader* in) {
+  int64_t steps = 0;
+  uint64_t count = 0;
+  if (!in->ReadI64(&steps) || !in->ReadU64(&count)) return in->status();
+  if (steps < 0) return Status::Corruption("negative Adam step count");
+  if (count != m_.size()) {
+    return Status::Corruption("optimizer slot count mismatch: checkpoint " +
+                              std::to_string(count) + ", module " +
+                              std::to_string(m_.size()));
+  }
+  for (size_t i = 0; i < m_.size(); ++i) {
+    uint64_t n = 0;
+    if (!in->ReadU64(&n)) return in->status();
+    if (n != static_cast<uint64_t>(m_[i].num_elements())) {
+      return Status::Corruption("optimizer slot size mismatch");
+    }
+    if (!in->ReadFloats(m_[i].data(), static_cast<size_t>(n)) ||
+        !in->ReadFloats(v_[i].data(), static_cast<size_t>(n))) {
+      return in->status();
+    }
+  }
+  steps_ = steps;
+  return Status::OK();
+}
+
 }  // namespace edde

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "nn/module.h"
+#include "utils/durable_io.h"
 
 namespace edde {
 
@@ -30,6 +31,14 @@ class Adam {
   void set_learning_rate(float lr) { config_.learning_rate = lr; }
   float learning_rate() const { return config_.learning_rate; }
   int64_t steps_taken() const { return steps_; }
+
+  /// Serializes both moment buffers and the step count (checkpointing —
+  /// the step count drives bias correction, so it must survive a resume).
+  void SaveState(SectionWriter* out) const;
+
+  /// Restores state written by SaveState; Corruption on any slot count or
+  /// size mismatch with the current module.
+  Status LoadState(SectionReader* in);
 
  private:
   AdamConfig config_;

@@ -39,4 +39,33 @@ void Sgd::Step() {
   }
 }
 
+void Sgd::SaveState(SectionWriter* out) const {
+  out->WriteU64(velocity_.size());
+  for (const Tensor& v : velocity_) {
+    out->WriteU64(static_cast<uint64_t>(v.num_elements()));
+    out->WriteFloats(v.data(), static_cast<size_t>(v.num_elements()));
+  }
+}
+
+Status Sgd::LoadState(SectionReader* in) {
+  uint64_t count = 0;
+  if (!in->ReadU64(&count)) return in->status();
+  if (count != velocity_.size()) {
+    return Status::Corruption("optimizer slot count mismatch: checkpoint " +
+                              std::to_string(count) + ", module " +
+                              std::to_string(velocity_.size()));
+  }
+  for (Tensor& v : velocity_) {
+    uint64_t n = 0;
+    if (!in->ReadU64(&n)) return in->status();
+    if (n != static_cast<uint64_t>(v.num_elements())) {
+      return Status::Corruption("optimizer slot size mismatch");
+    }
+    if (!in->ReadFloats(v.data(), static_cast<size_t>(n))) {
+      return in->status();
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace edde

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "nn/module.h"
+#include "utils/durable_io.h"
 
 namespace edde {
 
@@ -34,6 +35,16 @@ class Sgd {
   float learning_rate() const { return config_.learning_rate; }
 
   const SgdConfig& config() const { return config_; }
+
+  /// Serializes the momentum buffers into `out` (checkpointing). The
+  /// learning rate is not saved: it is re-derived from the LR schedule at
+  /// the resumed epoch.
+  void SaveState(SectionWriter* out) const;
+
+  /// Restores momentum buffers written by SaveState. Fails with Corruption
+  /// when the slot count or any slot size does not match this optimizer's
+  /// parameters (wrong module architecture).
+  Status LoadState(SectionReader* in);
 
  private:
   SgdConfig config_;

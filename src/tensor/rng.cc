@@ -97,4 +97,18 @@ int64_t Rng::Categorical(const std::vector<double>& weights) {
 
 Rng Rng::Fork() { return Rng(NextU64()); }
 
+RngState Rng::SaveState() const {
+  RngState s;
+  for (int i = 0; i < 4; ++i) s.state[i] = state_[i];
+  s.has_cached_normal = has_cached_normal_;
+  s.cached_normal = cached_normal_;
+  return s;
+}
+
+void Rng::RestoreState(const RngState& s) {
+  for (int i = 0; i < 4; ++i) state_[i] = s.state[i];
+  has_cached_normal_ = s.has_cached_normal;
+  cached_normal_ = s.cached_normal;
+}
+
 }  // namespace edde

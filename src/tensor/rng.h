@@ -8,6 +8,15 @@
 
 namespace edde {
 
+/// Complete serialized Rng state. Round-tripping through
+/// SaveState/RestoreState resumes the stream bit-identically, including a
+/// Box–Muller second normal cached mid-pair.
+struct RngState {
+  uint64_t state[4] = {0, 0, 0, 0};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
+
 /// Deterministic pseudo-random number generator (xoshiro256** seeded via
 /// SplitMix64). Every stochastic component in the library draws from an
 /// explicitly passed Rng so whole experiments replay bit-identically from a
@@ -53,6 +62,12 @@ class Rng {
 
   /// Derives an independent child generator (for reproducible sub-streams).
   Rng Fork();
+
+  /// Snapshots the full generator state (checkpointing).
+  RngState SaveState() const;
+
+  /// Restores a snapshot; the stream continues exactly where it left off.
+  void RestoreState(const RngState& s);
 
  private:
   uint64_t state_[4];

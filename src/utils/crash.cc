@@ -98,7 +98,70 @@ void CrashSignalHandler(int sig) {
   ::raise(sig);
 }
 
+// ------------------------------------------------------ graceful shutdown
+
+std::atomic<int> g_shutdown_signal{0};
+std::atomic<bool> g_shutdown_handlers_installed{false};
+
+void ShutdownSignalHandler(int sig) {
+  // Second delivery while a shutdown is already pending: the safe point is
+  // taking too long (or is never coming) — fall back to the default
+  // disposition so Ctrl-C Ctrl-C still kills the process.
+  int expected = 0;
+  if (!g_shutdown_signal.compare_exchange_strong(expected, sig,
+                                                 std::memory_order_acq_rel)) {
+    std::signal(sig, SIG_DFL);
+    ::raise(sig);
+    return;
+  }
+  // Async-signal-safe breadcrumb; everything else happens at the safe point.
+  WriteStr(2, "edde: shutdown requested (");
+  WriteStr(2, sig == SIGINT ? "SIGINT" : "SIGTERM");
+  WriteStr(2, "), finishing at next checkpoint boundary...\n");
+}
+
 }  // namespace
+
+void InstallShutdownHandler() {
+  if (g_shutdown_handlers_installed.exchange(true,
+                                             std::memory_order_acq_rel)) {
+    return;
+  }
+  const int signals[] = {SIGINT, SIGTERM};
+  for (const int sig : signals) {
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = ShutdownSignalHandler;
+    sigemptyset(&action.sa_mask);
+    ::sigaction(sig, &action, nullptr);
+  }
+}
+
+bool ShutdownRequested() {
+  return g_shutdown_signal.load(std::memory_order_acquire) != 0;
+}
+
+int ShutdownSignal() {
+  return g_shutdown_signal.load(std::memory_order_acquire);
+}
+
+void RequestShutdown(int sig) {
+  int expected = 0;
+  g_shutdown_signal.compare_exchange_strong(expected, sig,
+                                            std::memory_order_acq_rel);
+}
+
+void ClearShutdownRequest() {
+  g_shutdown_signal.store(0, std::memory_order_release);
+}
+
+void GracefulShutdownExit() {
+  const int sig = ShutdownSignal();
+  (void)MetricsRegistry::Global().DumpToSink();
+  (void)DumpTrace();
+  EDDE_LOG(INFO) << "graceful shutdown complete (signal " << sig << ")";
+  std::exit(sig > 0 ? 128 + sig : 0);
+}
 
 void InstallCrashHandler() {
   if (g_handlers_installed.exchange(true, std::memory_order_acq_rel)) {

@@ -25,6 +25,33 @@ namespace edde {
 /// Installs the signal handlers (idempotent; first call wins).
 void InstallCrashHandler();
 
+/// Graceful shutdown (SIGINT / SIGTERM).
+///
+/// The handler only sets a flag; long-running loops (boosting rounds,
+/// training epochs) poll ShutdownRequested() at their safe points, write a
+/// final checkpoint, and call GracefulShutdownExit(). A second Ctrl-C while
+/// the first is still being honored kills the process immediately with the
+/// default disposition — the escape hatch when the safe point is far away.
+
+/// Installs SIGINT/SIGTERM handlers (idempotent; first call wins).
+void InstallShutdownHandler();
+
+/// True once SIGINT/SIGTERM arrived (or RequestShutdown ran).
+bool ShutdownRequested();
+
+/// The signal that requested shutdown (0 when none).
+int ShutdownSignal();
+
+/// Programmatic shutdown request, as if `sig` had been delivered.
+void RequestShutdown(int sig);
+
+/// Re-arms after a handled request (tests; multi-run drivers).
+void ClearShutdownRequest();
+
+/// Flushes the metrics JSONL sink and the trace buffer, then exits with
+/// the conventional 128+signal status. Call after the final checkpoint.
+[[noreturn]] void GracefulShutdownExit();
+
 /// Directory for `edde_crash_<pid>.txt` reports ("" = current directory).
 void SetCrashReportDir(const std::string& dir);
 

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "utils/crash.h"
+#include "utils/failpoint.h"
 #include "utils/logging.h"
 #include "utils/metrics.h"
 #include "utils/run_manifest.h"
@@ -133,6 +134,11 @@ void ApplyCommonFlags(const FlagParser& parser) {
     ManifestSetSeed(static_cast<uint64_t>(parser.GetInt("seed")));
   }
   InstallCrashHandler();
+  // Ctrl-C / SIGTERM become checkpoint-then-exit instead of instant death.
+  InstallShutdownHandler();
+  // Fault injection for durability testing; no-op unless EDDE_FAILPOINTS
+  // is set (and the armed spec lands in the manifest).
+  failpoint::InitFromEnv();
 }
 
 }  // namespace edde

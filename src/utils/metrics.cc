@@ -6,7 +6,9 @@
 #include <cstdlib>
 #include <fstream>
 #include <limits>
+#include <sstream>
 
+#include "utils/durable_io.h"
 #include "utils/logging.h"
 #include "utils/run_manifest.h"
 #include "utils/table.h"
@@ -358,10 +360,10 @@ std::string MetricsRegistry::sink_path() const {
 }
 
 Status MetricsRegistry::DumpJsonl(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out.is_open()) {
-    return Status::IOError("cannot open metrics sink: " + path);
-  }
+  // Rendered into memory and committed atomically so a crash (or a second
+  // dump racing an abnormal exit) can never leave a half-written JSONL
+  // behind — consumers see the previous complete dump or the new one.
+  std::ostringstream out;
   // Provenance header: the stream's first record identifies the run that
   // produced it (program, seed, flags, dataset fingerprints — see
   // utils/run_manifest.h).
@@ -381,56 +383,58 @@ Status MetricsRegistry::DumpJsonl(const std::string& path) const {
           << '\n';
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [name, counter] : counters_) {
-    out << JsonBuilder()
-               .Add("type", "counter")
-               .Add("name", name)
-               .Add("value", counter->Value())
-               .Build()
-        << '\n';
-  }
-  for (const auto& [name, gauge] : gauges_) {
-    out << JsonBuilder()
-               .Add("type", "gauge")
-               .Add("name", name)
-               .Add("value", gauge->Value())
-               .Build()
-        << '\n';
-  }
-  for (const auto& [name, hist] : histograms_) {
-    std::string buckets = "[";
-    const std::vector<int64_t> counts = hist->BucketCounts();
-    bool first = true;
-    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
-      if (counts[static_cast<size_t>(i)] == 0) continue;
-      if (!first) buckets += ',';
-      first = false;
-      const double bound = Histogram::BucketUpperBound(i);
-      buckets += '[';
-      buckets += std::isfinite(bound) ? FormatJsonNumber(bound) : "null";
-      buckets += ',';
-      buckets += std::to_string(counts[static_cast<size_t>(i)]);
-      buckets += ']';
+  // Scoped: the atomic commit below bumps durable-IO counters, which takes
+  // mu_ again — holding it across the write would self-deadlock.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, counter] : counters_) {
+      out << JsonBuilder()
+                 .Add("type", "counter")
+                 .Add("name", name)
+                 .Add("value", counter->Value())
+                 .Build()
+          << '\n';
     }
-    buckets += ']';
-    out << JsonBuilder()
-               .Add("type", "histogram")
-               .Add("name", name)
-               .Add("count", hist->Count())
-               .Add("sum", hist->Sum())
-               .Add("min", hist->Min())
-               .Add("max", hist->Max())
-               .Add("mean", hist->Mean())
-               .Add("p50", hist->ApproxQuantile(0.5))
-               .Add("p95", hist->ApproxQuantile(0.95))
-               .AddRaw("buckets", buckets)
-               .Build()
-        << '\n';
+    for (const auto& [name, gauge] : gauges_) {
+      out << JsonBuilder()
+                 .Add("type", "gauge")
+                 .Add("name", name)
+                 .Add("value", gauge->Value())
+                 .Build()
+          << '\n';
+    }
+    for (const auto& [name, hist] : histograms_) {
+      std::string buckets = "[";
+      const std::vector<int64_t> counts = hist->BucketCounts();
+      bool first = true;
+      for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+        if (counts[static_cast<size_t>(i)] == 0) continue;
+        if (!first) buckets += ',';
+        first = false;
+        const double bound = Histogram::BucketUpperBound(i);
+        buckets += '[';
+        buckets += std::isfinite(bound) ? FormatJsonNumber(bound) : "null";
+        buckets += ',';
+        buckets += std::to_string(counts[static_cast<size_t>(i)]);
+        buckets += ']';
+      }
+      buckets += ']';
+      out << JsonBuilder()
+                 .Add("type", "histogram")
+                 .Add("name", name)
+                 .Add("count", hist->Count())
+                 .Add("sum", hist->Sum())
+                 .Add("min", hist->Min())
+                 .Add("max", hist->Max())
+                 .Add("mean", hist->Mean())
+                 .Add("p50", hist->ApproxQuantile(0.5))
+                 .Add("p95", hist->ApproxQuantile(0.95))
+                 .AddRaw("buckets", buckets)
+                 .Build()
+          << '\n';
+    }
   }
-  out.flush();
-  if (!out.good()) return Status::IOError("metrics sink write failed");
-  return Status::OK();
+  return AtomicWriteFile(path, out.str());
 }
 
 Status MetricsRegistry::DumpToSink() const {

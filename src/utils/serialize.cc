@@ -2,49 +2,49 @@
 
 #include <cstring>
 
+#include "utils/durable_io.h"
+
 namespace edde {
 
-BinaryWriter::BinaryWriter(const std::string& path)
-    : out_(path, std::ios::binary) {
-  if (!out_.is_open()) {
-    status_ = Status::IOError("cannot open for writing: " + path);
+BinaryWriter::BinaryWriter(const std::string& path, Durability durability)
+    : path_(path), durability_(durability) {
+  if (durability_ == Durability::kDirect) {
+    out_.open(path, std::ios::binary);
+    if (!out_.is_open()) {
+      status_ = Status::IOError("cannot open for writing: " + path);
+    }
   }
 }
 
-void BinaryWriter::WriteU32(uint32_t v) {
+void BinaryWriter::WriteBytes(const void* data, size_t count) {
   if (!status_.ok()) return;
-  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  if (durability_ == Durability::kAtomic) {
+    buffer_.append(static_cast<const char*>(data), count);
+  } else {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(count));
+  }
 }
 
-void BinaryWriter::WriteU64(uint64_t v) {
-  if (!status_.ok()) return;
-  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
-void BinaryWriter::WriteI64(int64_t v) {
-  if (!status_.ok()) return;
-  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
-void BinaryWriter::WriteF32(float v) {
-  if (!status_.ok()) return;
-  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
+void BinaryWriter::WriteU32(uint32_t v) { WriteBytes(&v, sizeof(v)); }
+void BinaryWriter::WriteU64(uint64_t v) { WriteBytes(&v, sizeof(v)); }
+void BinaryWriter::WriteI64(int64_t v) { WriteBytes(&v, sizeof(v)); }
+void BinaryWriter::WriteF32(float v) { WriteBytes(&v, sizeof(v)); }
 
 void BinaryWriter::WriteString(const std::string& s) {
   WriteU64(s.size());
-  if (!status_.ok()) return;
-  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+  WriteBytes(s.data(), s.size());
 }
 
 void BinaryWriter::WriteFloats(const float* data, size_t count) {
-  if (!status_.ok()) return;
-  out_.write(reinterpret_cast<const char*>(data),
-             static_cast<std::streamsize>(count * sizeof(float)));
+  WriteBytes(data, count * sizeof(float));
 }
 
 Status BinaryWriter::Finish() {
-  if (status_.ok()) {
+  if (!status_.ok()) return status_;
+  if (durability_ == Durability::kAtomic) {
+    status_ = AtomicWriteFile(path_, buffer_);
+  } else {
     out_.flush();
     if (!out_.good()) status_ = Status::IOError("write failed");
     out_.close();
@@ -56,17 +56,31 @@ BinaryReader::BinaryReader(const std::string& path)
     : in_(path, std::ios::binary) {
   if (!in_.is_open()) {
     status_ = Status::IOError("cannot open for reading: " + path);
+    return;
   }
+  in_.seekg(0, std::ios::end);
+  std::streamoff end = in_.tellg();
+  in_.seekg(0, std::ios::beg);
+  if (end < 0 || !in_.good()) {
+    status_ = Status::IOError("cannot determine file size: " + path);
+    return;
+  }
+  file_size_ = static_cast<uint64_t>(end);
 }
 
 bool BinaryReader::ReadBytes(void* dst, size_t count) {
   if (!status_.ok()) return false;
+  if (count > remaining()) {
+    status_ = Status::Corruption("unexpected end of file");
+    return false;
+  }
   in_.read(reinterpret_cast<char*>(dst),
            static_cast<std::streamsize>(count));
   if (static_cast<size_t>(in_.gcount()) != count) {
     status_ = Status::Corruption("unexpected end of file");
     return false;
   }
+  offset_ += count;
   return true;
 }
 
@@ -74,12 +88,18 @@ bool BinaryReader::ReadU32(uint32_t* v) { return ReadBytes(v, sizeof(*v)); }
 bool BinaryReader::ReadU64(uint64_t* v) { return ReadBytes(v, sizeof(*v)); }
 bool BinaryReader::ReadI64(int64_t* v) { return ReadBytes(v, sizeof(*v)); }
 bool BinaryReader::ReadF32(float* v) { return ReadBytes(v, sizeof(*v)); }
+bool BinaryReader::ReadRaw(void* dst, size_t count) {
+  return ReadBytes(dst, count);
+}
 
 bool BinaryReader::ReadString(std::string* s) {
   uint64_t size = 0;
   if (!ReadU64(&size)) return false;
-  if (size > (1ull << 32)) {
-    status_ = Status::Corruption("string size implausibly large");
+  // A declared length longer than the bytes left in the file can only come
+  // from corruption; reject it before the resize so a bit-flipped length
+  // cannot trigger a huge allocation.
+  if (size > remaining()) {
+    status_ = Status::Corruption("string length exceeds remaining file bytes");
     return false;
   }
   s->resize(size);
@@ -87,6 +107,11 @@ bool BinaryReader::ReadString(std::string* s) {
 }
 
 bool BinaryReader::ReadFloats(float* data, size_t count) {
+  if (!status_.ok()) return false;
+  if (count > remaining() / sizeof(float)) {  // overflow-safe clamp
+    status_ = Status::Corruption("float array exceeds remaining file bytes");
+    return false;
+  }
   return ReadBytes(data, count * sizeof(float));
 }
 

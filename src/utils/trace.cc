@@ -8,8 +8,10 @@
 #include <fstream>
 #include <map>
 #include <mutex>
+#include <sstream>
 #include <vector>
 
+#include "utils/durable_io.h"
 #include "utils/logging.h"
 #include "utils/run_manifest.h"
 
@@ -253,10 +255,9 @@ void ResetTraceBuffers() {
 }
 
 Status DumpTraceTo(const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out.is_open()) {
-    return Status::IOError("cannot open trace sink: " + path);
-  }
+  // Rendered into memory and committed atomically: a torn trace JSON is
+  // useless to Perfetto, so readers get the previous export or this one.
+  std::ostringstream out;
 
   struct Event {
     int tid;
@@ -363,9 +364,7 @@ Status DumpTraceTo(const std::string& path) {
     }
   }
   out << "\n]}\n";
-  out.flush();
-  if (!out.good()) return Status::IOError("trace sink write failed");
-  return Status::OK();
+  return AtomicWriteFile(path, out.str());
 }
 
 Status DumpTrace() {

@@ -1,0 +1,128 @@
+#include "utils/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "utils/logging.h"
+#include "utils/status.h"
+
+namespace edde {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    failpoint::Clear();
+  }
+  void TearDown() override { failpoint::Clear(); }
+};
+
+TEST_F(FailpointTest, InactiveSiteIsNoOp) {
+  EXPECT_FALSE(failpoint::AnyActive());
+  EXPECT_EQ(failpoint::CurrentSpec(), "");
+  // Compiled-in sites must be invisible when disarmed.
+  EDDE_FAILPOINT("durable.write");
+  EXPECT_TRUE(failpoint::Hit("durable.write").ok());
+  EXPECT_EQ(failpoint::ShortWriteBytes("durable.write"), 0u);
+}
+
+TEST_F(FailpointTest, ErrorActionFailsEveryHit) {
+  ASSERT_TRUE(failpoint::SetSpec("durable.write=error").ok());
+  EXPECT_TRUE(failpoint::AnyActive());
+  EXPECT_EQ(failpoint::CurrentSpec(), "durable.write=error");
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(failpoint::Hit("durable.write").ok());
+  }
+  // Other sites stay clean.
+  EXPECT_TRUE(failpoint::Hit("durable.rename").ok());
+}
+
+TEST_F(FailpointTest, BoundedErrorActionRecoversAfterN) {
+  ASSERT_TRUE(failpoint::SetSpec("durable.rename=error:2").ok());
+  EXPECT_FALSE(failpoint::Hit("durable.rename").ok());
+  EXPECT_FALSE(failpoint::Hit("durable.rename").ok());
+  // The third hit succeeds — this is what drives the retry-path coverage.
+  EXPECT_TRUE(failpoint::Hit("durable.rename").ok());
+}
+
+TEST_F(FailpointTest, ShortWriteReportsBytesWithoutConsuming) {
+  ASSERT_TRUE(failpoint::SetSpec("durable.write=short_write:7").ok());
+  EXPECT_EQ(failpoint::ShortWriteBytes("durable.write"), 7u);
+  EXPECT_EQ(failpoint::ShortWriteBytes("durable.write"), 7u);
+  EXPECT_EQ(failpoint::ShortWriteBytes("durable.rename"), 0u);
+}
+
+TEST_F(FailpointTest, ShortWriteDefaultsTo16Bytes) {
+  ASSERT_TRUE(failpoint::SetSpec("durable.write=short_write").ok());
+  EXPECT_EQ(failpoint::ShortWriteBytes("durable.write"), 16u);
+}
+
+TEST_F(FailpointTest, InvalidSpecsAreRejectedAndLeavePreviousArmed) {
+  ASSERT_TRUE(failpoint::SetSpec("durable.write=error").ok());
+  EXPECT_FALSE(failpoint::SetSpec("durable.write").ok());
+  EXPECT_FALSE(failpoint::SetSpec("durable.write=explode").ok());
+  EXPECT_FALSE(failpoint::SetSpec("durable.write=delay").ok());  // needs :N
+  EXPECT_FALSE(failpoint::SetSpec("=error").ok());
+  // The previous valid spec must still be armed.
+  EXPECT_EQ(failpoint::CurrentSpec(), "durable.write=error");
+  EXPECT_FALSE(failpoint::Hit("durable.write").ok());
+}
+
+TEST_F(FailpointTest, EmptySpecClears) {
+  ASSERT_TRUE(failpoint::SetSpec("durable.write=error").ok());
+  ASSERT_TRUE(failpoint::SetSpec("").ok());
+  EXPECT_FALSE(failpoint::AnyActive());
+  EXPECT_TRUE(failpoint::Hit("durable.write").ok());
+}
+
+TEST_F(FailpointTest, MultiSiteSpec) {
+  ASSERT_TRUE(
+      failpoint::SetSpec("durable.write=error:1,durable.fsync=short_write:4")
+          .ok());
+  EXPECT_FALSE(failpoint::Hit("durable.write").ok());
+  EXPECT_TRUE(failpoint::Hit("durable.write").ok());
+  EXPECT_EQ(failpoint::ShortWriteBytes("durable.fsync"), 4u);
+}
+
+TEST_F(FailpointTest, CrashActionExitsWithCrashExitCode) {
+  EXPECT_EXIT(
+      {
+        (void)failpoint::SetSpec("checkpoint.commit=crash");
+        (void)failpoint::Hit("checkpoint.commit");
+      },
+      ::testing::ExitedWithCode(failpoint::kCrashExitCode), "");
+}
+
+TEST_F(FailpointTest, CrashOnNthHit) {
+  EXPECT_EXIT(
+      {
+        (void)failpoint::SetSpec("trainer.epoch=crash:3");
+        (void)failpoint::Hit("trainer.epoch");  // 1
+        (void)failpoint::Hit("trainer.epoch");  // 2
+        (void)failpoint::Hit("trainer.epoch");  // 3 -> _exit(42)
+        std::exit(0);                           // must not be reached
+      },
+      ::testing::ExitedWithCode(failpoint::kCrashExitCode), "");
+}
+
+TEST_F(FailpointTest, DelayActionReturnsOk) {
+  ASSERT_TRUE(failpoint::SetSpec("durable.dirsync=delay:1").ok());
+  EXPECT_TRUE(failpoint::Hit("durable.dirsync").ok());
+}
+
+TEST_F(FailpointTest, InitFromEnvArmsSpec) {
+  EXPECT_EXIT(
+      {
+        ::setenv("EDDE_FAILPOINTS", "durable.rename=error", 1);
+        failpoint::InitFromEnv();
+        const bool armed = failpoint::AnyActive() &&
+                           !failpoint::Hit("durable.rename").ok();
+        std::exit(armed ? 0 : 1);
+      },
+      ::testing::ExitedWithCode(0), "");
+}
+
+}  // namespace
+}  // namespace edde
