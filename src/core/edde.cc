@@ -21,6 +21,19 @@ namespace {
 
 constexpr double kHalfSqrt2 = 0.7071067811865476;  // √2 / 2
 
+/// Retrain budget for a member whose training diverged (non-finite
+/// predictions). Attempt 0 is the paper's warm-started round; retries drop
+/// the transfer trunk, and the final one also drops the diversity term.
+constexpr int kMaxDivergedRetrains = 2;
+
+bool AllFinite(const Tensor& t) {
+  const float* p = t.data();
+  for (int64_t i = 0; i < t.shape().num_elements(); ++i) {
+    if (!std::isfinite(p[i])) return false;
+  }
+  return true;
+}
+
 /// Min/mean/max of the per-sample weight distribution W_t.
 void SummarizeWeights(const std::vector<double>& weights,
                       EddeRoundStats* stats) {
@@ -248,7 +261,7 @@ EnsembleModel EddeMethod::Train(const Dataset& train,
     }
   }
 
-  auto make_train_config = [&](int epochs, int round) {
+  auto make_train_config = [&](int epochs, int round, int attempt = 0) {
     TrainConfig tc;
     tc.epochs = epochs;
     tc.batch_size = config_.batch_size;
@@ -260,8 +273,13 @@ EnsembleModel EddeMethod::Train(const Dataset& train,
     if (ckpt.enabled()) {
       tc.checkpoint.path = ckpt.InflightPath(round);
       tc.checkpoint.every_epochs = config_.checkpoint.every_epochs;
-      tc.checkpoint.fingerprint =
-          InflightFingerprint(ckpt.fingerprint(), round);
+      // Divergence-recovery attempts (below) train a different trajectory
+      // into the same inflight slot; salting the fingerprint with the
+      // attempt keeps a crash mid-retry from resuming one attempt off
+      // another attempt's file (attempt 0 keeps the historical value, so
+      // pre-existing checkpoints stay valid).
+      tc.checkpoint.fingerprint = InflightFingerprint(
+          ckpt.fingerprint(), round + 1000003 * attempt);
     }
     return tc;
   };
@@ -360,33 +378,61 @@ EnsembleModel EddeMethod::Train(const Dataset& train,
     }
 
     // Line 7: I(D, W_{t−1}, h_{t−1}, H_{t−1}, γ, β) — warm start + train.
-    std::unique_ptr<Module> ht = factory(rng.NextU64());
-    switch (options_.transfer_mode) {
-      case EddeOptions::TransferMode::kSelective:
-        TransferKnowledge(ensemble.member(ensemble.size() - 1), ht.get(),
-                          options_.beta, options_.granularity);
-        break;
-      case EddeOptions::TransferMode::kAll:
-        TransferKnowledge(ensemble.member(ensemble.size() - 1), ht.get(), 1.0,
-                          options_.granularity);
-        break;
-      case EddeOptions::TransferMode::kNone:
-        break;
-    }
-
+    //
+    // With divergence containment: transfer hands the member a mostly
+    // trained trunk, and restarting it at the schedule's full learning
+    // rate — while the diversity term pushes away from a by-now-sharp
+    // H_{t−1} — can blow the parameters up. Non-finite predictions would
+    // poison Sim/Bias, the Eq. 14/15 updates, and every later ensemble
+    // prediction, so a diverged member is void: discard it and retrain
+    // the round, first from a cold initialization (dropping the trunk the
+    // restart diverged from), then additionally without the diversity
+    // term. A void attempt only consumed W_{t−1}, never updated it, so
+    // boosting state carries over to the retry untouched.
     const std::vector<float> scaled_weights = ScaleWeightsToMeanOne(weights);
-    TrainContext ctx;
-    ctx.sample_weights = &scaled_weights;
-    if (options_.use_diversity_loss && options_.gamma != 0.0f) {
-      ctx.reference_probs = &diversity_reference;
-      ctx.loss.diversity_gamma = options_.gamma;
+    std::unique_ptr<Module> ht;
+    Tensor member_probs;
+    bool member_finite = false;
+    for (int attempt = 0; attempt <= kMaxDivergedRetrains; ++attempt) {
+      ht = factory(rng.NextU64());
+      if (attempt == 0) {
+        switch (options_.transfer_mode) {
+          case EddeOptions::TransferMode::kSelective:
+            TransferKnowledge(ensemble.member(ensemble.size() - 1), ht.get(),
+                              options_.beta, options_.granularity);
+            break;
+          case EddeOptions::TransferMode::kAll:
+            TransferKnowledge(ensemble.member(ensemble.size() - 1), ht.get(),
+                              1.0, options_.granularity);
+            break;
+          case EddeOptions::TransferMode::kNone:
+            break;
+        }
+      }
+      TrainContext ctx;
+      ctx.sample_weights = &scaled_weights;
+      if (options_.use_diversity_loss && options_.gamma != 0.0f &&
+          attempt < kMaxDivergedRetrains) {
+        ctx.reference_probs = &diversity_reference;
+        ctx.loss.diversity_gamma = options_.gamma;
+      }
+      TrainModel(ht.get(), train,
+                 make_train_config(config_.epochs_per_member, /*round=*/t,
+                                   attempt),
+                 ctx);
+      if (ShutdownRequested()) GracefulShutdownExit();
+      member_probs = PredictProbs(ht.get(), train);
+      member_finite = AllFinite(member_probs);
+      if (member_finite) break;
+      MetricsRegistry::Global()
+          .GetCounter("edde.diverged_member_retrains")
+          ->Increment();
+      EDDE_LOG(WARNING) << "member " << t
+                        << " diverged to non-finite predictions (attempt "
+                        << attempt << "); retraining from cold init";
     }
-    TrainModel(ht.get(), train,
-               make_train_config(config_.epochs_per_member, /*round=*/t), ctx);
-    if (ShutdownRequested()) GracefulShutdownExit();
-
-    // Lines 8-9: per-sample similarity and bias of the new member.
-    const Tensor member_probs = PredictProbs(ht.get(), train);
+    EDDE_CHECK(member_finite)
+        << "member " << t << " diverged on every retrain attempt";
     const std::vector<int> preds = ArgmaxRows(member_probs);
     const std::vector<double> sim =
         PerSampleSimilarity(member_probs, ensemble_probs);

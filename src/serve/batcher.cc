@@ -1,0 +1,85 @@
+#include "serve/batcher.h"
+
+#include "utils/logging.h"
+
+namespace edde {
+namespace serve {
+
+AdmissionQueue::AdmissionQueue(int64_t max_batch_rows,
+                               std::chrono::milliseconds max_delay,
+                               int64_t max_queue_rows)
+    : max_batch_rows_(max_batch_rows),
+      max_delay_(max_delay),
+      max_queue_rows_(max_queue_rows) {
+  EDDE_CHECK_GT(max_batch_rows_, 0);
+  EDDE_CHECK_GE(max_queue_rows_, max_batch_rows_);
+}
+
+Status AdmissionQueue::Submit(PendingRequest req) {
+  const int64_t rows = req.request.rows;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) {
+      return Status::FailedPrecondition("server is shutting down");
+    }
+    if (queued_rows_ + rows > max_queue_rows_) {
+      return Status::FailedPrecondition(
+          "admission queue full (" + std::to_string(queued_rows_) +
+          " rows queued) — retry later");
+    }
+    queued_rows_ += rows;
+    queue_.push_back(std::move(req));
+  }
+  cv_.notify_one();
+  return Status::OK();
+}
+
+bool AdmissionQueue::NextBatch(std::vector<PendingRequest>* out) {
+  out->clear();
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (!queue_.empty()) {
+      if (queued_rows_ >= max_batch_rows_ || stopped_) break;
+      // Partial batch: wait out the oldest request's deadline, re-checking
+      // whenever a Submit refills the queue toward a full batch.
+      const auto cut = queue_.front().arrival + max_delay_;
+      if (cv_.wait_until(lock, cut, [&] {
+            return stopped_ || queued_rows_ >= max_batch_rows_;
+          })) {
+        if (!stopped_ && queue_.empty()) continue;  // spurious state change
+        break;
+      }
+      break;  // deadline expired — ship what we have
+    }
+    if (stopped_) return false;  // stopped and drained
+    cv_.wait(lock, [&] { return stopped_ || !queue_.empty(); });
+  }
+  if (queue_.empty()) return false;
+  int64_t rows = 0;
+  while (!queue_.empty()) {
+    const int64_t next = queue_.front().request.rows;
+    if (!out->empty() && rows + next > max_batch_rows_) break;
+    rows += next;
+    queued_rows_ -= next;
+    out->push_back(std::move(queue_.front()));
+    queue_.pop_front();
+    if (rows >= max_batch_rows_) break;
+  }
+  return true;
+}
+
+void AdmissionQueue::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+  }
+  cv_.notify_all();
+}
+
+int64_t AdmissionQueue::queued_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_rows_;
+}
+
+}  // namespace serve
+}  // namespace edde

@@ -1,0 +1,78 @@
+#ifndef EDDE_SERVE_BATCHER_H_
+#define EDDE_SERVE_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "utils/status.h"
+
+namespace edde {
+namespace serve {
+
+/// One admitted request waiting to be batched: the parsed payload, its
+/// arrival time (drives the deadline-expiry cut and the latency metric),
+/// and the completion route back to its connection.
+struct PendingRequest {
+  PredictRequest request;
+  std::chrono::steady_clock::time_point arrival;
+  /// Called exactly once, off the reader thread, with the final response.
+  std::function<void(const PredictResponse&)> respond;
+};
+
+/// Coalesces concurrent requests into dynamic batches (the marian-dev
+/// batch_generator idea, simplified to one size axis).
+///
+/// Readers Submit() requests; the single batch worker loops on
+/// NextBatch(), which blocks until either (a) at least `max_batch_rows`
+/// rows are queued — a full batch — or (b) the *oldest* queued request has
+/// waited `max_delay` — the deadline-expiry cut that bounds the latency a
+/// lone request pays for batching. A batch takes whole requests from the
+/// front in FIFO order until adding the next one would exceed
+/// max_batch_rows; a request is never split across batches, and the first
+/// request of a batch is always taken even when it alone exceeds
+/// max_batch_rows (Submit's row cap is the server's request validation,
+/// not ours).
+///
+/// Backpressure: Submit rejects with FailedPrecondition once
+/// `max_queue_rows` rows are waiting — the reader turns that into an error
+/// response instead of queueing unbounded memory.
+class AdmissionQueue {
+ public:
+  AdmissionQueue(int64_t max_batch_rows, std::chrono::milliseconds max_delay,
+                 int64_t max_queue_rows);
+
+  /// Enqueues `req`. FailedPrecondition when stopped or over the row cap.
+  Status Submit(PendingRequest req);
+
+  /// Blocks for the next batch per the policy above. Returns false once
+  /// the queue is stopped AND drained (the worker's exit signal); pending
+  /// requests submitted before Stop() are still delivered.
+  bool NextBatch(std::vector<PendingRequest>* out);
+
+  /// Wakes the worker and refuses new Submits. Idempotent.
+  void Stop();
+
+  int64_t queued_rows() const;
+
+ private:
+  const int64_t max_batch_rows_;
+  const std::chrono::milliseconds max_delay_;
+  const int64_t max_queue_rows_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<PendingRequest> queue_;
+  int64_t queued_rows_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace serve
+}  // namespace edde
+
+#endif  // EDDE_SERVE_BATCHER_H_

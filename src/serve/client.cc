@@ -1,0 +1,57 @@
+#include "serve/client.h"
+
+namespace edde {
+namespace serve {
+
+Result<ServeClient> ServeClient::Connect(const std::string& host,
+                                         uint16_t port) {
+  Result<UniqueFd> fd = ConnectTcp(host, port);
+  if (!fd.ok()) return fd.status();
+  return ServeClient(std::move(fd).ValueOrDie());
+}
+
+Result<PredictResponse> ServeClient::Predict(const PredictRequest& req) {
+  EDDE_RETURN_NOT_OK(SendFrame(fd_.get(), BuildPredictRequest(req)));
+  std::string payload;
+  EDDE_RETURN_NOT_OK(RecvFrame(fd_.get(), &payload));
+  PredictResponse resp;
+  EDDE_RETURN_NOT_OK(ParsePredictResponse(payload, &resp));
+  if (resp.id != req.id) {
+    return Status::Internal("response id " + std::to_string(resp.id) +
+                            " does not match request id " +
+                            std::to_string(req.id));
+  }
+  return resp;
+}
+
+Result<int> ServeClient::PredictRow(const std::vector<float>& features,
+                                    int64_t id) {
+  PredictRequest req;
+  req.id = id;
+  req.rows = 1;
+  req.dim = static_cast<int64_t>(features.size());
+  req.features = features;
+  Result<PredictResponse> resp = Predict(req);
+  if (!resp.ok()) return resp.status();
+  const PredictResponse& r = resp.ValueOrDie();
+  if (!r.ok) return Status::Internal("server error: " + r.error);
+  if (r.labels.size() != 1) {
+    return Status::Internal("expected one label, got " +
+                            std::to_string(r.labels.size()));
+  }
+  return r.labels[0];
+}
+
+Status ServeClient::SendRaw(const std::string& payload) {
+  return SendFrame(fd_.get(), payload);
+}
+
+Result<std::string> ServeClient::RecvRaw() {
+  std::string payload;
+  Status status = RecvFrame(fd_.get(), &payload);
+  if (!status.ok()) return status;
+  return payload;
+}
+
+}  // namespace serve
+}  // namespace edde

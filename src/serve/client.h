@@ -1,0 +1,51 @@
+#ifndef EDDE_SERVE_CLIENT_H_
+#define EDDE_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "utils/socket.h"
+#include "utils/status.h"
+
+namespace edde {
+namespace serve {
+
+/// Synchronous edde-serve client: one connection, one outstanding request
+/// at a time. Serves the in-tree consumers — tests, bench_serve's load
+/// threads (one client per thread), and the CI smoke driver. Pipelining is
+/// possible on the wire (ids disambiguate) but deliberately not offered
+/// here; concurrency comes from running many clients.
+class ServeClient {
+ public:
+  static Result<ServeClient> Connect(const std::string& host, uint16_t port);
+
+  ServeClient(ServeClient&&) = default;
+  ServeClient& operator=(ServeClient&&) = default;
+
+  /// Sends `req` and blocks for its response. Transport failures are a
+  /// Status; a server-side error comes back as a response with ok=false.
+  /// The response's id must echo the request's — a mismatch is Internal
+  /// (the single-outstanding discipline was violated somewhere).
+  Result<PredictResponse> Predict(const PredictRequest& req);
+
+  /// Convenience: one single-row request. Returns the predicted label.
+  Result<int> PredictRow(const std::vector<float>& features, int64_t id = 0);
+
+  /// Sends `payload` as a raw frame, no validation — the malformed-input
+  /// tests speak through this.
+  Status SendRaw(const std::string& payload);
+  /// Receives one raw frame.
+  Result<std::string> RecvRaw();
+
+ private:
+  explicit ServeClient(UniqueFd fd) : fd_(std::move(fd)) {}
+
+  UniqueFd fd_;
+};
+
+}  // namespace serve
+}  // namespace edde
+
+#endif  // EDDE_SERVE_CLIENT_H_

@@ -1,0 +1,165 @@
+#include "serve/protocol.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "utils/json.h"
+#include "utils/metrics.h"
+
+namespace edde {
+namespace serve {
+
+namespace {
+
+/// Compact float formatting for the feature/prob arrays: %.9g round-trips
+/// float32 exactly and stays much shorter than the default double path.
+void AppendFloat(std::string* out, float v) {
+  char buf[32];
+  if (std::isfinite(v)) {
+    std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(v));
+  } else {
+    // Same convention as JsonBuilder: JSON has no NaN/Inf literal.
+    std::snprintf(buf, sizeof(buf), "null");
+  }
+  out->append(buf);
+}
+
+template <typename T, typename Fn>
+std::string JsonArray(const std::vector<T>& values, Fn&& append_one) {
+  std::string out = "[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    append_one(&out, values[i]);
+  }
+  out.push_back(']');
+  return out;
+}
+
+}  // namespace
+
+std::string BuildPredictRequest(const PredictRequest& req) {
+  JsonBuilder b;
+  b.Add("type", "predict");
+  b.Add("id", req.id);
+  b.Add("rows", req.rows);
+  b.Add("dim", req.dim);
+  b.AddRaw("features", JsonArray(req.features, [](std::string* out, float v) {
+             AppendFloat(out, v);
+           }));
+  if (req.want_probs) b.Add("want_probs", true);
+  return b.Build();
+}
+
+Status ParsePredictRequest(const std::string& json, PredictRequest* out) {
+  *out = PredictRequest{};
+  out->id = -1;
+  JsonValue root;
+  EDDE_RETURN_NOT_OK(JsonValue::Parse(json, &root));
+  if (!root.is_object()) {
+    return Status::InvalidArgument("request is not a JSON object");
+  }
+  const JsonValue* id = root.Get("id");
+  if (id != nullptr && id->is_number()) {
+    out->id = static_cast<int64_t>(id->AsNumber());
+  }
+  if (root.GetStringOr("type", "") != "predict") {
+    return Status::InvalidArgument("unknown request type");
+  }
+  out->rows = static_cast<int64_t>(root.GetNumberOr("rows", 0));
+  out->dim = static_cast<int64_t>(root.GetNumberOr("dim", 0));
+  if (out->rows < 1 || out->dim < 1) {
+    return Status::InvalidArgument("rows and dim must be >= 1");
+  }
+  const JsonValue* features = root.Get("features");
+  if (features == nullptr || !features->is_array()) {
+    return Status::InvalidArgument("missing features array");
+  }
+  const std::vector<JsonValue>& arr = features->AsArray();
+  if (static_cast<int64_t>(arr.size()) != out->rows * out->dim) {
+    return Status::InvalidArgument(
+        "features has " + std::to_string(arr.size()) + " values, want rows*dim = " +
+        std::to_string(out->rows * out->dim));
+  }
+  out->features.reserve(arr.size());
+  for (const JsonValue& v : arr) {
+    if (!v.is_number()) {
+      return Status::InvalidArgument("non-numeric (or null) feature value");
+    }
+    const double d = v.AsNumber();
+    if (!std::isfinite(d)) {
+      return Status::InvalidArgument("non-finite feature value");
+    }
+    out->features.push_back(static_cast<float>(d));
+  }
+  const JsonValue* want = root.Get("want_probs");
+  out->want_probs = want != nullptr && want->is_bool() && want->AsBool();
+  return Status::OK();
+}
+
+std::string BuildPredictResponse(const PredictResponse& resp) {
+  if (!resp.ok) return BuildErrorResponse(resp.id, resp.error);
+  JsonBuilder b;
+  b.Add("id", resp.id);
+  b.Add("ok", true);
+  b.AddRaw("labels", JsonArray(resp.labels, [](std::string* out, int v) {
+             out->append(std::to_string(v));
+           }));
+  b.AddRaw("depth", JsonArray(resp.depth, [](std::string* out, int64_t v) {
+             out->append(std::to_string(v));
+           }));
+  if (!resp.probs.empty()) {
+    b.Add("k", resp.k);
+    b.AddRaw("probs", JsonArray(resp.probs, [](std::string* out, float v) {
+               AppendFloat(out, v);
+             }));
+  }
+  return b.Build();
+}
+
+std::string BuildErrorResponse(int64_t id, const std::string& error) {
+  JsonBuilder b;
+  b.Add("id", id);
+  b.Add("ok", false);
+  b.Add("error", error);
+  return b.Build();
+}
+
+Status ParsePredictResponse(const std::string& json, PredictResponse* out) {
+  *out = PredictResponse{};
+  JsonValue root;
+  EDDE_RETURN_NOT_OK(JsonValue::Parse(json, &root));
+  if (!root.is_object()) {
+    return Status::InvalidArgument("response is not a JSON object");
+  }
+  out->id = static_cast<int64_t>(root.GetNumberOr("id", -1));
+  const JsonValue* ok = root.Get("ok");
+  out->ok = ok != nullptr && ok->is_bool() && ok->AsBool();
+  if (!out->ok) {
+    out->error = root.GetStringOr("error", "(no error message)");
+    return Status::OK();
+  }
+  const JsonValue* labels = root.Get("labels");
+  const JsonValue* depth = root.Get("depth");
+  if (labels == nullptr || !labels->is_array() || depth == nullptr ||
+      !depth->is_array()) {
+    return Status::InvalidArgument("ok response missing labels/depth");
+  }
+  for (const JsonValue& v : labels->AsArray()) {
+    out->labels.push_back(static_cast<int>(v.AsNumber()));
+  }
+  for (const JsonValue& v : depth->AsArray()) {
+    out->depth.push_back(static_cast<int64_t>(v.AsNumber()));
+  }
+  out->k = static_cast<int64_t>(root.GetNumberOr("k", 0));
+  if (const JsonValue* probs = root.Get("probs");
+      probs != nullptr && probs->is_array()) {
+    for (const JsonValue& v : probs->AsArray()) {
+      // null encodes a non-finite prob (shouldn't happen, but don't choke).
+      out->probs.push_back(static_cast<float>(v.NumberOrNaN()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace serve
+}  // namespace edde

@@ -1,0 +1,71 @@
+#ifndef EDDE_SERVE_PROTOCOL_H_
+#define EDDE_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "utils/status.h"
+
+namespace edde {
+namespace serve {
+
+/// edde-serve wire protocol (DESIGN.md §12).
+///
+/// Every message is one socket frame (utils/socket.h: u32-LE length prefix
+/// + payload) whose payload is a single flat JSON object. Requests carry a
+/// client-chosen `id` that the matching response echoes, so one connection
+/// may pipeline requests; responses come back in completion order.
+///
+/// Request:  {"type": "predict", "id": 7, "rows": 2, "dim": 16,
+///            "features": [r0c0, r0c1, ..., r1c15], "want_probs": false}
+///   `features` is row-major, length rows*dim. `want_probs` asks for the
+///   per-class distribution in addition to the labels (bigger responses).
+/// Response: {"id": 7, "ok": true, "labels": [3, 1], "depth": [2, 5]}
+///   plus "k" and row-major "probs" (rows*k) when want_probs was set.
+///   `depth[i]` is the cascade depth: how many ensemble members were
+///   consumed when row i's argmax became final (== ensemble size when the
+///   cascade is off or the row fell through).
+/// Error:    {"id": 7, "ok": false, "error": "..."}
+///   Sent per-request (malformed JSON that still yielded an id, bad
+///   geometry, too many rows). A frame so broken that no id can be
+///   recovered gets id -1 and the server drops the connection after it.
+
+struct PredictRequest {
+  int64_t id = 0;
+  int64_t rows = 0;
+  int64_t dim = 0;
+  std::vector<float> features;  // row-major, rows * dim
+  bool want_probs = false;
+};
+
+struct PredictResponse {
+  int64_t id = 0;
+  bool ok = false;
+  std::string error;
+  std::vector<int> labels;
+  std::vector<int64_t> depth;  // cascade depth per row
+  int64_t k = 0;               // classes (0 when probs absent)
+  std::vector<float> probs;    // row-major, rows * k; empty unless asked
+};
+
+/// Serializes `req` as the wire JSON (payload only — framing is the
+/// socket layer's job).
+std::string BuildPredictRequest(const PredictRequest& req);
+
+/// Parses and validates a request payload: the geometry must be coherent
+/// (rows >= 1, dim >= 1, features.size() == rows*dim) and every feature
+/// finite. InvalidArgument on any violation; *out->id is filled whenever
+/// the payload at least carried a numeric id, so the caller can address
+/// the error response.
+Status ParsePredictRequest(const std::string& json, PredictRequest* out);
+
+std::string BuildPredictResponse(const PredictResponse& resp);
+std::string BuildErrorResponse(int64_t id, const std::string& error);
+
+Status ParsePredictResponse(const std::string& json, PredictResponse* out);
+
+}  // namespace serve
+}  // namespace edde
+
+#endif  // EDDE_SERVE_PROTOCOL_H_

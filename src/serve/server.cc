@@ -1,0 +1,294 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <cstring>
+
+#include <sys/socket.h>
+
+#include "tensor/tensor.h"
+#include "utils/failpoint.h"
+#include "utils/logging.h"
+#include "utils/metrics.h"
+#include "utils/threadpool.h"
+#include "utils/trace.h"
+
+namespace edde {
+namespace serve {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(const EnsembleModel* model,
+                                 int64_t input_dim, int64_t num_classes,
+                                 ServerConfig config)
+    : model_(model),
+      input_dim_(input_dim),
+      num_classes_(num_classes),
+      config_(config),
+      queue_(config.max_batch_rows,
+             std::chrono::milliseconds(config.max_delay_ms),
+             config.max_queue_rows) {
+  EDDE_CHECK(model_ != nullptr);
+  EDDE_CHECK_GT(input_dim_, 0);
+  EDDE_CHECK_GT(num_classes_, 0);
+}
+
+InferenceServer::~InferenceServer() { Stop(); }
+
+Status InferenceServer::Start() {
+  EDDE_CHECK(!started_) << "Start() called twice";
+  EDDE_RETURN_NOT_OK(model_->CheckPredictable());
+  Result<UniqueFd> listener = ListenTcp(config_.port);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(listener).ValueOrDie();
+  Result<uint16_t> port = LocalPort(listener_.get());
+  if (!port.ok()) return port.status();
+  port_ = port.ValueOrDie();
+  started_ = true;
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  worker_ = std::thread([this] { WorkerLoop(); });
+  EDDE_LOG(INFO) << "edde-serve listening on 127.0.0.1:" << port_
+                 << " (members=" << model_->size()
+                 << " cascade=" << (config_.cascade ? "on" : "off") << ")";
+  return Status::OK();
+}
+
+void InferenceServer::Stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  // Wake the blocked accept() without closing the fd under it.
+  ::shutdown(listener_.get(), SHUT_RDWR);
+  acceptor_.join();
+  listener_.reset();
+  // Let the worker drain everything already admitted, then exit.
+  queue_.Stop();
+  worker_.join();
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& conn : conns) ::shutdown(conn->fd.get(), SHUT_RDWR);
+  for (auto& reader : readers_) reader.join();
+  readers_.clear();
+}
+
+void InferenceServer::AcceptLoop() {
+  static Counter* const accepted =
+      MetricsRegistry::Global().GetCounter("serve.connections");
+  for (;;) {
+    Result<UniqueFd> conn_fd = AcceptConn(listener_.get());
+    if (!conn_fd.ok()) {
+      // Stop() shut the listener down — every accept error after that is
+      // the clean-exit path, anything before it is worth a log line.
+      if (!stopped_) {
+        EDDE_LOG(WARNING) << "accept failed: " << conn_fd.status();
+      }
+      return;
+    }
+    EDDE_FAILPOINT("serve.accept");
+    accepted->Increment();
+    auto conn = std::make_shared<Connection>();
+    conn->fd = std::move(conn_fd).ValueOrDie();
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (stopped_) return;  // raced with Stop; drop the connection
+    conns_.push_back(conn);
+    readers_.emplace_back([this, conn] { ReaderLoop(conn); });
+  }
+}
+
+void InferenceServer::ReaderLoop(std::shared_ptr<Connection> conn) {
+  static Counter* const errors =
+      MetricsRegistry::Global().GetCounter("serve.errors");
+  static Gauge* const queue_rows =
+      MetricsRegistry::Global().GetGauge("serve.queue_rows");
+  for (;;) {
+    std::string payload;
+    const Status recv = RecvFrame(conn->fd.get(), &payload);
+    if (!recv.ok()) {
+      if (recv.code() == StatusCode::kInvalidArgument) {
+        // Oversized length prefix: the stream is out of sync — answer once
+        // (best effort, id unknown) and drop the connection.
+        errors->Increment();
+        std::lock_guard<std::mutex> lock(conn->write_mu);
+        (void)SendFrame(conn->fd.get(),
+                        BuildErrorResponse(-1, recv.message()));
+      }
+      return;  // NotFound = clean EOF; IOError = peer gone / shutdown
+    }
+
+    PendingRequest pending;
+    pending.arrival = std::chrono::steady_clock::now();
+    Status parsed = ParsePredictRequest(payload, &pending.request);
+    if (parsed.ok() && pending.request.dim != input_dim_) {
+      parsed = Status::InvalidArgument(
+          "request dim " + std::to_string(pending.request.dim) +
+          " != model input dim " + std::to_string(input_dim_));
+    }
+    if (parsed.ok() && pending.request.rows > config_.max_request_rows) {
+      parsed = Status::InvalidArgument(
+          "request carries " + std::to_string(pending.request.rows) +
+          " rows; per-request cap is " +
+          std::to_string(config_.max_request_rows));
+    }
+    if (!parsed.ok()) {
+      errors->Increment();
+      std::lock_guard<std::mutex> lock(conn->write_mu);
+      (void)SendFrame(conn->fd.get(), BuildErrorResponse(
+                                          pending.request.id,
+                                          parsed.message()));
+      continue;  // protocol-level error; the connection itself is fine
+    }
+
+    pending.respond = [conn](const PredictResponse& resp) {
+      std::lock_guard<std::mutex> lock(conn->write_mu);
+      (void)SendFrame(conn->fd.get(), BuildPredictResponse(resp));
+    };
+    const int64_t id = pending.request.id;
+    const Status admitted = queue_.Submit(std::move(pending));
+    if (!admitted.ok()) {
+      errors->Increment();
+      std::lock_guard<std::mutex> lock(conn->write_mu);
+      (void)SendFrame(conn->fd.get(),
+                      BuildErrorResponse(id, admitted.message()));
+      continue;
+    }
+    queue_rows->Set(static_cast<double>(queue_.queued_rows()));
+  }
+}
+
+void InferenceServer::WorkerLoop() {
+  std::vector<PendingRequest> batch;
+  while (queue_.NextBatch(&batch)) {
+    RunBatch(&batch);
+  }
+}
+
+void InferenceServer::RunBatch(std::vector<PendingRequest>* batch) {
+  static Counter* const requests =
+      MetricsRegistry::Global().GetCounter("serve.requests");
+  static Counter* const rows_served =
+      MetricsRegistry::Global().GetCounter("serve.rows");
+  static Counter* const batches =
+      MetricsRegistry::Global().GetCounter("serve.batches");
+  static Histogram* const latency = MetricsRegistry::Global().GetHistogram(
+      "serve.request_latency_seconds");
+  static Histogram* const batch_rows =
+      MetricsRegistry::Global().GetHistogram("serve.batch_rows");
+  static Histogram* const cascade_depth =
+      MetricsRegistry::Global().GetHistogram("serve.cascade_depth");
+  static Histogram* const members_evaluated =
+      MetricsRegistry::Global().GetHistogram("serve.members_evaluated");
+  // rows × members actually run: the cascade's compute-saved measure.
+  // bench_serve diffs this across a load phase and divides by rows·T.
+  static Counter* const member_row_evals =
+      MetricsRegistry::Global().GetCounter("serve.member_row_evals");
+  static const TraceRegion* const batch_region =
+      GetTraceRegion("serve/batch");
+  static const TraceRegion* const predict_region =
+      GetTraceRegion("serve/predict");
+
+  TraceScope batch_scope(batch_region);
+  EDDE_FAILPOINT("serve.batch");
+
+  int64_t total_rows = 0;
+  for (const PendingRequest& p : *batch) total_rows += p.request.rows;
+  batches->Increment();
+  batch_rows->Record(static_cast<double>(total_rows));
+
+  Tensor features(Shape{total_rows, input_dim_});
+  {
+    float* dst = features.data();
+    for (const PendingRequest& p : *batch) {
+      std::memcpy(dst, p.request.features.data(),
+                  p.request.features.size() * sizeof(float));
+      dst += p.request.features.size();
+    }
+  }
+
+  PartialPredictAccumulator acc(model_->alphas(), total_rows, num_classes_);
+  {
+    TraceScope predict_scope(predict_region);
+    if (config_.cascade) {
+      // Descending-α order, one member at a time. After the first member,
+      // each subsequent one sees only the still-undecided rows (gathered
+      // into a compacted batch), so a row stops costing forward passes the
+      // moment its margin clears the outstanding α mass. Row outputs are
+      // batch-composition-independent (each row's GEMM/softmax reads only
+      // its own inputs), so compaction never perturbs a probability.
+      for (const int64_t member : acc.order()) {
+        const std::vector<int64_t>& open = acc.UndecidedRows();
+        Tensor input;
+        if (static_cast<int64_t>(open.size()) == total_rows) {
+          input = features;
+        } else {
+          input = Tensor(Shape{static_cast<int64_t>(open.size()), input_dim_});
+          float* dst = input.data();
+          for (const int64_t r : open) {
+            std::memcpy(dst, features.data() + r * input_dim_,
+                        static_cast<size_t>(input_dim_) * sizeof(float));
+            dst += input_dim_;
+          }
+        }
+        const Tensor probs = model_->MemberProbsOnBatch(member, input);
+        if (acc.Accumulate(probs)) break;
+      }
+    } else {
+      // Full evaluation, fanned out over the shared pool; the accumulator
+      // still consumes in α order so both modes share one reduction path.
+      const int64_t num_members = model_->size();
+      std::vector<Tensor> probs(static_cast<size_t>(num_members));
+      ParallelFor(0, num_members, 1, [&](int64_t t0, int64_t t1) {
+        for (int64_t t = t0; t < t1; ++t) {
+          probs[static_cast<size_t>(t)] =
+              model_->MemberProbsOnBatch(t, features);
+        }
+      });
+      for (const int64_t member : acc.order()) {
+        acc.Accumulate(probs[static_cast<size_t>(member)]);
+      }
+    }
+  }
+  members_evaluated->Record(static_cast<double>(acc.members_consumed()));
+  member_row_evals->Increment(acc.rows_evaluated());
+
+  const std::vector<int> labels = acc.Labels();
+  // Probs payload only when someone asked — it is the expensive field.
+  Tensor probs;
+  bool have_probs = false;
+  for (const PendingRequest& p : *batch) have_probs |= p.request.want_probs;
+  if (have_probs) probs = acc.Probs();
+
+  int64_t row = 0;
+  for (const PendingRequest& p : *batch) {
+    PredictResponse resp;
+    resp.id = p.request.id;
+    resp.ok = true;
+    resp.labels.reserve(static_cast<size_t>(p.request.rows));
+    resp.depth.reserve(static_cast<size_t>(p.request.rows));
+    for (int64_t r = row; r < row + p.request.rows; ++r) {
+      resp.labels.push_back(labels[static_cast<size_t>(r)]);
+      cascade_depth->Record(static_cast<double>(acc.row_depth(r)));
+      resp.depth.push_back(acc.row_depth(r));
+    }
+    if (p.request.want_probs) {
+      resp.k = num_classes_;
+      const float* src = probs.data() + row * num_classes_;
+      resp.probs.assign(src, src + p.request.rows * num_classes_);
+    }
+    requests->Increment();
+    rows_served->Increment(p.request.rows);
+    latency->Record(SecondsSince(p.arrival));
+    p.respond(resp);
+    row += p.request.rows;
+  }
+}
+
+}  // namespace serve
+}  // namespace edde

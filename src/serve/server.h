@@ -1,0 +1,105 @@
+#ifndef EDDE_SERVE_SERVER_H_
+#define EDDE_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ensemble/ensemble_model.h"
+#include "serve/batcher.h"
+#include "serve/protocol.h"
+#include "utils/socket.h"
+#include "utils/status.h"
+
+namespace edde {
+namespace serve {
+
+struct ServerConfig {
+  /// 0 = ephemeral (query the bound port with port() after Start).
+  uint16_t port = 0;
+  /// Rows that make a batch "full" (ship immediately).
+  int64_t max_batch_rows = 64;
+  /// A partial batch ships once its oldest request has waited this long.
+  int64_t max_delay_ms = 2;
+  /// Rows one request may carry; larger requests get an error response.
+  int64_t max_request_rows = 1024;
+  /// Queued-row cap; Submits beyond it get an overload error response.
+  int64_t max_queue_rows = 4096;
+  /// α-ordered early-exit cascade (DESIGN.md §12). Off = always evaluate
+  /// every member, fanned out on the thread pool. The argmax (and thus
+  /// every served label) is identical either way — the cascade's decision
+  /// rule is exact; only latency and the depth histogram change.
+  bool cascade = true;
+};
+
+/// Batched ensemble inference server.
+///
+/// Threads: one acceptor, one reader per connection, one batch worker.
+/// Readers parse + validate frames and Submit them to the AdmissionQueue;
+/// the worker coalesces them into batches (batcher.h), runs the ensemble —
+/// cascade order with early exit, or full-member fan-out on the shared
+/// thread pool — and writes each response back on its origin connection
+/// (per-connection write mutex; a connection may pipeline requests).
+///
+/// Telemetry (metrics/trace stack): serve.requests / serve.rows /
+/// serve.errors / serve.batches counters, serve.queue_rows gauge,
+/// serve.request_latency_seconds / serve.batch_rows / serve.cascade_depth /
+/// serve.members_evaluated histograms, trace regions serve/batch and
+/// serve/predict.
+class InferenceServer {
+ public:
+  /// `model` must outlive the server and satisfy CheckPredictable();
+  /// `input_dim`/`num_classes` pin the request/response geometry (the
+  /// ensemble file does not self-describe its architecture).
+  InferenceServer(const EnsembleModel* model, int64_t input_dim,
+                  int64_t num_classes, ServerConfig config);
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Binds, listens and spawns the threads. Call once.
+  Status Start();
+
+  /// The bound port (valid after Start).
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting, drains queued requests through the worker, closes
+  /// every connection and joins all threads. Idempotent.
+  void Stop();
+
+ private:
+  struct Connection {
+    UniqueFd fd;
+    std::mutex write_mu;
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<Connection> conn);
+  void WorkerLoop();
+  void RunBatch(std::vector<PendingRequest>* batch);
+
+  const EnsembleModel* const model_;
+  const int64_t input_dim_;
+  const int64_t num_classes_;
+  const ServerConfig config_;
+
+  AdmissionQueue queue_;
+  UniqueFd listener_;
+  uint16_t port_ = 0;
+
+  std::thread acceptor_;
+  std::thread worker_;
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::thread> readers_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace serve
+}  // namespace edde
+
+#endif  // EDDE_SERVE_SERVER_H_

@@ -8,9 +8,11 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "utils/failpoint.h"
 #include "utils/logging.h"
 #include "utils/metrics.h"
 #include "utils/run_manifest.h"
+#include "utils/threadpool.h"
 #include "utils/trace.h"
 
 namespace edde {
@@ -157,6 +159,15 @@ void ClearShutdownRequest() {
 
 void GracefulShutdownExit() {
   const int sig = ShutdownSignal();
+  // A safe point can be reached while another thread still has a
+  // ParallelFor in flight (e.g. a background evaluation); flushing now
+  // would interleave the sink write with the workers' metric increments
+  // and tear the final JSONL lines. Drain the pool first.
+  QuiescePool();
+  // Between the drain and the flush — where the pre-fix race lived; armed
+  // with `delay` it widens the window, with `crash` it proves the flush
+  // below is what makes the JSONL complete.
+  EDDE_FAILPOINT("shutdown.flush");
   (void)MetricsRegistry::Global().DumpToSink();
   (void)DumpTrace();
   EDDE_LOG(INFO) << "graceful shutdown complete (signal " << sig << ")";

@@ -44,6 +44,12 @@ inline constexpr int kCrashExitCode = 42;
 /// Canonical site catalog. Sites are plain string literals, so this list is
 /// documentation + torture-test input rather than an enforced registry;
 /// keep it in sync with DESIGN.md §11 when adding sites.
+///
+/// Ordering matters: the first kNumTrainingSites entries are on the
+/// training/checkpoint path and are what the checkpoint torture test
+/// crashes at (every one must be hit by a short training run). Entries
+/// after that belong to other subsystems (shutdown, serving) with their
+/// own failpoint-driven tests.
 inline constexpr const char* kSites[] = {
     "durable.write",     // payload written to the temp file (short_write here)
     "durable.fsync",     // fsync of the temp file before rename
@@ -52,8 +58,14 @@ inline constexpr const char* kSites[] = {
     "checkpoint.round",  // round boundary, before the generation write
     "checkpoint.commit", // generation committed, before rotation/cleanup
     "trainer.epoch",     // epoch boundary, after the inflight checkpoint
+    // --- non-training sites below (not part of the checkpoint torture) ---
+    "shutdown.flush",    // after the pool drain, before the sink flush
+    "serve.accept",      // connection accepted, before the reader starts
+    "serve.batch",       // batch formed, before member evaluation
 };
 inline constexpr size_t kNumSites = sizeof(kSites) / sizeof(kSites[0]);
+inline constexpr size_t kNumTrainingSites = 7;
+static_assert(kNumTrainingSites <= kNumSites);
 
 /// Parses and arms `spec` (replacing any previous spec). Empty spec is
 /// equivalent to Clear(). Invalid specs return InvalidArgument and leave

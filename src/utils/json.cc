@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "utils/logging.h"
@@ -29,6 +30,12 @@ const std::vector<JsonValue>& JsonValue::AsArray() const {
   return array_;
 }
 
+double JsonValue::NumberOrNaN() const {
+  if (is_null()) return std::numeric_limits<double>::quiet_NaN();
+  EDDE_CHECK(is_number()) << "NumberOrNaN on a non-number, non-null value";
+  return number_;
+}
+
 bool JsonValue::Has(const std::string& key) const {
   return Get(key) != nullptr;
 }
@@ -42,6 +49,14 @@ const JsonValue* JsonValue::Get(const std::string& key) const {
 double JsonValue::GetNumberOr(const std::string& key, double fallback) const {
   const JsonValue* v = Get(key);
   return v != nullptr && v->is_number() ? v->number_ : fallback;
+}
+
+double JsonValue::GetNumberOrNaN(const std::string& key) const {
+  const JsonValue* v = Get(key);
+  if (v == nullptr || (!v->is_number() && !v->is_null())) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return v->NumberOrNaN();
 }
 
 std::string JsonValue::GetStringOr(const std::string& key,

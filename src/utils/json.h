@@ -35,13 +35,26 @@ class JsonValue {
   const std::string& AsString() const;
   const std::vector<JsonValue>& AsArray() const;
 
+  /// Non-finite-double convention: JSON has no NaN/Inf literal, so
+  /// JsonBuilder writes such values as `null` and readers map `null` back
+  /// to NaN through this accessor. Returns the number for kNumber, NaN for
+  /// kNull; EDDE_CHECK on any other kind. Consumers that must distinguish
+  /// "absent" from "present but non-finite" pair Has() with this.
+  double NumberOrNaN() const;
+
   /// Object member access. `Get` returns nullptr when the key is absent
   /// (or the value is not an object); `Has` is the presence test.
   bool Has(const std::string& key) const;
   const JsonValue* Get(const std::string& key) const;
 
   /// Convenience lookups with fallbacks for absent / mistyped members.
+  /// Note GetNumberOr maps a `null` member (the non-finite encoding, see
+  /// NumberOrNaN) to `fallback` — callers that care use GetNumberOrNaN.
   double GetNumberOr(const std::string& key, double fallback) const;
+
+  /// Number member, honoring the null-means-NaN convention: absent or
+  /// mistyped members and `null` members all yield NaN.
+  double GetNumberOrNaN(const std::string& key) const;
   std::string GetStringOr(const std::string& key,
                           const std::string& fallback) const;
 

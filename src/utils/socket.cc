@@ -1,0 +1,164 @@
+#include "utils/socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace edde {
+
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+/// write() the whole buffer, riding out EINTR and partial writes.
+Status WriteAll(int fd, const char* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno("socket write"));
+    }
+    if (n == 0) return Status::IOError("socket write: peer closed");
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// read() exactly `size` bytes. `*eof_at_start` reports a clean EOF before
+/// the first byte (distinguishes "peer hung up between frames" from "frame
+/// truncated mid-flight").
+Status ReadAll(int fd, char* data, size_t size, bool* eof_at_start) {
+  if (eof_at_start != nullptr) *eof_at_start = false;
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::read(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno("socket read"));
+    }
+    if (n == 0) {
+      if (done == 0 && eof_at_start != nullptr) {
+        *eof_at_start = true;
+        return Status::NotFound("peer closed the connection");
+      }
+      return Status::IOError("socket read: connection truncated mid-frame");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void UniqueFd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+Result<UniqueFd> ListenTcp(uint16_t port, int backlog) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Status::IOError(Errno("socket"));
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Status::IOError(
+        Errno("bind 127.0.0.1:" + std::to_string(port)));
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    return Status::IOError(Errno("listen"));
+  }
+  return fd;
+}
+
+Result<uint16_t> LocalPort(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Status::IOError(Errno("getsockname"));
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<UniqueFd> AcceptConn(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      // Request/response frames are small; don't let Nagle add 40ms.
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return UniqueFd(fd);
+    }
+    if (errno == EINTR) continue;
+    return Status::IOError(Errno("accept"));
+  }
+}
+
+Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Status::IOError(Errno("socket"));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: " + host);
+  }
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return Status::IOError(
+        Errno("connect " + host + ":" + std::to_string(port)));
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Status SendFrame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        "frame payload of " + std::to_string(payload.size()) +
+        " bytes exceeds kMaxFrameBytes");
+  }
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  char prefix[4] = {static_cast<char>(len & 0xFF),
+                    static_cast<char>((len >> 8) & 0xFF),
+                    static_cast<char>((len >> 16) & 0xFF),
+                    static_cast<char>((len >> 24) & 0xFF)};
+  EDDE_RETURN_NOT_OK(WriteAll(fd, prefix, sizeof(prefix)));
+  return WriteAll(fd, payload.data(), payload.size());
+}
+
+Status RecvFrame(int fd, std::string* payload) {
+  char prefix[4];
+  bool eof_at_start = false;
+  EDDE_RETURN_NOT_OK(ReadAll(fd, prefix, sizeof(prefix), &eof_at_start));
+  const uint32_t len = static_cast<uint32_t>(
+      static_cast<unsigned char>(prefix[0]) |
+      (static_cast<unsigned char>(prefix[1]) << 8) |
+      (static_cast<unsigned char>(prefix[2]) << 16) |
+      (static_cast<unsigned char>(prefix[3]) << 24));
+  if (len > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        "frame length prefix " + std::to_string(len) +
+        " exceeds kMaxFrameBytes — dropping the connection");
+  }
+  payload->assign(static_cast<size_t>(len), '\0');
+  if (len == 0) return Status::OK();
+  return ReadAll(fd, payload->data(), payload->size(), nullptr);
+}
+
+}  // namespace edde

@@ -1,0 +1,83 @@
+#ifndef EDDE_UTILS_SOCKET_H_
+#define EDDE_UTILS_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "utils/status.h"
+
+namespace edde {
+
+/// Minimal TCP plumbing for edde-serve (src/serve/) and its in-tree
+/// clients. Loopback-oriented: the server binds 127.0.0.1 only — the
+/// protocol is unauthenticated, so it must never listen on a routable
+/// interface.
+///
+/// Framing: every message on the wire is a *frame* — a 4-byte
+/// little-endian unsigned payload length followed by that many payload
+/// bytes (JSON text for the serve protocol; the framing itself is
+/// payload-agnostic). Length-prefix framing keeps message boundaries
+/// independent of TCP segmentation; the kMaxFrameBytes cap bounds the
+/// allocation a malformed or hostile prefix can demand.
+
+/// Upper bound on one frame's payload. Large enough for a few thousand
+/// feature rows per request, small enough that a garbage length prefix
+/// cannot OOM the server.
+inline constexpr uint32_t kMaxFrameBytes = 8u << 20;  // 8 MiB
+
+/// RAII file descriptor (close-on-destroy, move-only).
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { reset(); }
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) reset(other.release());
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket on 127.0.0.1:`port` (SO_REUSEADDR; `port` 0 lets the
+/// kernel pick an ephemeral port — query it with LocalPort).
+Result<UniqueFd> ListenTcp(uint16_t port, int backlog = 64);
+
+/// The local port a bound socket ended up on.
+Result<uint16_t> LocalPort(int fd);
+
+/// Blocking accept. IOError on failure (including EINVAL/EBADF after the
+/// listener was shut down — the server's clean-stop path).
+Result<UniqueFd> AcceptConn(int listen_fd);
+
+/// Blocking connect to `host`:`port` (numeric IPv4 host, e.g. 127.0.0.1).
+Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port);
+
+/// Writes one frame (length prefix + payload). Payloads larger than
+/// kMaxFrameBytes are InvalidArgument — oversized replies are a server
+/// bug, not a client condition.
+Status SendFrame(int fd, const std::string& payload);
+
+/// Reads one frame into `*payload`. IOError on a closed/failed peer;
+/// InvalidArgument when the prefix exceeds kMaxFrameBytes (the caller
+/// should drop the connection — the stream is no longer in sync). On clean
+/// EOF before any prefix byte, returns NotFound — the peer simply hung up
+/// between messages, which most callers treat as a normal end of stream.
+Status RecvFrame(int fd, std::string* payload);
+
+}  // namespace edde
+
+#endif  // EDDE_UTILS_SOCKET_H_

@@ -76,6 +76,11 @@ class ThreadPool {
 
   int parallelism() const { return static_cast<int>(workers_.size()) + 1; }
 
+  // Waits for the region currently in Run (if any) to finish. Run holds
+  // run_mu_ for the whole region, so acquiring it here means every chunk
+  // completed and the caller observed the region's side effects.
+  void Quiesce() { std::lock_guard<std::mutex> lock(run_mu_); }
+
   // Runs fn(chunk) for every chunk in [0, num_chunks); the caller thread
   // participates. Serialized across callers so concurrent top-level regions
   // queue instead of interleaving half-sized slices.
@@ -210,6 +215,19 @@ ThreadPool* GetPool() {
 }  // namespace
 
 int NumThreads() { return GetPool()->parallelism(); }
+
+void QuiescePool() {
+  if (t_inside_parallel_region) return;
+  ThreadPool* pool = nullptr;
+  {
+    // Don't instantiate the pool just to wait on it: no pool ⇒ nothing in
+    // flight. Drop g_pool_mu before blocking on run_mu_ so a concurrent
+    // ParallelFor's GetPool() isn't serialized behind the drain.
+    std::lock_guard<std::mutex> lock(g_pool_mu);
+    pool = g_pool.get();
+  }
+  if (pool != nullptr) pool->Quiesce();
+}
 
 void SetNumThreads(int n) {
   std::lock_guard<std::mutex> lock(g_pool_mu);

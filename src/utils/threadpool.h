@@ -43,6 +43,16 @@ void SetNumThreads(int n);
 void ParallelFor(int64_t begin, int64_t end, int64_t grain,
                  const std::function<void(int64_t, int64_t)>& fn);
 
+/// Blocks until any in-flight ParallelFor region has fully drained.
+///
+/// The graceful-shutdown path calls this before flushing the metrics/trace
+/// sinks: a SIGINT/SIGTERM safe point can be reached by one thread while
+/// another still has a ParallelFor in flight, and flushing concurrently
+/// with its workers' metric writes can tear the final JSONL lines. No-op
+/// when the pool was never created or when called from inside a parallel
+/// region (workers must not wait on themselves).
+void QuiescePool();
+
 }  // namespace edde
 
 #endif  // EDDE_UTILS_THREADPOOL_H_

@@ -137,5 +137,80 @@ TEST(EnsembleModelTest, AverageMemberAccuracyIsMeanOfAccuracies) {
   EXPECT_DOUBLE_EQ(avg, manual);
 }
 
+// ---------------------------------------------------------------------------
+// Predict-path edge cases: degenerate ensembles must surface clean Status
+// values through TryPredictProbs, never garbage logits or a crash.
+
+TEST(EnsembleModelTest, TryPredictOnEmptyEnsembleIsFailedPrecondition) {
+  EnsembleModel m;
+  Dataset data = MakeBlobs(8, 4, 3, 1);
+  Result<Tensor> r = m.TryPredictProbs(data);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EnsembleModelTest, TryPredictWithAllAlphasClampedIsFailedPrecondition) {
+  // Each α passes AddMember's positivity check, but their sum underflows
+  // the normalization guard: α/Σα would blow up, so the ensemble counts as
+  // degenerate ("all weights clamped away").
+  EnsembleModel m;
+  m.AddMember(SmallMlp(1), 1e-31);
+  m.AddMember(SmallMlp(2), 1e-32);
+  Dataset data = MakeBlobs(8, 4, 3, 2);
+  Result<Tensor> r = m.TryPredictProbs(data);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EnsembleModelTest, TryPredictOnEmptyDatasetIsInvalidArgument) {
+  EnsembleModel m;
+  m.AddMember(SmallMlp(1), 1.0);
+  Dataset empty("empty", Tensor(Shape{0, 4}), {}, 3);
+  Result<Tensor> r = m.TryPredictProbs(empty);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EnsembleModelTest, TryPredictOnHealthyEnsembleMatchesPredictProbs) {
+  EnsembleModel m;
+  m.AddMember(SmallMlp(1), 0.5);
+  m.AddMember(SmallMlp(2), 2.0);
+  Dataset data = MakeBlobs(12, 4, 3, 3);
+  Result<Tensor> r = m.TryPredictProbs(data);
+  ASSERT_TRUE(r.ok()) << r.status();
+  const Tensor direct = m.PredictProbs(data);
+  for (int64_t i = 0; i < direct.num_elements(); ++i) {
+    EXPECT_EQ(r.ValueOrDie().at(i), direct.at(i));
+  }
+}
+
+TEST(EnsembleModelTest, BatchSizeOneMatchesBatchedBitForBit) {
+  // Per-row forward/softmax is batch-composition-independent — the same
+  // property the serving cascade's row compaction leans on. A regression
+  // here (e.g. batch-level normalization sneaking into the predict path)
+  // would silently break the cascade's exactness guarantee.
+  EnsembleModel m;
+  m.AddMember(SmallMlp(1), 1.5);
+  m.AddMember(SmallMlp(2), 0.25);
+  m.AddMember(SmallMlp(3), 3.0);
+  Dataset data = MakeBlobs(17, 4, 3, 4);  // odd size: ragged final batch
+  const Tensor batched = m.PredictProbs(data, /*batch_size=*/128);
+  const Tensor row_at_a_time = m.PredictProbs(data, /*batch_size=*/1);
+  ASSERT_EQ(batched.shape(), row_at_a_time.shape());
+  for (int64_t i = 0; i < batched.num_elements(); ++i) {
+    EXPECT_EQ(batched.at(i), row_at_a_time.at(i)) << "element " << i;
+  }
+}
+
+TEST(EnsembleModelTest, AlphaDescendingOrderIsStable) {
+  EnsembleModel m;
+  m.AddMember(SmallMlp(1), 1.0);
+  m.AddMember(SmallMlp(2), 3.0);
+  m.AddMember(SmallMlp(3), 3.0);  // ties keep insertion order
+  m.AddMember(SmallMlp(4), 0.5);
+  const std::vector<int64_t> expected = {1, 2, 0, 3};
+  EXPECT_EQ(m.AlphaDescendingOrder(), expected);
+}
+
 }  // namespace
 }  // namespace edde

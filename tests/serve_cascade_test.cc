@@ -1,0 +1,246 @@
+/// Property tests for the α-ordered early-exit cascade
+/// (PartialPredictAccumulator, DESIGN.md §12).
+///
+/// The load-bearing claim: over random member weights and random softmax
+/// outputs — including adversarially near-tied rows — the cascade's argmax
+/// is bit-identical to the full-ensemble reference path
+/// (EnsembleModel::PredictProbs: float32 Axpy accumulation in member
+/// order), whether members are fed full batches or compacted
+/// undecided-rows-only batches, and regardless of where the cascade
+/// chooses to exit.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "ensemble/ensemble_model.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace edde {
+namespace {
+
+/// Random distribution rows. `sharpness` > 1 concentrates mass (confident
+/// members, early exits); < 1 flattens it (late or never exits).
+Tensor RandomProbs(Rng* rng, int64_t rows, int64_t k, double sharpness) {
+  Tensor out(Shape{rows, k});
+  float* p = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    double total = 0.0;
+    for (int64_t c = 0; c < k; ++c) {
+      const double v = std::pow(rng->Uniform(1e-3, 1.0), sharpness);
+      p[r * k + c] = static_cast<float>(v);
+      total += v;
+    }
+    for (int64_t c = 0; c < k; ++c) {
+      p[r * k + c] = static_cast<float>(p[r * k + c] / total);
+    }
+  }
+  return out;
+}
+
+/// The full-ensemble reference, mirroring EnsembleModel::PredictProbs
+/// exactly: float32 Axpy of α_t/Σα in MEMBER order (not cascade order).
+std::vector<int> ReferenceArgmax(const std::vector<Tensor>& member_probs,
+                                 const std::vector<double>& alphas) {
+  double alpha_sum = 0.0;
+  for (double a : alphas) alpha_sum += a;
+  Tensor combined(member_probs[0].shape(), 0.0f);
+  for (size_t t = 0; t < member_probs.size(); ++t) {
+    Axpy(static_cast<float>(alphas[t] / alpha_sum), member_probs[t],
+         &combined);
+  }
+  return ArgmaxRows(combined);
+}
+
+/// Feeds every member in cascade order as full batches (the cascade-off /
+/// reference reduction path).
+std::vector<int> CascadeFullFeeds(const std::vector<Tensor>& member_probs,
+                                  const std::vector<double>& alphas,
+                                  int64_t rows, int64_t k) {
+  PartialPredictAccumulator acc(alphas, rows, k);
+  for (const int64_t member : acc.order()) {
+    acc.Accumulate(member_probs[static_cast<size_t>(member)]);
+  }
+  EXPECT_TRUE(acc.all_decided());
+  EXPECT_EQ(acc.rows_evaluated(),
+            static_cast<int64_t>(alphas.size()) * rows);
+  return acc.Labels();
+}
+
+/// Feeds members in cascade order with row compaction, exactly as the
+/// server does: each member sees only the rows still undecided when it
+/// runs, and the loop stops at the first early exit.
+std::vector<int> CascadePartialFeeds(const std::vector<Tensor>& member_probs,
+                                     const std::vector<double>& alphas,
+                                     int64_t rows, int64_t k,
+                                     int64_t* rows_evaluated) {
+  PartialPredictAccumulator acc(alphas, rows, k);
+  for (const int64_t member : acc.order()) {
+    const std::vector<int64_t>& open = acc.UndecidedRows();
+    const Tensor& full = member_probs[static_cast<size_t>(member)];
+    Tensor fed(Shape{static_cast<int64_t>(open.size()), k});
+    for (size_t i = 0; i < open.size(); ++i) {
+      std::memcpy(fed.data() + static_cast<int64_t>(i) * k,
+                  full.data() + open[i] * k,
+                  static_cast<size_t>(k) * sizeof(float));
+    }
+    if (acc.Accumulate(fed)) break;
+  }
+  EXPECT_TRUE(acc.all_decided());
+  for (int64_t r = 0; r < rows; ++r) {
+    EXPECT_GE(acc.row_depth(r), 1);
+    EXPECT_LE(acc.row_depth(r), static_cast<int64_t>(alphas.size()));
+  }
+  *rows_evaluated = acc.rows_evaluated();
+  return acc.Labels();
+}
+
+TEST(CascadePropertyTest, EarlyExitArgmaxEqualsFullArgmax) {
+  Rng rng(20260807);
+  int64_t early_exit_trials = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const int64_t T = 1 + rng.UniformInt(10);
+    const int64_t rows = 1 + rng.UniformInt(24);
+    const int64_t k = 2 + rng.UniformInt(8);
+
+    std::vector<double> alphas(static_cast<size_t>(T));
+    const int alpha_mode = static_cast<int>(rng.UniformInt(3));
+    for (auto& a : alphas) {
+      switch (alpha_mode) {
+        case 0:  a = 1.0; break;                       // all equal (ties)
+        case 1:  a = rng.Uniform(1e-3, 4.0); break;    // paper clamp range
+        default: a = rng.Bernoulli(0.3) ? 4.0 : 1e-3;  // concentrated mass
+      }
+    }
+
+    const double sharpness = rng.Uniform(0.3, 6.0);
+    std::vector<Tensor> member_probs;
+    member_probs.reserve(static_cast<size_t>(T));
+    for (int64_t t = 0; t < T; ++t) {
+      member_probs.push_back(RandomProbs(&rng, rows, k, sharpness));
+    }
+
+    const std::vector<int> reference = ReferenceArgmax(member_probs, alphas);
+    const std::vector<int> full = CascadeFullFeeds(member_probs, alphas,
+                                                   rows, k);
+    int64_t rows_evaluated = 0;
+    const std::vector<int> partial = CascadePartialFeeds(
+        member_probs, alphas, rows, k, &rows_evaluated);
+
+    EXPECT_EQ(full, reference) << "trial " << trial;
+    EXPECT_EQ(partial, reference) << "trial " << trial;
+    EXPECT_LE(rows_evaluated, T * rows);
+    if (rows_evaluated < T * rows) ++early_exit_trials;
+  }
+  // The property is vacuous if no trial ever early-exits; the concentrated
+  // α modes guarantee plenty do.
+  EXPECT_GT(early_exit_trials, 20);
+}
+
+TEST(CascadePropertyTest, NearTiedRowsNeverExitWrong) {
+  // Adversarial rows: top-2 scores within a few float32 ulps. The slack
+  // term must keep these rows in the cascade until the last member rather
+  // than letting float64-vs-float32 rounding flip the argmax.
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int64_t T = 2 + rng.UniformInt(6);
+    const int64_t rows = 8;
+    const int64_t k = 4;
+    std::vector<double> alphas(static_cast<size_t>(T));
+    for (auto& a : alphas) a = rng.Uniform(0.5, 4.0);
+
+    std::vector<Tensor> member_probs;
+    for (int64_t t = 0; t < T; ++t) {
+      Tensor p(Shape{rows, k});
+      for (int64_t r = 0; r < rows; ++r) {
+        // Two nearly-equal leaders, perturbed at around float32 epsilon.
+        const float eps =
+            static_cast<float>(rng.Uniform(-4e-7, 4e-7));
+        p.data()[r * k + 0] = 0.45f + eps;
+        p.data()[r * k + 1] = 0.45f - eps;
+        p.data()[r * k + 2] = 0.06f;
+        p.data()[r * k + 3] = 0.04f;
+      }
+      member_probs.push_back(std::move(p));
+    }
+
+    const std::vector<int> reference = ReferenceArgmax(member_probs, alphas);
+    int64_t rows_evaluated = 0;
+    const std::vector<int> partial = CascadePartialFeeds(
+        member_probs, alphas, rows, k, &rows_evaluated);
+    EXPECT_EQ(partial, reference) << "trial " << trial;
+  }
+}
+
+TEST(CascadePropertyTest, DominantAlphaDecidesAtDepthOne) {
+  // One member carries virtually all the mass and answers confidently:
+  // every row must decide after that single member.
+  const std::vector<double> alphas = {1e-3, 4.0, 1e-3};
+  const int64_t rows = 4, k = 3;
+  PartialPredictAccumulator acc(alphas, rows, k);
+  ASSERT_EQ(acc.order()[0], 1);  // heaviest first
+  Tensor confident(Shape{rows, k}, 0.0f);
+  for (int64_t r = 0; r < rows; ++r) {
+    confident.data()[r * k + static_cast<int64_t>(r) % k] = 1.0f;
+  }
+  EXPECT_TRUE(acc.Accumulate(confident));
+  EXPECT_TRUE(acc.all_decided());
+  EXPECT_EQ(acc.members_consumed(), 1);
+  EXPECT_EQ(acc.rows_evaluated(), rows);
+  for (int64_t r = 0; r < rows; ++r) {
+    EXPECT_EQ(acc.row_depth(r), 1);
+    EXPECT_EQ(acc.Labels()[static_cast<size_t>(r)],
+              static_cast<int>(r % k));
+  }
+}
+
+TEST(CascadePropertyTest, ProbsRowsAreDistributions) {
+  Rng rng(99);
+  const std::vector<double> alphas = {4.0, 1.0, 0.5};
+  const int64_t rows = 6, k = 5;
+  PartialPredictAccumulator acc(alphas, rows, k);
+  for (const int64_t member : acc.order()) {
+    const std::vector<int64_t>& open = acc.UndecidedRows();
+    Tensor full = RandomProbs(&rng, rows, k, 4.0);
+    Tensor fed(Shape{static_cast<int64_t>(open.size()), k});
+    for (size_t i = 0; i < open.size(); ++i) {
+      std::memcpy(fed.data() + static_cast<int64_t>(i) * k,
+                  full.data() + open[i] * k,
+                  static_cast<size_t>(k) * sizeof(float));
+    }
+    if (acc.Accumulate(fed)) break;
+    (void)member;
+  }
+  // Each row is normalized by the α mass that actually reached it, so every
+  // row — early-exited or not — is still a distribution.
+  const Tensor probs = acc.Probs();
+  for (int64_t r = 0; r < rows; ++r) {
+    float total = 0.0f;
+    for (int64_t c = 0; c < k; ++c) {
+      EXPECT_GE(probs.at(r, c), 0.0f);
+      total += probs.at(r, c);
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+  }
+}
+
+TEST(CascadePropertyTest, OrderSortsAlphasDescendingStably) {
+  PartialPredictAccumulator acc({1.0, 3.0, 3.0, 0.5}, 1, 2);
+  const std::vector<int64_t> expected = {1, 2, 0, 3};
+  EXPECT_EQ(acc.order(), expected);
+}
+
+TEST(CascadePropertyDeathTest, LabelsBeforeAllDecidedAborts) {
+  PartialPredictAccumulator acc({1.0, 1.0}, 2, 3);
+  // Uniform rows can't clear any margin after one of two members.
+  Tensor uniform(Shape{2, 3}, 1.0f / 3.0f);
+  EXPECT_FALSE(acc.Accumulate(uniform));
+  EXPECT_DEATH(acc.Labels(), "undecided");
+}
+
+}  // namespace
+}  // namespace edde

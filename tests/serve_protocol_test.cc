@@ -1,0 +1,144 @@
+/// edde-serve wire protocol tests: build/parse round trips and the
+/// malformed-payload edge cases the server's reader loop leans on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace edde {
+namespace serve {
+namespace {
+
+PredictRequest SampleRequest() {
+  PredictRequest req;
+  req.id = 42;
+  req.rows = 2;
+  req.dim = 3;
+  req.features = {0.5f, -1.25f, 3.0f, 0.0f, 1e-7f, -2.5f};
+  return req;
+}
+
+TEST(ServeProtocolTest, RequestRoundTripsExactly) {
+  const PredictRequest req = SampleRequest();
+  PredictRequest parsed;
+  ASSERT_TRUE(ParsePredictRequest(BuildPredictRequest(req), &parsed).ok());
+  EXPECT_EQ(parsed.id, req.id);
+  EXPECT_EQ(parsed.rows, req.rows);
+  EXPECT_EQ(parsed.dim, req.dim);
+  EXPECT_FALSE(parsed.want_probs);
+  // %.9g must round-trip float32 bit-for-bit.
+  ASSERT_EQ(parsed.features.size(), req.features.size());
+  for (size_t i = 0; i < req.features.size(); ++i) {
+    EXPECT_EQ(parsed.features[i], req.features[i]) << "feature " << i;
+  }
+}
+
+TEST(ServeProtocolTest, WantProbsSurvivesRoundTrip) {
+  PredictRequest req = SampleRequest();
+  req.want_probs = true;
+  PredictRequest parsed;
+  ASSERT_TRUE(ParsePredictRequest(BuildPredictRequest(req), &parsed).ok());
+  EXPECT_TRUE(parsed.want_probs);
+}
+
+TEST(ServeProtocolTest, MalformedJsonIsInvalidArgument) {
+  PredictRequest parsed;
+  const Status s = ParsePredictRequest("{\"type\": \"predict\",", &parsed);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocolTest, UnknownTypeIsRejectedButIdIsRecovered) {
+  PredictRequest parsed;
+  const Status s =
+      ParsePredictRequest("{\"type\": \"train\", \"id\": 9}", &parsed);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  // The server addresses its error response with the recovered id.
+  EXPECT_EQ(parsed.id, 9);
+}
+
+TEST(ServeProtocolTest, IdDefaultsToMinusOneWhenAbsent) {
+  PredictRequest parsed;
+  const Status s = ParsePredictRequest("{\"type\": \"train\"}", &parsed);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(parsed.id, -1);
+}
+
+TEST(ServeProtocolTest, GeometryMismatchIsRejected) {
+  PredictRequest req = SampleRequest();
+  req.features.pop_back();  // rows*dim no longer matches
+  PredictRequest parsed;
+  const Status s = ParsePredictRequest(BuildPredictRequest(req), &parsed);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(parsed.id, req.id);
+}
+
+TEST(ServeProtocolTest, ZeroRowsIsRejected) {
+  PredictRequest parsed;
+  const Status s = ParsePredictRequest(
+      "{\"type\": \"predict\", \"id\": 1, \"rows\": 0, \"dim\": 3, "
+      "\"features\": []}",
+      &parsed);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocolTest, NonFiniteFeaturesAreRejected) {
+  // A NaN feature serializes as null (the JSON non-finite convention);
+  // the parser must refuse it rather than feed NaN to the ensemble.
+  PredictRequest req = SampleRequest();
+  req.features[2] = std::numeric_limits<float>::quiet_NaN();
+  PredictRequest parsed;
+  const Status s = ParsePredictRequest(BuildPredictRequest(req), &parsed);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(parsed.id, req.id);
+}
+
+TEST(ServeProtocolTest, OkResponseRoundTrips) {
+  PredictResponse resp;
+  resp.id = 7;
+  resp.ok = true;
+  resp.labels = {3, 0, 1};
+  resp.depth = {2, 5, 1};
+  PredictResponse parsed;
+  ASSERT_TRUE(ParsePredictResponse(BuildPredictResponse(resp), &parsed).ok());
+  EXPECT_EQ(parsed.id, 7);
+  EXPECT_TRUE(parsed.ok);
+  EXPECT_EQ(parsed.labels, resp.labels);
+  EXPECT_EQ(parsed.depth, resp.depth);
+  EXPECT_EQ(parsed.k, 0);
+  EXPECT_TRUE(parsed.probs.empty());
+}
+
+TEST(ServeProtocolTest, ProbsPayloadRoundTripsExactly) {
+  PredictResponse resp;
+  resp.id = 1;
+  resp.ok = true;
+  resp.labels = {1};
+  resp.depth = {3};
+  resp.k = 3;
+  resp.probs = {0.25f, 0.5f, 0.25f};
+  PredictResponse parsed;
+  ASSERT_TRUE(ParsePredictResponse(BuildPredictResponse(resp), &parsed).ok());
+  EXPECT_EQ(parsed.k, 3);
+  ASSERT_EQ(parsed.probs.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(parsed.probs[i], resp.probs[i]);
+  }
+}
+
+TEST(ServeProtocolTest, ErrorResponseRoundTrips) {
+  PredictResponse parsed;
+  ASSERT_TRUE(
+      ParsePredictResponse(BuildErrorResponse(-1, "bad frame"), &parsed)
+          .ok());
+  EXPECT_EQ(parsed.id, -1);
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_EQ(parsed.error, "bad frame");
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace edde

@@ -1,0 +1,284 @@
+/// End-to-end tests for the batched inference server (src/serve/,
+/// DESIGN.md §12): request/response over a real loopback socket, label
+/// exactness against the local full-ensemble predict, deadline-driven
+/// partial batches, malformed/oversized request handling, graceful Stop,
+/// and crash-at-failpoint followed by a fresh server resuming service.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ensemble/ensemble_model.h"
+#include "nn/mlp.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "test_util.h"
+#include "utils/failpoint.h"
+#include "utils/socket.h"
+
+namespace edde {
+namespace {
+
+using testing::MakeBlobs;
+
+constexpr int kDim = 6;
+constexpr int kClasses = 4;
+
+std::unique_ptr<Mlp> SmallMlp(uint64_t seed) {
+  MlpConfig cfg;
+  cfg.in_features = kDim;
+  cfg.hidden = {10};
+  cfg.num_classes = kClasses;
+  return std::make_unique<Mlp>(cfg, seed);
+}
+
+/// Untrained members suffice: serving exactness is about prediction
+/// plumbing, not accuracy. Varied α exercises the cascade ordering.
+EnsembleModel MakeModel() {
+  EnsembleModel m;
+  m.AddMember(SmallMlp(11), 2.5);
+  m.AddMember(SmallMlp(22), 0.7);
+  m.AddMember(SmallMlp(33), 1.4);
+  return m;
+}
+
+std::vector<float> RowFeatures(const Dataset& data, int64_t row) {
+  const float* p = data.features().data() + row * kDim;
+  return std::vector<float>(p, p + kDim);
+}
+
+serve::PredictRequest RequestForRows(const Dataset& data, int64_t start,
+                                     int64_t rows, int64_t id) {
+  serve::PredictRequest req;
+  req.id = id;
+  req.rows = rows;
+  req.dim = kDim;
+  const float* p = data.features().data() + start * kDim;
+  req.features.assign(p, p + rows * kDim);
+  return req;
+}
+
+class ServeServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    failpoint::Clear();
+  }
+  void TearDown() override { failpoint::Clear(); }
+};
+
+TEST_F(ServeServerTest, ServedLabelsMatchLocalPredictBothModes) {
+  const EnsembleModel model = MakeModel();
+  const Dataset data = MakeBlobs(32, kDim, kClasses, 5);
+  const std::vector<int> reference = model.PredictLabels(data);
+
+  for (const bool cascade : {true, false}) {
+    serve::ServerConfig config;
+    config.cascade = cascade;
+    config.max_batch_rows = 8;
+    serve::InferenceServer server(&model, kDim, kClasses, config);
+    ASSERT_TRUE(server.Start().ok());
+
+    Result<serve::ServeClient> conn =
+        serve::ServeClient::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(conn.ok()) << conn.status();
+    serve::ServeClient& client = conn.ValueOrDie();
+
+    // Odd-sized requests so batches coalesce across requests.
+    for (int64_t start = 0; start < 32; start += 3) {
+      const int64_t rows = std::min<int64_t>(3, 32 - start);
+      Result<serve::PredictResponse> resp =
+          client.Predict(RequestForRows(data, start, rows, start));
+      ASSERT_TRUE(resp.ok()) << resp.status();
+      const serve::PredictResponse& r = resp.ValueOrDie();
+      ASSERT_TRUE(r.ok) << r.error;
+      ASSERT_EQ(static_cast<int64_t>(r.labels.size()), rows);
+      for (int64_t i = 0; i < rows; ++i) {
+        EXPECT_EQ(r.labels[static_cast<size_t>(i)],
+                  reference[static_cast<size_t>(start + i)])
+            << "cascade=" << cascade << " row " << start + i;
+        EXPECT_GE(r.depth[static_cast<size_t>(i)], 1);
+        EXPECT_LE(r.depth[static_cast<size_t>(i)], model.size());
+      }
+    }
+    server.Stop();
+  }
+}
+
+TEST_F(ServeServerTest, DeadlineShipsPartialBatch) {
+  // max_batch_rows is far larger than the single row we send, so only the
+  // max_delay deadline can flush the batch; a hung server would block
+  // Predict forever and time the test out.
+  const EnsembleModel model = MakeModel();
+  const Dataset data = MakeBlobs(4, kDim, kClasses, 6);
+  serve::ServerConfig config;
+  config.max_batch_rows = 1024;
+  config.max_delay_ms = 5;
+  serve::InferenceServer server(&model, kDim, kClasses, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<serve::ServeClient> conn =
+      serve::ServeClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(conn.ok());
+  Result<int> label = conn.ValueOrDie().PredictRow(RowFeatures(data, 0));
+  ASSERT_TRUE(label.ok()) << label.status();
+  EXPECT_EQ(label.ValueOrDie(), model.PredictLabels(data)[0]);
+  server.Stop();
+}
+
+TEST_F(ServeServerTest, MalformedFrameGetsErrorAndConnectionSurvives) {
+  const EnsembleModel model = MakeModel();
+  const Dataset data = MakeBlobs(4, kDim, kClasses, 7);
+  serve::InferenceServer server(&model, kDim, kClasses, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<serve::ServeClient> conn =
+      serve::ServeClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(conn.ok());
+  serve::ServeClient& client = conn.ValueOrDie();
+
+  ASSERT_TRUE(client.SendRaw("this is not json").ok());
+  Result<std::string> raw = client.RecvRaw();
+  ASSERT_TRUE(raw.ok()) << raw.status();
+  serve::PredictResponse err;
+  ASSERT_TRUE(serve::ParsePredictResponse(raw.ValueOrDie(), &err).ok());
+  EXPECT_FALSE(err.ok);
+  EXPECT_EQ(err.id, -1);
+
+  // A protocol-level error is per-request; the connection stays usable.
+  Result<int> label = client.PredictRow(RowFeatures(data, 1), /*id=*/9);
+  ASSERT_TRUE(label.ok()) << label.status();
+  server.Stop();
+}
+
+TEST_F(ServeServerTest, WrongDimGetsAddressedErrorResponse) {
+  const EnsembleModel model = MakeModel();
+  serve::InferenceServer server(&model, kDim, kClasses, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<serve::ServeClient> conn =
+      serve::ServeClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(conn.ok());
+  serve::PredictRequest req;
+  req.id = 77;
+  req.rows = 1;
+  req.dim = kDim + 1;
+  req.features.assign(static_cast<size_t>(req.dim), 0.5f);
+  Result<serve::PredictResponse> resp = conn.ValueOrDie().Predict(req);
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_FALSE(resp.ValueOrDie().ok);
+  EXPECT_EQ(resp.ValueOrDie().id, 77);
+  server.Stop();
+}
+
+TEST_F(ServeServerTest, OversizedRequestGetsErrorResponse) {
+  const EnsembleModel model = MakeModel();
+  const Dataset data = MakeBlobs(8, kDim, kClasses, 8);
+  serve::ServerConfig config;
+  config.max_request_rows = 4;
+  serve::InferenceServer server(&model, kDim, kClasses, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<serve::ServeClient> conn =
+      serve::ServeClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(conn.ok());
+  Result<serve::PredictResponse> resp =
+      conn.ValueOrDie().Predict(RequestForRows(data, 0, 8, 1));
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_FALSE(resp.ValueOrDie().ok);
+  EXPECT_NE(resp.ValueOrDie().error.find("cap"), std::string::npos);
+  server.Stop();
+}
+
+TEST_F(ServeServerTest, WantProbsReturnsDistributions) {
+  const EnsembleModel model = MakeModel();
+  const Dataset data = MakeBlobs(4, kDim, kClasses, 9);
+  serve::InferenceServer server(&model, kDim, kClasses, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<serve::ServeClient> conn =
+      serve::ServeClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(conn.ok());
+  serve::PredictRequest req = RequestForRows(data, 0, 2, 3);
+  req.want_probs = true;
+  Result<serve::PredictResponse> resp = conn.ValueOrDie().Predict(req);
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  const serve::PredictResponse& r = resp.ValueOrDie();
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.k, kClasses);
+  ASSERT_EQ(r.probs.size(), static_cast<size_t>(2 * kClasses));
+  for (int64_t row = 0; row < 2; ++row) {
+    float total = 0.0f;
+    for (int64_t c = 0; c < kClasses; ++c) {
+      const float p = r.probs[static_cast<size_t>(row * kClasses + c)];
+      EXPECT_GE(p, 0.0f);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-4f);
+  }
+  server.Stop();
+}
+
+TEST_F(ServeServerTest, StartRejectsDegenerateEnsemble) {
+  EnsembleModel empty;
+  serve::InferenceServer server(&empty, kDim, kClasses, {});
+  const Status s = server.Start();
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServeServerTest, StopIsIdempotentAndClosesConnections) {
+  const EnsembleModel model = MakeModel();
+  serve::InferenceServer server(&model, kDim, kClasses, {});
+  ASSERT_TRUE(server.Start().ok());
+  Result<serve::ServeClient> conn =
+      serve::ServeClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(conn.ok());
+  server.Stop();
+  server.Stop();  // idempotent
+  // The server hung up: the next read on the client side must not succeed.
+  Result<std::string> raw = conn.ValueOrDie().RecvRaw();
+  EXPECT_FALSE(raw.ok());
+}
+
+TEST_F(ServeServerTest, CrashAtBatchFailpointThenFreshServerResumes) {
+  const Dataset data = MakeBlobs(4, kDim, kClasses, 10);
+  // Child: arm the serve.batch crash site, stand up a server, send one
+  // request. The worker thread hits the failpoint and kills the process
+  // with the crash exit code mid-batch — as close to `kill -9` during
+  // inference as a test gets.
+  EXPECT_EXIT(
+      {
+        (void)failpoint::SetSpec("serve.batch=crash:1");
+        const EnsembleModel model = MakeModel();
+        serve::InferenceServer server(&model, kDim, kClasses, {});
+        if (!server.Start().ok()) _exit(7);
+        Result<serve::ServeClient> conn =
+            serve::ServeClient::Connect("127.0.0.1", server.port());
+        if (!conn.ok()) _exit(7);
+        std::vector<float> row(kDim, 0.25f);
+        (void)conn.ValueOrDie().PredictRow(row);
+        _exit(7);  // the failpoint never fired
+      },
+      ::testing::ExitedWithCode(failpoint::kCrashExitCode), "");
+
+  // Parent: a fresh server on the same model picks service back up —
+  // nothing about the crash leaves persistent state behind.
+  const EnsembleModel model = MakeModel();
+  serve::InferenceServer server(&model, kDim, kClasses, {});
+  ASSERT_TRUE(server.Start().ok());
+  Result<serve::ServeClient> conn =
+      serve::ServeClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(conn.ok());
+  Result<int> label = conn.ValueOrDie().PredictRow(RowFeatures(data, 0));
+  ASSERT_TRUE(label.ok()) << label.status();
+  EXPECT_EQ(label.ValueOrDie(), model.PredictLabels(data)[0]);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace edde

@@ -5,12 +5,14 @@
 #include <dirent.h>
 #include <sys/stat.h>
 
+#include <csignal>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "utils/failpoint.h"
 #include "utils/json.h"
 #include "utils/logging.h"
 #include "utils/metrics.h"
@@ -160,6 +162,48 @@ TEST_F(CrashReportTest, MidRunFatalLeavesParseableJsonlAndTrace) {
     if (e.GetStringOr("name", "") == "crash_test/work") found_span = true;
   }
   EXPECT_TRUE(found_span);
+}
+
+TEST_F(CrashReportTest, GracefulShutdownDrainsPoolBeforeFlush) {
+  // The shutdown.flush failpoint sits between QuiescePool() and the
+  // metrics/trace flush inside GracefulShutdownExit. Crashing there proves
+  // two orderings at once: (a) the pool drain happens before the flush —
+  // in-flight ParallelFor work finished, so its metric increments are in
+  // the registry when the flush runs — and (b) the flush is what makes the
+  // JSONL complete: kill the process at the failpoint and the sink file
+  // must NOT contain the final records yet.
+  const std::string dir = FreshDir("crash_shutdown");
+  const std::string jsonl = dir + "/shutdown_metrics.jsonl";
+  ::remove(jsonl.c_str());  // TempDir persists across runs
+  EXPECT_EXIT(
+      {
+        (void)failpoint::SetSpec("shutdown.flush=crash:1");
+        MetricsRegistry::Global().SetSinkPath(jsonl);
+        MetricsRegistry::Global().GetCounter("shutdown_test.progress")
+            ->Increment(5);
+        RequestShutdown(SIGINT);
+        GracefulShutdownExit();  // QuiescePool, then crash at the failpoint
+      },
+      ::testing::ExitedWithCode(failpoint::kCrashExitCode), "");
+  // Killed between drain and flush: the counter never reached the sink.
+  EXPECT_EQ(ReadWholeFile(jsonl).find("shutdown_test.progress"),
+            std::string::npos)
+      << "records before the flush point must not be in the sink yet";
+
+  // Without the failpoint the same sequence exits 128+SIGINT with the
+  // counter flushed — the drain didn't deadlock and the flush ran after it.
+  EXPECT_EXIT(
+      {
+        MetricsRegistry::Global().SetSinkPath(jsonl);
+        MetricsRegistry::Global().GetCounter("shutdown_test.progress")
+            ->Increment(5);
+        RequestShutdown(SIGINT);
+        GracefulShutdownExit();
+      },
+      ::testing::ExitedWithCode(128 + SIGINT), "graceful shutdown complete");
+  EXPECT_NE(ReadWholeFile(jsonl).find("shutdown_test.progress"),
+            std::string::npos)
+      << "the graceful path must flush the metrics sink before exiting";
 }
 
 TEST(CrashInternalsTest, LogRingKeepsNewestRecords) {

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <fstream>
+#include <limits>
 #include <string>
+
+#include "utils/metrics.h"
 
 namespace edde {
 namespace {
@@ -111,6 +115,43 @@ TEST(JsonValueTest, ParseFileRoundTrips) {
       v.Get("regions")->AsArray()[0].GetNumberOr("count", 0), 2.0);
 
   EXPECT_FALSE(JsonValue::ParseFile(path + ".does-not-exist", &v).ok());
+}
+
+TEST(JsonValueTest, NonFiniteNumbersRoundTripAsNull) {
+  // JSON has no NaN/Inf literal; the repo-wide convention is that
+  // JsonBuilder writes non-finite doubles as `null` and NumberOrNaN maps
+  // `null` back to NaN. Benchmark records with a non-finite headline must
+  // survive the write→parse cycle rather than producing unparseable JSON.
+  const std::string doc =
+      JsonBuilder()
+          .Add("nan", std::numeric_limits<double>::quiet_NaN())
+          .Add("inf", std::numeric_limits<double>::infinity())
+          .Add("neg_inf", -std::numeric_limits<double>::infinity())
+          .Add("finite", 2.5)
+          .Build();
+  JsonValue v;
+  ASSERT_TRUE(JsonValue::Parse(doc, &v).ok()) << doc;
+  ASSERT_TRUE(v.Get("nan") != nullptr);
+  EXPECT_TRUE(v.Get("nan")->is_null());
+  EXPECT_TRUE(std::isnan(v.Get("nan")->NumberOrNaN()));
+  EXPECT_TRUE(std::isnan(v.GetNumberOrNaN("inf")));
+  EXPECT_TRUE(std::isnan(v.GetNumberOrNaN("neg_inf")));
+  EXPECT_DOUBLE_EQ(v.GetNumberOrNaN("finite"), 2.5);
+}
+
+TEST(JsonValueTest, GetNumberOrNaNCoversAbsentAndMistypedMembers) {
+  JsonValue v;
+  ASSERT_TRUE(
+      JsonValue::Parse(R"({"s": "str", "n": 1.5, "z": null})", &v).ok());
+  EXPECT_DOUBLE_EQ(v.GetNumberOrNaN("n"), 1.5);
+  EXPECT_TRUE(std::isnan(v.GetNumberOrNaN("z")));        // explicit null
+  EXPECT_TRUE(std::isnan(v.GetNumberOrNaN("absent")));   // missing key
+  EXPECT_TRUE(std::isnan(v.GetNumberOrNaN("s")));        // wrong type
+  // GetNumberOr treats null (non-finite encoding) as fallback-worthy —
+  // callers that need to distinguish use GetNumberOrNaN plus Has().
+  EXPECT_DOUBLE_EQ(v.GetNumberOr("z", -3.0), -3.0);
+  EXPECT_TRUE(v.Has("z"));
+  EXPECT_FALSE(v.Has("absent"));
 }
 
 }  // namespace

@@ -1,0 +1,164 @@
+/// Tests for the TCP framing layer under src/utils/socket.h: round trips,
+/// clean-EOF vs truncation classification, and the oversized-prefix guard.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "utils/socket.h"
+
+namespace edde {
+namespace {
+
+struct Pair {
+  UniqueFd server;  // accepted side
+  UniqueFd client;  // connected side
+};
+
+/// Loopback socket pair through a real ephemeral listener.
+Pair MakeConnectedPair() {
+  Pair p;
+  Result<UniqueFd> listener = ListenTcp(0);
+  EXPECT_TRUE(listener.ok()) << listener.status();
+  UniqueFd listen_fd = std::move(listener).ValueOrDie();
+  Result<uint16_t> port = LocalPort(listen_fd.get());
+  EXPECT_TRUE(port.ok()) << port.status();
+  Result<UniqueFd> client = ConnectTcp("127.0.0.1", port.ValueOrDie());
+  EXPECT_TRUE(client.ok()) << client.status();
+  Result<UniqueFd> accepted = AcceptConn(listen_fd.get());
+  EXPECT_TRUE(accepted.ok()) << accepted.status();
+  p.client = std::move(client).ValueOrDie();
+  p.server = std::move(accepted).ValueOrDie();
+  return p;
+}
+
+TEST(SocketTest, FrameRoundTrips) {
+  Pair p = MakeConnectedPair();
+  const std::string payload = "{\"hello\": \"world\"}";
+  ASSERT_TRUE(SendFrame(p.client.get(), payload).ok());
+  std::string got;
+  ASSERT_TRUE(RecvFrame(p.server.get(), &got).ok());
+  EXPECT_EQ(got, payload);
+}
+
+TEST(SocketTest, EmptyPayloadRoundTrips) {
+  Pair p = MakeConnectedPair();
+  ASSERT_TRUE(SendFrame(p.client.get(), "").ok());
+  std::string got = "sentinel";
+  ASSERT_TRUE(RecvFrame(p.server.get(), &got).ok());
+  EXPECT_EQ(got, "");
+}
+
+TEST(SocketTest, ManyFramesPreserveBoundaries) {
+  Pair p = MakeConnectedPair();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        SendFrame(p.client.get(), "frame-" + std::to_string(i)).ok());
+  }
+  for (int i = 0; i < 50; ++i) {
+    std::string got;
+    ASSERT_TRUE(RecvFrame(p.server.get(), &got).ok());
+    EXPECT_EQ(got, "frame-" + std::to_string(i));
+  }
+}
+
+TEST(SocketTest, LargeFrameRoundTrips) {
+  Pair p = MakeConnectedPair();
+  // Bigger than any single TCP segment, so WriteAll/ReadAll must loop.
+  std::string payload(1 << 20, 'x');
+  std::thread sender([&] {
+    EXPECT_TRUE(SendFrame(p.client.get(), payload).ok());
+  });
+  std::string got;
+  ASSERT_TRUE(RecvFrame(p.server.get(), &got).ok());
+  sender.join();
+  EXPECT_EQ(got.size(), payload.size());
+  EXPECT_EQ(got, payload);
+}
+
+TEST(SocketTest, CleanEofBetweenFramesIsNotFound) {
+  Pair p = MakeConnectedPair();
+  p.client.reset();  // hang up before any frame
+  std::string got;
+  const Status s = RecvFrame(p.server.get(), &got);
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(SocketTest, TruncatedPrefixIsIOError) {
+  Pair p = MakeConnectedPair();
+  // Two bytes of a four-byte length prefix, then hang up: mid-message EOF
+  // must be distinguishable from the clean between-frames case.
+  const char partial[2] = {0x10, 0x00};
+  ASSERT_EQ(::send(p.client.get(), partial, sizeof(partial), 0),
+            static_cast<ssize_t>(sizeof(partial)));
+  p.client.reset();
+  std::string got;
+  const Status s = RecvFrame(p.server.get(), &got);
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+}
+
+TEST(SocketTest, TruncatedPayloadIsIOError) {
+  Pair p = MakeConnectedPair();
+  // Prefix promises 100 bytes; deliver 3 and hang up.
+  const uint32_t len = 100;
+  char prefix[4];
+  std::memcpy(prefix, &len, sizeof(len));
+  ASSERT_EQ(::send(p.client.get(), prefix, 4, 0), 4);
+  ASSERT_EQ(::send(p.client.get(), "abc", 3, 0), 3);
+  p.client.reset();
+  std::string got;
+  const Status s = RecvFrame(p.server.get(), &got);
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+}
+
+TEST(SocketTest, OversizedPrefixIsInvalidArgument) {
+  Pair p = MakeConnectedPair();
+  const uint32_t len = kMaxFrameBytes + 1;
+  char prefix[4];
+  std::memcpy(prefix, &len, sizeof(len));
+  ASSERT_EQ(::send(p.client.get(), prefix, 4, 0), 4);
+  std::string got;
+  const Status s = RecvFrame(p.server.get(), &got);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SocketTest, OversizedSendIsRejectedLocally) {
+  Pair p = MakeConnectedPair();
+  std::string huge(kMaxFrameBytes + 1, 'x');
+  const Status s = SendFrame(p.client.get(), huge);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  // The refusal must happen before any bytes hit the wire: the peer's
+  // stream still starts with whatever we send next.
+  ASSERT_TRUE(SendFrame(p.client.get(), "still-in-sync").ok());
+  std::string got;
+  ASSERT_TRUE(RecvFrame(p.server.get(), &got).ok());
+  EXPECT_EQ(got, "still-in-sync");
+}
+
+TEST(SocketTest, ListenerReportsEphemeralPort) {
+  Result<UniqueFd> listener = ListenTcp(0);
+  ASSERT_TRUE(listener.ok());
+  Result<uint16_t> port = LocalPort(listener.ValueOrDie().get());
+  ASSERT_TRUE(port.ok());
+  EXPECT_GT(port.ValueOrDie(), 0);
+}
+
+TEST(SocketTest, ConnectToClosedPortFails) {
+  // Bind-then-close to find a port that is (very likely) not listening.
+  uint16_t dead_port = 0;
+  {
+    Result<UniqueFd> listener = ListenTcp(0);
+    ASSERT_TRUE(listener.ok());
+    dead_port = LocalPort(listener.ValueOrDie().get()).ValueOrDie();
+  }
+  Result<UniqueFd> conn = ConnectTcp("127.0.0.1", dead_port);
+  EXPECT_FALSE(conn.ok());
+}
+
+}  // namespace
+}  // namespace edde

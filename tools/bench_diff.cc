@@ -83,8 +83,11 @@ bool LoadBenchFile(const std::string& path, BenchFile* out,
     out->regions.push_back(region);
   }
   for (const JsonValue& h : root.Get("headlines")->AsArray()) {
+    // GetNumberOrNaN honors the null-means-NaN convention (utils/json.h): a
+    // NaN/Inf headline serializes as `null` and must not read back as 0.0,
+    // which would turn "metric was undefined" into a fake 100% regression.
     out->headlines.push_back(
-        Headline{h.GetStringOr("key", "?"), h.GetNumberOr("value", 0.0)});
+        Headline{h.GetStringOr("key", "?"), h.GetNumberOrNaN("value")});
   }
   return true;
 }
@@ -152,6 +155,20 @@ int Diff(const BenchFile& base, const BenchFile& cand, double threshold) {
     const Headline* c = FindHeadline(cand, b.key);
     if (c == nullptr) {
       heads.AddRow({b.key, FormatFloat(b.value, 4), "-", "gone", ""});
+      continue;
+    }
+    // A non-finite headline (serialized as `null`) has no defined delta:
+    // skip it with a warning instead of failing the diff, so one undefined
+    // metric cannot poison an otherwise comparable BENCH file pair.
+    if (!std::isfinite(b.value) || !std::isfinite(c->value)) {
+      std::fprintf(stderr,
+                   "warning: headline '%s' is non-finite (base=%s cand=%s); "
+                   "skipping comparison\n",
+                   b.key.c_str(), std::isfinite(b.value) ? "finite" : "null",
+                   std::isfinite(c->value) ? "finite" : "null");
+      heads.AddRow({b.key, std::isfinite(b.value) ? FormatFloat(b.value, 4) : "null",
+                    std::isfinite(c->value) ? FormatFloat(c->value, 4) : "null",
+                    "-", "(skipped)"});
       continue;
     }
     const double frac =

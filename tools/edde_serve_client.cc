@@ -1,0 +1,106 @@
+/// edde-serve-client — in-tree load driver for edde-serve.
+///
+///   edde-serve-client --port=7433 --dim=16 --requests=200 --rows=4
+///
+/// Sends `requests` predict requests of `rows` random rows each over one
+/// connection and validates every response (ok, echoed id, label count,
+/// label range, depth bounds). Exit 0 when every response checked out —
+/// the CI serve-smoke job's pass/fail signal.
+
+#include <cstdio>
+#include <random>
+
+#include "serve/client.h"
+#include "utils/flags.h"
+
+namespace edde {
+namespace {
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  flags.Define("host", "127.0.0.1", "server host");
+  flags.Define("port", "7433", "server port");
+  flags.Define("dim", "16", "feature dimension (must match the server)");
+  flags.Define("num_classes", "10", "expected label range [0, num_classes)");
+  flags.Define("requests", "200", "requests to send");
+  flags.Define("rows", "4", "rows per request");
+  flags.Define("seed", "1", "feature RNG seed");
+  const Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    flags.PrintHelp("edde-serve-client");
+    return 0;
+  }
+
+  const int64_t dim = flags.GetInt("dim");
+  const int64_t rows = flags.GetInt("rows");
+  const int num_classes = flags.GetInt("num_classes");
+  const int num_requests = flags.GetInt("requests");
+
+  Result<serve::ServeClient> client = serve::ServeClient::Connect(
+      flags.GetString("host"),
+      static_cast<uint16_t>(flags.GetInt("port")));
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+
+  std::mt19937 rng(static_cast<uint32_t>(flags.GetInt("seed")));
+  std::uniform_real_distribution<float> dist(-2.0f, 2.0f);
+  int64_t rows_done = 0;
+  double depth_sum = 0.0;
+  for (int i = 0; i < num_requests; ++i) {
+    serve::PredictRequest req;
+    req.id = i;
+    req.rows = rows;
+    req.dim = dim;
+    req.features.resize(static_cast<size_t>(rows * dim));
+    for (float& f : req.features) f = dist(rng);
+    Result<serve::PredictResponse> resp =
+        client.ValueOrDie().Predict(req);
+    if (!resp.ok()) {
+      std::fprintf(stderr, "request %d: %s\n", i,
+                   resp.status().ToString().c_str());
+      return 1;
+    }
+    const serve::PredictResponse& r = resp.ValueOrDie();
+    if (!r.ok) {
+      std::fprintf(stderr, "request %d: server error: %s\n", i,
+                   r.error.c_str());
+      return 1;
+    }
+    if (static_cast<int64_t>(r.labels.size()) != rows ||
+        r.depth.size() != r.labels.size()) {
+      std::fprintf(stderr, "request %d: bad response geometry\n", i);
+      return 1;
+    }
+    for (size_t j = 0; j < r.labels.size(); ++j) {
+      if (r.labels[j] < 0 || r.labels[j] >= num_classes) {
+        std::fprintf(stderr, "request %d: label %d out of range\n", i,
+                     r.labels[j]);
+        return 1;
+      }
+      if (r.depth[j] < 1) {
+        std::fprintf(stderr, "request %d: cascade depth %lld < 1\n", i,
+                     static_cast<long long>(r.depth[j]));
+        return 1;
+      }
+      depth_sum += static_cast<double>(r.depth[j]);
+    }
+    rows_done += rows;
+  }
+  std::printf("OK: %d requests, %lld rows, mean cascade depth %.2f\n",
+              num_requests, static_cast<long long>(rows_done),
+              rows_done > 0 ? depth_sum / static_cast<double>(rows_done)
+                            : 0.0);
+  return 0;
+}
+
+}  // namespace
+}  // namespace edde
+
+int main(int argc, char** argv) { return edde::Main(argc, argv); }

@@ -1,0 +1,128 @@
+/// edde-serve — batched ensemble inference server (DESIGN.md §12).
+///
+///   edde-serve --model=ens.edde --input_dim=16 --hidden=32,32
+///              --num_classes=10 --port=7433
+///
+/// Loads an ensemble saved by SaveEnsemble and serves predictions over the
+/// length-prefixed JSON protocol (src/serve/protocol.h) on 127.0.0.1.
+/// Ensemble files carry parameters + α only, not the architecture, so the
+/// member architecture is pinned by flags (--arch=mlp is the only family
+/// exposed today — serving-sized members; the conv families load the same
+/// way once a flag spelling exists for them).
+///
+/// SIGINT/SIGTERM stop the server gracefully: stop accepting, drain the
+/// admission queue, answer everything in flight, then flush metrics/trace
+/// through the standard shutdown path and exit 128+signal.
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ensemble/ensemble_io.h"
+#include "nn/mlp.h"
+#include "serve/server.h"
+#include "utils/crash.h"
+#include "utils/failpoint.h"
+#include "utils/flags.h"
+#include "utils/logging.h"
+
+namespace edde {
+namespace {
+
+std::vector<int> ParseHidden(const std::string& spec) {
+  std::vector<int> hidden;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    hidden.push_back(std::stoi(item));
+  }
+  return hidden;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  flags.Define("model", "", "path to a SaveEnsemble file (required)");
+  flags.Define("arch", "mlp", "member architecture family: mlp");
+  flags.Define("input_dim", "16", "member input feature count");
+  flags.Define("hidden", "32", "MLP hidden widths, comma-separated");
+  flags.Define("num_classes", "10", "output classes");
+  flags.Define("port", "7433", "TCP port on 127.0.0.1 (0 = ephemeral)");
+  flags.Define("cascade", "true", "alpha-ordered early-exit cascade");
+  flags.Define("max_batch_rows", "64", "rows that make a batch full");
+  flags.Define("max_delay_ms", "2", "partial-batch deadline");
+  flags.Define("max_request_rows", "1024", "per-request row cap");
+  DefineCommonFlags(&flags);
+  const Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    flags.PrintHelp("edde-serve");
+    return 0;
+  }
+  ApplyCommonFlags(flags);
+  failpoint::InitFromEnv();
+
+  if (flags.GetString("model").empty()) {
+    std::fprintf(stderr, "--model is required (see --help)\n");
+    return 2;
+  }
+  if (flags.GetString("arch") != "mlp") {
+    std::fprintf(stderr, "unknown --arch=%s (supported: mlp)\n",
+                 flags.GetString("arch").c_str());
+    return 2;
+  }
+
+  MlpConfig mlp;
+  mlp.in_features = flags.GetInt("input_dim");
+  mlp.hidden = ParseHidden(flags.GetString("hidden"));
+  mlp.num_classes = flags.GetInt("num_classes");
+  const ModelFactory factory = [mlp](uint64_t seed) {
+    return std::make_unique<Mlp>(mlp, seed);
+  };
+
+  Result<EnsembleModel> loaded =
+      LoadEnsemble(flags.GetString("model"), factory);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n",
+                 flags.GetString("model").c_str(),
+                 loaded.status().ToString().c_str());
+    return 2;
+  }
+  EnsembleModel model = std::move(loaded).ValueOrDie();
+
+  serve::ServerConfig config;
+  config.port = static_cast<uint16_t>(flags.GetInt("port"));
+  config.cascade = flags.GetBool("cascade");
+  config.max_batch_rows = flags.GetInt("max_batch_rows");
+  config.max_delay_ms = flags.GetInt("max_delay_ms");
+  config.max_request_rows = flags.GetInt("max_request_rows");
+
+  serve::InferenceServer server(&model, mlp.in_features, mlp.num_classes,
+                                config);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cannot start: %s\n", started.ToString().c_str());
+    return 2;
+  }
+  // The smoke driver greps for this line to learn the (possibly ephemeral)
+  // port; keep the format stable.
+  std::printf("edde-serve ready port=%u\n", server.port());
+  std::fflush(stdout);
+
+  InstallShutdownHandler();
+  while (!ShutdownRequested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Stop();  // drains the queue; every admitted request is answered
+  GracefulShutdownExit();
+}
+
+}  // namespace
+}  // namespace edde
+
+int main(int argc, char** argv) { return edde::Main(argc, argv); }
