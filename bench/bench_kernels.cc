@@ -17,7 +17,9 @@
 
 #include "bench_common.h"
 #include "tensor/gemm.h"
+#include "tensor/gemm_int8.h"
 #include "tensor/ops.h"
+#include "tensor/quantize.h"
 #include "tensor/rng.h"
 #include "tensor/tensor.h"
 #include "utils/arena.h"
@@ -57,6 +59,40 @@ double TimeGemmGflops(GemmKernel kernel, const GemmShape& shape,
   for (int r = 0; r < reps; ++r) {
     Gemm(false, false, 1.0f, a, b, 0.0f, &c);
   }
+  const double seconds = timer.Seconds() / reps;
+  const double flops = 2.0 * static_cast<double>(shape.m) *
+                       static_cast<double>(shape.n) *
+                       static_cast<double>(shape.k);
+  return flops / seconds / 1e9;
+}
+
+/// Times `GemmInt8` for one kernel at one shape. Effective GFLOP/s uses
+/// the same 2·m·n·k op count as the fp32 rows so int8 and fp32 numbers are
+/// directly comparable; the cost of per-row activation quantization is
+/// inside the timed region (it is part of every real int8 call).
+double TimeGemmInt8Gflops(GemmKernel kernel, const GemmShape& shape,
+                          double min_seconds, Rng* rng) {
+  SetGemmKernel(kernel);
+  Tensor a(Shape{shape.m, shape.k});
+  Tensor w(Shape{shape.n, shape.k});
+  Tensor c(Shape{shape.m, shape.n});
+  a.FillUniform(rng, -1.0f, 1.0f);
+  w.FillUniform(rng, -1.0f, 1.0f);
+  const QuantizedMatrix qw = QuantizeWeightsPerChannel(w);
+
+  auto call = [&] {
+    GemmInt8(false, false, shape.m, shape.k, a.data(), shape.k, qw, c.data(),
+             shape.n);
+  };
+  call();  // warm-up
+  Timer calibrate;
+  call();
+  const double once = std::max(calibrate.Seconds(), 1e-6);
+  const int reps =
+      static_cast<int>(std::max(1.0, std::min(1000.0, min_seconds / once)));
+
+  Timer timer;
+  for (int r = 0; r < reps; ++r) call();
   const double seconds = timer.Seconds() / reps;
   const double flops = 2.0 * static_cast<double>(shape.m) *
                        static_cast<double>(shape.n) *
@@ -167,6 +203,50 @@ int Run(int argc, char** argv) {
     RecordHeadline(std::string(shape.name) + ".speedup_vs_scalar", speedup);
     std::printf("%-12s packed speedup vs scalar: %.2fx\n", shape.name,
                 speedup);
+
+    // int8 path (DESIGN.md §13): same shapes, same effective-GFLOP/s
+    // accounting. CI gates the 512³ ratio against the best fp32 kernel —
+    // both sides come from this run, so the ratio travels across machines.
+    double best_int8 = 0.0;
+    // The kAvx2 dispatch tier hides the VNNI drop-in; pin it off to time
+    // the vpmaddubsw path on its own, then on for the vpdpbusd row.
+    struct Int8Variant {
+      const char* name;
+      GemmKernel kernel;
+      bool vnni;
+    };
+    std::vector<Int8Variant> int8_variants = {
+        {"scalar", GemmKernel::kScalar, false},
+        {"portable", GemmKernel::kPortable, false}};
+    if (gemm_internal::Int8Avx2Available()) {
+      int8_variants.push_back({"avx2", GemmKernel::kAvx2, false});
+      if (gemm_internal::Int8VnniAvailable()) {
+        int8_variants.push_back({"vnni", GemmKernel::kAvx2, true});
+      }
+    }
+    for (const Int8Variant& variant : int8_variants) {
+      gemm_internal::SetInt8VnniEnabled(variant.vnni);
+      const double gflops =
+          TimeGemmInt8Gflops(variant.kernel, shape, min_seconds, &rng);
+      std::printf("%-12s int8:%-7s m=%-4lld n=%-4lld k=%-4lld  %7.2f "
+                  "GFLOP/s (eff)\n",
+                  shape.name, variant.name,
+                  static_cast<long long>(shape.m),
+                  static_cast<long long>(shape.n),
+                  static_cast<long long>(shape.k), gflops);
+      RecordHeadline(std::string(shape.name) + ".int8_" + variant.name +
+                         "_gflops",
+                     gflops);
+      best_int8 = std::max(best_int8, gflops);
+    }
+    gemm_internal::SetInt8VnniEnabled(true);
+    RecordHeadline(std::string(shape.name) + ".int8_gflops", best_int8);
+    const double int8_speedup = best_packed > 0.0 ? best_int8 / best_packed
+                                                  : 0.0;
+    RecordHeadline(std::string(shape.name) + ".int8_speedup_vs_fp32",
+                   int8_speedup);
+    std::printf("%-12s int8 speedup vs fp32 packed: %.2fx\n", shape.name,
+                int8_speedup);
   }
 
   // Multi-threaded 512³ with automatic dispatch: proves the row partition

@@ -1,0 +1,202 @@
+/// bench_quant — quantized inference accuracy benchmark (DESIGN.md §13).
+///
+/// Trains one paper-shaped EDDE ensemble (C10-like, ResNet family), then
+/// measures what int8 inference costs in accuracy — per member and for the
+/// α-weighted ensemble — plus how much of the per-member probability noise
+/// the ensemble average cancels, and what fp16 artifact storage saves.
+///
+/// The thesis being benchmarked: quantization noise behaves like any other
+/// independent per-member error, so the ensemble absorbs it. Two gates run
+/// in-process (int8 inference is bit-deterministic, so these are stable
+/// for a fixed seed):
+///   * accuracy recovery ≥ 50%: the ensemble's accuracy drop is at most
+///     half the average member's drop (skipped when members lose < 0.2%
+///     absolute — nothing to recover);
+///   * prob_noise_ratio ≤ 0.9: ensemble-probability RMSE deviation under
+///     int8 is below 0.9× the mean member deviation.
+/// CI additionally diffs the headline values against the committed
+/// BENCH_quant.json baseline (higher-is-better keys only).
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "ensemble/ensemble_io.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+#include "utils/table.h"
+#include "utils/trace.h"
+
+namespace edde {
+namespace bench {
+namespace {
+
+/// Below this absolute single-model accuracy drop there is no meaningful
+/// quantization damage to recover from; the recovery gate is skipped.
+constexpr double kRecoveryFloor = 0.002;
+
+double Rmse(const Tensor& a, const Tensor& b) {
+  double sum = 0.0;
+  for (int64_t i = 0; i < a.num_elements(); ++i) {
+    const double d = static_cast<double>(a.at(i)) - b.at(i);
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(a.num_elements()));
+}
+
+int64_t FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  return in.good() ? static_cast<int64_t>(in.tellg()) : -1;
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  if (!InitExperiment(&flags, argc, argv)) return 0;
+  const Scale scale = ParseScale(flags.GetString("scale"));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  PrintBanner("Quantization: int8 inference + fp16 artifacts (C10-like, "
+              "ResNet family)",
+              "per-member quantization noise is independent across a "
+              "diverse ensemble, so α-weighted averaging absorbs it: the "
+              "ensemble recovers most of the single-model int8 accuracy "
+              "loss",
+              scale, seed);
+
+  const CvWorkload w = MakeC10Like(scale, seed);
+  const Budget budget = MakeCvBudget(scale, seed);
+  const ModelFactory factory = MakeResNetFactory(scale, w.num_classes);
+  auto edde =
+      MakeEdde(budget, Arch::kResNet, PaperEddeOptions(Arch::kResNet, budget));
+
+  Timer total;
+  EnsembleModel model;
+  {
+    TraceScope ts(GetTraceRegion("bench.quant.train"));
+    model = edde->Train(w.data.train, factory);
+  }
+  std::fprintf(stderr, "[quant] training done (%.1fs)\n", total.Seconds());
+
+  double ens_fp32 = 0.0, avg_fp32 = 0.0, ens_int8 = 0.0, avg_int8 = 0.0;
+  Tensor probs_fp32, probs_int8;
+  std::vector<Tensor> member_fp32, member_int8;
+  {
+    TraceScope ts(GetTraceRegion("bench.quant.eval_fp32"));
+    ens_fp32 = model.EvaluateAccuracy(w.data.test);
+    avg_fp32 = model.AverageMemberAccuracy(w.data.test);
+    probs_fp32 = model.PredictProbs(w.data.test);
+    member_fp32 = model.MemberProbs(w.data.test);
+  }
+  model.SetPrecision(Precision::kInt8);
+  {
+    TraceScope ts(GetTraceRegion("bench.quant.eval_int8"));
+    ens_int8 = model.EvaluateAccuracy(w.data.test);
+    avg_int8 = model.AverageMemberAccuracy(w.data.test);
+    probs_int8 = model.PredictProbs(w.data.test);
+    member_int8 = model.MemberProbs(w.data.test);
+  }
+
+  const double member_drop = avg_fp32 - avg_int8;
+  const double ens_drop = ens_fp32 - ens_int8;
+  // Fraction of the average member's accuracy loss that the ensemble does
+  // NOT suffer. 1.0 when members lost nothing measurable (or the ensemble
+  // improved); clamped to [0, 1].
+  double recovery = 1.0;
+  if (member_drop >= kRecoveryFloor) {
+    recovery = (member_drop - ens_drop) / member_drop;
+    recovery = std::min(1.0, std::max(0.0, recovery));
+  }
+
+  double mean_member_rmse = 0.0;
+  for (size_t t = 0; t < member_fp32.size(); ++t) {
+    mean_member_rmse += Rmse(member_fp32[t], member_int8[t]);
+  }
+  mean_member_rmse /= static_cast<double>(member_fp32.size());
+  const double ens_rmse = Rmse(probs_fp32, probs_int8);
+  const double noise_ratio =
+      mean_member_rmse > 0.0 ? ens_rmse / mean_member_rmse : 0.0;
+
+  // fp16 artifacts: size saving and reload fidelity for the same ensemble.
+  const std::string base_path =
+      "/tmp/bench_quant_" + std::to_string(seed);
+  const std::string fp32_path = base_path + ".fp32.edde";
+  const std::string fp16_path = base_path + ".fp16.edde";
+  double fp16_size_ratio = 0.0;
+  double ens_fp16 = 0.0;
+  {
+    TraceScope ts(GetTraceRegion("bench.quant.artifacts"));
+    model.SetPrecision(Precision::kFloat32);
+    EnsembleSaveOptions fp16_opts;
+    fp16_opts.dtype = ArtifactDtype::kFloat16;
+    if (SaveEnsemble(model, fp32_path).ok() &&
+        SaveEnsemble(model, fp16_path, fp16_opts).ok()) {
+      const int64_t fp32_bytes = FileBytes(fp32_path);
+      const int64_t fp16_bytes = FileBytes(fp16_path);
+      if (fp32_bytes > 0 && fp16_bytes > 0) {
+        fp16_size_ratio = static_cast<double>(fp16_bytes) / fp32_bytes;
+      }
+      Result<EnsembleModel> reloaded = LoadEnsemble(fp16_path, factory);
+      if (reloaded.ok()) {
+        ens_fp16 = reloaded.ValueOrDie().EvaluateAccuracy(w.data.test);
+      }
+    }
+    std::remove(fp32_path.c_str());
+    std::remove(fp16_path.c_str());
+  }
+
+  TablePrinter table({"Metric", "fp32", "int8", "delta"});
+  table.AddRow({"ensemble accuracy", FormatPercent(ens_fp32),
+                FormatPercent(ens_int8), FormatPercent(ens_drop)});
+  table.AddRow({"avg member accuracy", FormatPercent(avg_fp32),
+                FormatPercent(avg_int8), FormatPercent(member_drop)});
+  table.AddRow({"prob RMSE vs fp32", "-", FormatFloat(ens_rmse, 5),
+                "members avg " + FormatFloat(mean_member_rmse, 5)});
+  table.Print(std::cout);
+  std::printf("accuracy recovery: %.0f%% of member drop%s\n",
+              recovery * 100.0,
+              member_drop < kRecoveryFloor ? " (drop below floor)" : "");
+  std::printf("prob noise ratio (ens/member): %.3f\n", noise_ratio);
+  std::printf("fp16 artifact: %.2fx the fp32 size, reload accuracy %s\n",
+              fp16_size_ratio, FormatPercent(ens_fp16).c_str());
+  std::printf("total wall time: %.1fs\n", total.Seconds());
+
+  RecordHeadline("quant.ens_acc_fp32", ens_fp32);
+  RecordHeadline("quant.ens_acc_int8", ens_int8);
+  RecordHeadline("quant.avg_member_acc_fp32", avg_fp32);
+  RecordHeadline("quant.avg_member_acc_int8", avg_int8);
+  RecordHeadline("quant.accuracy_recovery", recovery);
+  // bench_diff flags drops, so gateable keys are higher-is-better:
+  // absorption = 1 − ratio grows as the ensemble cancels more noise.
+  RecordHeadline("quant.prob_noise_absorption", 1.0 - noise_ratio);
+  RecordHeadline("quant.prob_noise_ratio", noise_ratio);
+  RecordHeadline("quant.fp16_acc", ens_fp16);
+  RecordHeadline("quant.fp16_size_saving", 1.0 - fp16_size_ratio);
+
+  int failures = 0;
+  if (member_drop >= kRecoveryFloor && recovery < 0.5) {
+    std::fprintf(stderr,
+                 "FAIL: ensemble recovered only %.0f%% of the member int8 "
+                 "accuracy drop (gate: >= 50%%)\n",
+                 recovery * 100.0);
+    ++failures;
+  }
+  if (noise_ratio > 0.9) {
+    std::fprintf(stderr,
+                 "FAIL: prob noise ratio %.3f (gate: <= 0.9 — the ensemble "
+                 "must cancel member quantization noise)\n",
+                 noise_ratio);
+    ++failures;
+  }
+
+  FinishExperiment("quant");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace edde
+
+int main(int argc, char** argv) { return edde::bench::Run(argc, argv); }

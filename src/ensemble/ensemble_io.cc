@@ -1,33 +1,143 @@
 #include "ensemble/ensemble_io.h"
 
+#include <vector>
+
+#include "tensor/quantize.h"
+#include "utils/durable_io.h"
 #include "utils/serialize.h"
 
 namespace edde {
 
 namespace {
-constexpr uint32_t kEnsembleMagic = 0xEDDE0002;
+
+// v3: magic + CRC-framed sections, fp16-capable, atomically committed.
+// v2: plain unframed stream, fp32 only — still accepted on read.
+constexpr uint32_t kEnsembleMagicV3 = 0xEDDE0003;
+constexpr uint32_t kEnsembleMagicV2 = 0xEDDE0002;
+constexpr uint32_t kTagHeader = 1;
+constexpr uint32_t kTagMember = 2;
+constexpr uint32_t kFormatVersion = 1;
+constexpr uint64_t kMaxMembers = 4096;
+
+/// Input feature dimension implied by a member's weights: the non-leading
+/// extent of the first (closest to the input) rank ≥ 2 parameter. Dense
+/// (out, in) gives `in`; Conv (OC, C, k, k) gives C·k² — both are the
+/// layer's per-output-channel fan-in. 0 when the member has no such tensor.
+int64_t DeriveInputDim(const std::vector<Parameter*>& params) {
+  for (const Parameter* p : params) {
+    const Shape& s = p->value.shape();
+    if (s.rank() < 2) continue;
+    int64_t dim = 1;
+    for (int64_t d = 1; d < s.rank(); ++d) dim *= s.dim(d);
+    return dim;
+  }
+  return 0;
+}
+
+/// Class count implied by a member's weights: the leading extent of the
+/// last rank ≥ 2 parameter (the classifier's output channels).
+int64_t DeriveNumClasses(const std::vector<Parameter*>& params) {
+  for (auto it = params.rbegin(); it != params.rend(); ++it) {
+    const Shape& s = (*it)->value.shape();
+    if (s.rank() >= 2) return s.dim(0);
+  }
+  return 0;
+}
+
+Result<EnsembleModel> LoadEnsembleV2(BinaryReader* reader,
+                                     const ModelFactory& factory) {
+  uint64_t members = 0;
+  if (!reader->ReadU64(&members)) return reader->status();
+  if (members == 0 || members > kMaxMembers) {
+    return Status::Corruption("implausible ensemble size");
+  }
+
+  EnsembleModel ensemble;
+  for (uint64_t t = 0; t < members; ++t) {
+    float alpha = 0.0f;
+    if (!reader->ReadF32(&alpha)) return reader->status();
+    if (!(alpha > 0.0f)) {
+      return Status::Corruption("non-positive member weight");
+    }
+    std::unique_ptr<Module> member = factory(/*seed=*/t);
+    auto params = member->Parameters();
+    uint64_t count = 0;
+    if (!reader->ReadU64(&count)) return reader->status();
+    if (count != params.size()) {
+      return Status::InvalidArgument(
+          "factory architecture does not match checkpoint: " +
+          std::to_string(count) + " vs " + std::to_string(params.size()) +
+          " parameter blocks");
+    }
+    for (Parameter* p : params) {
+      std::string name;
+      if (!reader->ReadString(&name)) return reader->status();
+      uint64_t rank = 0;
+      if (!reader->ReadU64(&rank)) return reader->status();
+      if (rank > 8) return Status::Corruption("implausible tensor rank");
+      std::vector<int64_t> dims(rank);
+      for (auto& d : dims) {
+        if (!reader->ReadI64(&d)) return reader->status();
+        if (d < 0) return Status::Corruption("negative dimension");
+      }
+      if (Shape(dims) != p->value.shape()) {
+        return Status::InvalidArgument("parameter shape mismatch for " + name);
+      }
+      if (!reader->ReadFloats(p->value.data(),
+                              static_cast<size_t>(p->value.num_elements()))) {
+        return reader->status();
+      }
+    }
+    ensemble.AddMember(std::move(member), alpha);
+  }
+  return ensemble;
+}
+
 }  // namespace
 
-Status SaveEnsemble(const EnsembleModel& ensemble, const std::string& path) {
+Status SaveEnsemble(const EnsembleModel& ensemble, const std::string& path,
+                    const EnsembleSaveOptions& options) {
   if (ensemble.size() == 0) {
     return Status::InvalidArgument("cannot save an empty ensemble");
   }
-  BinaryWriter writer(path);
+  BinaryWriter writer(path, Durability::kAtomic);
   EDDE_RETURN_NOT_OK(writer.status());
-  writer.WriteU32(kEnsembleMagic);
-  writer.WriteU64(static_cast<uint64_t>(ensemble.size()));
+  writer.WriteU32(kEnsembleMagicV3);
+
+  {
+    auto params = ensemble.member(0)->Parameters();
+    SectionWriter header;
+    header.WriteU64(static_cast<uint64_t>(ensemble.size()));
+    header.WriteU32(static_cast<uint32_t>(options.dtype));
+    // Recorded so a loader can cross-check the members it reconstructs; a
+    // disagreement means the file (or the factory) is lying about the
+    // architecture.
+    header.WriteI64(DeriveInputDim(params));
+    header.WriteI64(DeriveNumClasses(params));
+    header.AppendTo(&writer, kTagHeader, kFormatVersion);
+  }
+
+  std::vector<uint16_t> halves;
   for (int64_t t = 0; t < ensemble.size(); ++t) {
-    writer.WriteF32(static_cast<float>(ensemble.alpha(t)));
+    SectionWriter section;
+    section.WriteF32(static_cast<float>(ensemble.alpha(t)));
     auto params = ensemble.member(t)->Parameters();
-    writer.WriteU64(params.size());
+    section.WriteU64(params.size());
     for (Parameter* p : params) {
-      writer.WriteString(p->name);
+      section.WriteString(p->name);
       const auto& dims = p->value.shape().dims();
-      writer.WriteU64(dims.size());
-      for (int64_t d : dims) writer.WriteI64(d);
-      writer.WriteFloats(p->value.data(),
-                         static_cast<size_t>(p->value.num_elements()));
+      section.WriteU64(dims.size());
+      for (int64_t d : dims) section.WriteI64(d);
+      const size_t count = static_cast<size_t>(p->value.num_elements());
+      if (options.dtype == ArtifactDtype::kFloat16) {
+        halves.resize(count);
+        FloatsToHalfs(p->value.data(), halves.data(), count);
+        section.WriteBytes(halves.data(), count * sizeof(uint16_t));
+      } else {
+        section.WriteFloats(p->value.data(), count);
+      }
     }
+    section.AppendTo(&writer, kTagMember, kFormatVersion);
   }
   return writer.Finish();
 }
@@ -38,26 +148,55 @@ Result<EnsembleModel> LoadEnsemble(const std::string& path,
   if (!reader.status().ok()) return reader.status();
   uint32_t magic = 0;
   if (!reader.ReadU32(&magic)) return reader.status();
-  if (magic != kEnsembleMagic) {
+  if (magic == kEnsembleMagicV2) return LoadEnsembleV2(&reader, factory);
+  if (magic != kEnsembleMagicV3) {
     return Status::Corruption("bad ensemble magic");
   }
+
+  SectionReader header;
+  EDDE_RETURN_NOT_OK(header.Load(&reader, kTagHeader));
+  // The version field sits outside the payload CRC; checking it keeps the
+  // every-byte bit-flip guarantee (and rejects files from a future format).
+  if (header.version() != kFormatVersion) {
+    return Status::Corruption("unsupported ensemble section version " +
+                              std::to_string(header.version()));
+  }
   uint64_t members = 0;
-  if (!reader.ReadU64(&members)) return reader.status();
-  if (members == 0 || members > 4096) {
+  uint32_t dtype_raw = 0;
+  int64_t recorded_input_dim = 0;
+  int64_t recorded_num_classes = 0;
+  if (!header.ReadU64(&members) || !header.ReadU32(&dtype_raw) ||
+      !header.ReadI64(&recorded_input_dim) ||
+      !header.ReadI64(&recorded_num_classes)) {
+    return header.status();
+  }
+  if (members == 0 || members > kMaxMembers) {
     return Status::Corruption("implausible ensemble size");
   }
+  if (dtype_raw > static_cast<uint32_t>(ArtifactDtype::kFloat16)) {
+    return Status::Corruption("unknown artifact dtype " +
+                              std::to_string(dtype_raw));
+  }
+  const ArtifactDtype dtype = static_cast<ArtifactDtype>(dtype_raw);
 
   EnsembleModel ensemble;
+  std::vector<uint16_t> halves;
   for (uint64_t t = 0; t < members; ++t) {
+    SectionReader section;
+    EDDE_RETURN_NOT_OK(section.Load(&reader, kTagMember));
+    if (section.version() != kFormatVersion) {
+      return Status::Corruption("unsupported ensemble section version " +
+                                std::to_string(section.version()));
+    }
     float alpha = 0.0f;
-    if (!reader.ReadF32(&alpha)) return reader.status();
+    if (!section.ReadF32(&alpha)) return section.status();
     if (!(alpha > 0.0f)) {
       return Status::Corruption("non-positive member weight");
     }
     std::unique_ptr<Module> member = factory(/*seed=*/t);
     auto params = member->Parameters();
     uint64_t count = 0;
-    if (!reader.ReadU64(&count)) return reader.status();
+    if (!section.ReadU64(&count)) return section.status();
     if (count != params.size()) {
       return Status::InvalidArgument(
           "factory architecture does not match checkpoint: " +
@@ -66,22 +205,50 @@ Result<EnsembleModel> LoadEnsemble(const std::string& path,
     }
     for (Parameter* p : params) {
       std::string name;
-      if (!reader.ReadString(&name)) return reader.status();
+      if (!section.ReadString(&name)) return section.status();
       uint64_t rank = 0;
-      if (!reader.ReadU64(&rank)) return reader.status();
+      if (!section.ReadU64(&rank)) return section.status();
       if (rank > 8) return Status::Corruption("implausible tensor rank");
       std::vector<int64_t> dims(rank);
       for (auto& d : dims) {
-        if (!reader.ReadI64(&d)) return reader.status();
+        if (!section.ReadI64(&d)) return section.status();
         if (d < 0) return Status::Corruption("negative dimension");
       }
       if (Shape(dims) != p->value.shape()) {
-        return Status::InvalidArgument("parameter shape mismatch for " +
-                                       name);
+        return Status::InvalidArgument("parameter shape mismatch for " + name);
       }
-      if (!reader.ReadFloats(p->value.data(),
-                             static_cast<size_t>(p->value.num_elements()))) {
-        return reader.status();
+      const size_t elements = static_cast<size_t>(p->value.num_elements());
+      if (dtype == ArtifactDtype::kFloat16) {
+        // The buffer size comes from the factory's tensor shape, not the
+        // file, so a truncated section fails the bounded ReadRaw below
+        // instead of driving an allocation.
+        halves.resize(elements);
+        if (!section.ReadRaw(halves.data(), elements * sizeof(uint16_t))) {
+          return section.status();
+        }
+        HalfsToFloats(halves.data(), p->value.data(), elements);
+      } else {
+        if (!section.ReadFloats(p->value.data(), elements)) {
+          return section.status();
+        }
+      }
+    }
+    // Satellite of DESIGN.md §13: a header that disagrees with the weight
+    // shapes actually loaded means the file is internally inconsistent.
+    if (t == 0) {
+      const int64_t input_dim = DeriveInputDim(params);
+      const int64_t num_classes = DeriveNumClasses(params);
+      if (input_dim != recorded_input_dim) {
+        return Status::Corruption(
+            "recorded feature dim " + std::to_string(recorded_input_dim) +
+            " disagrees with member weight shape (" +
+            std::to_string(input_dim) + ")");
+      }
+      if (num_classes != recorded_num_classes) {
+        return Status::Corruption(
+            "recorded class count " + std::to_string(recorded_num_classes) +
+            " disagrees with member weight shape (" +
+            std::to_string(num_classes) + ")");
       }
     }
     ensemble.AddMember(std::move(member), alpha);

@@ -9,13 +9,43 @@
 
 namespace edde {
 
+/// On-disk element type of saved parameter tensors.
+///   kFloat32 — bit-exact round trip (default; loaded predictions are
+///              identical to the saved model's).
+///   kFloat16 — IEEE binary16 with round-to-nearest-even, ~2× smaller
+///              artifacts at ≤ 2^-11 relative weight error. In-memory
+///              compute stays float32 either way.
+enum class ArtifactDtype : uint32_t {
+  kFloat32 = 0,
+  kFloat16 = 1,
+};
+
+struct EnsembleSaveOptions {
+  ArtifactDtype dtype = ArtifactDtype::kFloat32;
+};
+
 /// Serializes a trained ensemble — every member's parameters plus its
 /// combination weight α — into one binary file.
-Status SaveEnsemble(const EnsembleModel& ensemble, const std::string& path);
+///
+/// Format v3: a magic word followed by CRC-framed sections (utils/
+/// durable_io): one header section (member count, dtype, the input feature
+/// dim and class count derived from the first member) and one section per
+/// member. The file is committed atomically; a torn or bit-flipped file is
+/// detected by the frame CRCs on load. Files written by the previous plain
+/// v2 format are still readable.
+Status SaveEnsemble(const EnsembleModel& ensemble, const std::string& path,
+                    const EnsembleSaveOptions& options);
+
+inline Status SaveEnsemble(const EnsembleModel& ensemble,
+                           const std::string& path) {
+  return SaveEnsemble(ensemble, path, EnsembleSaveOptions());
+}
 
 /// Restores an ensemble saved with SaveEnsemble. Fresh member modules are
 /// created through `factory` (which must build the same architecture the
-/// ensemble was trained with); parameter-shape mismatches are rejected.
+/// ensemble was trained with); parameter-shape mismatches are rejected, and
+/// a v3 header whose recorded feature dim or class count disagrees with the
+/// loaded members' actual weight shapes is rejected as Corruption.
 Result<EnsembleModel> LoadEnsemble(const std::string& path,
                                    const ModelFactory& factory);
 

@@ -28,6 +28,14 @@ class EnsembleModel {
   double alpha(int64_t i) const { return alphas_[static_cast<size_t>(i)]; }
   const std::vector<double>& alphas() const { return alphas_; }
 
+  /// Switches every member's inference precision (see Module::SetPrecision).
+  /// kInt8 quantizes each member's weight matrices for eval-mode forwards;
+  /// kFloat32 restores bit-exact float inference. Idempotent.
+  void SetPrecision(Precision precision);
+
+  /// Precision of the last SetPrecision call (kFloat32 initially).
+  Precision precision() const { return precision_; }
+
   /// Sum of the member weights (the Eq. 16 normalizer).
   double AlphaSum() const;
 
@@ -82,6 +90,7 @@ class EnsembleModel {
  private:
   std::vector<std::unique_ptr<Module>> members_;
   std::vector<double> alphas_;
+  Precision precision_ = Precision::kFloat32;
 };
 
 /// Early-exit state of one α-ordered ensemble prediction (the serving

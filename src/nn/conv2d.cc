@@ -25,9 +25,21 @@ Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
   }
 }
 
-Tensor Conv2d::Forward(const Tensor& input, bool /*training*/) {
+Tensor Conv2d::Forward(const Tensor& input, bool training) {
   cached_input_ = input;
+  if (precision_ == Precision::kInt8 && !training) {
+    return Conv2dForwardInt8(input, qweight_, bias_.value, geom_);
+  }
   return Conv2dForward(input, weight_.value, bias_.value, geom_);
+}
+
+void Conv2d::SetPrecision(Precision precision) {
+  precision_ = precision;
+  if (precision == Precision::kInt8) {
+    qweight_ = QuantizeWeightsPerChannel(weight_.value);
+  } else {
+    qweight_ = QuantizedMatrix();
+  }
 }
 
 Tensor Conv2d::Backward(const Tensor& grad_output) {

@@ -23,6 +23,10 @@ class Conv2d : public Module {
   void CollectParameters(std::vector<Parameter*>* out) override;
   std::string name() const override;
 
+  /// kInt8 quantizes the kernel per output channel ((OC, C·k²) view) for
+  /// eval-mode Forward; training and Backward stay float32.
+  void SetPrecision(Precision precision) override;
+
   const ConvGeom& geom() const { return geom_; }
 
  private:
@@ -31,6 +35,7 @@ class Conv2d : public Module {
   Parameter weight_;
   Parameter bias_;
   Tensor cached_input_;
+  QuantizedMatrix qweight_;  ///< populated iff precision_ == kInt8
 };
 
 }  // namespace edde

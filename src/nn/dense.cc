@@ -1,6 +1,7 @@
 #include "nn/dense.h"
 
 #include "nn/init.h"
+#include "tensor/gemm_int8.h"
 #include "tensor/ops.h"
 #include "utils/logging.h"
 
@@ -17,7 +18,7 @@ Dense::Dense(int64_t in_features, int64_t out_features, Rng* rng)
   InitGrad(&bias_);
 }
 
-Tensor Dense::Forward(const Tensor& input, bool /*training*/) {
+Tensor Dense::Forward(const Tensor& input, bool training) {
   EDDE_CHECK_EQ(input.shape().rank(), 2);
   EDDE_CHECK_EQ(input.shape().dim(1), in_features_);
   cached_input_ = input;
@@ -28,6 +29,14 @@ Tensor Dense::Forward(const Tensor& input, bool /*training*/) {
   GemmEpilogue epi;
   epi.bias = GemmEpilogue::Bias::kPerCol;
   epi.bias_data = bias_.value.data();
+  if (precision_ == Precision::kInt8 && !training) {
+    // x @ W^T is exactly the int8 gemm's native orientation: activation
+    // rows against quantized weight rows (output channels).
+    GemmInt8(/*trans_a=*/false, /*trans_c=*/false, n, in_features_,
+             input.data(), in_features_, qweight_, output.data(),
+             out_features_, epi);
+    return output;
+  }
   GemmEx(false, true, 1.0f, input, weight_.value, 0.0f, &output, epi);
   return output;
 }
@@ -44,6 +53,15 @@ Tensor Dense::Backward(const Tensor& grad_output) {
   Tensor grad_input(Shape{n, in_features_});
   Gemm(false, false, 1.0f, grad_output, weight_.value, 0.0f, &grad_input);
   return grad_input;
+}
+
+void Dense::SetPrecision(Precision precision) {
+  precision_ = precision;
+  if (precision == Precision::kInt8) {
+    qweight_ = QuantizeWeightsPerChannel(weight_.value);
+  } else {
+    qweight_ = QuantizedMatrix();
+  }
 }
 
 void Dense::CollectParameters(std::vector<Parameter*>* out) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "nn/module.h"
+#include "tensor/quantize.h"
 #include "tensor/rng.h"
 
 namespace edde {
@@ -20,6 +21,10 @@ class Dense : public Module {
   void CollectParameters(std::vector<Parameter*>* out) override;
   std::string name() const override;
 
+  /// kInt8 quantizes the weight per output channel for eval-mode Forward;
+  /// training-mode Forward and Backward always use the float weights.
+  void SetPrecision(Precision precision) override;
+
   int64_t in_features() const { return in_features_; }
   int64_t out_features() const { return out_features_; }
 
@@ -29,6 +34,7 @@ class Dense : public Module {
   Parameter weight_;
   Parameter bias_;
   Tensor cached_input_;
+  QuantizedMatrix qweight_;  ///< populated iff precision_ == kInt8
 };
 
 }  // namespace edde

@@ -42,6 +42,11 @@ std::string DenseLayer::name() const {
   return "dense_layer(+" + std::to_string(conv_.geom().out_channels) + ")";
 }
 
+void DenseLayer::SetPrecision(Precision precision) {
+  precision_ = precision;
+  conv_.SetPrecision(precision);
+}
+
 TransitionLayer::TransitionLayer(int64_t in_channels, int64_t out_channels,
                                  Rng* rng)
     : bn_(in_channels),
@@ -71,6 +76,11 @@ void TransitionLayer::CollectParameters(std::vector<Parameter*>* out) {
 }
 
 std::string TransitionLayer::name() const { return "transition"; }
+
+void TransitionLayer::SetPrecision(Precision precision) {
+  precision_ = precision;
+  conv_.SetPrecision(precision);
+}
 
 DenseNet::DenseNet(const DenseNetConfig& config, uint64_t seed)
     : config_(config) {
@@ -125,6 +135,13 @@ void DenseNet::CollectParameters(std::vector<Parameter*>* out) {
 std::string DenseNet::name() const {
   return "densenet" + std::to_string(config_.depth) + "(k" +
          std::to_string(config_.growth) + ")";
+}
+
+void DenseNet::SetPrecision(Precision precision) {
+  precision_ = precision;
+  stem_->SetPrecision(precision);
+  for (auto& layer : body_) layer->SetPrecision(precision);
+  classifier_->SetPrecision(precision);
 }
 
 }  // namespace edde

@@ -38,6 +38,7 @@ class DenseLayer : public Module {
   Tensor Backward(const Tensor& grad_output) override;
   void CollectParameters(std::vector<Parameter*>* out) override;
   std::string name() const override;
+  void SetPrecision(Precision precision) override;
 
  private:
   int64_t in_channels_;
@@ -55,6 +56,7 @@ class TransitionLayer : public Module {
   Tensor Backward(const Tensor& grad_output) override;
   void CollectParameters(std::vector<Parameter*>* out) override;
   std::string name() const override;
+  void SetPrecision(Precision precision) override;
 
  private:
   BatchNorm bn_;
@@ -72,6 +74,7 @@ class DenseNet : public Module {
   Tensor Backward(const Tensor& grad_output) override;
   void CollectParameters(std::vector<Parameter*>* out) override;
   std::string name() const override;
+  void SetPrecision(Precision precision) override;
 
   const DenseNetConfig& config() const { return config_; }
 

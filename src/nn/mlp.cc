@@ -33,4 +33,9 @@ std::string Mlp::name() const {
          std::to_string(config_.num_classes) + ")";
 }
 
+void Mlp::SetPrecision(Precision precision) {
+  precision_ = precision;
+  body_.SetPrecision(precision);
+}
+
 }  // namespace edde

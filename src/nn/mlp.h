@@ -27,6 +27,7 @@ class Mlp : public Module {
   Tensor Backward(const Tensor& grad_output) override;
   void CollectParameters(std::vector<Parameter*>* out) override;
   std::string name() const override;
+  void SetPrecision(Precision precision) override;
 
   const MlpConfig& config() const { return config_; }
 

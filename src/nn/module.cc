@@ -2,6 +2,16 @@
 
 namespace edde {
 
+const char* PrecisionName(Precision precision) {
+  switch (precision) {
+    case Precision::kInt8:
+      return "int8";
+    case Precision::kFloat32:
+      break;
+  }
+  return "fp32";
+}
+
 std::vector<Parameter*> Module::Parameters() {
   std::vector<Parameter*> out;
   CollectParameters(&out);

@@ -22,6 +22,17 @@ struct Parameter {
   bool trainable = true;
 };
 
+/// Numeric precision of a module's inference path. Training always runs in
+/// float32; kInt8 only changes eval-mode Forward (weights are quantized
+/// per output channel, activations dynamically per row — DESIGN.md §13).
+enum class Precision : uint8_t {
+  kFloat32 = 0,
+  kInt8 = 1,
+};
+
+/// Stable lowercase name ("fp32", "int8") for manifests and logs.
+const char* PrecisionName(Precision precision);
+
 /// Base class for all neural-network layers and models.
 ///
 /// Modules implement explicit reverse-mode differentiation: Forward caches
@@ -54,6 +65,15 @@ class Module {
   /// Human-readable layer name, e.g. "conv2d(16->32,k3)".
   virtual std::string name() const = 0;
 
+  /// Switches the inference precision. The default implementation records
+  /// the tag; layers with weights override to (re)quantize, containers
+  /// override to forward the call to their children. Switching back to
+  /// kFloat32 restores bit-exact fp32 behaviour — the float weights are
+  /// never modified. Call again after mutating weights while at kInt8.
+  virtual void SetPrecision(Precision precision) { precision_ = precision; }
+
+  Precision precision() const { return precision_; }
+
   /// Flattened, depth-ordered parameter list.
   std::vector<Parameter*> Parameters();
 
@@ -62,6 +82,9 @@ class Module {
 
   /// Total number of scalar parameters (trainable only by default).
   int64_t NumParameters(bool trainable_only = true);
+
+ protected:
+  Precision precision_ = Precision::kFloat32;
 };
 
 /// Allocates `param`'s gradient with the value's shape and zeroes it.

@@ -91,6 +91,13 @@ std::string ResidualBlock::name() const {
   return "res_block(" + conv1_.name() + ")";
 }
 
+void ResidualBlock::SetPrecision(Precision precision) {
+  precision_ = precision;
+  conv1_.SetPrecision(precision);
+  conv2_.SetPrecision(precision);
+  if (has_projection_) proj_conv_->SetPrecision(precision);
+}
+
 ResNet::ResNet(const ResNetConfig& config, uint64_t seed) : config_(config) {
   Rng rng(seed);
   const int n = config.BlocksPerStage();
@@ -143,6 +150,13 @@ void ResNet::CollectParameters(std::vector<Parameter*>* out) {
 std::string ResNet::name() const {
   return "resnet" + std::to_string(config_.depth) + "(w" +
          std::to_string(config_.base_width) + ")";
+}
+
+void ResNet::SetPrecision(Precision precision) {
+  precision_ = precision;
+  stem_->SetPrecision(precision);
+  for (auto& block : blocks_) block->SetPrecision(precision);
+  classifier_->SetPrecision(precision);
 }
 
 }  // namespace edde

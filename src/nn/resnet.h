@@ -44,6 +44,7 @@ class ResidualBlock : public Module {
   Tensor Backward(const Tensor& grad_output) override;
   void CollectParameters(std::vector<Parameter*>* out) override;
   std::string name() const override;
+  void SetPrecision(Precision precision) override;
 
  private:
   bool has_projection_;
@@ -66,6 +67,7 @@ class ResNet : public Module {
   Tensor Backward(const Tensor& grad_output) override;
   void CollectParameters(std::vector<Parameter*>* out) override;
   std::string name() const override;
+  void SetPrecision(Precision precision) override;
 
   const ResNetConfig& config() const { return config_; }
 

@@ -38,4 +38,9 @@ std::string Sequential::name() const {
   return s + "]";
 }
 
+void Sequential::SetPrecision(Precision precision) {
+  precision_ = precision;
+  for (auto& layer : layers_) layer->SetPrecision(precision);
+}
+
 }  // namespace edde

@@ -22,6 +22,7 @@ class Sequential : public Module {
   Tensor Backward(const Tensor& grad_output) override;
   void CollectParameters(std::vector<Parameter*>* out) override;
   std::string name() const override;
+  void SetPrecision(Precision precision) override;
 
   size_t size() const { return layers_.size(); }
   Module* layer(size_t i) { return layers_[i].get(); }

@@ -91,4 +91,11 @@ std::string TextCnn::name() const {
          std::to_string(config_.embed_dim) + ")";
 }
 
+void TextCnn::SetPrecision(Precision precision) {
+  precision_ = precision;
+  embedding_->SetPrecision(precision);
+  for (auto& conv : convs_) conv->SetPrecision(precision);
+  classifier_->SetPrecision(precision);
+}
+
 }  // namespace edde

@@ -37,6 +37,7 @@ class TextCnn : public Module {
   Tensor Backward(const Tensor& grad_output) override;
   void CollectParameters(std::vector<Parameter*>* out) override;
   std::string name() const override;
+  void SetPrecision(Precision precision) override;
 
   const TextCnnConfig& config() const { return config_; }
 

@@ -1,0 +1,150 @@
+// AVX-512 VNNI tier of the int8 inference GEMM. vpdpbusd fuses the u8×s8
+// multiply, pair widening, and int32 accumulate that the AVX2 tier spells
+// as vpmaddubsw + vpmaddwd + vpaddd — one instruction per 64 bytes of
+// depth instead of three per 32 — and accumulates straight into int32
+// with no int16 intermediate, so saturation is impossible at any code
+// range. The arithmetic is exact integer work, which keeps this tier
+// bit-identical to every other one. It is not a dispatch tier of its own:
+// GemmKernel::kAvx2 swaps it in at runtime when the CPU has it
+// (tensor/gemm_int8.cc). Compiled with the AVX-512 flags only in this
+// translation unit (src/CMakeLists.txt); runtime detection guards every
+// call.
+
+#include "tensor/gemm_int8.h"
+
+#include "utils/logging.h"
+
+#if defined(__x86_64__) && defined(__AVX512F__) && defined(__AVX512BW__) && \
+    defined(__AVX512VL__) && defined(__AVX512VNNI__)
+#define EDDE_HAVE_INT8_VNNI_KERNEL 1
+#include <immintrin.h>
+#else
+#define EDDE_HAVE_INT8_VNNI_KERNEL 0
+#endif
+
+namespace edde {
+namespace gemm_internal {
+
+#if EDDE_HAVE_INT8_VNNI_KERNEL
+
+bool Int8VnniAvailable() {
+  static const bool available = __builtin_cpu_supports("avx512f") &&
+                                __builtin_cpu_supports("avx512bw") &&
+                                __builtin_cpu_supports("avx512vl") &&
+                                __builtin_cpu_supports("avx512vnni");
+  return available;
+}
+
+namespace {
+
+/// Folds each 512-bit accumulator to 256 bits (high half + low half), then
+/// reduces the 8 rows with the same hadd tree the AVX2 tier uses — ~25
+/// instructions for all 8 sums. Eight independent
+/// _mm512_reduce_add_epi32 calls cost more than the dot products
+/// themselves at the depths the layers use.
+// GCC's _mm512_extracti64x4_epi64 passes _mm256_undefined_si256() as the
+// (fully overwritten) mask pass-through, which trips -Wuninitialized
+// (GCC PR105593); every lane is written, so silence the false positive.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+inline __m256i ReduceRows8Vnni(__m512i a0, __m512i a1, __m512i a2, __m512i a3,
+                               __m512i a4, __m512i a5, __m512i a6,
+                               __m512i a7) {
+  const __m256i f0 = _mm256_add_epi32(_mm512_castsi512_si256(a0),
+                                      _mm512_extracti64x4_epi64(a0, 1));
+  const __m256i f1 = _mm256_add_epi32(_mm512_castsi512_si256(a1),
+                                      _mm512_extracti64x4_epi64(a1, 1));
+  const __m256i f2 = _mm256_add_epi32(_mm512_castsi512_si256(a2),
+                                      _mm512_extracti64x4_epi64(a2, 1));
+  const __m256i f3 = _mm256_add_epi32(_mm512_castsi512_si256(a3),
+                                      _mm512_extracti64x4_epi64(a3, 1));
+  const __m256i f4 = _mm256_add_epi32(_mm512_castsi512_si256(a4),
+                                      _mm512_extracti64x4_epi64(a4, 1));
+  const __m256i f5 = _mm256_add_epi32(_mm512_castsi512_si256(a5),
+                                      _mm512_extracti64x4_epi64(a5, 1));
+  const __m256i f6 = _mm256_add_epi32(_mm512_castsi512_si256(a6),
+                                      _mm512_extracti64x4_epi64(a6, 1));
+  const __m256i f7 = _mm256_add_epi32(_mm512_castsi512_si256(a7),
+                                      _mm512_extracti64x4_epi64(a7, 1));
+  const __m256i h01 = _mm256_hadd_epi32(f0, f1);
+  const __m256i h23 = _mm256_hadd_epi32(f2, f3);
+  const __m256i h45 = _mm256_hadd_epi32(f4, f5);
+  const __m256i h67 = _mm256_hadd_epi32(f6, f7);
+  const __m256i h0123 = _mm256_hadd_epi32(h01, h23);
+  const __m256i h4567 = _mm256_hadd_epi32(h45, h67);
+  const __m256i lo = _mm256_permute2x128_si256(h0123, h4567, 0x20);
+  const __m256i hi = _mm256_permute2x128_si256(h0123, h4567, 0x31);
+  return _mm256_add_epi32(lo, hi);
+}
+#pragma GCC diagnostic pop
+
+}  // namespace
+
+void MicroKernelInt8Vnni(int64_t kpad, const uint8_t* qa, const int8_t* w,
+                         int64_t stride, int32_t* out8) {
+  __m512i acc0 = _mm512_setzero_si512();
+  __m512i acc1 = _mm512_setzero_si512();
+  __m512i acc2 = _mm512_setzero_si512();
+  __m512i acc3 = _mm512_setzero_si512();
+  __m512i acc4 = _mm512_setzero_si512();
+  __m512i acc5 = _mm512_setzero_si512();
+  __m512i acc6 = _mm512_setzero_si512();
+  __m512i acc7 = _mm512_setzero_si512();
+  int64_t p = 0;
+  for (; p + 64 <= kpad; p += 64) {
+    const __m512i q = _mm512_loadu_si512(qa + p);
+#define EDDE_INT8_VNNI_ROW(idx)                                            \
+  {                                                                        \
+    const __m512i wrow = _mm512_loadu_si512(w + (idx)*stride + p);         \
+    acc##idx = _mm512_dpbusd_epi32(acc##idx, q, wrow);                     \
+  }
+    EDDE_INT8_VNNI_ROW(0)
+    EDDE_INT8_VNNI_ROW(1)
+    EDDE_INT8_VNNI_ROW(2)
+    EDDE_INT8_VNNI_ROW(3)
+    EDDE_INT8_VNNI_ROW(4)
+    EDDE_INT8_VNNI_ROW(5)
+    EDDE_INT8_VNNI_ROW(6)
+    EDDE_INT8_VNNI_ROW(7)
+#undef EDDE_INT8_VNNI_ROW
+  }
+  if (p < kpad) {
+    // kpad is a multiple of kInt8KStride (32), so exactly one half-width
+    // chunk remains. Masked loads keep every read inside the row (the
+    // next weight row starts `stride` bytes in); masked-off bytes read as
+    // zero and contribute nothing to the dot product.
+    const __mmask64 low32 = 0xFFFFFFFFull;
+    const __m512i q = _mm512_maskz_loadu_epi8(low32, qa + p);
+#define EDDE_INT8_VNNI_TAIL(idx)                                           \
+  {                                                                        \
+    const __m512i wrow = _mm512_maskz_loadu_epi8(low32, w + (idx)*stride + p); \
+    acc##idx = _mm512_dpbusd_epi32(acc##idx, q, wrow);                     \
+  }
+    EDDE_INT8_VNNI_TAIL(0)
+    EDDE_INT8_VNNI_TAIL(1)
+    EDDE_INT8_VNNI_TAIL(2)
+    EDDE_INT8_VNNI_TAIL(3)
+    EDDE_INT8_VNNI_TAIL(4)
+    EDDE_INT8_VNNI_TAIL(5)
+    EDDE_INT8_VNNI_TAIL(6)
+    EDDE_INT8_VNNI_TAIL(7)
+#undef EDDE_INT8_VNNI_TAIL
+  }
+  const __m256i sums =
+      ReduceRows8Vnni(acc0, acc1, acc2, acc3, acc4, acc5, acc6, acc7);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out8), sums);
+}
+
+#else  // !EDDE_HAVE_INT8_VNNI_KERNEL
+
+bool Int8VnniAvailable() { return false; }
+
+void MicroKernelInt8Vnni(int64_t, const uint8_t*, const int8_t*, int64_t,
+                         int32_t*) {
+  EDDE_CHECK(false) << "int8 VNNI kernel not compiled in";
+}
+
+#endif
+
+}  // namespace gemm_internal
+}  // namespace edde

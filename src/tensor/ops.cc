@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "tensor/gemm.h"
+#include "tensor/gemm_int8.h"
 #include "utils/arena.h"
 #include "utils/logging.h"
 #include "utils/threadpool.h"
@@ -304,6 +305,43 @@ Tensor Conv2dForward(const Tensor& input, const Tensor& weight,
       GemmRaw(false, false, geom.out_channels, oh * ow, cols_rows, 1.0f, w2d,
               cols_rows, cols, oh * ow, 0.0f,
               output.data() + n * geom.out_channels * oh * ow, oh * ow, epi);
+    }
+  });
+  return output;
+}
+
+Tensor Conv2dForwardInt8(const Tensor& input, const QuantizedMatrix& weight,
+                         const Tensor& bias, const ConvGeom& geom) {
+  EDDE_CHECK_EQ(input.shape().rank(), 4);
+  const int64_t batch = input.shape().dim(0);
+  const int64_t cin = input.shape().dim(1);
+  const int64_t h = input.shape().dim(2);
+  const int64_t w = input.shape().dim(3);
+  EDDE_CHECK_EQ(cin, geom.in_channels);
+  EDDE_CHECK_EQ(weight.rows, geom.out_channels);
+  const int64_t oh = geom.OutExtent(h);
+  const int64_t ow = geom.OutExtent(w);
+  const int64_t cols_rows = cin * geom.kernel * geom.kernel;
+  EDDE_CHECK_EQ(weight.cols, cols_rows);
+
+  Tensor output(Shape{batch, geom.out_channels, oh, ow});
+  GemmEpilogue epi;
+  if (!bias.empty()) {
+    epi.bias = GemmEpilogue::Bias::kPerRow;
+    epi.bias_data = bias.data();
+  }
+  ParallelFor(0, batch, 1, [&](int64_t n0, int64_t n1) {
+    ArenaScope scope;
+    float* cols = scope.AllocFloats(cols_rows * oh * ow);
+    for (int64_t n = n0; n < n1; ++n) {
+      Im2Col(input.data() + n * cin * h * w, cin, h, w, geom, cols);
+      // The im2col buffer is (C·k², OH·OW); trans_a reads its columns as
+      // activation rows and trans_c lands the result directly in the
+      // (OC, OH·OW) output layout — same shape algebra as Conv2dForward's
+      // GemmRaw call with both operands flipped.
+      GemmInt8(/*trans_a=*/true, /*trans_c=*/true, oh * ow, cols_rows, cols,
+               oh * ow, weight, output.data() + n * geom.out_channels * oh * ow,
+               oh * ow, epi);
     }
   });
   return output;

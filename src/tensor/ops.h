@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "tensor/gemm.h"
+#include "tensor/quantize.h"
 #include "tensor/tensor.h"
 
 namespace edde {
@@ -109,6 +110,12 @@ void Col2Im(const float* cols, int64_t channels, int64_t height,
 /// optional bias (OC) -> output (N, OC, OH, OW).
 Tensor Conv2dForward(const Tensor& input, const Tensor& weight,
                      const Tensor& bias, const ConvGeom& geom);
+
+/// Quantized forward 2-D convolution: same contract as Conv2dForward but
+/// the kernel is a per-channel int8 matrix (OC rows of depth C·k²; see
+/// tensor/quantize.h). Inference only — there is no int8 backward.
+Tensor Conv2dForwardInt8(const Tensor& input, const QuantizedMatrix& weight,
+                         const Tensor& bias, const ConvGeom& geom);
 
 /// Backward 2-D convolution. Accumulates into weight_grad/bias_grad
 /// (callers zero them at the start of each step) and returns input gradient.

@@ -323,6 +323,10 @@ bool SectionReader::ReadFloats(float* data, size_t count) {
   return ReadBytes(data, count * sizeof(float));
 }
 
+bool SectionReader::ReadRaw(void* dst, size_t count) {
+  return ReadBytes(dst, count);
+}
+
 bool SectionReader::ReadDoubles(double* data, size_t count) {
   if (!status_.ok()) return false;
   if (count > remaining() / sizeof(double)) {

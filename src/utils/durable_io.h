@@ -129,6 +129,8 @@ class SectionReader {
   bool ReadString(std::string* s);
   bool ReadFloats(float* data, size_t count);
   bool ReadDoubles(double* data, size_t count);
+  /// Raw bytes, no length prefix (caller-framed arrays, e.g. fp16 blobs).
+  bool ReadRaw(void* dst, size_t count);
 
   /// Bytes left in the payload. 0 when fully consumed.
   size_t remaining() const { return payload_.size() - offset_; }

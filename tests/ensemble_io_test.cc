@@ -8,6 +8,8 @@
 #include "ensemble/ensemble_io.h"
 #include "nn/mlp.h"
 #include "test_util.h"
+#include "utils/durable_io.h"
+#include "utils/serialize.h"
 
 namespace edde {
 namespace {
@@ -197,6 +199,159 @@ TEST(EnsembleIoTest, EveryTruncationPointFailsCleanly) {
                 r.status().code() == StatusCode::kIOError)
         << "prefix " << n << ": " << r.status();
   }
+}
+
+// ---------------------------------------------------------------------------
+// fp16 artifact sections (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+TEST(EnsembleIoFp16Test, RoundTripIsCloseAndFileIsSmaller) {
+  EnsembleModel original = MakeTrainedish(3);
+  const std::string f32_path = TempPath("ens_f32.bin");
+  const std::string f16_path = TempPath("ens_f16.bin");
+  ASSERT_TRUE(SaveEnsemble(original, f32_path).ok());
+  EnsembleSaveOptions fp16;
+  fp16.dtype = ArtifactDtype::kFloat16;
+  ASSERT_TRUE(SaveEnsemble(original, f16_path, fp16).ok());
+
+  // Parameter payloads halve; names/dims/frames stay, so well under 3/4.
+  const size_t f32_size = ReadAll(f32_path).size();
+  const size_t f16_size = ReadAll(f16_path).size();
+  EXPECT_LT(f16_size, f32_size * 3 / 4)
+      << f16_size << " vs " << f32_size << " bytes";
+
+  Result<EnsembleModel> loaded = LoadEnsemble(f16_path, SmallFactory());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EnsembleModel restored = std::move(loaded).ValueOrDie();
+  ASSERT_EQ(restored.size(), 3);
+  for (int64_t t = 0; t < 3; ++t) {
+    EXPECT_NEAR(restored.alpha(t), original.alpha(t), 1e-6);
+  }
+  // binary16 keeps 11 significand bits; untrained He-normal weights are
+  // O(1), so probabilities move by far less than 1e-2.
+  const auto data = MakeBlobsSplit(32, 0, 6, 3, 1);
+  Tensor p_orig = original.PredictProbs(data.train);
+  Tensor p_rest = restored.PredictProbs(data.train);
+  for (int64_t i = 0; i < p_orig.num_elements(); ++i) {
+    EXPECT_NEAR(p_orig.at(i), p_rest.at(i), 1e-2) << "prob " << i;
+  }
+}
+
+TEST(EnsembleIoFp16Test, EveryByteBitFlipIsDetected) {
+  // Flipping any single bit anywhere in the file — magic, section frame
+  // fields, fp16 payload bytes, CRC trailers — must fail the load with a
+  // clean non-ok Status. The payloads are covered by the frame CRCs, the
+  // frame fields by explicit validation (magic, tag, version, bounded
+  // size), which together leave no undetected byte.
+  EnsembleModel one = MakeTrainedish(1);
+  const std::string path = TempPath("ens_bitflip.bin");
+  EnsembleSaveOptions fp16;
+  fp16.dtype = ArtifactDtype::kFloat16;
+  ASSERT_TRUE(SaveEnsemble(one, path, fp16).ok());
+  const std::vector<char> good = ReadAll(path);
+  ASSERT_TRUE(LoadEnsemble(path, SmallFactory()).ok());
+
+  const std::string flip_path = TempPath("ens_bitflip_cand.bin");
+  for (size_t byte = 0; byte < good.size(); ++byte) {
+    std::vector<char> bad = good;
+    bad[byte] = static_cast<char>(bad[byte] ^ 0x10);
+    WriteAll(flip_path, bad.data(), bad.size());
+    Result<EnsembleModel> r = LoadEnsemble(flip_path, SmallFactory());
+    ASSERT_FALSE(r.ok()) << "bit flip at byte " << byte << " went undetected";
+  }
+}
+
+TEST(EnsembleIoFp16Test, TruncatedFp16SectionIsCorruptionNotOom) {
+  EnsembleModel original = MakeTrainedish(2);
+  const std::string full_path = TempPath("ens_f16_full.bin");
+  EnsembleSaveOptions fp16;
+  fp16.dtype = ArtifactDtype::kFloat16;
+  ASSERT_TRUE(SaveEnsemble(original, full_path, fp16).ok());
+  const std::vector<char> full = ReadAll(full_path);
+
+  // Cut inside the last member's fp16 payload, and at every earlier byte in
+  // a spread: all must fail cleanly (allocation sizes come from the factory
+  // model and the clamped section frame, never from raw file bytes).
+  const std::string cut_path = TempPath("ens_f16_cut.bin");
+  std::vector<size_t> cuts = {full.size() - 1, full.size() - 7,
+                              full.size() / 2};
+  for (size_t n = 0; n < 64 && n < full.size(); ++n) cuts.push_back(n);
+  for (size_t n : cuts) {
+    WriteAll(cut_path, full.data(), n);
+    Result<EnsembleModel> r = LoadEnsemble(cut_path, SmallFactory());
+    ASSERT_FALSE(r.ok()) << "prefix of " << n << " bytes loaded";
+    ASSERT_TRUE(r.status().code() == StatusCode::kCorruption ||
+                r.status().code() == StatusCode::kIOError)
+        << "prefix " << n << ": " << r.status();
+  }
+}
+
+TEST(EnsembleIoFp16Test, LegacyV2FileStillLoads) {
+  // Files written by the pre-section format (magic 0xEDDE0002, plain
+  // unframed fp32 stream) must keep loading bit-exactly. Craft one by hand
+  // exactly as the old writer did.
+  EnsembleModel original = MakeTrainedish(2);
+  const std::string path = TempPath("ens_v2_legacy.bin");
+  {
+    BinaryWriter writer(path);
+    writer.WriteU32(0xEDDE0002u);
+    writer.WriteU64(static_cast<uint64_t>(original.size()));
+    for (int64_t t = 0; t < original.size(); ++t) {
+      writer.WriteF32(static_cast<float>(original.alpha(t)));
+      auto params = original.member(t)->Parameters();
+      writer.WriteU64(params.size());
+      for (Parameter* p : params) {
+        writer.WriteString(p->name);
+        const auto& dims = p->value.shape().dims();
+        writer.WriteU64(dims.size());
+        for (int64_t d : dims) writer.WriteI64(d);
+        writer.WriteFloats(p->value.data(),
+                           static_cast<size_t>(p->value.num_elements()));
+      }
+    }
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+
+  Result<EnsembleModel> loaded = LoadEnsemble(path, SmallFactory());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EnsembleModel restored = std::move(loaded).ValueOrDie();
+  ASSERT_EQ(restored.size(), 2);
+  const auto data = MakeBlobsSplit(16, 0, 6, 3, 1);
+  Tensor p_orig = original.PredictProbs(data.train);
+  Tensor p_rest = restored.PredictProbs(data.train);
+  for (int64_t i = 0; i < p_orig.num_elements(); ++i) {
+    EXPECT_FLOAT_EQ(p_orig.at(i), p_rest.at(i));
+  }
+}
+
+TEST(EnsembleIoFp16Test, HeaderDimDisagreementIsCorruption) {
+  // A header whose recorded feature dim disagrees with the member weights —
+  // with a *valid* CRC, so framing alone cannot catch it — must be rejected
+  // as Corruption, not asserted on and not silently accepted.
+  EnsembleModel one = MakeTrainedish(1);
+  const std::string path = TempPath("ens_header_tamper.bin");
+  ASSERT_TRUE(SaveEnsemble(one, path).ok());
+  std::vector<char> bytes = ReadAll(path);
+
+  // Layout: u32 magic | header frame = u32 tag, u32 version, u64 size,
+  // payload { u64 members, u32 dtype, i64 input_dim, i64 num_classes },
+  // u32 crc. So the payload starts at byte 20 and input_dim at byte 32.
+  const size_t payload_off = 4 + 4 + 4 + 8;
+  const size_t payload_size = 8 + 4 + 8 + 8;
+  ASSERT_GE(bytes.size(), payload_off + payload_size + 4);
+  int64_t recorded = 0;
+  std::memcpy(&recorded, bytes.data() + payload_off + 12, sizeof(recorded));
+  ASSERT_EQ(recorded, 6);  // SmallCfg().in_features
+  const int64_t tampered = 7;
+  std::memcpy(bytes.data() + payload_off + 12, &tampered, sizeof(tampered));
+  const uint32_t new_crc = Crc32(bytes.data() + payload_off, payload_size);
+  std::memcpy(bytes.data() + payload_off + payload_size, &new_crc,
+              sizeof(new_crc));
+  WriteAll(path, bytes.data(), bytes.size());
+
+  Result<EnsembleModel> r = LoadEnsemble(path, SmallFactory());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
 }
 
 }  // namespace

@@ -178,6 +178,17 @@ int Diff(const BenchFile& base, const BenchFile& cand, double threshold) {
     heads.AddRow({b.key, FormatFloat(b.value, 4), FormatFloat(c->value, 4),
                   FormatDelta(frac), regressed ? "REGRESSED" : ""});
   }
+  // Headline keys only the candidate has (a bench gained a metric, or a
+  // brand-new BENCH file is diffed against an older baseline) are
+  // informational, mirroring the region table's "new" rows — never a
+  // regression.
+  for (const Headline& c : cand.headlines) {
+    if (FindHeadline(base, c.key) == nullptr) {
+      heads.AddRow({c.key, "-",
+                    std::isfinite(c.value) ? FormatFloat(c.value, 4) : "null",
+                    "new", ""});
+    }
+  }
   if (!base.headlines.empty() || !cand.headlines.empty()) {
     std::printf("\n-- headlines --\n");
     heads.Print(std::cout);

@@ -51,6 +51,7 @@ int Main(int argc, char** argv) {
   flags.Define("num_classes", "10", "output classes");
   flags.Define("port", "7433", "TCP port on 127.0.0.1 (0 = ephemeral)");
   flags.Define("cascade", "true", "alpha-ordered early-exit cascade");
+  flags.Define("precision", "fp32", "inference precision: fp32 | int8");
   flags.Define("max_batch_rows", "64", "rows that make a batch full");
   flags.Define("max_delay_ms", "2", "partial-batch deadline");
   flags.Define("max_request_rows", "1024", "per-request row cap");
@@ -94,6 +95,15 @@ int Main(int argc, char** argv) {
     return 2;
   }
   EnsembleModel model = std::move(loaded).ValueOrDie();
+
+  const std::string precision = flags.GetString("precision");
+  if (precision == "int8") {
+    model.SetPrecision(Precision::kInt8);
+  } else if (precision != "fp32") {
+    std::fprintf(stderr, "unknown --precision=%s (supported: fp32, int8)\n",
+                 precision.c_str());
+    return 2;
+  }
 
   serve::ServerConfig config;
   config.port = static_cast<uint16_t>(flags.GetInt("port"));
