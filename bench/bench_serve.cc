@@ -185,6 +185,11 @@ int Run(int argc, char** argv) {
       MetricsRegistry::Global().GetCounter("serve.member_row_evals");
   Counter* const rows_counter =
       MetricsRegistry::Global().GetCounter("serve.rows");
+  // Admission-to-batch wait, recorded by the server per request
+  // (TraceCompleteSpan on serve/queue_wait). Per-mode means come from
+  // sum/count deltas around each load run.
+  Histogram* const queue_wait =
+      MetricsRegistry::Global().GetHistogram("time/serve/queue_wait");
 
   const int64_t T = model.size();
   const int num_clients = flags.GetInt("clients");
@@ -194,6 +199,7 @@ int Run(int argc, char** argv) {
     std::string name;
     LoadStats stats;
     double mean_members = 0.0;
+    double mean_queue_wait_ms = 0.0;
   };
   std::vector<ModeResult> modes;
   for (const bool cascade : {true, false}) {
@@ -208,6 +214,8 @@ int Run(int argc, char** argv) {
 
     const int64_t evals_before = member_row_evals->Value();
     const int64_t rows_before = rows_counter->Value();
+    const int64_t waits_before = queue_wait->Count();
+    const double wait_sum_before = queue_wait->Sum();
     LoadStats stats =
         DriveLoad(test, server.port(), num_clients, rows_per_request);
     server.Stop();
@@ -219,11 +227,17 @@ int Run(int argc, char** argv) {
     mode.mean_members =
         static_cast<double>(member_row_evals->Value() - evals_before) /
         static_cast<double>(rows_served);
+    const int64_t waits = queue_wait->Count() - waits_before;
+    if (waits > 0) {
+      mode.mean_queue_wait_ms = (queue_wait->Sum() - wait_sum_before) /
+                                static_cast<double>(waits) * 1e3;
+    }
     mode.stats = std::move(stats);
     modes.push_back(std::move(mode));
   }
 
-  TablePrinter table({"Mode", "QPS", "p50 ms", "p99 ms", "members/row"});
+  TablePrinter table(
+      {"Mode", "QPS", "p50 ms", "p99 ms", "queue-wait ms", "members/row"});
   for (ModeResult& mode : modes) {
     const double requests =
         static_cast<double>(mode.stats.latencies.size());
@@ -233,10 +247,14 @@ int Run(int argc, char** argv) {
     RecordHeadline("serve." + mode.name + ".qps", qps);
     RecordHeadline("serve." + mode.name + ".p50_ms", p50);
     RecordHeadline("serve." + mode.name + ".p99_ms", p99);
+    RecordHeadline("serve." + mode.name + ".queue_wait_ms",
+                   mode.mean_queue_wait_ms);
     RecordHeadline(mode.name + ".mean_members_evaluated",
                    mode.mean_members);
     table.AddRow({mode.name, FormatFloat(qps, 1), FormatFloat(p50, 3),
-                  FormatFloat(p99, 3), FormatFloat(mode.mean_members, 2)});
+                  FormatFloat(p99, 3),
+                  FormatFloat(mode.mean_queue_wait_ms, 3),
+                  FormatFloat(mode.mean_members, 2)});
   }
   table.Print(std::cout);
 

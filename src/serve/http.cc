@@ -1,0 +1,392 @@
+#include "serve/http.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/time.h>
+
+#include "utils/failpoint.h"
+#include "utils/logging.h"
+#include "utils/metrics.h"
+
+namespace edde {
+namespace serve {
+
+namespace {
+
+/// Lowercases ASCII in place (header names are case-insensitive).
+std::string ToLower(std::string s) {
+  for (char& c : s) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return s;
+}
+
+std::string TrimWs(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+Status SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::IOError("send failed");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+void SetRecvTimeout(int fd, int timeout_ms) {
+  struct timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+const std::string* HttpRequest::Header(const std::string& name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+const char* HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default:  return "Unknown";
+  }
+}
+
+Status ParseHttpRequest(const std::string& buffer, size_t max_header_bytes,
+                        HttpRequest* out, size_t* consumed) {
+  *consumed = 0;
+  // Header block ends at the first blank line; tolerate bare-LF clients.
+  size_t end = buffer.find("\r\n\r\n");
+  size_t terminator = 4;
+  const size_t lf_end = buffer.find("\n\n");
+  if (lf_end != std::string::npos &&
+      (end == std::string::npos || lf_end < end)) {
+    end = lf_end;
+    terminator = 2;
+  }
+  if (end == std::string::npos) {
+    if (buffer.size() > max_header_bytes) {
+      return Status::FailedPrecondition("header block exceeds " +
+                                       std::to_string(max_header_bytes) +
+                                       " bytes");
+    }
+    return Status::OK();  // need more bytes
+  }
+  if (end + terminator > max_header_bytes) {
+    return Status::FailedPrecondition("header block exceeds " +
+                                     std::to_string(max_header_bytes) +
+                                     " bytes");
+  }
+
+  HttpRequest req;
+  const std::string block = buffer.substr(0, end);
+  size_t pos = 0;
+  bool first_line = true;
+  while (pos <= block.size()) {
+    size_t eol = block.find('\n', pos);
+    if (eol == std::string::npos) eol = block.size();
+    std::string line = block.substr(pos, eol - pos);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    pos = eol + 1;
+    if (first_line) {
+      first_line = false;
+      const size_t sp1 = line.find(' ');
+      const size_t sp2 = line.rfind(' ');
+      if (sp1 == std::string::npos || sp2 == sp1 || sp1 == 0) {
+        return Status::InvalidArgument("malformed request line");
+      }
+      req.method = line.substr(0, sp1);
+      req.path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      req.version = line.substr(sp2 + 1);
+      if (req.path.empty() || req.version.rfind("HTTP/", 0) != 0) {
+        return Status::InvalidArgument("malformed request line");
+      }
+      continue;
+    }
+    if (line.empty()) continue;  // the final CRLF before the blank line
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      return Status::InvalidArgument("malformed header line");
+    }
+    const std::string name = ToLower(TrimWs(line.substr(0, colon)));
+    if (name.find(' ') != std::string::npos ||
+        name.find('\t') != std::string::npos) {
+      return Status::InvalidArgument("malformed header name");
+    }
+    req.headers.emplace_back(name, TrimWs(line.substr(colon + 1)));
+  }
+  // This listener serves bodyless methods only; a request smuggling a body
+  // would desynchronize pipelining, so refuse it outright.
+  if (const std::string* len = req.Header("content-length");
+      len != nullptr && *len != "0") {
+    return Status::InvalidArgument("request bodies are not supported");
+  }
+  *out = std::move(req);
+  *consumed = end + terminator;
+  return Status::OK();
+}
+
+std::string RenderHttpResponse(const HttpResponse& resp, bool keep_alive,
+                               bool head) {
+  std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                    HttpReasonPhrase(resp.status) + "\r\n";
+  out += "Content-Type: " + resp.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  if (!head) out += resp.body;
+  return out;
+}
+
+HttpServer::HttpServer(HttpServerConfig config) : config_(config) {
+  EDDE_CHECK_GT(config_.max_header_bytes, 0u);
+  EDDE_CHECK_GT(config_.read_timeout_ms, 0);
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Handle(const std::string& path, HttpHandler handler) {
+  EDDE_CHECK(!started_) << "Handle() after Start()";
+  handlers_[path] = std::move(handler);
+}
+
+Status HttpServer::Start() {
+  EDDE_CHECK(!started_) << "Start() called twice";
+  Result<UniqueFd> listener = ListenTcp(config_.port);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(listener).ValueOrDie();
+  Result<uint16_t> port = LocalPort(listener_.get());
+  if (!port.ok()) return port.status();
+  port_ = port.ValueOrDie();
+  started_ = true;
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  ::shutdown(listener_.get(), SHUT_RDWR);
+  acceptor_.join();
+  listener_.reset();
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  // shutdown() wakes any recv blocked inside its SO_RCVTIMEO window, so
+  // joining never waits out the read timeout.
+  for (auto& conn : conns) ::shutdown(conn->fd.get(), SHUT_RDWR);
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+}
+
+void HttpServer::AcceptLoop() {
+  for (;;) {
+    Result<UniqueFd> conn_fd = AcceptConn(listener_.get());
+    if (!conn_fd.ok()) {
+      if (!stopped_) {
+        EDDE_LOG(WARNING) << "http accept failed: " << conn_fd.status();
+      }
+      return;
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = std::move(conn_fd).ValueOrDie();
+    SetRecvTimeout(conn->fd.get(), config_.read_timeout_ms);
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (stopped_) return;  // raced with Stop; drop the connection
+    conns_.push_back(conn);
+    threads_.emplace_back([this, conn] { ConnLoop(conn); });
+  }
+}
+
+HttpResponse HttpServer::Dispatch(const HttpRequest& req) const {
+  const auto it = handlers_.find(req.path);
+  if (it == handlers_.end()) {
+    HttpResponse resp;
+    resp.status = 404;
+    resp.body = "not found: " + req.path + "\n";
+    return resp;
+  }
+  return it->second(req);
+}
+
+void HttpServer::ConnLoop(std::shared_ptr<Connection> conn) {
+  ServeConn(conn.get());
+  // Retire the connection so its fd closes now (sending the FIN a client
+  // reading to EOF waits for) instead of lingering in conns_ until Stop().
+  // Stop() may have already swapped conns_ out; then it owns the cleanup.
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto it = conns_.begin(); it != conns_.end(); ++it) {
+    if (it->get() == conn.get()) {
+      conns_.erase(it);
+      break;
+    }
+  }
+}
+
+void HttpServer::ServeConn(Connection* conn) {
+  static Counter* const requests =
+      MetricsRegistry::Global().GetCounter("serve.http.requests");
+  static Counter* const errors =
+      MetricsRegistry::Global().GetCounter("serve.http.errors");
+  static Counter* const timeouts =
+      MetricsRegistry::Global().GetCounter("serve.http.timeouts");
+
+  const int fd = conn->fd.get();
+  std::string buffer;
+  for (;;) {
+    // Drain every complete pipelined request already buffered before
+    // blocking for more bytes.
+    for (;;) {
+      HttpRequest req;
+      size_t consumed = 0;
+      const Status parsed =
+          ParseHttpRequest(buffer, config_.max_header_bytes, &req, &consumed);
+      if (!parsed.ok()) {
+        errors->Increment();
+        HttpResponse resp;
+        resp.status =
+            parsed.code() == StatusCode::kFailedPrecondition ? 431 : 400;
+        resp.body = parsed.message() + "\n";
+        (void)SendAll(fd, RenderHttpResponse(resp, /*keep_alive=*/false,
+                                             /*head=*/false));
+        return;  // the stream is unparseable — drop the connection
+      }
+      if (consumed == 0) break;  // incomplete — go read more
+      buffer.erase(0, consumed);
+
+      EDDE_FAILPOINT("serve.http");
+      requests->Increment();
+      const bool head = req.method == "HEAD";
+      bool keep_alive = req.version != "HTTP/1.0";
+      if (const std::string* c = req.Header("connection"); c != nullptr) {
+        const std::string v = ToLower(*c);
+        if (v == "close") keep_alive = false;
+        if (v == "keep-alive") keep_alive = true;
+      }
+      HttpResponse resp;
+      if (req.method != "GET" && !head) {
+        resp.status = 405;
+        resp.body = "only GET and HEAD are supported\n";
+        keep_alive = false;
+      } else {
+        resp = Dispatch(req);
+      }
+      if (resp.status >= 400) errors->Increment();
+      if (!SendAll(fd, RenderHttpResponse(resp, keep_alive, head)).ok()) {
+        return;
+      }
+      if (!keep_alive) return;
+    }
+
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Read timeout. An idle keep-alive connection just goes away; a
+      // half-sent request is the slow-loris case — answer 408 best effort
+      // and close, freeing this thread without touching the acceptor.
+      if (!buffer.empty()) {
+        timeouts->Increment();
+        HttpResponse resp;
+        resp.status = 408;
+        resp.body = "request incomplete after read timeout\n";
+        (void)SendAll(fd, RenderHttpResponse(resp, /*keep_alive=*/false,
+                                             /*head=*/false));
+      }
+      return;
+    }
+    return;  // peer closed or connection reset
+  }
+}
+
+Result<HttpResponse> HttpGet(const std::string& host, uint16_t port,
+                             const std::string& path, int timeout_ms) {
+  Result<UniqueFd> conn = ConnectTcp(host, port);
+  if (!conn.ok()) return conn.status();
+  UniqueFd fd = std::move(conn).ValueOrDie();
+  SetRecvTimeout(fd.get(), timeout_ms);
+  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  EDDE_RETURN_NOT_OK(SendAll(fd.get(), request));
+
+  std::string raw;
+  for (;;) {
+    char chunk[4096];
+    const ssize_t n = ::recv(fd.get(), chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      raw.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return Status::IOError("http response timed out");
+    }
+    break;  // EOF — Connection: close delimits the body
+  }
+
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Status::IOError("truncated http response");
+  }
+  HttpResponse resp;
+  const size_t line_end = raw.find("\r\n");
+  const std::string status_line = raw.substr(0, line_end);
+  // "HTTP/1.1 200 OK"
+  const size_t sp1 = status_line.find(' ');
+  if (sp1 == std::string::npos || status_line.rfind("HTTP/", 0) != 0) {
+    return Status::InvalidArgument("malformed http status line");
+  }
+  resp.status = std::atoi(status_line.c_str() + sp1 + 1);
+  if (resp.status < 100 || resp.status > 599) {
+    return Status::InvalidArgument("malformed http status code");
+  }
+  // Headers: only Content-Type matters to our callers.
+  size_t pos = line_end + 2;
+  while (pos < header_end) {
+    size_t eol = raw.find("\r\n", pos);
+    if (eol == std::string::npos || eol > header_end) eol = header_end;
+    const std::string line = raw.substr(pos, eol - pos);
+    pos = eol + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (ToLower(line.substr(0, colon)) == "content-type") {
+      resp.content_type = TrimWs(line.substr(colon + 1));
+    }
+  }
+  resp.body = raw.substr(header_end + 4);
+  return resp;
+}
+
+}  // namespace serve
+}  // namespace edde

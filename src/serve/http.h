@@ -1,0 +1,147 @@
+#ifndef EDDE_SERVE_HTTP_H_
+#define EDDE_SERVE_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "utils/socket.h"
+#include "utils/status.h"
+
+namespace edde {
+namespace serve {
+
+/// Minimal embedded HTTP/1.1 listener for the observability plane
+/// (DESIGN.md §14): GET/HEAD only, loopback only (utils/socket binds
+/// 127.0.0.1), no TLS, no bodies on requests. It exists to serve /metrics,
+/// /healthz and /statusz to scrapers and to `edde-top` — it is not a
+/// general web server and must never face untrusted traffic directly.
+///
+/// Connections are persistent (HTTP/1.1 keep-alive) and may pipeline
+/// requests; each connection gets its own handler thread. A connection
+/// that dribbles bytes slower than `read_timeout_ms` (slow loris) is
+/// closed without occupying anything but its own thread — the acceptor
+/// and other connections never wait on it. Oversized header blocks are
+/// answered 431 and the connection dropped.
+
+struct HttpRequest {
+  std::string method;   ///< "GET" / "HEAD" (anything else is answered 405)
+  std::string path;     ///< request-target as sent, e.g. "/metrics"
+  std::string version;  ///< "HTTP/1.1"
+  /// Parsed headers in arrival order; names lowercased, values trimmed.
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  /// First value for `name` (lowercase), or nullptr when absent.
+  const std::string* Header(const std::string& name) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Request handler for one registered path. Runs on the connection's
+/// thread; must be thread-safe across connections.
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+struct HttpServerConfig {
+  /// 0 = ephemeral (query with port() after Start).
+  uint16_t port = 0;
+  /// Request line + header block cap; beyond it the request is answered
+  /// 431 and the connection closed.
+  size_t max_header_bytes = 8192;
+  /// A connection with a partial request older than this is closed — the
+  /// slow-loris guard. Also bounds how long Stop() can be held up by an
+  /// idle connection.
+  int read_timeout_ms = 5000;
+};
+
+/// Attempts to parse one complete request off the front of `buffer`.
+///   complete request  -> OK, *out filled, *consumed = bytes to discard
+///   need more bytes   -> OK, *consumed = 0 (and *out untouched)
+///   malformed         -> InvalidArgument  (answer 400, drop connection)
+///   header block too large for `max_header_bytes`
+///                     -> FailedPrecondition (answer 431, drop connection)
+/// Exposed for direct unit testing; the server's connection loop is a thin
+/// wrapper around it.
+Status ParseHttpRequest(const std::string& buffer, size_t max_header_bytes,
+                        HttpRequest* out, size_t* consumed);
+
+/// Serializes `resp` with Content-Length and Connection headers. HEAD
+/// responses (`head` true) carry the headers of the full response —
+/// including the real Content-Length — but no body.
+std::string RenderHttpResponse(const HttpResponse& resp, bool keep_alive,
+                               bool head);
+
+/// The standard reason phrase for `status` ("OK", "Not Found", ...).
+const char* HttpReasonPhrase(int status);
+
+class HttpServer {
+ public:
+  explicit HttpServer(HttpServerConfig config = {});
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers `handler` for exact-match `path`. Call before Start.
+  void Handle(const std::string& path, HttpHandler handler);
+
+  /// Binds, listens and spawns the acceptor. Call once.
+  Status Start();
+
+  /// The bound port (valid after Start).
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting, closes every connection and joins all threads.
+  /// Idempotent.
+  void Stop();
+
+ private:
+  struct Connection {
+    UniqueFd fd;
+  };
+
+  void AcceptLoop();
+  /// Thread body: serves the connection, then retires it from conns_.
+  void ConnLoop(std::shared_ptr<Connection> conn);
+  /// The request/response loop proper; returning closes the connection.
+  void ServeConn(Connection* conn);
+  HttpResponse Dispatch(const HttpRequest& req) const;
+
+  const HttpServerConfig config_;
+  std::map<std::string, HttpHandler> handlers_;
+
+  UniqueFd listener_;
+  uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::thread> threads_;
+  bool started_ = false;
+  /// Written by Stop(), read by the acceptor thread to tell an induced
+  /// accept failure from a real one — hence atomic.
+  std::atomic<bool> stopped_{false};
+};
+
+/// Blocking one-shot HTTP GET against 127.0.0.1-style numeric hosts: one
+/// connection, "Connection: close", response read to EOF. Serves edde-top,
+/// the tests and the CI smoke probes. Transport and parse failures are a
+/// Status; an HTTP error status is a *successful* result with
+/// `status != 200` — the caller decides what a 503 means.
+Result<HttpResponse> HttpGet(const std::string& host, uint16_t port,
+                             const std::string& path,
+                             int timeout_ms = 5000);
+
+}  // namespace serve
+}  // namespace edde
+
+#endif  // EDDE_SERVE_HTTP_H_

@@ -5,6 +5,7 @@
 
 #include "utils/json.h"
 #include "utils/metrics.h"
+#include "utils/trace.h"
 
 namespace edde {
 namespace serve {
@@ -47,6 +48,7 @@ std::string BuildPredictRequest(const PredictRequest& req) {
              AppendFloat(out, v);
            }));
   if (req.want_probs) b.Add("want_probs", true);
+  if (req.trace_id != 0) b.Add("trace_id", FormatTraceId(req.trace_id));
   return b.Build();
 }
 
@@ -93,6 +95,13 @@ Status ParsePredictRequest(const std::string& json, PredictRequest* out) {
   }
   const JsonValue* want = root.Get("want_probs");
   out->want_probs = want != nullptr && want->is_bool() && want->AsBool();
+  if (const JsonValue* trace = root.Get("trace_id"); trace != nullptr) {
+    if (!trace->is_string() || !IsValidTraceId(trace->AsString())) {
+      return Status::InvalidArgument(
+          "trace_id must be 1-16 hex digits");
+    }
+    out->trace_id = ParseTraceId(trace->AsString());
+  }
   return Status::OK();
 }
 
@@ -101,6 +110,7 @@ std::string BuildPredictResponse(const PredictResponse& resp) {
   JsonBuilder b;
   b.Add("id", resp.id);
   b.Add("ok", true);
+  if (resp.trace_id != 0) b.Add("trace_id", FormatTraceId(resp.trace_id));
   b.AddRaw("labels", JsonArray(resp.labels, [](std::string* out, int v) {
              out->append(std::to_string(v));
            }));
@@ -132,6 +142,7 @@ Status ParsePredictResponse(const std::string& json, PredictResponse* out) {
     return Status::InvalidArgument("response is not a JSON object");
   }
   out->id = static_cast<int64_t>(root.GetNumberOr("id", -1));
+  out->trace_id = ParseTraceId(root.GetStringOr("trace_id", ""));
   const JsonValue* ok = root.Get("ok");
   out->ok = ok != nullptr && ok->is_bool() && ok->AsBool();
   if (!out->ok) {

@@ -21,7 +21,13 @@ namespace serve {
 ///            "features": [r0c0, r0c1, ..., r1c15], "want_probs": false}
 ///   `features` is row-major, length rows*dim. `want_probs` asks for the
 ///   per-class distribution in addition to the labels (bigger responses).
-/// Response: {"id": 7, "ok": true, "labels": [3, 1], "depth": [2, 5]}
+///   An optional "trace_id" (1–16 hex digits, see utils/trace.h) tags the
+///   request for the observability plane: the server stamps it onto the
+///   request's queue/batch/cascade spans and echoes it back; when absent
+///   the server mints one. A malformed trace_id is InvalidArgument — a
+///   silently dropped tag would defeat the point of supplying one.
+/// Response: {"id": 7, "ok": true, "labels": [3, 1], "depth": [2, 5],
+///            "trace_id": "00f3..."}
 ///   plus "k" and row-major "probs" (rows*k) when want_probs was set.
 ///   `depth[i]` is the cascade depth: how many ensemble members were
 ///   consumed when row i's argmax became final (== ensemble size when the
@@ -37,12 +43,14 @@ struct PredictRequest {
   int64_t dim = 0;
   std::vector<float> features;  // row-major, rows * dim
   bool want_probs = false;
+  uint64_t trace_id = 0;  // 0 = none supplied; the server mints one
 };
 
 struct PredictResponse {
   int64_t id = 0;
   bool ok = false;
   std::string error;
+  uint64_t trace_id = 0;  // echo of the request's (possibly minted) tag
   std::vector<int> labels;
   std::vector<int64_t> depth;  // cascade depth per row
   int64_t k = 0;               // classes (0 when probs absent)

@@ -9,6 +9,7 @@
 #include "utils/failpoint.h"
 #include "utils/logging.h"
 #include "utils/metrics.h"
+#include "utils/run_manifest.h"
 #include "utils/threadpool.h"
 #include "utils/trace.h"
 
@@ -50,18 +51,31 @@ Status InferenceServer::Start() {
   Result<uint16_t> port = LocalPort(listener_.get());
   if (!port.ok()) return port.status();
   port_ = port.ValueOrDie();
+  start_time_ = std::chrono::steady_clock::now();
+  if (config_.http_port >= 0) EDDE_RETURN_NOT_OK(StartHttp());
   started_ = true;
+  worker_live_.store(true);
   acceptor_ = std::thread([this] { AcceptLoop(); });
   worker_ = std::thread([this] { WorkerLoop(); });
   EDDE_LOG(INFO) << "edde-serve listening on 127.0.0.1:" << port_
                  << " (members=" << model_->size()
-                 << " cascade=" << (config_.cascade ? "on" : "off") << ")";
+                 << " cascade=" << (config_.cascade ? "on" : "off")
+                 << (http_ ? " http=" + std::to_string(http_->port()) : "")
+                 << ")";
   return Status::OK();
+}
+
+bool InferenceServer::Ready() const {
+  return worker_live_.load() && !draining_.load() &&
+         queue_.queued_rows() < config_.max_queue_rows;
 }
 
 void InferenceServer::Stop() {
   if (!started_ || stopped_) return;
   stopped_ = true;
+  // Readiness flips first: a scraper probing /healthz during the drain
+  // window sees 503 while in-flight requests still complete.
+  draining_.store(true);
   // Wake the blocked accept() without closing the fd under it.
   ::shutdown(listener_.get(), SHUT_RDWR);
   acceptor_.join();
@@ -77,6 +91,8 @@ void InferenceServer::Stop() {
   for (auto& conn : conns) ::shutdown(conn->fd.get(), SHUT_RDWR);
   for (auto& reader : readers_) reader.join();
   readers_.clear();
+  // The observability plane goes down last so the drain stays observable.
+  if (http_) http_->Stop();
 }
 
 void InferenceServer::AcceptLoop() {
@@ -145,6 +161,11 @@ void InferenceServer::ReaderLoop(std::shared_ptr<Connection> conn) {
                                           parsed.message()));
       continue;  // protocol-level error; the connection itself is fine
     }
+    // Every admitted request carries a nonzero trace id from here on —
+    // client-supplied or minted — so its spans are always followable.
+    if (pending.request.trace_id == 0) {
+      pending.request.trace_id = MintTraceId();
+    }
 
     pending.respond = [conn](const PredictResponse& resp) {
       std::lock_guard<std::mutex> lock(conn->write_mu);
@@ -168,6 +189,127 @@ void InferenceServer::WorkerLoop() {
   while (queue_.NextBatch(&batch)) {
     RunBatch(&batch);
   }
+  worker_live_.store(false);
+}
+
+Status InferenceServer::StartHttp() {
+  HttpServerConfig http_config;
+  http_config.port = static_cast<uint16_t>(config_.http_port);
+  http_ = std::make_unique<HttpServer>(http_config);
+  http_->Handle("/metrics", [](const HttpRequest&) {
+    HttpResponse resp;
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    resp.body = MetricsRegistry::Global().RenderPrometheusText();
+    return resp;
+  });
+  http_->Handle("/healthz", [this](const HttpRequest&) {
+    HttpResponse resp;
+    if (draining_.load()) {
+      resp.status = 503;
+      resp.body = "draining\n";
+    } else if (!worker_live_.load()) {
+      resp.status = 503;
+      resp.body = "batch worker not running\n";
+    } else if (queue_.queued_rows() >= config_.max_queue_rows) {
+      resp.status = 503;
+      resp.body = "admission queue at backpressure cap\n";
+    } else {
+      resp.body = "ok\n";
+    }
+    return resp;
+  });
+  http_->Handle("/statusz", [this](const HttpRequest&) {
+    HttpResponse resp;
+    resp.content_type = "application/json";
+    resp.body = StatuszJson();
+    return resp;
+  });
+  Status started = http_->Start();
+  if (!started.ok()) http_.reset();
+  return started;
+}
+
+namespace {
+
+/// serve.* counters/gauges plus the serve trace regions (time/serve/...)
+/// belong in /statusz; the rest of the registry is /metrics' job.
+bool IsServeInstrument(const std::string& name) {
+  return name.rfind("serve.", 0) == 0 || name.rfind("time/serve/", 0) == 0;
+}
+
+std::string HistogramJson(const HistogramSnapshot& h) {
+  std::string buckets = "[";
+  for (size_t i = 0; i < h.buckets.size(); ++i) {
+    if (i > 0) buckets.push_back(',');
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "[%.17g,%lld]", h.buckets[i].first,
+                  static_cast<long long>(h.buckets[i].second));
+    buckets.append(buf);
+  }
+  buckets.push_back(']');
+  JsonBuilder b;
+  b.Add("count", h.count);
+  b.Add("sum", h.sum);
+  b.Add("min", h.min);
+  b.Add("max", h.max);
+  b.Add("mean", h.mean);
+  b.Add("p50", h.p50);
+  b.Add("p95", h.p95);
+  b.Add("p99", h.p99);
+  b.AddRaw("buckets", buckets);
+  return b.Build();
+}
+
+}  // namespace
+
+std::string InferenceServer::StatuszJson() const {
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+
+  JsonBuilder server;
+  server.Add("port", static_cast<int64_t>(port_));
+  server.Add("http_port", static_cast<int64_t>(http_ ? http_->port() : 0));
+  server.Add("uptime_seconds", SecondsSince(start_time_));
+  server.Add("members", model_->size());
+  server.Add("precision", PrecisionName(model_->precision()));
+  server.Add("cascade", config_.cascade);
+  server.Add("max_batch_rows", config_.max_batch_rows);
+  server.Add("max_queue_rows", config_.max_queue_rows);
+  server.Add("queue_rows", queue_.queued_rows());
+  server.Add("ready", Ready());
+  server.Add("draining", draining_.load());
+  {
+    std::string alphas = "[";
+    const std::vector<double>& a = model_->alphas();
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (i > 0) alphas.push_back(',');
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", a[i]);
+      alphas.append(buf);
+    }
+    alphas.push_back(']');
+    server.AddRaw("alphas", alphas);
+  }
+
+  JsonBuilder counters;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (IsServeInstrument(name)) counters.Add(name, value);
+  }
+  JsonBuilder gauges;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (IsServeInstrument(name)) gauges.Add(name, value);
+  }
+  JsonBuilder histograms;
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (IsServeInstrument(name)) histograms.AddRaw(name, HistogramJson(h));
+  }
+
+  JsonBuilder root;
+  root.AddRaw("server", server.Build());
+  root.AddRaw("manifest", RunManifestJson());
+  root.AddRaw("counters", counters.Build());
+  root.AddRaw("gauges", gauges.Build());
+  root.AddRaw("histograms", histograms.Build());
+  return root.Build();
 }
 
 void InferenceServer::RunBatch(std::vector<PendingRequest>* batch) {
@@ -193,6 +335,25 @@ void InferenceServer::RunBatch(std::vector<PendingRequest>* batch) {
       GetTraceRegion("serve/batch");
   static const TraceRegion* const predict_region =
       GetTraceRegion("serve/predict");
+  static const TraceRegion* const member_region =
+      GetTraceRegion("serve/member");
+  static const TraceRegion* const queue_wait_region =
+      GetTraceRegion("serve/queue_wait");
+  static const TraceRegion* const request_region =
+      GetTraceRegion("serve/request");
+
+  // A batch of one request — the common low-load shape — is entirely that
+  // request's work, so its id becomes the ambient tag and the batch /
+  // predict / member spans below inherit it. A coalesced batch serves many
+  // ids at once; tagging it with one of them would lie, so it stays untagged
+  // and the per-request queue_wait / request spans carry the ids instead.
+  ScopedTraceId batch_trace(batch->size() == 1 ? (*batch)[0].request.trace_id
+                                               : 0);
+  const auto batch_start = std::chrono::steady_clock::now();
+  for (const PendingRequest& p : *batch) {
+    TraceCompleteSpan(queue_wait_region, p.arrival, batch_start,
+                      p.request.trace_id);
+  }
 
   TraceScope batch_scope(batch_region);
   EDDE_FAILPOINT("serve.batch");
@@ -236,6 +397,10 @@ void InferenceServer::RunBatch(std::vector<PendingRequest>* batch) {
             dst += input_dim_;
           }
         }
+        MetricsRegistry::Global()
+            .GetCounter("serve.member_rows." + std::to_string(member))
+            ->Increment(static_cast<int64_t>(open.size()));
+        TraceScope member_scope(member_region);
         const Tensor probs = model_->MemberProbsOnBatch(member, input);
         if (acc.Accumulate(probs)) break;
       }
@@ -246,6 +411,10 @@ void InferenceServer::RunBatch(std::vector<PendingRequest>* batch) {
       std::vector<Tensor> probs(static_cast<size_t>(num_members));
       ParallelFor(0, num_members, 1, [&](int64_t t0, int64_t t1) {
         for (int64_t t = t0; t < t1; ++t) {
+          MetricsRegistry::Global()
+              .GetCounter("serve.member_rows." + std::to_string(t))
+              ->Increment(total_rows);
+          TraceScope member_scope(member_region);
           probs[static_cast<size_t>(t)] =
               model_->MemberProbsOnBatch(t, features);
         }
@@ -270,6 +439,7 @@ void InferenceServer::RunBatch(std::vector<PendingRequest>* batch) {
     PredictResponse resp;
     resp.id = p.request.id;
     resp.ok = true;
+    resp.trace_id = p.request.trace_id;
     resp.labels.reserve(static_cast<size_t>(p.request.rows));
     resp.depth.reserve(static_cast<size_t>(p.request.rows));
     for (int64_t r = row; r < row + p.request.rows; ++r) {
@@ -286,6 +456,9 @@ void InferenceServer::RunBatch(std::vector<PendingRequest>* batch) {
     rows_served->Increment(p.request.rows);
     latency->Record(SecondsSince(p.arrival));
     p.respond(resp);
+    // End-to-end span (arrival → response written), tagged per request.
+    TraceCompleteSpan(request_region, p.arrival,
+                      std::chrono::steady_clock::now(), p.request.trace_id);
     row += p.request.rows;
   }
 }

@@ -1,6 +1,8 @@
 #ifndef EDDE_SERVE_SERVER_H_
 #define EDDE_SERVE_SERVER_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -9,6 +11,7 @@
 
 #include "ensemble/ensemble_model.h"
 #include "serve/batcher.h"
+#include "serve/http.h"
 #include "serve/protocol.h"
 #include "utils/socket.h"
 #include "utils/status.h"
@@ -32,6 +35,12 @@ struct ServerConfig {
   /// every served label) is identical either way — the cascade's decision
   /// rule is exact; only latency and the depth histogram change.
   bool cascade = true;
+  /// Observability plane (DESIGN.md §14): embedded HTTP listener serving
+  /// GET /metrics (Prometheus exposition), /healthz (readiness) and
+  /// /statusz (JSON status). -1 = disabled, 0 = ephemeral port (query with
+  /// http_port() after Start). The plane is read-only and changes no
+  /// prediction — bit-identity with the plane off is tested.
+  int http_port = -1;
 };
 
 /// Batched ensemble inference server.
@@ -66,6 +75,19 @@ class InferenceServer {
   /// The bound port (valid after Start).
   uint16_t port() const { return port_; }
 
+  /// The observability listener's bound port (valid after Start when
+  /// config.http_port >= 0; 0 when the plane is disabled).
+  uint16_t http_port() const { return http_ ? http_->port() : 0; }
+
+  /// Flips the /healthz readiness answer to 503 without stopping anything —
+  /// the lame-duck signal load balancers watch during a drain window.
+  /// Stop() sets it implicitly. Idempotent; thread-safe.
+  void SetDraining(bool draining) { draining_.store(draining); }
+
+  /// Readiness as /healthz reports it: started, not draining, batch worker
+  /// alive, admission queue below its backpressure cap.
+  bool Ready() const;
+
   /// Stops accepting, drains queued requests through the worker, closes
   /// every connection and joins all threads. Idempotent.
   void Stop();
@@ -80,6 +102,8 @@ class InferenceServer {
   void ReaderLoop(std::shared_ptr<Connection> conn);
   void WorkerLoop();
   void RunBatch(std::vector<PendingRequest>* batch);
+  Status StartHttp();
+  std::string StatuszJson() const;
 
   const EnsembleModel* const model_;
   const int64_t input_dim_;
@@ -96,7 +120,15 @@ class InferenceServer {
   std::vector<std::shared_ptr<Connection>> conns_;
   std::vector<std::thread> readers_;
   bool started_ = false;
-  bool stopped_ = false;
+  /// Written by Stop(), read by the acceptor thread to tell an induced
+  /// accept failure from a real one — hence atomic.
+  std::atomic<bool> stopped_{false};
+
+  // Observability plane.
+  std::unique_ptr<HttpServer> http_;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> worker_live_{false};
+  std::chrono::steady_clock::time_point start_time_;
 };
 
 }  // namespace serve

@@ -62,6 +62,7 @@ inline constexpr const char* kSites[] = {
     "shutdown.flush",    // after the pool drain, before the sink flush
     "serve.accept",      // connection accepted, before the reader starts
     "serve.batch",       // batch formed, before member evaluation
+    "serve.http",        // http request parsed, before handler dispatch
 };
 inline constexpr size_t kNumSites = sizeof(kSites) / sizeof(kSites[0]);
 inline constexpr size_t kNumTrainingSites = 7;

@@ -178,23 +178,60 @@ double Histogram::BucketUpperBound(int i) {
   return kBucketBase * std::ldexp(1.0, i);
 }
 
-double Histogram::ApproxQuantile(double q) const {
-  const int64_t n = Count();
+namespace {
+
+/// Shared quantile rule over an already-aggregated bucket vector, so
+/// ApproxQuantile and Snapshot (and through it every exposition surface)
+/// cannot disagree: upper bound of the bucket holding sample
+/// ceil(q*n), clamped by the exact max (tighter for the top bucket and
+/// the unbounded tail).
+double QuantileFromBuckets(const std::vector<int64_t>& counts, int64_t n,
+                           double max, double q) {
   if (n == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  const auto target = static_cast<int64_t>(std::ceil(
-      q * static_cast<double>(n)));
-  const std::vector<int64_t> counts = BucketCounts();
+  const auto target =
+      static_cast<int64_t>(std::ceil(q * static_cast<double>(n)));
   int64_t cumulative = 0;
-  for (int i = 0; i < kNumBuckets; ++i) {
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
     cumulative += counts[static_cast<size_t>(i)];
     if (cumulative >= target) {
-      const double bound = BucketUpperBound(i);
-      // The unbounded tail has no upper bound; the exact max is tighter.
-      return std::isfinite(bound) ? std::min(bound, Max()) : Max();
+      const double bound = Histogram::BucketUpperBound(i);
+      return std::isfinite(bound) ? std::min(bound, max) : max;
     }
   }
-  return Max();
+  return max;
+}
+
+}  // namespace
+
+double Histogram::ApproxQuantile(double q) const {
+  return QuantileFromBuckets(BucketCounts(), Count(), Max(), q);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  // Buckets first: a sample racing in after this read may bump count/sum
+  // but never subtracts, so the quantile walk stays internally consistent
+  // with the bucket list we publish.
+  const std::vector<int64_t> counts = BucketCounts();
+  int64_t bucket_total = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const int64_t c = counts[static_cast<size_t>(i)];
+    if (c == 0) continue;
+    bucket_total += c;
+    snap.buckets.emplace_back(BucketUpperBound(i), c);
+  }
+  snap.count = bucket_total;
+  snap.sum = Sum();
+  snap.min = Min();
+  snap.max = Max();
+  snap.mean = bucket_total == 0
+                  ? 0.0
+                  : snap.sum / static_cast<double>(bucket_total);
+  snap.p50 = QuantileFromBuckets(counts, bucket_total, snap.max, 0.50);
+  snap.p95 = QuantileFromBuckets(counts, bucket_total, snap.max, 0.95);
+  snap.p99 = QuantileFromBuckets(counts, bucket_total, snap.max, 0.99);
+  return snap;
 }
 
 // ---------------------------------------------------------------------------
@@ -338,6 +375,45 @@ std::vector<std::string> MetricsRegistry::HistogramNames() const {
   return names;
 }
 
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  // Collect the instrument pointers under mu_, read them outside it: the
+  // reads are lock-free and the pointers are stable for the process
+  // lifetime, so the map lock never brackets a (sharded, O(shards))
+  // aggregate read.
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const Histogram*>> histograms;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) counters.emplace_back(name, c.get());
+    gauges.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_) gauges.emplace_back(name, g.get());
+    histograms.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+      histograms.emplace_back(name, h.get());
+    }
+  }
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters.size());
+  for (const auto& [name, c] : counters) {
+    snap.counters.emplace_back(name, c->Value());
+  }
+  snap.gauges.reserve(gauges.size());
+  for (const auto& [name, g] : gauges) {
+    snap.gauges.emplace_back(name, g->Value());
+  }
+  snap.histograms.reserve(histograms.size());
+  for (const auto& [name, h] : histograms) {
+    snap.histograms.emplace_back(name, h->Snapshot());
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::RenderPrometheusText() const {
+  return RenderPrometheus(Snapshot());
+}
+
 void MetricsRegistry::EmitEvent(const std::string& json_object) {
   if (!events_enabled()) return;
   std::lock_guard<std::mutex> lock(events_mu_);
@@ -383,56 +459,55 @@ Status MetricsRegistry::DumpJsonl(const std::string& path) const {
           << '\n';
     }
   }
-  // Scoped: the atomic commit below bumps durable-IO counters, which takes
-  // mu_ again — holding it across the write would self-deadlock.
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& [name, counter] : counters_) {
-      out << JsonBuilder()
-                 .Add("type", "counter")
-                 .Add("name", name)
-                 .Add("value", counter->Value())
-                 .Build()
-          << '\n';
-    }
-    for (const auto& [name, gauge] : gauges_) {
-      out << JsonBuilder()
-                 .Add("type", "gauge")
-                 .Add("name", name)
-                 .Add("value", gauge->Value())
-                 .Build()
-          << '\n';
-    }
-    for (const auto& [name, hist] : histograms_) {
-      std::string buckets = "[";
-      const std::vector<int64_t> counts = hist->BucketCounts();
-      bool first = true;
-      for (int i = 0; i < Histogram::kNumBuckets; ++i) {
-        if (counts[static_cast<size_t>(i)] == 0) continue;
-        if (!first) buckets += ',';
-        first = false;
-        const double bound = Histogram::BucketUpperBound(i);
-        buckets += '[';
-        buckets += std::isfinite(bound) ? FormatJsonNumber(bound) : "null";
-        buckets += ',';
-        buckets += std::to_string(counts[static_cast<size_t>(i)]);
-        buckets += ']';
-      }
+  // Instruments go through the same Snapshot() the exposition and summary
+  // paths use, so the three surfaces can never disagree. The snapshot also
+  // keeps mu_ out of scope here: the atomic commit below bumps durable-IO
+  // counters, which takes mu_ again — holding it across the write would
+  // self-deadlock.
+  const MetricsSnapshot snap = Snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    out << JsonBuilder()
+               .Add("type", "counter")
+               .Add("name", name)
+               .Add("value", value)
+               .Build()
+        << '\n';
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    out << JsonBuilder()
+               .Add("type", "gauge")
+               .Add("name", name)
+               .Add("value", value)
+               .Build()
+        << '\n';
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    std::string buckets = "[";
+    bool first = true;
+    for (const auto& [bound, count] : hist.buckets) {
+      if (!first) buckets += ',';
+      first = false;
+      buckets += '[';
+      buckets += std::isfinite(bound) ? FormatJsonNumber(bound) : "null";
+      buckets += ',';
+      buckets += std::to_string(count);
       buckets += ']';
-      out << JsonBuilder()
-                 .Add("type", "histogram")
-                 .Add("name", name)
-                 .Add("count", hist->Count())
-                 .Add("sum", hist->Sum())
-                 .Add("min", hist->Min())
-                 .Add("max", hist->Max())
-                 .Add("mean", hist->Mean())
-                 .Add("p50", hist->ApproxQuantile(0.5))
-                 .Add("p95", hist->ApproxQuantile(0.95))
-                 .AddRaw("buckets", buckets)
-                 .Build()
-          << '\n';
     }
+    buckets += ']';
+    out << JsonBuilder()
+               .Add("type", "histogram")
+               .Add("name", name)
+               .Add("count", hist.count)
+               .Add("sum", hist.sum)
+               .Add("min", hist.min)
+               .Add("max", hist.max)
+               .Add("mean", hist.mean)
+               .Add("p50", hist.p50)
+               .Add("p95", hist.p95)
+               .Add("p99", hist.p99)
+               .AddRaw("buckets", buckets)
+               .Build()
+        << '\n';
   }
   return AtomicWriteFile(path, out.str());
 }
@@ -444,34 +519,119 @@ Status MetricsRegistry::DumpToSink() const {
 }
 
 void MetricsRegistry::PrintSummary(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Same Snapshot() the exposition path renders, so the summary table and
+  // a concurrent scrape report identical numbers.
+  const MetricsSnapshot snap = Snapshot();
   bool any = false;
-  if (!counters_.empty() || !gauges_.empty()) {
+  if (!snap.counters.empty() || !snap.gauges.empty()) {
     TablePrinter scalars({"Metric", "Kind", "Value"});
-    for (const auto& [name, counter] : counters_) {
-      scalars.AddRow({name, "counter", std::to_string(counter->Value())});
+    for (const auto& [name, value] : snap.counters) {
+      scalars.AddRow({name, "counter", std::to_string(value)});
     }
-    for (const auto& [name, gauge] : gauges_) {
-      scalars.AddRow({name, "gauge", FormatFloat(gauge->Value(), 3)});
+    for (const auto& [name, value] : snap.gauges) {
+      scalars.AddRow({name, "gauge", FormatFloat(value, 3)});
     }
     scalars.Print(os);
     any = true;
   }
-  if (!histograms_.empty()) {
+  if (!snap.histograms.empty()) {
     if (any) os << '\n';
-    TablePrinter timings(
-        {"Region", "Count", "Total s", "Mean ms", "p95 ms", "Max ms"});
-    for (const auto& [name, hist] : histograms_) {
-      timings.AddRow({name, std::to_string(hist->Count()),
-                      FormatFloat(hist->Sum(), 3),
-                      FormatFloat(hist->Mean() * 1e3, 3),
-                      FormatFloat(hist->ApproxQuantile(0.95) * 1e3, 3),
-                      FormatFloat(hist->Max() * 1e3, 3)});
+    TablePrinter timings({"Region", "Count", "Total s", "Mean ms", "Min ms",
+                          "p50 ms", "p95 ms", "p99 ms", "Max ms"});
+    for (const auto& [name, hist] : snap.histograms) {
+      timings.AddRow({name, std::to_string(hist.count),
+                      FormatFloat(hist.sum, 3),
+                      FormatFloat(hist.mean * 1e3, 3),
+                      FormatFloat(hist.min * 1e3, 3),
+                      FormatFloat(hist.p50 * 1e3, 3),
+                      FormatFloat(hist.p95 * 1e3, 3),
+                      FormatFloat(hist.p99 * 1e3, 3),
+                      FormatFloat(hist.max * 1e3, 3)});
     }
     timings.Print(os);
     any = true;
   }
   if (!any) os << "(no telemetry recorded)\n";
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*; instrument
+/// names here use '.'/'/' separators, which all map to '_'.
+std::string PromName(const std::string& name) {
+  std::string out = "edde_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+/// Exposition values must parse as Go floats and the scrape surface
+/// promises NaN-free output, so non-finite values clamp to 0.
+std::string PromValue(double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void AppendPromLine(std::string* out, const std::string& name,
+                    const std::string& labels, const std::string& value) {
+  out->append(name);
+  out->append(labels);
+  out->push_back(' ');
+  out->append(value);
+  out->push_back('\n');
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " counter\n";
+    AppendPromLine(&out, prom, "", std::to_string(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    AppendPromLine(&out, prom, "", PromValue(value));
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    // Prometheus buckets are cumulative and must end with le="+Inf".
+    int64_t cumulative = 0;
+    for (const auto& [bound, count] : hist.buckets) {
+      cumulative += count;
+      if (!std::isfinite(bound)) continue;  // the tail is the +Inf line
+      AppendPromLine(&out, prom + "_bucket",
+                     "{le=\"" + PromValue(bound) + "\"}",
+                     std::to_string(cumulative));
+    }
+    AppendPromLine(&out, prom + "_bucket", "{le=\"+Inf\"}",
+                   std::to_string(hist.count));
+    AppendPromLine(&out, prom + "_sum", "", PromValue(hist.sum));
+    AppendPromLine(&out, prom + "_count", "", std::to_string(hist.count));
+    // Exact extrema and bucket-derived quantile estimates ride alongside
+    // the histogram as gauges (a family cannot be both histogram and
+    // summary); dashboards get p50/p95/p99 without PromQL bucket math.
+    out += "# TYPE " + prom + "_min gauge\n";
+    AppendPromLine(&out, prom + "_min", "", PromValue(hist.min));
+    out += "# TYPE " + prom + "_max gauge\n";
+    AppendPromLine(&out, prom + "_max", "", PromValue(hist.max));
+    out += "# TYPE " + prom + "_quantile gauge\n";
+    AppendPromLine(&out, prom + "_quantile", "{quantile=\"0.5\"}",
+                   PromValue(hist.p50));
+    AppendPromLine(&out, prom + "_quantile", "{quantile=\"0.95\"}",
+                   PromValue(hist.p95));
+    AppendPromLine(&out, prom + "_quantile", "{quantile=\"0.99\"}",
+                   PromValue(hist.p99));
+  }
+  return out;
 }
 
 void MetricsRegistry::Reset() {

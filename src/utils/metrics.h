@@ -96,6 +96,24 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+/// One consistent read of a Histogram: the exact aggregates plus the
+/// quantile estimates and per-bucket counts, all derived from a single
+/// BucketCounts() pass so every consumer (PrintSummary, the JSONL dump,
+/// the Prometheus exposition, /statusz) reports the same numbers.
+struct HistogramSnapshot {
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;   ///< 0 when empty
+  double max = 0.0;   ///< 0 when empty
+  double mean = 0.0;  ///< 0 when empty
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  /// (inclusive upper bound, samples in bucket) for every *non-empty*
+  /// bucket, bound ascending; the unbounded tail carries +inf.
+  std::vector<std::pair<double, int64_t>> buckets;
+};
+
 /// Distribution of non-negative samples (wall times, batch sizes): exact
 /// count/sum/min/max plus power-of-two buckets from 1µs for approximate
 /// percentiles. Sharded like Counter; Record never locks.
@@ -127,6 +145,12 @@ class Histogram {
   std::vector<int64_t> BucketCounts() const;
   /// Inclusive upper bound of bucket `i` (+inf for the last).
   static double BucketUpperBound(int i);
+
+  /// One consistent read of the whole distribution (see HistogramSnapshot).
+  /// Lock-free like every other reader; exact once writers have joined,
+  /// and internally consistent against concurrent writers (quantiles and
+  /// bucket list come from one BucketCounts pass).
+  HistogramSnapshot Snapshot() const;
 
   /// Zeroes the histogram in place. Not safe concurrently with writers.
   void Reset();
@@ -169,6 +193,29 @@ class JsonBuilder {
   std::string body_;
 };
 
+/// Point-in-time copy of every registered instrument, ordered by name.
+/// Taking a snapshot locks only the registry's name→instrument map (the
+/// same mutex GetCounter takes on a cold lookup) — never anything on the
+/// instrument write paths, which stay lock-free; scraping cannot stall a
+/// Record() or Increment().
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+/// Renders `snapshot` in the Prometheus text exposition format
+/// (version 0.0.4). Instrument names are sanitized to the metric charset
+/// ([a-zA-Z0-9_:], everything else becomes '_') and prefixed "edde_".
+/// Counters/gauges map to their native types; each histogram becomes a
+/// `# TYPE ... histogram` family (cumulative `_bucket{le="..."}` plus
+/// `_sum`/`_count`) and, alongside it, gauge families `<name>_min`,
+/// `<name>_max` and `<name>_quantile{quantile="0.5|0.95|0.99"}` carrying
+/// the exact extrema and the bucket-derived quantile estimates. All values
+/// are finite (non-finite gauges render as 0), so the output never carries
+/// a NaN.
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
 class MetricsRegistry {
  public:
   /// The process-wide registry. First call reads EDDE_METRICS_PATH and
@@ -185,6 +232,12 @@ class MetricsRegistry {
   /// GetHistogram; used by the bench harness to export per-region timing
   /// summaries.
   std::vector<std::string> HistogramNames() const;
+
+  /// Copies the live registry (see MetricsSnapshot for the locking
+  /// contract). The scrape path: RenderPrometheusText() == Snapshot() +
+  /// RenderPrometheus().
+  MetricsSnapshot Snapshot() const;
+  std::string RenderPrometheusText() const;
 
   /// True when a JSONL sink is configured; emitters gate record
   /// construction on this so telemetry is free when disabled.

@@ -33,6 +33,7 @@ struct TraceRecord {
   const char* label = nullptr;  ///< registry-owned, stable for process life
   int64_t ts_us = 0;            ///< microseconds since the trace epoch
   int64_t payload = 0;          ///< span: duration µs; counter: double bits
+  uint64_t trace_id = 0;        ///< request tag; 0 = none (span kind only)
   int32_t kind = 0;             ///< 0 = span, 1 = counter
   int32_t pad = 0;
 };
@@ -53,6 +54,7 @@ struct ThreadTraceState {
   static constexpr int kMaxOpen = 64;
   const char* open_labels[kMaxOpen] = {nullptr};
   int64_t open_start_us[kMaxOpen] = {0};
+  uint64_t open_trace_ids[kMaxOpen] = {0};
   std::atomic<int> open_depth{0};
 };
 
@@ -97,6 +99,19 @@ int64_t NowMicros() {
 }
 
 thread_local ThreadTraceState* t_trace_state = nullptr;
+
+/// The calling thread's installed request trace id (ScopedTraceId).
+thread_local uint64_t t_trace_id = 0;
+
+/// splitmix64: a full-period 64-bit mixer — cheap, stateless, and entirely
+/// separate from the tensor RNG, so minting ids can never perturb training
+/// or inference results.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
 
 /// Registers (once) and returns the calling thread's timeline state, or
 /// nullptr when the thread table is full.
@@ -215,6 +230,84 @@ void TraceCounter(const char* label, double value) {
   AppendRecord(state, record);
 }
 
+std::string FormatTraceId(uint64_t id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+bool IsValidTraceId(const std::string& s) {
+  if (s.empty() || s.size() > 16) return false;
+  for (char c : s) {
+    const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+                     (c >= 'A' && c <= 'F');
+    if (!hex) return false;
+  }
+  return true;
+}
+
+uint64_t ParseTraceId(const std::string& s) {
+  if (!IsValidTraceId(s)) return 0;
+  uint64_t id = 0;
+  for (char c : s) {
+    id <<= 4;
+    if (c >= '0' && c <= '9') {
+      id |= static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      id |= static_cast<uint64_t>(c - 'a' + 10);
+    } else {
+      id |= static_cast<uint64_t>(c - 'A' + 10);
+    }
+  }
+  return id;
+}
+
+uint64_t MintTraceId() {
+  // Stream salted once per process with the wall clock, so two server
+  // instances started back to back don't mint colliding id sequences.
+  static const uint64_t salt = static_cast<uint64_t>(
+      std::chrono::system_clock::now().time_since_epoch().count());
+  static std::atomic<uint64_t> next{0};
+  uint64_t id;
+  do {
+    id = SplitMix64(salt ^ next.fetch_add(1, std::memory_order_relaxed));
+  } while (id == 0);  // 0 means "no id"; skip the one colliding output
+  return id;
+}
+
+uint64_t CurrentTraceId() { return t_trace_id; }
+
+ScopedTraceId::ScopedTraceId(uint64_t id) : prev_(t_trace_id) {
+  if (id != 0) t_trace_id = id;
+}
+
+ScopedTraceId::~ScopedTraceId() { t_trace_id = prev_; }
+
+void TraceCompleteSpan(const TraceRegion* region,
+                       std::chrono::steady_clock::time_point begin,
+                       std::chrono::steady_clock::time_point end,
+                       uint64_t trace_id) {
+  if (end < begin) end = begin;
+  region->histogram->Record(
+      std::chrono::duration<double>(end - begin).count());
+  if (!TraceEnabled()) return;
+  ThreadTraceState* state = ThreadState();
+  if (state == nullptr) return;
+  const TraceGlobal& global = Global();
+  TraceRecord record;
+  record.label = region->label;
+  record.ts_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                     begin - global.epoch)
+                     .count();
+  record.payload = std::chrono::duration_cast<std::chrono::microseconds>(
+                       end - begin)
+                       .count();
+  record.trace_id = trace_id;
+  record.kind = kKindSpan;
+  AppendRecord(state, record);
+}
+
 void SetTraceThreadName(const char* name) {
   ThreadTraceState* state = ThreadState();
   if (state == nullptr) return;
@@ -228,6 +321,7 @@ int TraceScope::BeginSpan(const char* label) {
   if (depth >= ThreadTraceState::kMaxOpen) return -1;
   state->open_labels[depth] = label;
   state->open_start_us[depth] = NowMicros();
+  state->open_trace_ids[depth] = t_trace_id;
   // Release so the crash handler never reads a depth whose label slot is
   // still stale.
   state->open_depth.store(depth + 1, std::memory_order_release);
@@ -240,6 +334,7 @@ void TraceScope::EndSpan(int depth) {
   record.label = state->open_labels[depth];
   record.ts_us = state->open_start_us[depth];
   record.payload = NowMicros() - record.ts_us;
+  record.trace_id = state->open_trace_ids[depth];
   record.kind = kKindSpan;
   state->open_depth.store(depth, std::memory_order_relaxed);
   AppendRecord(state, record);
@@ -340,15 +435,21 @@ Status DumpTraceTo(const std::string& path) {
     const TraceRecord& record = event.record;
     if (record.label == nullptr) continue;  // torn record from a live ring
     if (record.kind == kKindSpan) {
-      emit(JsonBuilder()
-               .Add("ph", "X")
-               .Add("pid", 1)
-               .Add("tid", event.tid)
-               .Add("ts", record.ts_us)
-               .Add("dur", record.payload)
-               .Add("cat", "edde")
-               .Add("name", record.label)
-               .Build());
+      JsonBuilder span;
+      span.Add("ph", "X")
+          .Add("pid", 1)
+          .Add("tid", event.tid)
+          .Add("ts", record.ts_us)
+          .Add("dur", record.payload)
+          .Add("cat", "edde")
+          .Add("name", record.label);
+      if (record.trace_id != 0) {
+        span.AddRaw("args",
+                    JsonBuilder()
+                        .Add("trace_id", FormatTraceId(record.trace_id))
+                        .Build());
+      }
+      emit(span.Build());
     } else {
       double value = 0.0;
       std::memcpy(&value, &record.payload, sizeof(value));

@@ -84,6 +84,59 @@ void TraceCounter(const char* label, double value);
 /// "pool/worker 3", ...). Safe to call before tracing is enabled.
 void SetTraceThreadName(const char* name);
 
+// ---------------------------------------------------------------------------
+// Request tracing
+// ---------------------------------------------------------------------------
+//
+// A *trace id* is a 64-bit tag (0 = "none") that follows one request across
+// threads and spans: the serving layer parses it off the wire (or mints
+// one), installs it with ScopedTraceId around the work done on the
+// request's behalf, and every TraceScope that closes while an id is
+// installed carries it into the exported timeline as
+// `"args":{"trace_id":"<16 hex digits>"}`. Grepping the Perfetto JSON for
+// one id yields the request's queue-wait, batch and per-member spans.
+
+/// 16 lowercase hex digits ("00f3a9..."); the wire and export spelling.
+std::string FormatTraceId(uint64_t id);
+
+/// Parses a FormatTraceId spelling (1–16 hex digits, case-insensitive).
+/// Returns 0 on empty or invalid input — indistinguishable from "no id" by
+/// design; callers that must reject garbage validate the string first with
+/// IsValidTraceId.
+uint64_t ParseTraceId(const std::string& s);
+bool IsValidTraceId(const std::string& s);
+
+/// Mints a process-unique nonzero id. Never touches any tensor RNG —
+/// predictions stay bit-identical whether ids are minted or not.
+uint64_t MintTraceId();
+
+/// The calling thread's installed trace id (0 when none).
+uint64_t CurrentTraceId();
+
+/// RAII: installs `id` as the calling thread's trace id, restoring the
+/// previous one on destruction. Installing 0 is a no-op scope.
+class ScopedTraceId {
+ public:
+  explicit ScopedTraceId(uint64_t id);
+  ~ScopedTraceId();
+  ScopedTraceId(const ScopedTraceId&) = delete;
+  ScopedTraceId& operator=(const ScopedTraceId&) = delete;
+
+ private:
+  uint64_t prev_;
+};
+
+/// Records a span whose endpoints were measured elsewhere (e.g. a request's
+/// queue wait: arrival happened on the reader thread, the batch cut on the
+/// worker). The duration always lands in the region's timing histogram;
+/// when tracing is on, the span is appended to the *calling* thread's track
+/// tagged with `trace_id` (not the ambient ScopedTraceId). `end` before
+/// `begin` clamps to a zero-length span.
+void TraceCompleteSpan(const TraceRegion* region,
+                       std::chrono::steady_clock::time_point begin,
+                       std::chrono::steady_clock::time_point end,
+                       uint64_t trace_id);
+
 /// Writes the Chrome trace JSON to the configured path; OK no-op when no
 /// path is set.
 Status DumpTrace();

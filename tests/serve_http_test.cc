@@ -1,0 +1,330 @@
+/// Tests for the embedded observability HTTP listener (src/serve/http.h,
+/// DESIGN.md §14): request parsing edge cases, response rendering, live
+/// server behavior over real loopback sockets (404, HEAD, pipelining,
+/// oversized headers, slow-loris timeout without wedging the acceptor),
+/// and a crash-at-failpoint death test with fresh-server resume.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <sys/socket.h>
+
+#include <string>
+#include <thread>
+
+#include "serve/http.h"
+#include "utils/failpoint.h"
+#include "utils/socket.h"
+
+namespace edde {
+namespace serve {
+namespace {
+
+constexpr size_t kDefaultMax = 8192;
+
+class ServeHttpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    failpoint::Clear();
+  }
+  void TearDown() override { failpoint::Clear(); }
+};
+
+// ---------------------------------------------------------------------------
+// ParseHttpRequest
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeHttpTest, ParsesRequestLineAndHeaders) {
+  const std::string raw =
+      "GET /metrics HTTP/1.1\r\nHost: localhost\r\n"
+      "X-Custom:  spaced value \r\n\r\n";
+  HttpRequest req;
+  size_t consumed = 0;
+  ASSERT_TRUE(ParseHttpRequest(raw, kDefaultMax, &req, &consumed).ok());
+  EXPECT_EQ(consumed, raw.size());
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.path, "/metrics");
+  EXPECT_EQ(req.version, "HTTP/1.1");
+  // Names are lowercased, values trimmed.
+  ASSERT_NE(req.Header("host"), nullptr);
+  EXPECT_EQ(*req.Header("host"), "localhost");
+  ASSERT_NE(req.Header("x-custom"), nullptr);
+  EXPECT_EQ(*req.Header("x-custom"), "spaced value");
+  EXPECT_EQ(req.Header("absent"), nullptr);
+}
+
+TEST_F(ServeHttpTest, IncompleteRequestAsksForMoreBytes) {
+  HttpRequest req;
+  size_t consumed = 99;
+  ASSERT_TRUE(ParseHttpRequest("GET /metrics HTTP/1.1\r\nHost: x\r\n",
+                               kDefaultMax, &req, &consumed)
+                  .ok());
+  EXPECT_EQ(consumed, 0u);  // no blank line yet
+}
+
+TEST_F(ServeHttpTest, MalformedRequestLineIsInvalidArgument) {
+  HttpRequest req;
+  size_t consumed = 0;
+  for (const char* raw :
+       {"GARBAGE\r\n\r\n", "GET /x\r\n\r\n", "GET /x NOTHTTP/1.1x y\r\n\r\n",
+        " GET /x HTTP/1.1\r\n\r\n"}) {
+    const Status s = ParseHttpRequest(raw, kDefaultMax, &req, &consumed);
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << raw;
+  }
+}
+
+TEST_F(ServeHttpTest, HeaderWithoutColonIsInvalidArgument) {
+  HttpRequest req;
+  size_t consumed = 0;
+  const Status s = ParseHttpRequest(
+      "GET / HTTP/1.1\r\nno colon here\r\n\r\n", kDefaultMax, &req,
+      &consumed);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServeHttpTest, RequestBodyIsRejected) {
+  // GET with a nonzero Content-Length would desynchronize pipelining.
+  HttpRequest req;
+  size_t consumed = 0;
+  const Status s = ParseHttpRequest(
+      "GET / HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello", kDefaultMax, &req,
+      &consumed);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServeHttpTest, OversizedHeaderBlockIsFailedPrecondition) {
+  const std::string big(300, 'a');
+  HttpRequest req;
+  size_t consumed = 0;
+  // Complete but oversized.
+  Status s = ParseHttpRequest("GET / HTTP/1.1\r\nx-big: " + big + "\r\n\r\n",
+                              /*max_header_bytes=*/128, &req, &consumed);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  // Still incomplete, but already past the cap — must not wait for more.
+  s = ParseHttpRequest("GET / HTTP/1.1\r\nx-big: " + big,
+                       /*max_header_bytes=*/128, &req, &consumed);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServeHttpTest, PipelinedRequestsParseSequentially) {
+  const std::string first = "GET /healthz HTTP/1.1\r\n\r\n";
+  const std::string second = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+  std::string buffer = first + second;
+  HttpRequest req;
+  size_t consumed = 0;
+  ASSERT_TRUE(ParseHttpRequest(buffer, kDefaultMax, &req, &consumed).ok());
+  EXPECT_EQ(req.path, "/healthz");
+  EXPECT_EQ(consumed, first.size());
+  buffer.erase(0, consumed);
+  ASSERT_TRUE(ParseHttpRequest(buffer, kDefaultMax, &req, &consumed).ok());
+  EXPECT_EQ(req.path, "/metrics");
+  EXPECT_EQ(consumed, second.size());
+}
+
+TEST_F(ServeHttpTest, RenderResponseHeadKeepsHeadersDropsBody) {
+  HttpResponse resp;
+  resp.body = "0123456789";
+  const std::string full =
+      RenderHttpResponse(resp, /*keep_alive=*/true, /*head=*/false);
+  const std::string head =
+      RenderHttpResponse(resp, /*keep_alive=*/false, /*head=*/true);
+  EXPECT_NE(full.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(full.find("Content-Length: 10\r\n"), std::string::npos);
+  EXPECT_NE(full.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_NE(full.find("0123456789"), std::string::npos);
+  // HEAD advertises the real Content-Length but carries no body.
+  EXPECT_NE(head.find("Content-Length: 10\r\n"), std::string::npos);
+  EXPECT_NE(head.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_EQ(head.find("0123456789"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Live server
+// ---------------------------------------------------------------------------
+
+void RegisterPing(HttpServer* server) {
+  server->Handle("/ping", [](const HttpRequest&) {
+    HttpResponse resp;
+    resp.body = "pong\n";
+    return resp;
+  });
+}
+
+/// Sends `request` raw and reads until the peer closes (the tests always
+/// ask for or force Connection: close).
+std::string RawRoundTrip(uint16_t port, const std::string& request) {
+  Result<UniqueFd> conn = ConnectTcp("127.0.0.1", port);
+  EXPECT_TRUE(conn.ok()) << conn.status();
+  if (!conn.ok()) return "";
+  const UniqueFd& fd = conn.ValueOrDie();
+  // Belt-and-braces: never let a server bug hang the whole test binary.
+  struct timeval tv = {10, 0};
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  EXPECT_GT(::send(fd.get(), request.data(), request.size(), MSG_NOSIGNAL),
+            0);
+  std::string raw;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd.get(), chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    raw.append(chunk, static_cast<size_t>(n));
+  }
+  return raw;
+}
+
+TEST_F(ServeHttpTest, ServesRegisteredPathAndEchoesContentType) {
+  HttpServer server;
+  RegisterPing(&server);
+  ASSERT_TRUE(server.Start().ok());
+  Result<HttpResponse> got = HttpGet("127.0.0.1", server.port(), "/ping");
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got.ValueOrDie().status, 200);
+  EXPECT_EQ(got.ValueOrDie().body, "pong\n");
+  EXPECT_EQ(got.ValueOrDie().content_type, "text/plain; charset=utf-8");
+  server.Stop();
+}
+
+TEST_F(ServeHttpTest, UnknownPathIs404) {
+  HttpServer server;
+  RegisterPing(&server);
+  ASSERT_TRUE(server.Start().ok());
+  Result<HttpResponse> got = HttpGet("127.0.0.1", server.port(), "/nope");
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got.ValueOrDie().status, 404);
+  server.Stop();
+}
+
+TEST_F(ServeHttpTest, NonGetMethodIs405) {
+  HttpServer server;
+  RegisterPing(&server);
+  ASSERT_TRUE(server.Start().ok());
+  const std::string raw =
+      RawRoundTrip(server.port(), "POST /ping HTTP/1.1\r\n\r\n");
+  EXPECT_NE(raw.find("HTTP/1.1 405 "), std::string::npos);
+  server.Stop();
+}
+
+TEST_F(ServeHttpTest, HeadGetsHeadersWithoutBody) {
+  HttpServer server;
+  RegisterPing(&server);
+  ASSERT_TRUE(server.Start().ok());
+  const std::string raw = RawRoundTrip(
+      server.port(), "HEAD /ping HTTP/1.1\r\nConnection: close\r\n\r\n");
+  EXPECT_NE(raw.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(raw.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_EQ(raw.find("pong"), std::string::npos);
+  server.Stop();
+}
+
+TEST_F(ServeHttpTest, PipelinedSecondRequestIsAnswered) {
+  HttpServer server;
+  RegisterPing(&server);
+  ASSERT_TRUE(server.Start().ok());
+  // Both requests in one write; the second asks to close so the reader
+  // sees EOF after exactly two responses.
+  const std::string raw = RawRoundTrip(
+      server.port(),
+      "GET /ping HTTP/1.1\r\n\r\n"
+      "GET /nope HTTP/1.1\r\nConnection: close\r\n\r\n");
+  const size_t first = raw.find("HTTP/1.1 200 OK");
+  const size_t second = raw.find("HTTP/1.1 404 ");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_LT(first, second);
+  EXPECT_NE(raw.find("pong"), std::string::npos);
+  server.Stop();
+}
+
+TEST_F(ServeHttpTest, OversizedHeaderGets431) {
+  HttpServerConfig config;
+  config.max_header_bytes = 128;
+  HttpServer server(config);
+  RegisterPing(&server);
+  ASSERT_TRUE(server.Start().ok());
+  const std::string raw = RawRoundTrip(
+      server.port(),
+      "GET /ping HTTP/1.1\r\nx-big: " + std::string(300, 'a') + "\r\n\r\n");
+  EXPECT_NE(raw.find("HTTP/1.1 431 "), std::string::npos);
+  server.Stop();
+}
+
+TEST_F(ServeHttpTest, SlowLorisTimesOutWithoutWedgingAcceptor) {
+  HttpServerConfig config;
+  config.read_timeout_ms = 200;
+  HttpServer server(config);
+  RegisterPing(&server);
+  ASSERT_TRUE(server.Start().ok());
+
+  // The loris: half a request, then silence.
+  Result<UniqueFd> loris = ConnectTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(loris.ok());
+  const std::string partial = "GET /ping HTT";
+  ASSERT_GT(::send(loris.ValueOrDie().get(), partial.data(), partial.size(),
+                   MSG_NOSIGNAL),
+            0);
+
+  // While the loris dangles, a well-behaved client is served immediately —
+  // the acceptor and other connections never wait on the slow one.
+  Result<HttpResponse> got =
+      HttpGet("127.0.0.1", server.port(), "/ping", /*timeout_ms=*/2000);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got.ValueOrDie().status, 200);
+
+  // The loris connection itself is answered 408 and closed once the read
+  // timeout expires.
+  std::string raw;
+  char chunk[1024];
+  for (;;) {
+    const ssize_t n =
+        ::recv(loris.ValueOrDie().get(), chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    raw.append(chunk, static_cast<size_t>(n));
+  }
+  EXPECT_NE(raw.find("HTTP/1.1 408 "), std::string::npos);
+  server.Stop();
+}
+
+TEST_F(ServeHttpTest, StopIsIdempotentAndUnblocksIdleConnections) {
+  HttpServer server;
+  RegisterPing(&server);
+  ASSERT_TRUE(server.Start().ok());
+  // An idle keep-alive connection sits inside recv when Stop runs; the
+  // shutdown must wake it instead of waiting out the read timeout.
+  Result<UniqueFd> idle = ConnectTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(idle.ok());
+  server.Stop();
+  server.Stop();  // idempotent
+  char c;
+  EXPECT_LE(::recv(idle.ValueOrDie().get(), &c, 1, 0), 0);
+}
+
+TEST_F(ServeHttpTest, CrashAtHttpFailpointThenFreshServerResumes) {
+  // Child: arm the serve.http crash site; the first parsed request kills
+  // the process with the crash exit code before dispatch.
+  EXPECT_EXIT(
+      {
+        (void)failpoint::SetSpec("serve.http=crash:1");
+        HttpServer server;
+        RegisterPing(&server);
+        if (!server.Start().ok()) _exit(7);
+        (void)HttpGet("127.0.0.1", server.port(), "/ping");
+        _exit(7);  // the failpoint never fired
+      },
+      ::testing::ExitedWithCode(failpoint::kCrashExitCode), "");
+
+  // Parent: a fresh listener resumes service; the crash left nothing
+  // behind that prevents binding or serving.
+  HttpServer server;
+  RegisterPing(&server);
+  ASSERT_TRUE(server.Start().ok());
+  Result<HttpResponse> got = HttpGet("127.0.0.1", server.port(), "/ping");
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got.ValueOrDie().status, 200);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace edde

@@ -16,10 +16,13 @@
 #include "ensemble/ensemble_model.h"
 #include "nn/mlp.h"
 #include "serve/client.h"
+#include "serve/http.h"
 #include "serve/server.h"
 #include "test_util.h"
 #include "utils/failpoint.h"
+#include "utils/json.h"
 #include "utils/socket.h"
+#include "utils/trace.h"
 
 namespace edde {
 namespace {
@@ -283,6 +286,270 @@ TEST_F(ServeServerTest, StopIsIdempotentAndClosesConnections) {
   // The server hung up: the next read on the client side must not succeed.
   Result<std::string> raw = conn.ValueOrDie().RecvRaw();
   EXPECT_FALSE(raw.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Observability plane (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeServerTest, MetricsEndpointServesPrometheusExposition) {
+  const EnsembleModel model = MakeModel();
+  const Dataset data = MakeBlobs(4, kDim, kClasses, 11);
+  serve::ServerConfig config;
+  config.http_port = 0;
+  serve::InferenceServer server(&model, kDim, kClasses, config);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.http_port(), 0);
+
+  // Serve something first so the serve_* instruments exist.
+  Result<serve::ServeClient> conn =
+      serve::ServeClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn.ValueOrDie().PredictRow(RowFeatures(data, 0)).ok());
+
+  Result<serve::HttpResponse> got =
+      serve::HttpGet("127.0.0.1", server.http_port(), "/metrics");
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got.ValueOrDie().status, 200);
+  EXPECT_NE(got.ValueOrDie().content_type.find("version=0.0.4"),
+            std::string::npos);
+  const std::string& body = got.ValueOrDie().body;
+  EXPECT_NE(
+      body.find("# TYPE edde_serve_request_latency_seconds histogram"),
+      std::string::npos);
+  EXPECT_NE(body.find("edde_serve_request_latency_seconds_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(body.find(
+                "edde_serve_request_latency_seconds_quantile{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(body.find("edde_serve_rows "), std::string::npos);
+  server.Stop();
+}
+
+TEST_F(ServeServerTest, HealthzFlipsTo503OnDrainAndBack) {
+  const EnsembleModel model = MakeModel();
+  serve::ServerConfig config;
+  config.http_port = 0;
+  serve::InferenceServer server(&model, kDim, kClasses, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<serve::HttpResponse> got =
+      serve::HttpGet("127.0.0.1", server.http_port(), "/healthz");
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got.ValueOrDie().status, 200);
+
+  server.SetDraining(true);  // lame duck: serving continues, readiness off
+  got = serve::HttpGet("127.0.0.1", server.http_port(), "/healthz");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.ValueOrDie().status, 503);
+  EXPECT_NE(got.ValueOrDie().body.find("draining"), std::string::npos);
+
+  server.SetDraining(false);
+  got = serve::HttpGet("127.0.0.1", server.http_port(), "/healthz");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.ValueOrDie().status, 200);
+  server.Stop();
+}
+
+TEST_F(ServeServerTest, HealthzFlipsTo503AtBackpressureCap) {
+  const EnsembleModel model = MakeModel();
+  const Dataset data = MakeBlobs(4, kDim, kClasses, 12);
+  serve::ServerConfig config;
+  config.http_port = 0;
+  config.max_batch_rows = 1;
+  config.max_delay_ms = 0;
+  config.max_queue_rows = 4;
+  serve::InferenceServer server(&model, kDim, kClasses, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<serve::ServeClient> conn =
+      serve::ServeClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(conn.ok());
+  serve::ServeClient& client = conn.ValueOrDie();
+
+  // Stall the batch worker so admitted rows pile up to the cap, probing
+  // readiness after every submit. Single-row requests fill the queue to
+  // exactly max_queue_rows, at which point /healthz must answer 503.
+  ASSERT_TRUE(failpoint::SetSpec("serve.batch=delay:300").ok());
+  int sent = 0;
+  bool saw_503 = false;
+  for (int i = 0; i < 64 && !saw_503; ++i) {
+    serve::PredictRequest req = RequestForRows(data, 0, 1, /*id=*/i);
+    ASSERT_TRUE(client.SendRaw(serve::BuildPredictRequest(req)).ok());
+    ++sent;
+    Result<serve::HttpResponse> got =
+        serve::HttpGet("127.0.0.1", server.http_port(), "/healthz");
+    ASSERT_TRUE(got.ok()) << got.status();
+    if (got.ValueOrDie().status == 503) {
+      EXPECT_NE(got.ValueOrDie().body.find("backpressure"),
+                std::string::npos);
+      saw_503 = true;
+    }
+  }
+  EXPECT_TRUE(saw_503) << "queue never reached the backpressure cap";
+  failpoint::Clear();
+
+  // Every submitted request is answered — served or rejected as overload.
+  for (int i = 0; i < sent; ++i) {
+    Result<std::string> raw = client.RecvRaw();
+    ASSERT_TRUE(raw.ok()) << raw.status();
+  }
+  // With the queue drained, readiness recovers.
+  Result<serve::HttpResponse> got =
+      serve::HttpGet("127.0.0.1", server.http_port(), "/healthz");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.ValueOrDie().status, 200);
+  server.Stop();
+}
+
+TEST_F(ServeServerTest, StatuszReportsModelCascadeAndQueue) {
+  const EnsembleModel model = MakeModel();
+  const Dataset data = MakeBlobs(8, kDim, kClasses, 13);
+  serve::ServerConfig config;
+  config.http_port = 0;
+  serve::InferenceServer server(&model, kDim, kClasses, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<serve::ServeClient> conn =
+      serve::ServeClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(conn.ok());
+  for (int64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(conn.ValueOrDie().PredictRow(RowFeatures(data, i)).ok());
+  }
+
+  Result<serve::HttpResponse> got =
+      serve::HttpGet("127.0.0.1", server.http_port(), "/statusz");
+  ASSERT_TRUE(got.ok()) << got.status();
+  ASSERT_EQ(got.ValueOrDie().status, 200);
+  EXPECT_EQ(got.ValueOrDie().content_type, "application/json");
+
+  JsonValue root;
+  ASSERT_TRUE(JsonValue::Parse(got.ValueOrDie().body, &root).ok())
+      << got.ValueOrDie().body;
+  const JsonValue* srv = root.Get("server");
+  ASSERT_NE(srv, nullptr);
+  EXPECT_DOUBLE_EQ(srv->GetNumberOr("members", 0), 3.0);
+  EXPECT_EQ(srv->GetStringOr("precision", ""), "fp32");
+  EXPECT_TRUE(srv->Get("cascade")->AsBool());
+  EXPECT_TRUE(srv->Get("ready")->AsBool());
+  EXPECT_GE(srv->GetNumberOr("uptime_seconds", -1.0), 0.0);
+  ASSERT_NE(srv->Get("alphas"), nullptr);
+  EXPECT_EQ(srv->Get("alphas")->AsArray().size(), 3u);
+  // The cascade serves high α first: member 0 in α order is the 2.5 one.
+  const JsonValue* counters = root.Get("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_GE(counters->GetNumberOr("serve.rows", 0), 4.0);
+  EXPECT_GE(counters->GetNumberOr("serve.member_rows.0", 0), 4.0);
+  const JsonValue* histograms = root.Get("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const JsonValue* depth = histograms->Get("serve.cascade_depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_GE(depth->GetNumberOr("count", 0), 4.0);
+  EXPECT_GE(depth->GetNumberOr("max", 0), 1.0);
+  ASSERT_NE(root.Get("manifest"), nullptr);
+  EXPECT_GT(root.Get("manifest")->GetNumberOr("pid", 0), 0.0);
+  server.Stop();
+}
+
+TEST_F(ServeServerTest, TraceIdIsEchoedAndStampedOntoSpans) {
+  const EnsembleModel model = MakeModel();
+  const Dataset data = MakeBlobs(4, kDim, kClasses, 14);
+  ResetTraceBuffers();
+  const std::string trace_file =
+      ::testing::TempDir() + "/serve_trace_test.json";
+  SetTracePath(trace_file);
+
+  serve::InferenceServer server(&model, kDim, kClasses, {});
+  ASSERT_TRUE(server.Start().ok());
+  Result<serve::ServeClient> conn =
+      serve::ServeClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(conn.ok());
+
+  constexpr uint64_t kId = 0xdeadbeefULL;
+  serve::PredictRequest req = RequestForRows(data, 0, 1, /*id=*/5);
+  req.trace_id = kId;
+  Result<serve::PredictResponse> resp = conn.ValueOrDie().Predict(req);
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  ASSERT_TRUE(resp.ValueOrDie().ok);
+  EXPECT_EQ(resp.ValueOrDie().trace_id, kId);  // echoed on the wire
+
+  // A request without an id gets a server-minted one echoed back.
+  serve::PredictRequest anon = RequestForRows(data, 1, 1, /*id=*/6);
+  Result<serve::PredictResponse> anon_resp = conn.ValueOrDie().Predict(anon);
+  ASSERT_TRUE(anon_resp.ok());
+  EXPECT_NE(anon_resp.ValueOrDie().trace_id, 0u);
+  EXPECT_NE(anon_resp.ValueOrDie().trace_id, kId);
+
+  server.Stop();
+  ASSERT_TRUE(DumpTraceTo(trace_file).ok());
+  SetTracePath("");
+
+  JsonValue root;
+  ASSERT_TRUE(JsonValue::ParseFile(trace_file, &root).ok());
+  const JsonValue* events = root.Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  const std::string want = FormatTraceId(kId);
+  std::vector<std::string> tagged;  // span names carrying our id
+  for (const JsonValue& e : events->AsArray()) {
+    if (e.GetStringOr("ph", "") != "X") continue;
+    const JsonValue* args = e.Get("args");
+    if (args == nullptr) continue;
+    if (args->GetStringOr("trace_id", "") == want) {
+      tagged.push_back(e.GetStringOr("name", ""));
+    }
+  }
+  // The request's path through the server: queue wait, the (single-request)
+  // batch/predict window, per-member evaluation, end-to-end request span.
+  auto has = [&tagged](const char* name) {
+    return std::find(tagged.begin(), tagged.end(), name) != tagged.end();
+  };
+  EXPECT_TRUE(has("serve/queue_wait")) << tagged.size();
+  EXPECT_TRUE(has("serve/request"));
+  EXPECT_TRUE(has("serve/batch"));
+  EXPECT_TRUE(has("serve/member"));
+  ResetTraceBuffers();
+}
+
+TEST_F(ServeServerTest, PredictionsBitIdenticalWithPlaneOnOrOff) {
+  // The acceptance bar for the whole plane: enabling HTTP + metrics +
+  // trace ids must not move a single probability bit.
+  const EnsembleModel model = MakeModel();
+  const Dataset data = MakeBlobs(8, kDim, kClasses, 15);
+
+  auto serve_probs = [&](bool plane, bool tag) {
+    serve::ServerConfig config;
+    config.http_port = plane ? 0 : -1;
+    serve::InferenceServer server(&model, kDim, kClasses, config);
+    EXPECT_TRUE(server.Start().ok());
+    Result<serve::ServeClient> conn =
+        serve::ServeClient::Connect("127.0.0.1", server.port());
+    EXPECT_TRUE(conn.ok());
+    serve::PredictRequest req = RequestForRows(data, 0, 8, /*id=*/1);
+    req.want_probs = true;
+    if (tag) req.trace_id = 0xabc123ULL;
+    Result<serve::PredictResponse> resp = conn.ValueOrDie().Predict(req);
+    EXPECT_TRUE(resp.ok());
+    if (plane) {
+      // Scrape mid-flight state too: reading metrics must stay read-only.
+      (void)serve::HttpGet("127.0.0.1", server.http_port(), "/metrics");
+      (void)serve::HttpGet("127.0.0.1", server.http_port(), "/statusz");
+    }
+    server.Stop();
+    return resp.ValueOrDie();
+  };
+
+  const serve::PredictResponse base = serve_probs(false, false);
+  ASSERT_TRUE(base.ok);
+  for (const bool tag : {false, true}) {
+    const serve::PredictResponse got = serve_probs(true, tag);
+    ASSERT_TRUE(got.ok);
+    EXPECT_EQ(got.labels, base.labels) << "plane on, tag=" << tag;
+    ASSERT_EQ(got.probs.size(), base.probs.size());
+    for (size_t i = 0; i < base.probs.size(); ++i) {
+      // Bitwise float equality, not tolerance.
+      EXPECT_EQ(got.probs[i], base.probs[i]) << "prob " << i;
+    }
+  }
 }
 
 TEST_F(ServeServerTest, CrashAtBatchFailpointThenFreshServerResumes) {

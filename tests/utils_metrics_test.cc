@@ -2,11 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <fstream>
 #include <limits>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "utils/threadpool.h"
@@ -303,6 +305,210 @@ TEST(MetricsRegistryTest, PrintSummaryRendersInstruments) {
   const std::string out = os.str();
   EXPECT_NE(out.find("test.summary.counter"), std::string::npos);
   EXPECT_NE(out.find("test.summary.region"), std::string::npos);
+  reg.Reset();
+}
+
+// ------------------------------------------------- Snapshot + exposition --
+
+TEST(MetricsSnapshotTest, HistogramSnapshotAgreesWithLiveAccessors) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.Reset();
+  Histogram* h = reg.GetHistogram("test.snapshot.hist");
+  for (int i = 1; i <= 100; ++i) h->Record(i * 1e-3);
+
+  const HistogramSnapshot snap = h->Snapshot();
+  EXPECT_EQ(snap.count, h->Count());
+  EXPECT_DOUBLE_EQ(snap.sum, h->Sum());
+  EXPECT_DOUBLE_EQ(snap.min, h->Min());
+  EXPECT_DOUBLE_EQ(snap.max, h->Max());
+  EXPECT_DOUBLE_EQ(snap.mean, h->Mean());
+  // Quantiles in the snapshot ARE the exposition/PrintSummary quantiles —
+  // one shared derivation, so the two surfaces can never disagree.
+  EXPECT_DOUBLE_EQ(snap.p50, h->ApproxQuantile(0.5));
+  EXPECT_DOUBLE_EQ(snap.p95, h->ApproxQuantile(0.95));
+  EXPECT_DOUBLE_EQ(snap.p99, h->ApproxQuantile(0.99));
+  // Bucket counts cover every sample; bounds strictly increase.
+  int64_t bucketed = 0;
+  double prev = -1.0;
+  for (const auto& [bound, count] : snap.buckets) {
+    EXPECT_GT(bound, prev);
+    prev = bound;
+    bucketed += count;
+  }
+  EXPECT_EQ(bucketed, snap.count);
+  reg.Reset();
+}
+
+TEST(MetricsSnapshotTest, RegistrySnapshotCollectsAllKinds) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.Reset();
+  reg.GetCounter("test.snap.counter")->Increment(3);
+  reg.GetGauge("test.snap.gauge")->Set(2.5);
+  reg.GetHistogram("test.snap.hist")->Record(0.25);
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  auto find_counter = [&](const std::string& name) -> int64_t {
+    for (const auto& [n, v] : snap.counters) {
+      if (n == name) return v;
+    }
+    return -1;
+  };
+  EXPECT_EQ(find_counter("test.snap.counter"), 3);
+  bool saw_gauge = false, saw_hist = false;
+  for (const auto& [n, v] : snap.gauges) {
+    if (n == "test.snap.gauge") {
+      saw_gauge = true;
+      EXPECT_DOUBLE_EQ(v, 2.5);
+    }
+  }
+  for (const auto& [n, h] : snap.histograms) {
+    if (n == "test.snap.hist") {
+      saw_hist = true;
+      EXPECT_EQ(h.count, 1);
+    }
+  }
+  EXPECT_TRUE(saw_gauge);
+  EXPECT_TRUE(saw_hist);
+  reg.Reset();
+}
+
+TEST(PrometheusExpositionTest, RendersWellFormedFamilies) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.Reset();
+  reg.GetCounter("serve.test/counter")->Increment(7);  // '/' and '.' sanitize
+  reg.GetGauge("test.expo.gauge")->Set(1.5);
+  Histogram* h = reg.GetHistogram("test.expo.seconds");
+  for (int i = 1; i <= 10; ++i) h->Record(i * 1e-3);
+
+  const std::string text = reg.RenderPrometheusText();
+  // Sanitized, prefixed names; native types declared.
+  EXPECT_NE(text.find("# TYPE edde_serve_test_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("edde_serve_test_counter 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE edde_test_expo_gauge gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("edde_test_expo_gauge 1.5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE edde_test_expo_seconds histogram"),
+            std::string::npos);
+  // Cumulative buckets terminated by +Inf == count, plus sum/count.
+  EXPECT_NE(text.find("edde_test_expo_seconds_bucket{le=\"+Inf\"} 10"),
+            std::string::npos);
+  EXPECT_NE(text.find("edde_test_expo_seconds_count 10"), std::string::npos);
+  // Quantile estimates ride alongside as sibling gauge families.
+  EXPECT_NE(text.find("edde_test_expo_seconds_quantile{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("edde_test_expo_seconds_min"), std::string::npos);
+  EXPECT_NE(text.find("edde_test_expo_seconds_max"), std::string::npos);
+  reg.Reset();
+}
+
+TEST(PrometheusExpositionTest, BucketCountsAreCumulativeAndMonotonic) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.Reset();
+  Histogram* h = reg.GetHistogram("test.cumulative.seconds");
+  for (int i = 0; i < 1000; ++i) h->Record((i % 97) * 1e-4);
+  const std::string text = reg.RenderPrometheusText();
+
+  // Walk the family's _bucket lines: counts must be non-decreasing and the
+  // +Inf bucket must equal the total count.
+  int64_t prev = -1, inf_count = -1;
+  size_t pos = 0;
+  const std::string needle = "edde_test_cumulative_seconds_bucket{le=\"";
+  int buckets_seen = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    const size_t close = text.find("\"} ", pos);
+    ASSERT_NE(close, std::string::npos);
+    const std::string le =
+        text.substr(pos + needle.size(), close - pos - needle.size());
+    const size_t eol = text.find('\n', close);
+    const int64_t count = std::stoll(text.substr(close + 3, eol - close - 3));
+    EXPECT_GE(count, prev) << "bucket le=" << le << " went backwards";
+    prev = count;
+    if (le == "+Inf") inf_count = count;
+    ++buckets_seen;
+    pos = eol;
+  }
+  EXPECT_GT(buckets_seen, 1);
+  EXPECT_EQ(inf_count, 1000);
+  reg.Reset();
+}
+
+TEST(PrometheusExpositionTest, OutputIsNaNFreeAndParsesAsNumbers) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.Reset();
+  reg.GetGauge("test.undefined.gauge")->Set(std::numeric_limits<double>::quiet_NaN());
+  reg.GetGauge("test.unbounded.gauge")
+      ->Set(std::numeric_limits<double>::infinity());
+  reg.GetHistogram("test.empty.hist");  // zero samples
+  const std::string text = reg.RenderPrometheusText();
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+  EXPECT_EQ(text.find("NaN"), std::string::npos);
+  EXPECT_EQ(text.find("inf"), std::string::npos) << "(+Inf label excepted)";
+  // Every non-comment line is exactly "<name-or-labeled-name> <value>" and
+  // the value parses as a finite double.
+  std::istringstream lines(text);
+  std::string line;
+  int parsed = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    size_t end = 0;
+    const double v = std::stod(line.substr(sp + 1), &end);
+    EXPECT_EQ(end, line.size() - sp - 1) << line;
+    EXPECT_TRUE(std::isfinite(v)) << line;
+    ++parsed;
+  }
+  EXPECT_GT(parsed, 3);
+  reg.Reset();
+}
+
+TEST(PrometheusExpositionTest, ScrapeWhileHammeringNeverBlocksWriters) {
+  // TSan coverage for the no-lock-on-write-path contract: four pool
+  // threads hammer a counter and a histogram while the main thread
+  // scrapes continuously. Writes must all land (exact count) and the
+  // scrape must always render a parseable snapshot.
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.Reset();
+  SetNumThreads(4);
+  Counter* c = reg.GetCounter("test.hammer.counter");
+  Histogram* h = reg.GetHistogram("test.hammer.hist");
+  constexpr int64_t kN = 20000;
+  std::atomic<bool> done{false};
+  std::thread scraper([&] {
+    while (!done.load()) {
+      const std::string text = reg.RenderPrometheusText();
+      EXPECT_NE(text.find("edde_test_hammer_counter"), std::string::npos);
+    }
+  });
+  ParallelFor(0, kN, 64, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      c->Increment();
+      h->Record(static_cast<double>(i % 13) * 1e-4);
+    }
+  });
+  done.store(true);
+  scraper.join();
+  EXPECT_EQ(c->Value(), kN);
+  EXPECT_EQ(h->Count(), kN);
+  SetNumThreads(0);
+  reg.Reset();
+}
+
+TEST(MetricsRegistryTest, PrintSummarySurfacesMinMaxAndQuantiles) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.Reset();
+  Histogram* h = TraceHistogram("test.summary.quantiles");
+  for (int i = 1; i <= 50; ++i) h->Record(i * 1e-3);
+  std::ostringstream os;
+  reg.PrintSummary(os);
+  const std::string out = os.str();
+  // The summary table now carries the same min/max/p50/p95/p99 the
+  // exposition reports.
+  for (const char* col : {"Min ms", "p50 ms", "p95 ms", "p99 ms", "Max ms"}) {
+    EXPECT_NE(out.find(col), std::string::npos) << col;
+  }
+  EXPECT_NE(out.find("test.summary.quantiles"), std::string::npos);
   reg.Reset();
 }
 

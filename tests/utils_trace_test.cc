@@ -207,6 +207,99 @@ TEST_F(TraceExportTest, OpenSpanSnapshotListsActiveScopes) {
   EXPECT_NE(text.find("trace_test/open_inner"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Request tracing (trace ids)
+// ---------------------------------------------------------------------------
+
+TEST(TraceIdTest, FormatParseRoundTrip) {
+  EXPECT_EQ(FormatTraceId(0xdeadbeefULL), "00000000deadbeef");
+  EXPECT_EQ(ParseTraceId("00000000deadbeef"), 0xdeadbeefULL);
+  EXPECT_EQ(ParseTraceId("DEADBEEF"), 0xdeadbeefULL);  // case-insensitive
+  EXPECT_EQ(ParseTraceId("f"), 0xfULL);                // short forms accepted
+  for (const char* bad : {"", "xyz", "12g4", "0x12", " 12",
+                          "00000000000000001"}) {  // 17 digits
+    EXPECT_FALSE(IsValidTraceId(bad)) << bad;
+    EXPECT_EQ(ParseTraceId(bad), 0u) << bad;
+  }
+  EXPECT_TRUE(IsValidTraceId("0000000000000000"));  // 0 is valid spelling...
+  EXPECT_EQ(ParseTraceId("0000000000000000"), 0u);  // ...meaning "none"
+}
+
+TEST(TraceIdTest, MintedIdsAreNonzeroAndDistinct) {
+  const uint64_t a = MintTraceId();
+  const uint64_t b = MintTraceId();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST(TraceIdTest, ScopedTraceIdInstallsAndRestores) {
+  EXPECT_EQ(CurrentTraceId(), 0u);
+  {
+    ScopedTraceId outer(0x111);
+    EXPECT_EQ(CurrentTraceId(), 0x111u);
+    {
+      ScopedTraceId inner(0x222);
+      EXPECT_EQ(CurrentTraceId(), 0x222u);
+      ScopedTraceId noop(0);  // installing 0 is a no-op, not a clear
+      EXPECT_EQ(CurrentTraceId(), 0x222u);
+    }
+    EXPECT_EQ(CurrentTraceId(), 0x111u);
+  }
+  EXPECT_EQ(CurrentTraceId(), 0u);
+}
+
+TEST_F(TraceExportTest, SpansCarryAmbientTraceIdIntoArgs) {
+  {
+    ScopedTraceId id(0xfeedULL);
+    TraceScope tagged("trace_test/tagged");
+  }
+  {
+    TraceScope untagged("trace_test/untagged");
+  }
+  const JsonValue root = DumpAndParse();
+  bool saw_tagged = false, saw_untagged = false;
+  for (const JsonValue& e : root.Get("traceEvents")->AsArray()) {
+    const std::string name = e.GetStringOr("name", "");
+    if (name == "trace_test/tagged") {
+      saw_tagged = true;
+      const JsonValue* args = e.Get("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_EQ(args->GetStringOr("trace_id", ""), FormatTraceId(0xfeedULL));
+    } else if (name == "trace_test/untagged") {
+      saw_untagged = true;
+      // No ambient id -> no args.trace_id (absent, not empty or zero).
+      const JsonValue* args = e.Get("args");
+      if (args != nullptr) EXPECT_FALSE(args->Has("trace_id"));
+    }
+  }
+  EXPECT_TRUE(saw_tagged);
+  EXPECT_TRUE(saw_untagged);
+}
+
+TEST_F(TraceExportTest, TraceCompleteSpanRecordsExplicitIdAndHistogram) {
+  const TraceRegion* region = GetTraceRegion("trace_test/complete");
+  const int64_t before = region->histogram->Count();
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = t0 + std::chrono::milliseconds(2);
+  TraceCompleteSpan(region, t0, t1, 0xabcULL);
+  // end < begin clamps to a zero-length span instead of going negative.
+  TraceCompleteSpan(region, t1, t0, 0xabcULL);
+  EXPECT_EQ(region->histogram->Count(), before + 2);
+
+  const JsonValue root = DumpAndParse();
+  int spans = 0;
+  for (const JsonValue& e : root.Get("traceEvents")->AsArray()) {
+    if (e.GetStringOr("name", "") != "trace_test/complete") continue;
+    ++spans;
+    ASSERT_NE(e.Get("args"), nullptr);
+    EXPECT_EQ(e.Get("args")->GetStringOr("trace_id", ""),
+              FormatTraceId(0xabcULL));
+    EXPECT_GE(e.GetNumberOr("dur", -1.0), 0.0);
+  }
+  EXPECT_EQ(spans, 2);
+}
+
 TEST_F(TraceExportTest, NoSpansRecordedWhenDisabled) {
   SetTracePath("");
   ResetTraceBuffers();

@@ -55,6 +55,12 @@ int Main(int argc, char** argv) {
   flags.Define("max_batch_rows", "64", "rows that make a batch full");
   flags.Define("max_delay_ms", "2", "partial-batch deadline");
   flags.Define("max_request_rows", "1024", "per-request row cap");
+  flags.Define("http_port", "-1",
+               "observability HTTP port (/metrics /healthz /statusz); "
+               "-1 = off, 0 = ephemeral");
+  flags.Define("drain_ms", "0",
+               "lame-duck window: after SIGTERM/SIGINT, answer /healthz 503 "
+               "for this long before stopping");
   DefineCommonFlags(&flags);
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
@@ -111,6 +117,7 @@ int Main(int argc, char** argv) {
   config.max_batch_rows = flags.GetInt("max_batch_rows");
   config.max_delay_ms = flags.GetInt("max_delay_ms");
   config.max_request_rows = flags.GetInt("max_request_rows");
+  config.http_port = flags.GetInt("http_port");
 
   serve::InferenceServer server(&model, mlp.in_features, mlp.num_classes,
                                 config);
@@ -120,13 +127,26 @@ int Main(int argc, char** argv) {
     return 2;
   }
   // The smoke driver greps for this line to learn the (possibly ephemeral)
-  // port; keep the format stable.
-  std::printf("edde-serve ready port=%u\n", server.port());
+  // ports; keep the format stable. http_port is appended only when the
+  // observability plane is on, so existing `port=` consumers are unchanged.
+  if (config.http_port >= 0) {
+    std::printf("edde-serve ready port=%u http_port=%u\n", server.port(),
+                server.http_port());
+  } else {
+    std::printf("edde-serve ready port=%u\n", server.port());
+  }
   std::fflush(stdout);
 
   InstallShutdownHandler();
   while (!ShutdownRequested()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  // Lame duck: readiness flips to 503 immediately; load balancers get
+  // `drain_ms` to see it before the listener actually goes away.
+  const int drain_ms = flags.GetInt("drain_ms");
+  if (drain_ms > 0) {
+    server.SetDraining(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(drain_ms));
   }
   server.Stop();  // drains the queue; every admitted request is answered
   GracefulShutdownExit();
