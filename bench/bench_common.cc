@@ -145,16 +145,35 @@ void FinishExperiment(const std::string& bench_name) {
     if (h->Count() == 0) continue;
     if (!first) regions_json += ",";
     first = false;
-    regions_json += JsonBuilder()
-                        .Add("region", name)
-                        .Add("count", h->Count())
-                        .Add("total_seconds", h->Sum())
-                        .Add("mean_seconds", h->Mean())
-                        .Add("min_seconds", h->Min())
-                        .Add("max_seconds", h->Max())
-                        .Add("p50_seconds", h->ApproxQuantile(0.5))
-                        .Add("p99_seconds", h->ApproxQuantile(0.99))
-                        .Build();
+    // Two kinds of histogram share the registry: trace-region timings
+    // (time/<label>, plus anything explicitly named *_seconds) hold
+    // wall-clock seconds; the rest record dimensionless counts
+    // (serve.batch_rows, serve.cascade_depth, ...). Each region says which
+    // with `unit`, and count-valued ones use unsuffixed stat keys so a
+    // batch-size distribution no longer masquerades as a duration.
+    // bench_diff reads either spelling.
+    const bool seconds = name.rfind("time/", 0) == 0 ||
+                         name.find("_seconds") != std::string::npos;
+    JsonBuilder region;
+    region.Add("region", name);
+    region.Add("unit", seconds ? "seconds" : "count");
+    region.Add("count", h->Count());
+    if (seconds) {
+      region.Add("total_seconds", h->Sum())
+          .Add("mean_seconds", h->Mean())
+          .Add("min_seconds", h->Min())
+          .Add("max_seconds", h->Max())
+          .Add("p50_seconds", h->ApproxQuantile(0.5))
+          .Add("p99_seconds", h->ApproxQuantile(0.99));
+    } else {
+      region.Add("total", h->Sum())
+          .Add("mean", h->Mean())
+          .Add("min", h->Min())
+          .Add("max", h->Max())
+          .Add("p50", h->ApproxQuantile(0.5))
+          .Add("p99", h->ApproxQuantile(0.99));
+    }
+    regions_json += region.Build();
   }
   regions_json += "]";
 

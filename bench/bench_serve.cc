@@ -14,6 +14,14 @@
 ///                                     PredictLabels (headline: 0 — the
 ///                                     cascade's exact-decision guarantee)
 ///
+/// A second phase sweeps the batch-worker pool (--workers 1/2/4, cascade
+/// mode) under a queue-backed load — small full batches, many clients — so
+/// queue wait measures worker serialization rather than the coalescing
+/// deadline. Headlines serve.cascade.queue_wait_ms@wN / .qps@wN and the
+/// w1/w4 wait ratio serve.cascade.queue_wait_speedup_w4 gate the pool in
+/// CI via bench_diff; serve.sweep.bit_mismatches proves every worker count
+/// served identical labels and cascade depths.
+///
 /// --save_model writes the trained ensemble (SaveEnsemble) and prints the
 /// matching edde-serve flags; the CI serve-smoke job uses that to start
 /// the standalone binary against the same model.
@@ -126,6 +134,14 @@ int Run(int argc, char** argv) {
                             "batch coalescing across requests)");
   flags.Define("max_batch_rows", "64", "server batch-full threshold");
   flags.Define("max_delay_ms", "2", "server partial-batch deadline");
+  flags.Define("sweep_clients", "16",
+               "clients for the worker scaling sweep — enough to keep "
+               "several full batches queued");
+  flags.Define("sweep_rows", "4", "rows per request in the sweep");
+  flags.Define("sweep_batch_rows", "8",
+               "sweep batch-full threshold; small so batches ship full and "
+               "queue wait reflects worker serialization, not the deadline");
+  flags.Define("sweep_delay_ms", "1", "sweep partial-batch deadline");
   flags.Define("save_model", "", "also SaveEnsemble here (CI smoke input)");
   if (!InitExperiment(&flags, argc, argv)) return 0;
   const Scale scale = ParseScale(flags.GetString("scale"));
@@ -281,6 +297,99 @@ int Run(int argc, char** argv) {
       1.0 - modes[0].mean_members / modes[1].mean_members;
   RecordHeadline("cascade.member_eval_reduction", reduction);
 
+  // ---- batch-worker scaling sweep (cascade mode) ----
+  // The two-mode phase is deadline-dominated: a handful of clients never
+  // fills a 64-row batch, so queue wait ≈ max_delay_ms at any worker
+  // count. The sweep flips the regime — many clients, small batches, a
+  // 1 ms deadline — so several full batches are always outstanding and
+  // queue wait (arrival → first worker touch) measures how fast the pool
+  // drains the queue. That is Little's law, not core count: even a
+  // single-core box shows the w1→w4 drop because four workers pop batches
+  // four times sooner, which is exactly what a latency SLO sees.
+  struct SweepResult {
+    int workers = 1;
+    LoadStats stats;
+    double queue_wait_ms = 0.0;
+    double qps = 0.0;
+  };
+  std::vector<SweepResult> sweep;
+  const int sweep_clients = flags.GetInt("sweep_clients");
+  const int64_t sweep_rows = flags.GetInt("sweep_rows");
+  for (const int w : {1, 2, 4}) {
+    serve::ServerConfig config;
+    config.cascade = true;
+    config.max_batch_rows = flags.GetInt("sweep_batch_rows");
+    config.max_delay_ms = flags.GetInt("sweep_delay_ms");
+    config.num_batch_workers = w;
+    serve::InferenceServer server(&model, mlp.in_features, mlp.num_classes,
+                                  config);
+    const Status started = server.Start();
+    EDDE_CHECK(started.ok()) << started;
+    const int64_t waits_before = queue_wait->Count();
+    const double wait_sum_before = queue_wait->Sum();
+    SweepResult r;
+    r.workers = w;
+    r.stats = DriveLoad(test, server.port(), sweep_clients, sweep_rows);
+    server.Stop();
+    const int64_t waits = queue_wait->Count() - waits_before;
+    if (waits > 0) {
+      r.queue_wait_ms = (queue_wait->Sum() - wait_sum_before) /
+                        static_cast<double>(waits) * 1e3;
+    }
+    r.qps = static_cast<double>(r.stats.latencies.size()) /
+            r.stats.wall_seconds;
+    sweep.push_back(std::move(r));
+  }
+
+  std::printf("\n-- worker scaling (cascade, %d clients, %lld-row "
+              "requests, batch=%lld) --\n",
+              sweep_clients, static_cast<long long>(sweep_rows),
+              static_cast<long long>(flags.GetInt("sweep_batch_rows")));
+  TablePrinter sweep_table(
+      {"Workers", "QPS", "p50 ms", "p99 ms", "queue-wait ms"});
+  for (SweepResult& r : sweep) {
+    const std::string at = "@w" + std::to_string(r.workers);
+    RecordHeadline("serve.cascade.qps" + at, r.qps);
+    RecordHeadline("serve.cascade.queue_wait_ms" + at, r.queue_wait_ms);
+    sweep_table.AddRow({std::to_string(r.workers), FormatFloat(r.qps, 1),
+                        FormatFloat(Quantile(&r.stats.latencies, 0.50) * 1e3,
+                                    3),
+                        FormatFloat(Quantile(&r.stats.latencies, 0.99) * 1e3,
+                                    3),
+                        FormatFloat(r.queue_wait_ms, 3)});
+  }
+  sweep_table.Print(std::cout);
+
+  // Headline is "times faster", so a pool regression reads as a drop and
+  // bench_diff flags it against the committed baseline.
+  const double wait_speedup =
+      sweep.back().queue_wait_ms > 0.0
+          ? sweep.front().queue_wait_ms / sweep.back().queue_wait_ms
+          : 0.0;
+  RecordHeadline("serve.cascade.queue_wait_speedup_w4", wait_speedup);
+
+  // Bit-identity across worker counts: same labels AND same cascade exit
+  // depths as the single-worker run, row for row. Depth equality is the
+  // stronger claim — it shows the pipelined pool ran the identical
+  // per-row decision sequence, not just reached the same argmax.
+  int64_t sweep_mismatches = 0;
+  for (const SweepResult& r : sweep) {
+    for (size_t i = 0; i < reference.size(); ++i) {
+      if (r.stats.labels[i] != reference[i]) ++sweep_mismatches;
+      if (r.stats.depths[i] != sweep.front().stats.depths[i]) {
+        ++sweep_mismatches;
+      }
+    }
+  }
+  RecordHeadline("serve.sweep.bit_mismatches",
+                 static_cast<double>(sweep_mismatches));
+  std::printf("queue-wait w1/w4 speedup %.2fx | cross-worker-count "
+              "mismatches %lld\n",
+              wait_speedup, static_cast<long long>(sweep_mismatches));
+  if (wait_speedup < 2.0) {
+    std::printf("WARNING: w4 queue-wait speedup below the 2x target\n");
+  }
+
   std::printf(
       "\naccuracy %.4f | ensemble size %lld | mean cascade depth %.2f\n"
       "members evaluated per row: cascade %.2f vs full %.2f "
@@ -293,7 +402,7 @@ int Run(int argc, char** argv) {
   }
 
   FinishExperiment("serve");
-  return mismatches == 0 ? 0 : 1;
+  return (mismatches == 0 && sweep_mismatches == 0) ? 0 : 1;
 }
 
 }  // namespace

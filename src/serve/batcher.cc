@@ -38,21 +38,24 @@ bool AdmissionQueue::NextBatch(std::vector<PendingRequest>* out) {
   out->clear();
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    if (!queue_.empty()) {
-      if (queued_rows_ >= max_batch_rows_ || stopped_) break;
-      // Partial batch: wait out the oldest request's deadline, re-checking
-      // whenever a Submit refills the queue toward a full batch.
-      const auto cut = queue_.front().arrival + max_delay_;
-      if (cv_.wait_until(lock, cut, [&] {
-            return stopped_ || queued_rows_ >= max_batch_rows_;
-          })) {
-        if (!stopped_ && queue_.empty()) continue;  // spurious state change
-        break;
-      }
-      break;  // deadline expired — ship what we have
+    if (queue_.empty()) {
+      if (stopped_) return false;  // stopped and drained
+      cv_.wait(lock, [&] { return stopped_ || !queue_.empty(); });
+      continue;
     }
-    if (stopped_) return false;  // stopped and drained
-    cv_.wait(lock, [&] { return stopped_ || !queue_.empty(); });
+    if (queued_rows_ >= max_batch_rows_ || stopped_) break;
+    // Partial batch: wait out the oldest request's deadline, re-checking
+    // whenever a Submit refills the queue toward a full batch. With
+    // several consumers the queue can be drained by a sibling while we
+    // waited (both on wakeup and on deadline expiry), so an empty queue
+    // here always loops back to the blocking wait — returning false is
+    // reserved for stopped-and-drained, the consumer's exit signal.
+    const auto cut = queue_.front().arrival + max_delay_;
+    cv_.wait_until(lock, cut, [&] {
+      return stopped_ || queue_.empty() || queued_rows_ >= max_batch_rows_;
+    });
+    if (queue_.empty()) continue;
+    break;  // full batch, stop, or deadline expired — ship what we have
   }
   if (queue_.empty()) return false;
   int64_t rows = 0;

@@ -28,16 +28,20 @@ struct PendingRequest {
 /// Coalesces concurrent requests into dynamic batches (the marian-dev
 /// batch_generator idea, simplified to one size axis).
 ///
-/// Readers Submit() requests; the single batch worker loops on
-/// NextBatch(), which blocks until either (a) at least `max_batch_rows`
-/// rows are queued — a full batch — or (b) the *oldest* queued request has
-/// waited `max_delay` — the deadline-expiry cut that bounds the latency a
-/// lone request pays for batching. A batch takes whole requests from the
-/// front in FIFO order until adding the next one would exceed
-/// max_batch_rows; a request is never split across batches, and the first
-/// request of a batch is always taken even when it alone exceeds
-/// max_batch_rows (Submit's row cap is the server's request validation,
-/// not ours).
+/// Readers Submit() requests; batch workers — one or many, popping
+/// concurrently (DESIGN.md §15) — loop on NextBatch(), which blocks until
+/// either (a) at least `max_batch_rows` rows are queued — a full batch —
+/// or (b) the *oldest* queued request has waited `max_delay` — the
+/// deadline-expiry cut that bounds the latency a lone request pays for
+/// batching. A batch takes whole requests from the front in FIFO order
+/// until adding the next one would exceed max_batch_rows; a request is
+/// never split across batches, and the first request of a batch is always
+/// taken even when it alone exceeds max_batch_rows (Submit's row cap is
+/// the server's request validation, not ours). Every admitted request
+/// lands in exactly one batch, however many consumers race for it;
+/// NextBatch returning false means stopped *and* drained, so a consumer
+/// that loses a race for the last requests goes back to waiting instead
+/// of exiting (serve_batcher_test drives this under TSan).
 ///
 /// Backpressure: Submit rejects with FailedPrecondition once
 /// `max_queue_rows` rows are waiting — the reader turns that into an error

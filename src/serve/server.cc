@@ -1,6 +1,8 @@
 #include "serve/server.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 
 #include <sys/socket.h>
@@ -38,6 +40,17 @@ InferenceServer::InferenceServer(const EnsembleModel* model,
   EDDE_CHECK(model_ != nullptr);
   EDDE_CHECK_GT(input_dim_, 0);
   EDDE_CHECK_GT(num_classes_, 0);
+  num_workers_ = std::max(1, config_.num_batch_workers);
+  pipelined_ = config_.cascade && num_workers_ > 1;
+  max_inflight_ =
+      config_.max_inflight_batches > 0
+          ? config_.max_inflight_batches
+          : (num_workers_ == 1 ? 1 : 2 * static_cast<int64_t>(num_workers_));
+  EDDE_CHECK_GE(max_inflight_, num_workers_)
+      << "fewer in-flight batches than workers would idle the pool";
+  // Per-member evaluation locks (see header): sized once, never resized,
+  // so workers index without synchronization.
+  member_mu_.resize(static_cast<size_t>(model_->size()));
 }
 
 InferenceServer::~InferenceServer() { Stop(); }
@@ -54,19 +67,42 @@ Status InferenceServer::Start() {
   start_time_ = std::chrono::steady_clock::now();
   if (config_.http_port >= 0) EDDE_RETURN_NOT_OK(StartHttp());
   started_ = true;
-  worker_live_.store(true);
+  worker_state_.reserve(static_cast<size_t>(num_workers_));
+  for (int i = 0; i < num_workers_; ++i) {
+    auto state = std::make_unique<WorkerState>();
+    const std::string suffix = "." + std::to_string(i);
+    state->batches = MetricsRegistry::Global().GetCounter(
+        "serve.worker.batches" + suffix);
+    state->stages = MetricsRegistry::Global().GetCounter(
+        "serve.worker.stages" + suffix);
+    state->busy_seconds = MetricsRegistry::Global().GetHistogram(
+        "serve.worker.busy_seconds" + suffix);
+    // Marked live before the thread spawns so Ready() is true the moment
+    // Start() returns, same as the single-worker server always was.
+    state->live.store(true);
+    worker_state_.push_back(std::move(state));
+  }
+  live_workers_.store(num_workers_);
+  MetricsRegistry::Global().GetGauge("serve.workers")
+      ->Set(static_cast<double>(num_workers_));
   acceptor_ = std::thread([this] { AcceptLoop(); });
-  worker_ = std::thread([this] { WorkerLoop(); });
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+  workers_.reserve(static_cast<size_t>(num_workers_));
+  for (int i = 0; i < num_workers_; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
   EDDE_LOG(INFO) << "edde-serve listening on 127.0.0.1:" << port_
                  << " (members=" << model_->size()
                  << " cascade=" << (config_.cascade ? "on" : "off")
+                 << " workers=" << num_workers_
+                 << (pipelined_ ? " pipelined" : "")
                  << (http_ ? " http=" + std::to_string(http_->port()) : "")
                  << ")";
   return Status::OK();
 }
 
 bool InferenceServer::Ready() const {
-  return worker_live_.load() && !draining_.load() &&
+  return live_workers_.load() > 0 && !draining_.load() &&
          queue_.queued_rows() < config_.max_queue_rows;
 }
 
@@ -80,9 +116,13 @@ void InferenceServer::Stop() {
   ::shutdown(listener_.get(), SHUT_RDWR);
   acceptor_.join();
   listener_.reset();
-  // Let the worker drain everything already admitted, then exit.
+  // Drain: the dispatcher hands every already-admitted batch to the pool
+  // before it sees stopped-and-drained, then workers finish the in-flight
+  // tail (the exit predicate holds them until inflight_ == 0).
   queue_.Stop();
-  worker_.join();
+  dispatcher_.join();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
   std::vector<std::shared_ptr<Connection>> conns;
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
@@ -119,6 +159,26 @@ void InferenceServer::AcceptLoop() {
   }
 }
 
+void InferenceServer::WriteOrdered(Connection* conn, uint64_t seq,
+                                   const std::string& frame) {
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (seq != conn->next_write) {
+    // A later-admitted request finished first (its batch was smaller or
+    // exited the cascade earlier). Park the frame; the predecessor's
+    // completion flushes it below.
+    conn->held.emplace(seq, frame);
+    return;
+  }
+  (void)SendFrame(conn->fd.get(), frame);
+  ++conn->next_write;
+  auto it = conn->held.begin();
+  while (it != conn->held.end() && it->first == conn->next_write) {
+    (void)SendFrame(conn->fd.get(), it->second);
+    ++conn->next_write;
+    it = conn->held.erase(it);
+  }
+}
+
 void InferenceServer::ReaderLoop(std::shared_ptr<Connection> conn) {
   static Counter* const errors =
       MetricsRegistry::Global().GetCounter("serve.errors");
@@ -132,9 +192,8 @@ void InferenceServer::ReaderLoop(std::shared_ptr<Connection> conn) {
         // Oversized length prefix: the stream is out of sync — answer once
         // (best effort, id unknown) and drop the connection.
         errors->Increment();
-        std::lock_guard<std::mutex> lock(conn->write_mu);
-        (void)SendFrame(conn->fd.get(),
-                        BuildErrorResponse(-1, recv.message()));
+        WriteOrdered(conn.get(), conn->next_seq++,
+                     BuildErrorResponse(-1, recv.message()));
       }
       return;  // NotFound = clean EOF; IOError = peer gone / shutdown
     }
@@ -155,10 +214,8 @@ void InferenceServer::ReaderLoop(std::shared_ptr<Connection> conn) {
     }
     if (!parsed.ok()) {
       errors->Increment();
-      std::lock_guard<std::mutex> lock(conn->write_mu);
-      (void)SendFrame(conn->fd.get(), BuildErrorResponse(
-                                          pending.request.id,
-                                          parsed.message()));
+      WriteOrdered(conn.get(), conn->next_seq++,
+                   BuildErrorResponse(pending.request.id, parsed.message()));
       continue;  // protocol-level error; the connection itself is fine
     }
     // Every admitted request carries a nonzero trace id from here on —
@@ -167,29 +224,311 @@ void InferenceServer::ReaderLoop(std::shared_ptr<Connection> conn) {
       pending.request.trace_id = MintTraceId();
     }
 
-    pending.respond = [conn](const PredictResponse& resp) {
-      std::lock_guard<std::mutex> lock(conn->write_mu);
-      (void)SendFrame(conn->fd.get(), BuildPredictResponse(resp));
+    // This frame's response — predict or error — takes the next sequence
+    // number NOW, on the connection's single reader thread, so responses
+    // leave in admission order no matter which batch worker finishes
+    // first. next_seq needs no lock: only this thread touches it.
+    const uint64_t seq = conn->next_seq++;
+    pending.respond = [conn, seq](const PredictResponse& resp) {
+      WriteOrdered(conn.get(), seq, BuildPredictResponse(resp));
     };
     const int64_t id = pending.request.id;
     const Status admitted = queue_.Submit(std::move(pending));
     if (!admitted.ok()) {
+      // pending (and its never-called respond closure) died with the
+      // failed Submit; the seq is released here instead.
       errors->Increment();
-      std::lock_guard<std::mutex> lock(conn->write_mu);
-      (void)SendFrame(conn->fd.get(),
-                      BuildErrorResponse(id, admitted.message()));
+      WriteOrdered(conn.get(), seq,
+                   BuildErrorResponse(id, admitted.message()));
       continue;
     }
     queue_rows->Set(static_cast<double>(queue_.queued_rows()));
   }
 }
 
-void InferenceServer::WorkerLoop() {
+void InferenceServer::DispatchLoop() {
+  SetTraceThreadName("serve/dispatch");
+  static Gauge* const inflight_gauge =
+      MetricsRegistry::Global().GetGauge("serve.inflight_batches");
   std::vector<PendingRequest> batch;
-  while (queue_.NextBatch(&batch)) {
-    RunBatch(&batch);
+  for (;;) {
+    {
+      // The in-flight cap is the knob that makes workers=1 exactly the
+      // historical schedule: with max_inflight_ == 1 the next batch is
+      // not even popped until the previous one has been answered, so
+      // deadline coalescing sees the same queue the serial server did.
+      std::unique_lock<std::mutex> lock(sched_mu_);
+      inflight_cv_.wait(lock, [&] { return inflight_ < max_inflight_; });
+    }
+    if (!queue_.NextBatch(&batch)) break;  // stopped and drained
+    auto task = std::make_unique<BatchTask>();
+    task->batch = std::move(batch);
+    {
+      std::lock_guard<std::mutex> lock(sched_mu_);
+      ready_.push_back(std::move(task));
+      ++inflight_;
+      inflight_gauge->Set(static_cast<double>(inflight_));
+    }
+    sched_cv_.notify_one();
   }
-  worker_live_.store(false);
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    dispatch_done_ = true;
+  }
+  sched_cv_.notify_all();
+}
+
+void InferenceServer::WorkerLoop(int worker_id) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "serve/worker-%d", worker_id);
+  SetTraceThreadName(name);
+  static Gauge* const inflight_gauge =
+      MetricsRegistry::Global().GetGauge("serve.inflight_batches");
+  WorkerState* const state = worker_state_[static_cast<size_t>(worker_id)]
+                                 .get();
+  for (;;) {
+    std::unique_ptr<BatchTask> task;
+    {
+      std::unique_lock<std::mutex> lock(sched_mu_);
+      sched_cv_.wait(lock, [&] {
+        return !ready_.empty() || (dispatch_done_ && inflight_ == 0);
+      });
+      if (ready_.empty()) break;  // dispatch done AND every batch answered
+      task = std::move(ready_.front());
+      ready_.pop_front();
+    }
+    if (RunTaskStep(task.get(), state)) {
+      bool all_done = false;
+      {
+        std::lock_guard<std::mutex> lock(sched_mu_);
+        --inflight_;
+        inflight_gauge->Set(static_cast<double>(inflight_));
+        all_done = dispatch_done_ && inflight_ == 0 && ready_.empty();
+      }
+      inflight_cv_.notify_one();
+      if (all_done) sched_cv_.notify_all();  // release idle siblings
+    } else {
+      // One member stage done, rows remain: back of the deque, so the
+      // pool round-robins across in-flight batches — worker B picks up
+      // batch i+1's member m−1 while this batch's member m cools off.
+      {
+        std::lock_guard<std::mutex> lock(sched_mu_);
+        ready_.push_back(std::move(task));
+      }
+      sched_cv_.notify_one();
+    }
+  }
+  state->live.store(false);
+  live_workers_.fetch_sub(1);
+}
+
+bool InferenceServer::RunTaskStep(BatchTask* task, WorkerState* worker) {
+  static const TraceRegion* const batch_region =
+      GetTraceRegion("serve/batch");
+  // A batch of one request — the common low-load shape — is entirely that
+  // request's work, so its id becomes the ambient tag and the batch /
+  // predict / member spans inherit it. A coalesced batch serves many ids
+  // at once; tagging it with one of them would lie, so it stays untagged
+  // and the per-request queue_wait / request spans carry the ids instead.
+  const uint64_t solo_id =
+      task->batch.size() == 1 ? task->batch[0].request.trace_id : 0;
+  ScopedTraceId batch_trace(solo_id);
+  const auto quantum_start = std::chrono::steady_clock::now();
+  bool done;
+  if (pipelined_) {
+    if (!task->started) StartTask(task);
+    done = RunCascadeStage(task);
+    if (done) {
+      FinalizeBatch(task);
+      // The batch span spans every stage quantum; emitted complete since
+      // the stages ran on whichever workers picked them up.
+      TraceCompleteSpan(batch_region, task->exec_start,
+                        std::chrono::steady_clock::now(), solo_id);
+    }
+  } else {
+    TraceScope batch_scope(batch_region);
+    if (!task->started) StartTask(task);
+    RunBatchInline(task);
+    FinalizeBatch(task);
+    done = true;
+  }
+  worker->stages->Increment();
+  worker->busy_seconds->Record(SecondsSince(quantum_start));
+  if (done) worker->batches->Increment();
+  return done;
+}
+
+void InferenceServer::StartTask(BatchTask* task) {
+  static Counter* const batches =
+      MetricsRegistry::Global().GetCounter("serve.batches");
+  static Histogram* const batch_rows =
+      MetricsRegistry::Global().GetHistogram("serve.batch_rows");
+  static const TraceRegion* const queue_wait_region =
+      GetTraceRegion("serve/queue_wait");
+  // Queue wait runs arrival → first worker touch, so it includes both the
+  // coalescing delay and any time parked in the stage scheduler.
+  task->exec_start = std::chrono::steady_clock::now();
+  for (const PendingRequest& p : task->batch) {
+    TraceCompleteSpan(queue_wait_region, p.arrival, task->exec_start,
+                      p.request.trace_id);
+  }
+  EDDE_FAILPOINT("serve.batch");
+  int64_t total_rows = 0;
+  for (const PendingRequest& p : task->batch) total_rows += p.request.rows;
+  task->total_rows = total_rows;
+  batches->Increment();
+  batch_rows->Record(static_cast<double>(total_rows));
+  task->features = Tensor(Shape{total_rows, input_dim_});
+  float* dst = task->features.data();
+  for (const PendingRequest& p : task->batch) {
+    std::memcpy(dst, p.request.features.data(),
+                p.request.features.size() * sizeof(float));
+    dst += p.request.features.size();
+  }
+  task->acc = std::make_unique<PartialPredictAccumulator>(
+      model_->alphas(), total_rows, num_classes_);
+  task->started = true;
+}
+
+bool InferenceServer::RunCascadeStage(BatchTask* task) {
+  static const TraceRegion* const member_region =
+      GetTraceRegion("serve/member");
+  // Descending-α order, one member per call. After the first member, each
+  // subsequent one sees only the still-undecided rows (gathered into a
+  // compacted batch), so a row stops costing forward passes the moment
+  // its margin clears the outstanding α mass. Row outputs are
+  // batch-composition-independent (each row's GEMM/softmax reads only its
+  // own inputs), so compaction never perturbs a probability — and neither
+  // does which worker runs the stage.
+  PartialPredictAccumulator& acc = *task->acc;
+  const std::vector<int64_t>& order = acc.order();
+  const size_t next = static_cast<size_t>(acc.members_consumed());
+  if (next >= order.size()) return true;
+  const int64_t member = order[next];
+  const std::vector<int64_t>& open = acc.UndecidedRows();
+  Tensor input;
+  if (static_cast<int64_t>(open.size()) == task->total_rows) {
+    input = task->features;
+  } else {
+    input = Tensor(Shape{static_cast<int64_t>(open.size()), input_dim_});
+    float* dst = input.data();
+    for (const int64_t r : open) {
+      std::memcpy(dst, task->features.data() + r * input_dim_,
+                  static_cast<size_t>(input_dim_) * sizeof(float));
+      dst += input_dim_;
+    }
+  }
+  MetricsRegistry::Global()
+      .GetCounter("serve.member_rows." + std::to_string(member))
+      ->Increment(static_cast<int64_t>(open.size()));
+  TraceScope member_scope(member_region);
+  Tensor probs;
+  {
+    // Layer Forward caches activations in the module even at inference,
+    // so two batches at the same pipeline stage must take turns on that
+    // member. Outputs are unaffected: each call still reads only its own
+    // input rows (the lock orders the calls, it doesn't mix them).
+    std::lock_guard<std::mutex> lock(member_mu_[static_cast<size_t>(member)]);
+    probs = model_->MemberProbsOnBatch(member, input);
+  }
+  const bool all_decided = acc.Accumulate(probs);
+  return all_decided ||
+         static_cast<size_t>(acc.members_consumed()) >= order.size();
+}
+
+void InferenceServer::RunBatchInline(BatchTask* task) {
+  static const TraceRegion* const predict_region =
+      GetTraceRegion("serve/predict");
+  static const TraceRegion* const member_region =
+      GetTraceRegion("serve/member");
+  TraceScope predict_scope(predict_region);
+  if (config_.cascade) {
+    while (!RunCascadeStage(task)) {
+    }
+  } else {
+    // Full evaluation, fanned out over the shared pool; the accumulator
+    // still consumes in α order so both modes share one reduction path.
+    PartialPredictAccumulator& acc = *task->acc;
+    const int64_t num_members = model_->size();
+    std::vector<Tensor> probs(static_cast<size_t>(num_members));
+    ParallelFor(0, num_members, 1, [&](int64_t t0, int64_t t1) {
+      for (int64_t t = t0; t < t1; ++t) {
+        MetricsRegistry::Global()
+            .GetCounter("serve.member_rows." + std::to_string(t))
+            ->Increment(task->total_rows);
+        TraceScope member_scope(member_region);
+        // Same per-member discipline as the cascade path: with workers>1
+        // two full-eval batches fan out over the same members at once.
+        std::lock_guard<std::mutex> lock(
+            member_mu_[static_cast<size_t>(t)]);
+        probs[static_cast<size_t>(t)] =
+            model_->MemberProbsOnBatch(t, task->features);
+      }
+    });
+    for (const int64_t member : acc.order()) {
+      acc.Accumulate(probs[static_cast<size_t>(member)]);
+    }
+  }
+}
+
+void InferenceServer::FinalizeBatch(BatchTask* task) {
+  static Counter* const requests =
+      MetricsRegistry::Global().GetCounter("serve.requests");
+  static Counter* const rows_served =
+      MetricsRegistry::Global().GetCounter("serve.rows");
+  static Histogram* const latency = MetricsRegistry::Global().GetHistogram(
+      "serve.request_latency_seconds");
+  static Histogram* const cascade_depth =
+      MetricsRegistry::Global().GetHistogram("serve.cascade_depth");
+  static Histogram* const members_evaluated =
+      MetricsRegistry::Global().GetHistogram("serve.members_evaluated");
+  // rows × members actually run: the cascade's compute-saved measure.
+  // bench_serve diffs this across a load phase and divides by rows·T.
+  static Counter* const member_row_evals =
+      MetricsRegistry::Global().GetCounter("serve.member_row_evals");
+  static const TraceRegion* const request_region =
+      GetTraceRegion("serve/request");
+
+  PartialPredictAccumulator& acc = *task->acc;
+  members_evaluated->Record(static_cast<double>(acc.members_consumed()));
+  member_row_evals->Increment(acc.rows_evaluated());
+
+  const std::vector<int> labels = acc.Labels();
+  // Probs payload only when someone asked — it is the expensive field.
+  Tensor probs;
+  bool have_probs = false;
+  for (const PendingRequest& p : task->batch) {
+    have_probs |= p.request.want_probs;
+  }
+  if (have_probs) probs = acc.Probs();
+
+  int64_t row = 0;
+  for (const PendingRequest& p : task->batch) {
+    PredictResponse resp;
+    resp.id = p.request.id;
+    resp.ok = true;
+    resp.trace_id = p.request.trace_id;
+    resp.labels.reserve(static_cast<size_t>(p.request.rows));
+    resp.depth.reserve(static_cast<size_t>(p.request.rows));
+    for (int64_t r = row; r < row + p.request.rows; ++r) {
+      resp.labels.push_back(labels[static_cast<size_t>(r)]);
+      cascade_depth->Record(static_cast<double>(acc.row_depth(r)));
+      resp.depth.push_back(acc.row_depth(r));
+    }
+    if (p.request.want_probs) {
+      resp.k = num_classes_;
+      const float* src = probs.data() + row * num_classes_;
+      resp.probs.assign(src, src + p.request.rows * num_classes_);
+    }
+    requests->Increment();
+    rows_served->Increment(p.request.rows);
+    latency->Record(SecondsSince(p.arrival));
+    p.respond(resp);
+    // End-to-end span (arrival → response written), tagged per request.
+    TraceCompleteSpan(request_region, p.arrival,
+                      std::chrono::steady_clock::now(), p.request.trace_id);
+    row += p.request.rows;
+  }
 }
 
 Status InferenceServer::StartHttp() {
@@ -207,9 +546,9 @@ Status InferenceServer::StartHttp() {
     if (draining_.load()) {
       resp.status = 503;
       resp.body = "draining\n";
-    } else if (!worker_live_.load()) {
+    } else if (live_workers_.load() <= 0) {
       resp.status = 503;
-      resp.body = "batch worker not running\n";
+      resp.body = "no batch worker live\n";
     } else if (queue_.queued_rows() >= config_.max_queue_rows) {
       resp.status = 503;
       resp.body = "admission queue at backpressure cap\n";
@@ -272,6 +611,9 @@ std::string InferenceServer::StatuszJson() const {
   server.Add("members", model_->size());
   server.Add("precision", PrecisionName(model_->precision()));
   server.Add("cascade", config_.cascade);
+  server.Add("num_batch_workers", static_cast<int64_t>(num_workers_));
+  server.Add("max_inflight_batches", max_inflight_);
+  server.Add("pipelined_cascade", pipelined_);
   server.Add("max_batch_rows", config_.max_batch_rows);
   server.Add("max_queue_rows", config_.max_queue_rows);
   server.Add("queue_rows", queue_.queued_rows());
@@ -288,6 +630,23 @@ std::string InferenceServer::StatuszJson() const {
     }
     alphas.push_back(']');
     server.AddRaw("alphas", alphas);
+  }
+  {
+    // One row per batch worker: liveness plus the work it has done, read
+    // from the same instruments /metrics exports (edde-top renders this).
+    std::string workers = "[";
+    for (size_t i = 0; i < worker_state_.size(); ++i) {
+      if (i > 0) workers.push_back(',');
+      const WorkerState& w = *worker_state_[i];
+      JsonBuilder row;
+      row.Add("id", static_cast<int64_t>(i));
+      row.Add("live", w.live.load());
+      row.Add("batches", w.batches->Value());
+      row.Add("stages", w.stages->Value());
+      workers.append(row.Build());
+    }
+    workers.push_back(']');
+    server.AddRaw("workers", workers);
   }
 
   JsonBuilder counters;
@@ -310,157 +669,6 @@ std::string InferenceServer::StatuszJson() const {
   root.AddRaw("gauges", gauges.Build());
   root.AddRaw("histograms", histograms.Build());
   return root.Build();
-}
-
-void InferenceServer::RunBatch(std::vector<PendingRequest>* batch) {
-  static Counter* const requests =
-      MetricsRegistry::Global().GetCounter("serve.requests");
-  static Counter* const rows_served =
-      MetricsRegistry::Global().GetCounter("serve.rows");
-  static Counter* const batches =
-      MetricsRegistry::Global().GetCounter("serve.batches");
-  static Histogram* const latency = MetricsRegistry::Global().GetHistogram(
-      "serve.request_latency_seconds");
-  static Histogram* const batch_rows =
-      MetricsRegistry::Global().GetHistogram("serve.batch_rows");
-  static Histogram* const cascade_depth =
-      MetricsRegistry::Global().GetHistogram("serve.cascade_depth");
-  static Histogram* const members_evaluated =
-      MetricsRegistry::Global().GetHistogram("serve.members_evaluated");
-  // rows × members actually run: the cascade's compute-saved measure.
-  // bench_serve diffs this across a load phase and divides by rows·T.
-  static Counter* const member_row_evals =
-      MetricsRegistry::Global().GetCounter("serve.member_row_evals");
-  static const TraceRegion* const batch_region =
-      GetTraceRegion("serve/batch");
-  static const TraceRegion* const predict_region =
-      GetTraceRegion("serve/predict");
-  static const TraceRegion* const member_region =
-      GetTraceRegion("serve/member");
-  static const TraceRegion* const queue_wait_region =
-      GetTraceRegion("serve/queue_wait");
-  static const TraceRegion* const request_region =
-      GetTraceRegion("serve/request");
-
-  // A batch of one request — the common low-load shape — is entirely that
-  // request's work, so its id becomes the ambient tag and the batch /
-  // predict / member spans below inherit it. A coalesced batch serves many
-  // ids at once; tagging it with one of them would lie, so it stays untagged
-  // and the per-request queue_wait / request spans carry the ids instead.
-  ScopedTraceId batch_trace(batch->size() == 1 ? (*batch)[0].request.trace_id
-                                               : 0);
-  const auto batch_start = std::chrono::steady_clock::now();
-  for (const PendingRequest& p : *batch) {
-    TraceCompleteSpan(queue_wait_region, p.arrival, batch_start,
-                      p.request.trace_id);
-  }
-
-  TraceScope batch_scope(batch_region);
-  EDDE_FAILPOINT("serve.batch");
-
-  int64_t total_rows = 0;
-  for (const PendingRequest& p : *batch) total_rows += p.request.rows;
-  batches->Increment();
-  batch_rows->Record(static_cast<double>(total_rows));
-
-  Tensor features(Shape{total_rows, input_dim_});
-  {
-    float* dst = features.data();
-    for (const PendingRequest& p : *batch) {
-      std::memcpy(dst, p.request.features.data(),
-                  p.request.features.size() * sizeof(float));
-      dst += p.request.features.size();
-    }
-  }
-
-  PartialPredictAccumulator acc(model_->alphas(), total_rows, num_classes_);
-  {
-    TraceScope predict_scope(predict_region);
-    if (config_.cascade) {
-      // Descending-α order, one member at a time. After the first member,
-      // each subsequent one sees only the still-undecided rows (gathered
-      // into a compacted batch), so a row stops costing forward passes the
-      // moment its margin clears the outstanding α mass. Row outputs are
-      // batch-composition-independent (each row's GEMM/softmax reads only
-      // its own inputs), so compaction never perturbs a probability.
-      for (const int64_t member : acc.order()) {
-        const std::vector<int64_t>& open = acc.UndecidedRows();
-        Tensor input;
-        if (static_cast<int64_t>(open.size()) == total_rows) {
-          input = features;
-        } else {
-          input = Tensor(Shape{static_cast<int64_t>(open.size()), input_dim_});
-          float* dst = input.data();
-          for (const int64_t r : open) {
-            std::memcpy(dst, features.data() + r * input_dim_,
-                        static_cast<size_t>(input_dim_) * sizeof(float));
-            dst += input_dim_;
-          }
-        }
-        MetricsRegistry::Global()
-            .GetCounter("serve.member_rows." + std::to_string(member))
-            ->Increment(static_cast<int64_t>(open.size()));
-        TraceScope member_scope(member_region);
-        const Tensor probs = model_->MemberProbsOnBatch(member, input);
-        if (acc.Accumulate(probs)) break;
-      }
-    } else {
-      // Full evaluation, fanned out over the shared pool; the accumulator
-      // still consumes in α order so both modes share one reduction path.
-      const int64_t num_members = model_->size();
-      std::vector<Tensor> probs(static_cast<size_t>(num_members));
-      ParallelFor(0, num_members, 1, [&](int64_t t0, int64_t t1) {
-        for (int64_t t = t0; t < t1; ++t) {
-          MetricsRegistry::Global()
-              .GetCounter("serve.member_rows." + std::to_string(t))
-              ->Increment(total_rows);
-          TraceScope member_scope(member_region);
-          probs[static_cast<size_t>(t)] =
-              model_->MemberProbsOnBatch(t, features);
-        }
-      });
-      for (const int64_t member : acc.order()) {
-        acc.Accumulate(probs[static_cast<size_t>(member)]);
-      }
-    }
-  }
-  members_evaluated->Record(static_cast<double>(acc.members_consumed()));
-  member_row_evals->Increment(acc.rows_evaluated());
-
-  const std::vector<int> labels = acc.Labels();
-  // Probs payload only when someone asked — it is the expensive field.
-  Tensor probs;
-  bool have_probs = false;
-  for (const PendingRequest& p : *batch) have_probs |= p.request.want_probs;
-  if (have_probs) probs = acc.Probs();
-
-  int64_t row = 0;
-  for (const PendingRequest& p : *batch) {
-    PredictResponse resp;
-    resp.id = p.request.id;
-    resp.ok = true;
-    resp.trace_id = p.request.trace_id;
-    resp.labels.reserve(static_cast<size_t>(p.request.rows));
-    resp.depth.reserve(static_cast<size_t>(p.request.rows));
-    for (int64_t r = row; r < row + p.request.rows; ++r) {
-      resp.labels.push_back(labels[static_cast<size_t>(r)]);
-      cascade_depth->Record(static_cast<double>(acc.row_depth(r)));
-      resp.depth.push_back(acc.row_depth(r));
-    }
-    if (p.request.want_probs) {
-      resp.k = num_classes_;
-      const float* src = probs.data() + row * num_classes_;
-      resp.probs.assign(src, src + p.request.rows * num_classes_);
-    }
-    requests->Increment();
-    rows_served->Increment(p.request.rows);
-    latency->Record(SecondsSince(p.arrival));
-    p.respond(resp);
-    // End-to-end span (arrival → response written), tagged per request.
-    TraceCompleteSpan(request_region, p.arrival,
-                      std::chrono::steady_clock::now(), p.request.trace_id);
-    row += p.request.rows;
-  }
 }
 
 }  // namespace serve

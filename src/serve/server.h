@@ -3,7 +3,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -13,6 +16,7 @@
 #include "serve/batcher.h"
 #include "serve/http.h"
 #include "serve/protocol.h"
+#include "utils/metrics.h"
 #include "utils/socket.h"
 #include "utils/status.h"
 
@@ -35,6 +39,21 @@ struct ServerConfig {
   /// every served label) is identical either way — the cascade's decision
   /// rule is exact; only latency and the depth histogram change.
   bool cascade = true;
+  /// Batch workers consuming the admission queue concurrently
+  /// (DESIGN.md §15). 1 (the default) is the strictly serial schedule the
+  /// server always had; N > 1 runs batches concurrently and, in cascade
+  /// mode, pipelines member stages across workers (worker B runs member
+  /// m−1 of batch i+1 while worker A runs member m of batch i).
+  /// Predictions are bit-identical at any worker count — per-connection
+  /// ordering is restored by the sequence-numbered response writer — only
+  /// latency and the per-worker telemetry change.
+  int num_batch_workers = 1;
+  /// Batches in flight at once (popped from the queue but not yet fully
+  /// answered). 0 = auto: 1 with a single worker (a batch completes
+  /// before the next is popped — exactly the historical schedule), else
+  /// 2 × num_batch_workers so the member-stage pipeline always has a
+  /// batch to interleave when one exits early.
+  int max_inflight_batches = 0;
   /// Observability plane (DESIGN.md §14): embedded HTTP listener serving
   /// GET /metrics (Prometheus exposition), /healthz (readiness) and
   /// /statusz (JSON status). -1 = disabled, 0 = ephemeral port (query with
@@ -45,18 +64,24 @@ struct ServerConfig {
 
 /// Batched ensemble inference server.
 ///
-/// Threads: one acceptor, one reader per connection, one batch worker.
-/// Readers parse + validate frames and Submit them to the AdmissionQueue;
-/// the worker coalesces them into batches (batcher.h), runs the ensemble —
-/// cascade order with early exit, or full-member fan-out on the shared
-/// thread pool — and writes each response back on its origin connection
-/// (per-connection write mutex; a connection may pipeline requests).
+/// Threads: one acceptor, one reader per connection, one batch dispatcher,
+/// and `num_batch_workers` batch workers. Readers parse + validate frames
+/// and Submit them to the AdmissionQueue; the dispatcher coalesces them
+/// into batches (batcher.h) and hands each batch to the worker pool, which
+/// runs the ensemble — cascade order with early exit (member stages
+/// pipelined across workers), or full-member fan-out on the shared thread
+/// pool — and releases each response through its origin connection's
+/// ordered writer (admission-order sequence numbers, so a slow batch can
+/// never reorder a connection's replies).
 ///
 /// Telemetry (metrics/trace stack): serve.requests / serve.rows /
-/// serve.errors / serve.batches counters, serve.queue_rows gauge,
+/// serve.errors / serve.batches counters, serve.queue_rows /
+/// serve.workers / serve.inflight_batches gauges,
 /// serve.request_latency_seconds / serve.batch_rows / serve.cascade_depth /
-/// serve.members_evaluated histograms, trace regions serve/batch and
-/// serve/predict.
+/// serve.members_evaluated histograms, per-worker
+/// serve.worker.{batches,stages}.<i> counters and
+/// serve.worker.busy_seconds.<i> histograms, trace regions serve/batch and
+/// serve/predict on per-worker timeline tracks ("serve/worker <i>").
 class InferenceServer {
  public:
   /// `model` must outlive the server and satisfy CheckPredictable();
@@ -84,24 +109,71 @@ class InferenceServer {
   /// Stop() sets it implicitly. Idempotent; thread-safe.
   void SetDraining(bool draining) { draining_.store(draining); }
 
-  /// Readiness as /healthz reports it: started, not draining, batch worker
-  /// alive, admission queue below its backpressure cap.
+  /// Readiness as /healthz reports it: started, not draining, at least one
+  /// batch worker live, admission queue below its backpressure cap.
+  /// Per-worker liveness is /statusz's job.
   bool Ready() const;
 
-  /// Stops accepting, drains queued requests through the worker, closes
-  /// every connection and joins all threads. Idempotent.
+  /// Stops accepting, drains queued requests through the worker pool,
+  /// closes every connection and joins all threads. Idempotent.
   void Stop();
 
  private:
   struct Connection {
     UniqueFd fd;
+    /// Ordered response writer (DESIGN.md §15). Every response frame a
+    /// reader admits (or answers directly with an error) takes the next
+    /// sequence number; workers release frames through WriteOrdered, which
+    /// holds out-of-order completions in `held` until their predecessors
+    /// have gone out. next_seq is touched only by the connection's single
+    /// reader thread; next_write/held are guarded by write_mu.
     std::mutex write_mu;
+    uint64_t next_seq = 0;
+    uint64_t next_write = 0;
+    std::map<uint64_t, std::string> held;
+  };
+
+  /// One coalesced batch moving through the worker pool. Built lazily on
+  /// first worker touch (exec_start is what queue-wait is measured to);
+  /// in pipelined cascade mode the task bounces between the ready deque
+  /// and workers, one member stage per hop.
+  struct BatchTask {
+    std::vector<PendingRequest> batch;
+    int64_t total_rows = 0;
+    Tensor features;
+    std::unique_ptr<PartialPredictAccumulator> acc;
+    std::chrono::steady_clock::time_point exec_start;
+    bool started = false;
+  };
+
+  /// Cached per-worker instruments plus the liveness flag /statusz reads.
+  struct WorkerState {
+    std::atomic<bool> live{false};
+    Counter* batches = nullptr;        // serve.worker.batches.<i>
+    Counter* stages = nullptr;         // serve.worker.stages.<i>
+    Histogram* busy_seconds = nullptr; // serve.worker.busy_seconds.<i>
   };
 
   void AcceptLoop();
   void ReaderLoop(std::shared_ptr<Connection> conn);
-  void WorkerLoop();
-  void RunBatch(std::vector<PendingRequest>* batch);
+  void DispatchLoop();
+  void WorkerLoop(int worker_id);
+  /// Lazily initializes the task (queue-wait spans, batch metrics,
+  /// feature gather, accumulator) and runs one scheduling quantum: a
+  /// single member stage in pipelined cascade mode, the whole batch
+  /// otherwise. Returns true when the batch is finished and answered.
+  bool RunTaskStep(BatchTask* task, WorkerState* worker);
+  void StartTask(BatchTask* task);
+  /// Runs the historical whole-batch schedule (cascade loop or full
+  /// fan-out) to completion.
+  void RunBatchInline(BatchTask* task);
+  /// Evaluates the next cascade member on the still-undecided rows.
+  /// Returns true once every row is decided or the chain is exhausted.
+  bool RunCascadeStage(BatchTask* task);
+  /// Builds and releases every response of a finished batch.
+  void FinalizeBatch(BatchTask* task);
+  static void WriteOrdered(Connection* conn, uint64_t seq,
+                           const std::string& frame);
   Status StartHttp();
   std::string StatuszJson() const;
 
@@ -109,13 +181,40 @@ class InferenceServer {
   const int64_t input_dim_;
   const int64_t num_classes_;
   const ServerConfig config_;
+  int num_workers_ = 1;
+  int64_t max_inflight_ = 1;
+  /// Member-stage pipelining is worth its scheduling hops only when a
+  /// second worker can actually overlap stages.
+  bool pipelined_ = false;
 
   AdmissionQueue queue_;
   UniqueFd listener_;
   uint16_t port_ = 0;
 
   std::thread acceptor_;
-  std::thread worker_;
+  std::thread dispatcher_;
+  std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<WorkerState>> worker_state_;
+  std::atomic<int> live_workers_{0};
+
+  // Stage scheduler: the dispatcher pushes admitted batches (bounded by
+  // max_inflight_), workers pop tasks, run one quantum, and either
+  // re-enqueue or finalize. inflight_ counts batches popped from the
+  // admission queue but not yet answered.
+  std::mutex sched_mu_;
+  std::condition_variable sched_cv_;     // workers: task ready / all done
+  std::condition_variable inflight_cv_;  // dispatcher: capacity available
+  std::deque<std::unique_ptr<BatchTask>> ready_;
+  int64_t inflight_ = 0;
+  bool dispatch_done_ = false;
+
+  /// One lock per ensemble member: module Forward caches activations in
+  /// the layer objects even at inference, so two in-flight batches must
+  /// not evaluate the *same* member concurrently. Distinct members (the
+  /// common pipelined case — tasks at different stages) don't contend.
+  /// deque because std::mutex is immovable.
+  std::deque<std::mutex> member_mu_;
+
   std::mutex conns_mu_;
   std::vector<std::shared_ptr<Connection>> conns_;
   std::vector<std::thread> readers_;
@@ -127,7 +226,6 @@ class InferenceServer {
   // Observability plane.
   std::unique_ptr<HttpServer> http_;
   std::atomic<bool> draining_{false};
-  std::atomic<bool> worker_live_{false};
   std::chrono::steady_clock::time_point start_time_;
 };
 

@@ -1,0 +1,162 @@
+/// AdmissionQueue under multiple concurrent consumers (DESIGN.md §15):
+/// the worker pool pops NextBatch from several threads at once, so the
+/// queue must deliver every admitted request to exactly one consumer,
+/// keep the deadline-expiry cut working when a sibling drains the queue
+/// mid-wait, enforce the backpressure cap, and send every consumer the
+/// stopped-and-drained exit signal after Stop. Runs in the CI TSan shard
+/// so the locking discipline is checked, not assumed.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.h"
+
+namespace edde {
+namespace {
+
+serve::PendingRequest Req(int64_t id, int64_t rows = 1) {
+  serve::PendingRequest p;
+  p.request.id = id;
+  p.request.rows = rows;
+  p.arrival = std::chrono::steady_clock::now();
+  return p;
+}
+
+/// Drains the queue from `num_consumers` threads until every consumer has
+/// seen stopped-and-drained; returns every delivered id (with repeats, so
+/// the exactly-once assertion can distinguish loss from duplication).
+std::vector<int64_t> DrainConcurrently(serve::AdmissionQueue* queue,
+                                       int num_consumers) {
+  std::mutex mu;
+  std::vector<int64_t> delivered;
+  std::vector<std::thread> consumers;
+  consumers.reserve(static_cast<size_t>(num_consumers));
+  for (int c = 0; c < num_consumers; ++c) {
+    consumers.emplace_back([queue, &mu, &delivered] {
+      std::vector<serve::PendingRequest> batch;
+      while (queue->NextBatch(&batch)) {
+        std::lock_guard<std::mutex> lock(mu);
+        for (const serve::PendingRequest& p : batch) {
+          delivered.push_back(p.request.id);
+        }
+      }
+    });
+  }
+  for (std::thread& t : consumers) t.join();
+  return delivered;
+}
+
+void ExpectExactlyOnce(std::vector<int64_t> delivered, int64_t n) {
+  ASSERT_EQ(delivered.size(), static_cast<size_t>(n))
+      << "lost or duplicated requests";
+  std::set<int64_t> unique(delivered.begin(), delivered.end());
+  EXPECT_EQ(unique.size(), static_cast<size_t>(n));
+}
+
+TEST(ServeBatcherTest, MultiConsumerDeliversEveryRequestExactlyOnce) {
+  serve::AdmissionQueue queue(/*max_batch_rows=*/4,
+                              std::chrono::milliseconds(1),
+                              /*max_queue_rows=*/4096);
+  constexpr int64_t kRequests = 400;
+  // Producers and consumers overlap, so full-batch pops, deadline pops,
+  // and the drain race all occur in one run.
+  std::atomic<int64_t> next_id{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 2; ++p) {
+    producers.emplace_back([&queue, &next_id] {
+      for (;;) {
+        const int64_t id = next_id.fetch_add(1);
+        if (id >= kRequests) return;
+        ASSERT_TRUE(queue.Submit(Req(id)).ok());
+        if (id % 64 == 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
+    });
+  }
+  std::thread stopper([&queue, &producers] {
+    for (std::thread& t : producers) t.join();
+    queue.Stop();
+  });
+  const std::vector<int64_t> delivered = DrainConcurrently(&queue, 4);
+  stopper.join();
+  ExpectExactlyOnce(delivered, kRequests);
+}
+
+TEST(ServeBatcherTest, DeadlineShipsPartialBatchWithConsumersRacing) {
+  // max_batch_rows is far above what we submit, so only the deadline cut
+  // can ship these — and with two consumers blocked on the same deadline,
+  // the loser of the pop race must go back to waiting instead of exiting
+  // (the pre-pool NextBatch returned false there, which would strand a
+  // worker). A lost request would hang DrainConcurrently forever; the
+  // test timing out IS the failure signal.
+  serve::AdmissionQueue queue(/*max_batch_rows=*/1024,
+                              std::chrono::milliseconds(2),
+                              /*max_queue_rows=*/4096);
+  std::thread late([&queue] {
+    for (int64_t id = 0; id < 6; ++id) {
+      ASSERT_TRUE(queue.Submit(Req(id)).ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(4));
+    }
+    queue.Stop();
+  });
+  const std::vector<int64_t> delivered = DrainConcurrently(&queue, 2);
+  late.join();
+  ExpectExactlyOnce(delivered, 6);
+}
+
+TEST(ServeBatcherTest, BackpressureCapRejectsAndRecovers) {
+  serve::AdmissionQueue queue(/*max_batch_rows=*/2,
+                              std::chrono::milliseconds(1),
+                              /*max_queue_rows=*/8);
+  // No consumer yet: rows pile up to the cap, then Submit must refuse.
+  for (int64_t id = 0; id < 8; ++id) {
+    ASSERT_TRUE(queue.Submit(Req(id)).ok());
+  }
+  EXPECT_EQ(queue.queued_rows(), 8);
+  const Status rejected = queue.Submit(Req(99));
+  EXPECT_EQ(rejected.code(), StatusCode::kFailedPrecondition);
+
+  // Popping one batch frees room; the cap is on queued rows, not history.
+  std::vector<serve::PendingRequest> batch;
+  ASSERT_TRUE(queue.NextBatch(&batch));
+  EXPECT_EQ(batch.size(), 2u);
+  ASSERT_TRUE(queue.Submit(Req(100)).ok());
+
+  queue.Stop();
+  ExpectExactlyOnce(DrainConcurrently(&queue, 3), 7);  // 6 left + id 100
+}
+
+TEST(ServeBatcherTest, StopWhileConsumersAreBlockedDrainsEverything) {
+  serve::AdmissionQueue queue(/*max_batch_rows=*/4,
+                              std::chrono::milliseconds(50),
+                              /*max_queue_rows=*/4096);
+  // Consumers first, so some block on an empty queue and some end up in
+  // the deadline wait when Stop lands mid-flight.
+  std::thread producer([&queue] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    for (int64_t id = 0; id < 10; ++id) {
+      ASSERT_TRUE(queue.Submit(Req(id)).ok());
+    }
+    queue.Stop();  // pending requests must still be delivered, then false
+  });
+  const std::vector<int64_t> delivered = DrainConcurrently(&queue, 4);
+  producer.join();
+  ExpectExactlyOnce(delivered, 10);
+  EXPECT_EQ(queue.queued_rows(), 0);
+
+  // Stopped and drained: every further pop reports the exit signal and
+  // new submits are refused.
+  std::vector<serve::PendingRequest> batch;
+  EXPECT_FALSE(queue.NextBatch(&batch));
+  EXPECT_EQ(queue.Submit(Req(11)).code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace edde

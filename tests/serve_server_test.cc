@@ -552,6 +552,142 @@ TEST_F(ServeServerTest, PredictionsBitIdenticalWithPlaneOnOrOff) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Batch worker pool (DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeServerTest, ResponsesBitIdenticalAcrossWorkerCounts) {
+  // The worker-pool acceptance bar: the same pipelined request stream
+  // served by 1 worker and by 4 (member stages interleaved across
+  // batches) must yield identical labels, cascade depths, and probability
+  // bits for every request. Frames are sent back-to-back before any read
+  // so batches coalesce however the pool's timing falls — the responses
+  // must not care.
+  const EnsembleModel model = MakeModel();
+  const Dataset data = MakeBlobs(30, kDim, kClasses, 16);
+  constexpr int kRequests = 10;  // 3 rows each
+
+  auto serve_stream = [&](int workers) {
+    serve::ServerConfig config;
+    config.max_batch_rows = 8;
+    config.num_batch_workers = workers;
+    serve::InferenceServer server(&model, kDim, kClasses, config);
+    EXPECT_TRUE(server.Start().ok());
+    Result<serve::ServeClient> conn =
+        serve::ServeClient::Connect("127.0.0.1", server.port());
+    EXPECT_TRUE(conn.ok());
+    serve::ServeClient& client = conn.ValueOrDie();
+    for (int i = 0; i < kRequests; ++i) {
+      serve::PredictRequest req = RequestForRows(data, i * 3, 3, i);
+      req.want_probs = true;
+      EXPECT_TRUE(client.SendRaw(serve::BuildPredictRequest(req)).ok());
+    }
+    std::vector<serve::PredictResponse> by_id(kRequests);
+    for (int i = 0; i < kRequests; ++i) {
+      Result<std::string> raw = client.RecvRaw();
+      EXPECT_TRUE(raw.ok()) << raw.status();
+      serve::PredictResponse resp;
+      EXPECT_TRUE(serve::ParsePredictResponse(raw.ValueOrDie(), &resp).ok());
+      EXPECT_TRUE(resp.ok) << resp.error;
+      by_id[static_cast<size_t>(resp.id)] = std::move(resp);
+    }
+    server.Stop();
+    return by_id;
+  };
+
+  const std::vector<serve::PredictResponse> w1 = serve_stream(1);
+  const std::vector<serve::PredictResponse> w4 = serve_stream(4);
+  for (int i = 0; i < kRequests; ++i) {
+    const size_t n = static_cast<size_t>(i);
+    EXPECT_EQ(w4[n].labels, w1[n].labels) << "request " << i;
+    EXPECT_EQ(w4[n].depth, w1[n].depth) << "request " << i;
+    ASSERT_EQ(w4[n].probs.size(), w1[n].probs.size());
+    for (size_t j = 0; j < w1[n].probs.size(); ++j) {
+      // Bitwise float equality, not tolerance.
+      EXPECT_EQ(w4[n].probs[j], w1[n].probs[j])
+          << "request " << i << " prob " << j;
+    }
+  }
+}
+
+TEST_F(ServeServerTest, OrderedWriterKeepsPerConnectionResponseOrder) {
+  // Single-row batches + 4 workers: every request is its own batch and
+  // batches complete in whatever order the pool's scheduling falls, so
+  // without the sequence-numbered writer responses would interleave.
+  // The protocol has no reordering on the client side — arrival order IS
+  // the contract.
+  const EnsembleModel model = MakeModel();
+  const Dataset data = MakeBlobs(64, kDim, kClasses, 17);
+  serve::ServerConfig config;
+  config.max_batch_rows = 1;
+  config.max_delay_ms = 0;
+  config.num_batch_workers = 4;
+  serve::InferenceServer server(&model, kDim, kClasses, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<serve::ServeClient> conn =
+      serve::ServeClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(conn.ok());
+  serve::ServeClient& client = conn.ValueOrDie();
+  constexpr int kRequests = 64;
+  for (int i = 0; i < kRequests; ++i) {
+    const serve::PredictRequest req = RequestForRows(data, i, 1, i);
+    ASSERT_TRUE(client.SendRaw(serve::BuildPredictRequest(req)).ok());
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    Result<std::string> raw = client.RecvRaw();
+    ASSERT_TRUE(raw.ok()) << raw.status();
+    serve::PredictResponse resp;
+    ASSERT_TRUE(serve::ParsePredictResponse(raw.ValueOrDie(), &resp).ok());
+    ASSERT_TRUE(resp.ok) << resp.error;
+    EXPECT_EQ(resp.id, i) << "response out of admission order";
+  }
+  server.Stop();
+}
+
+TEST_F(ServeServerTest, StatuszReportsPerWorkerStats) {
+  const EnsembleModel model = MakeModel();
+  const Dataset data = MakeBlobs(16, kDim, kClasses, 18);
+  serve::ServerConfig config;
+  config.http_port = 0;
+  config.num_batch_workers = 3;
+  serve::InferenceServer server(&model, kDim, kClasses, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<serve::ServeClient> conn =
+      serve::ServeClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(conn.ok());
+  for (int64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(conn.ValueOrDie().PredictRow(RowFeatures(data, i)).ok());
+  }
+
+  Result<serve::HttpResponse> got =
+      serve::HttpGet("127.0.0.1", server.http_port(), "/statusz");
+  ASSERT_TRUE(got.ok()) << got.status();
+  JsonValue root;
+  ASSERT_TRUE(JsonValue::Parse(got.ValueOrDie().body, &root).ok());
+  const JsonValue* srv = root.Get("server");
+  ASSERT_NE(srv, nullptr);
+  EXPECT_DOUBLE_EQ(srv->GetNumberOr("num_batch_workers", 0), 3.0);
+  const JsonValue* workers = srv->Get("workers");
+  ASSERT_NE(workers, nullptr);
+  ASSERT_TRUE(workers->is_array());
+  const std::vector<JsonValue>& rows = workers->AsArray();
+  ASSERT_EQ(rows.size(), 3u);
+  double total_batches = 0.0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rows[i].GetNumberOr("id", -1),
+                     static_cast<double>(i));
+    EXPECT_TRUE(rows[i].Get("live")->AsBool()) << "worker " << i;
+    // A worker cannot finalize more batches than quanta it ran.
+    EXPECT_GE(rows[i].GetNumberOr("stages", 0),
+              rows[i].GetNumberOr("batches", 0));
+    total_batches += rows[i].GetNumberOr("batches", 0);
+  }
+  EXPECT_GE(total_batches, 8.0) << "8 un-coalesced requests were served";
+  server.Stop();
+}
+
 TEST_F(ServeServerTest, CrashAtBatchFailpointThenFreshServerResumes) {
   const Dataset data = MakeBlobs(4, kDim, kClasses, 10);
   // Child: arm the serve.batch crash site, stand up a server, send one

@@ -7,8 +7,13 @@
 ///
 /// A region regresses when the candidate's mean wall time exceeds the
 /// baseline's by more than the threshold fraction (and the region is big
-/// enough to matter — tiny regions are all scheduling noise). A headline
-/// regresses when its value drops by more than the threshold fraction.
+/// enough to matter — tiny regions are all scheduling noise). Regions
+/// carry a unit ("seconds" or "count", default seconds for files written
+/// before the field existed); only seconds regions can regress — count
+/// regions describe load shape, not speed. A headline regresses when its
+/// value moves the wrong way by more than the threshold fraction: down
+/// for throughput/accuracy/ratio headlines, up for latency-valued ones
+/// (*_ms, *_seconds).
 /// Exit code: 0 = no regressions, 1 = regressions found, 2 = bad
 /// input/usage. --self-check validates one file's structure and diffs it
 /// against itself (must produce zero regressions) — CI uses it to prove
@@ -34,9 +39,13 @@ constexpr double kMinComparableSeconds = 0.01;
 
 struct Region {
   std::string name;
+  /// "seconds" (trace-region timings) or "count" (size/depth
+  /// distributions). Files written before the unit field existed labeled
+  /// everything as seconds, so that is the load-time default.
+  std::string unit = "seconds";
   int64_t count = 0;
-  double total_seconds = 0.0;
-  double mean_seconds = 0.0;
+  double total = 0.0;
+  double mean = 0.0;
 };
 
 struct Headline {
@@ -77,9 +86,15 @@ bool LoadBenchFile(const std::string& path, BenchFile* out,
       *error = path + ": region entry without a name";
       return false;
     }
+    region.unit = r.GetStringOr("unit", "seconds");
     region.count = static_cast<int64_t>(r.GetNumberOr("count", 0));
-    region.total_seconds = r.GetNumberOr("total_seconds", 0.0);
-    region.mean_seconds = r.GetNumberOr("mean_seconds", 0.0);
+    // Count-valued regions write unsuffixed keys; pre-unit files (and
+    // seconds regions) write *_seconds. Accept both so any vintage of
+    // baseline diffs against any vintage of candidate.
+    region.total = r.Has("total_seconds") ? r.GetNumberOr("total_seconds", 0.0)
+                                          : r.GetNumberOr("total", 0.0);
+    region.mean = r.Has("mean_seconds") ? r.GetNumberOr("mean_seconds", 0.0)
+                                        : r.GetNumberOr("mean", 0.0);
     out->regions.push_back(region);
   }
   for (const JsonValue& h : root.Get("headlines")->AsArray()) {
@@ -112,6 +127,17 @@ std::string FormatDelta(double frac) {
   return buf;
 }
 
+/// Latency-valued headlines (p50_ms, queue_wait_ms@w4, ...) regress when
+/// they RISE; everything else (throughput, accuracy, speedup ratios)
+/// regresses when it drops. Without this, a faster candidate's lower
+/// latency would read as a regression. "_ms" never collides with
+/// "_mismatches" — the substring needs m,s adjacent.
+bool LowerIsBetter(const std::string& key) {
+  return key.find("_ms") != std::string::npos ||
+         key.find("_seconds") != std::string::npos ||
+         key.find("latency") != std::string::npos;
+}
+
 int Diff(const BenchFile& base, const BenchFile& cand, double threshold) {
   std::printf("baseline:  %s (bench=%s seed=%s)\n", base.program.c_str(),
               base.bench.c_str(), base.seed.c_str());
@@ -121,30 +147,39 @@ int Diff(const BenchFile& base, const BenchFile& cand, double threshold) {
 
   int regressions = 0;
 
-  TablePrinter timing({"Region", "Base mean", "Cand mean", "Delta", ""});
+  TablePrinter timing({"Region", "Unit", "Base mean", "Cand mean", "Delta",
+                       ""});
   for (const Region& b : base.regions) {
     const Region* c = FindRegion(cand, b.name);
     if (c == nullptr) {
-      timing.AddRow({b.name, FormatFloat(b.mean_seconds, 6), "-", "gone", ""});
+      timing.AddRow(
+          {b.name, b.unit, FormatFloat(b.mean, 6), "-", "gone", ""});
       continue;
     }
-    const double frac = b.mean_seconds > 0.0
-                            ? (c->mean_seconds - b.mean_seconds) /
-                                  b.mean_seconds
-                            : 0.0;
-    const bool comparable = b.total_seconds >= kMinComparableSeconds &&
-                            c->total_seconds >= kMinComparableSeconds;
+    const double frac =
+        b.mean > 0.0 ? (c->mean - b.mean) / b.mean : 0.0;
+    // The candidate names the unit (it is the newer file; a pre-unit
+    // baseline labels count regions "seconds" but the values mean the
+    // same thing, so the fractional comparison holds either way). Only
+    // seconds regions are perf signals; count regions (batch sizes,
+    // cascade depths) are load-shape descriptors a config change moves
+    // legitimately, so they are shown but never REGRESSED.
+    const bool is_seconds = c->unit == "seconds";
+    const bool comparable = is_seconds &&
+                            b.total >= kMinComparableSeconds &&
+                            c->total >= kMinComparableSeconds;
     const bool regressed = comparable && frac > threshold;
     if (regressed) ++regressions;
-    timing.AddRow({b.name, FormatFloat(b.mean_seconds, 6),
-                   FormatFloat(c->mean_seconds, 6), FormatDelta(frac),
-                   regressed       ? "REGRESSED"
-                   : !comparable   ? "(noise)"
-                                   : ""});
+    timing.AddRow({b.name, c->unit, FormatFloat(b.mean, 6),
+                   FormatFloat(c->mean, 6), FormatDelta(frac),
+                   regressed                      ? "REGRESSED"
+                   : !comparable && is_seconds    ? "(noise)"
+                                                  : ""});
   }
   for (const Region& c : cand.regions) {
     if (FindRegion(base, c.name) == nullptr) {
-      timing.AddRow({c.name, "-", FormatFloat(c.mean_seconds, 6), "new", ""});
+      timing.AddRow(
+          {c.name, c.unit, "-", FormatFloat(c.mean, 6), "new", ""});
     }
   }
   std::printf("-- per-region timing --\n");
@@ -173,7 +208,8 @@ int Diff(const BenchFile& base, const BenchFile& cand, double threshold) {
     }
     const double frac =
         b.value != 0.0 ? (c->value - b.value) / std::fabs(b.value) : 0.0;
-    const bool regressed = frac < -threshold;
+    const bool regressed =
+        LowerIsBetter(b.key) ? frac > threshold : frac < -threshold;
     if (regressed) ++regressions;
     heads.AddRow({b.key, FormatFloat(b.value, 4), FormatFloat(c->value, 4),
                   FormatDelta(frac), regressed ? "REGRESSED" : ""});

@@ -1,14 +1,29 @@
 /// edde-serve-client — in-tree load driver for edde-serve.
 ///
 ///   edde-serve-client --port=7433 --dim=16 --requests=200 --rows=4
+///   edde-serve-client --port=7433 --pool=8 --requests=2000 --dump=out.txt
 ///
-/// Sends `requests` predict requests of `rows` random rows each over one
-/// connection and validates every response (ok, echoed id, label count,
-/// label range, depth bounds). Exit 0 when every response checked out —
-/// the CI serve-smoke job's pass/fail signal.
+/// Sends `requests` predict requests of `rows` random rows each and
+/// validates every response (ok, echoed id, label count, label range,
+/// depth bounds). Exit 0 when every response checked out — the CI
+/// serve-smoke job's pass/fail signal.
+///
+/// --pool=N drives the load over N persistent connections (one thread
+/// each, sockets reused across requests) so measurements see server
+/// throughput rather than connect/teardown overhead. Payloads are
+/// generated up front from --seed alone — the same flags produce the same
+/// request stream at any pool size or against any worker count, which is
+/// what makes --dump a cross-configuration bit-identity probe: it writes
+/// one canonical line per request (id, labels, cascade depths, probs when
+/// --probs) in request order, so two dumps from servers that predict
+/// identically compare byte-equal with cmp(1).
 
+#include <algorithm>
 #include <cstdio>
 #include <random>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "serve/client.h"
 #include "utils/flags.h"
@@ -25,6 +40,12 @@ int Main(int argc, char** argv) {
   flags.Define("requests", "200", "requests to send");
   flags.Define("rows", "4", "rows per request");
   flags.Define("seed", "1", "feature RNG seed");
+  flags.Define("pool", "1",
+               "persistent connections driving the load concurrently");
+  flags.Define("probs", "false", "request probability payloads too");
+  flags.Define("dump", "",
+               "write canonical response lines here (request order, no "
+               "trace ids) for cross-run bit-identity checks");
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
@@ -39,62 +60,130 @@ int Main(int argc, char** argv) {
   const int64_t rows = flags.GetInt("rows");
   const int num_classes = flags.GetInt("num_classes");
   const int num_requests = flags.GetInt("requests");
+  const int pool = std::max(1, static_cast<int>(flags.GetInt("pool")));
+  const bool want_probs = flags.GetBool("probs");
+  const std::string dump_path = flags.GetString("dump");
+  const std::string host = flags.GetString("host");
+  const uint16_t port = static_cast<uint16_t>(flags.GetInt("port"));
 
-  Result<serve::ServeClient> client = serve::ServeClient::Connect(
-      flags.GetString("host"),
-      static_cast<uint16_t>(flags.GetInt("port")));
-  if (!client.ok()) {
-    std::fprintf(stderr, "connect: %s\n",
-                 client.status().ToString().c_str());
-    return 1;
-  }
-
+  // Payloads come from one sequential RNG pass, independent of how many
+  // connections later carry them — request i is identical across runs.
   std::mt19937 rng(static_cast<uint32_t>(flags.GetInt("seed")));
   std::uniform_real_distribution<float> dist(-2.0f, 2.0f);
-  int64_t rows_done = 0;
-  double depth_sum = 0.0;
+  std::vector<serve::PredictRequest> requests(
+      static_cast<size_t>(num_requests));
   for (int i = 0; i < num_requests; ++i) {
-    serve::PredictRequest req;
+    serve::PredictRequest& req = requests[static_cast<size_t>(i)];
     req.id = i;
     req.rows = rows;
     req.dim = dim;
+    req.want_probs = want_probs;
     req.features.resize(static_cast<size_t>(rows * dim));
     for (float& f : req.features) f = dist(rng);
-    Result<serve::PredictResponse> resp =
-        client.ValueOrDie().Predict(req);
-    if (!resp.ok()) {
-      std::fprintf(stderr, "request %d: %s\n", i,
-                   resp.status().ToString().c_str());
-      return 1;
-    }
-    const serve::PredictResponse& r = resp.ValueOrDie();
-    if (!r.ok) {
-      std::fprintf(stderr, "request %d: server error: %s\n", i,
-                   r.error.c_str());
-      return 1;
-    }
-    if (static_cast<int64_t>(r.labels.size()) != rows ||
-        r.depth.size() != r.labels.size()) {
-      std::fprintf(stderr, "request %d: bad response geometry\n", i);
-      return 1;
-    }
-    for (size_t j = 0; j < r.labels.size(); ++j) {
-      if (r.labels[j] < 0 || r.labels[j] >= num_classes) {
-        std::fprintf(stderr, "request %d: label %d out of range\n", i,
-                     r.labels[j]);
-        return 1;
-      }
-      if (r.depth[j] < 1) {
-        std::fprintf(stderr, "request %d: cascade depth %lld < 1\n", i,
-                     static_cast<long long>(r.depth[j]));
-        return 1;
-      }
-      depth_sum += static_cast<double>(r.depth[j]);
-    }
-    rows_done += rows;
   }
-  std::printf("OK: %d requests, %lld rows, mean cascade depth %.2f\n",
-              num_requests, static_cast<long long>(rows_done),
+
+  std::vector<std::string> lines(static_cast<size_t>(num_requests));
+  std::vector<double> depth_sums(static_cast<size_t>(pool), 0.0);
+  std::vector<int> failures(static_cast<size_t>(pool), 0);
+
+  auto drive = [&](int worker) {
+    Result<serve::ServeClient> client = serve::ServeClient::Connect(host,
+                                                                    port);
+    if (!client.ok()) {
+      std::fprintf(stderr, "conn %d: connect: %s\n", worker,
+                   client.status().ToString().c_str());
+      failures[static_cast<size_t>(worker)] = 1;
+      return;
+    }
+    for (int i = worker; i < num_requests; i += pool) {
+      const serve::PredictRequest& req = requests[static_cast<size_t>(i)];
+      Result<serve::PredictResponse> resp =
+          client.ValueOrDie().Predict(req);
+      if (!resp.ok()) {
+        std::fprintf(stderr, "request %d: %s\n", i,
+                     resp.status().ToString().c_str());
+        failures[static_cast<size_t>(worker)] = 1;
+        return;
+      }
+      const serve::PredictResponse& r = resp.ValueOrDie();
+      if (!r.ok) {
+        std::fprintf(stderr, "request %d: server error: %s\n", i,
+                     r.error.c_str());
+        failures[static_cast<size_t>(worker)] = 1;
+        return;
+      }
+      if (static_cast<int64_t>(r.labels.size()) != rows ||
+          r.depth.size() != r.labels.size() ||
+          (want_probs &&
+           static_cast<int64_t>(r.probs.size()) != rows * num_classes)) {
+        std::fprintf(stderr, "request %d: bad response geometry\n", i);
+        failures[static_cast<size_t>(worker)] = 1;
+        return;
+      }
+      std::string line = "id=" + std::to_string(i) + " labels=";
+      for (size_t j = 0; j < r.labels.size(); ++j) {
+        if (r.labels[j] < 0 || r.labels[j] >= num_classes) {
+          std::fprintf(stderr, "request %d: label %d out of range\n", i,
+                       r.labels[j]);
+          failures[static_cast<size_t>(worker)] = 1;
+          return;
+        }
+        if (r.depth[j] < 1) {
+          std::fprintf(stderr, "request %d: cascade depth %lld < 1\n", i,
+                       static_cast<long long>(r.depth[j]));
+          failures[static_cast<size_t>(worker)] = 1;
+          return;
+        }
+        depth_sums[static_cast<size_t>(worker)] +=
+            static_cast<double>(r.depth[j]);
+        if (j > 0) line.push_back(',');
+        line += std::to_string(r.labels[j]);
+      }
+      line += " depth=";
+      for (size_t j = 0; j < r.depth.size(); ++j) {
+        if (j > 0) line.push_back(',');
+        line += std::to_string(r.depth[j]);
+      }
+      if (want_probs) {
+        line += " probs=";
+        char buf[32];
+        for (size_t j = 0; j < r.probs.size(); ++j) {
+          // %.9g round-trips float32 exactly, so equal bits ⇒ equal text.
+          std::snprintf(buf, sizeof(buf), "%s%.9g", j > 0 ? "," : "",
+                        static_cast<double>(r.probs[j]));
+          line += buf;
+        }
+      }
+      lines[static_cast<size_t>(i)] = std::move(line);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(pool));
+  for (int w = 0; w < pool; ++w) threads.emplace_back(drive, w);
+  for (std::thread& t : threads) t.join();
+  for (const int failed : failures) {
+    if (failed) return 1;
+  }
+
+  if (!dump_path.empty()) {
+    std::FILE* f = std::fopen(dump_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", dump_path.c_str());
+      return 1;
+    }
+    for (const std::string& line : lines) {
+      std::fprintf(f, "%s\n", line.c_str());
+    }
+    std::fclose(f);
+  }
+
+  double depth_sum = 0.0;
+  for (const double s : depth_sums) depth_sum += s;
+  const int64_t rows_done = static_cast<int64_t>(num_requests) * rows;
+  std::printf("OK: %d requests, %lld rows, %d conns, mean cascade depth "
+              "%.2f\n",
+              num_requests, static_cast<long long>(rows_done), pool,
               rows_done > 0 ? depth_sum / static_cast<double>(rows_done)
                             : 0.0);
   return 0;

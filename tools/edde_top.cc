@@ -94,13 +94,14 @@ int WatchLoop(const std::string& host, uint16_t port, int interval_ms,
     if (!once) std::fputs("\x1b[H\x1b[2J", stdout);  // home + clear
     std::printf(
         "edde-top — %s:%u  up %.1fs  members=%lld  precision=%s  "
-        "cascade=%s  %s\n\n",
+        "cascade=%s  workers=%lld  %s\n\n",
         host.c_str(), port, cur.at_seconds,
         static_cast<long long>(server->GetNumberOr("members", 0)),
         server->GetStringOr("precision", "?").c_str(),
         server->Get("cascade") != nullptr && server->Get("cascade")->AsBool()
             ? "on"
             : "off",
+        static_cast<long long>(server->GetNumberOr("num_batch_workers", 1)),
         server->Get("ready") != nullptr && server->Get("ready")->AsBool()
             ? "READY"
             : "NOT READY");
@@ -127,6 +128,30 @@ int WatchLoop(const std::string& host, uint16_t port, int interval_ms,
           std::to_string(static_cast<long long>(
               server->GetNumberOr("max_queue_rows", 0))),
       });
+      t.Print(std::cout);
+    }
+
+    const JsonValue* workers = server->Get("workers");
+    if (workers != nullptr && workers->is_array() &&
+        workers->AsArray().size() > 1) {
+      std::printf("\nPer-worker (batches finalized / stage quanta run):\n");
+      TablePrinter t({"Worker", "Live", "Batches", "Stages", "Busy ms p50",
+                      "Busy ms p99"});
+      for (const JsonValue& w : workers->AsArray()) {
+        const int64_t id = static_cast<int64_t>(w.GetNumberOr("id", -1));
+        const JsonValue* busy = histograms->Get(
+            "serve.worker.busy_seconds." + std::to_string(id));
+        t.AddRow({std::to_string(id),
+                  w.Get("live") != nullptr && w.Get("live")->AsBool()
+                      ? "yes"
+                      : "NO",
+                  std::to_string(static_cast<long long>(
+                      w.GetNumberOr("batches", 0))),
+                  std::to_string(static_cast<long long>(
+                      w.GetNumberOr("stages", 0))),
+                  busy != nullptr ? Ms(busy->GetNumberOr("p50", 0.0)) : "-",
+                  busy != nullptr ? Ms(busy->GetNumberOr("p99", 0.0)) : "-"});
+      }
       t.Print(std::cout);
     }
 
