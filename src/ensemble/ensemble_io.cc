@@ -95,6 +95,76 @@ Result<EnsembleModel> LoadEnsembleV2(BinaryReader* reader,
 
 }  // namespace
 
+int64_t DerivedInputDim(const EnsembleModel& ensemble) {
+  if (ensemble.size() == 0) return 0;
+  return DeriveInputDim(ensemble.member(0)->Parameters());
+}
+
+int64_t DerivedNumClasses(const EnsembleModel& ensemble) {
+  if (ensemble.size() == 0) return 0;
+  return DeriveNumClasses(ensemble.member(0)->Parameters());
+}
+
+Result<EnsembleArtifactInfo> ReadEnsembleArtifactInfo(
+    const std::string& path) {
+  BinaryReader reader(path);
+  EDDE_RETURN_NOT_OK(reader.status());
+  uint32_t magic = 0;
+  if (!reader.ReadU32(&magic)) return reader.status();
+
+  EnsembleArtifactInfo info;
+  if (magic == kEnsembleMagicV2) {
+    // v2 has no framing and records nothing beyond the member count; the
+    // only cheap check available is plausibility.
+    info.format = 2;
+    uint64_t members = 0;
+    if (!reader.ReadU64(&members)) return reader.status();
+    if (members == 0 || members > kMaxMembers) {
+      return Status::Corruption("implausible ensemble size");
+    }
+    info.members = static_cast<int64_t>(members);
+    return info;
+  }
+  if (magic != kEnsembleMagicV3) {
+    return Status::Corruption("bad ensemble magic");
+  }
+  info.format = 3;
+
+  SectionReader header;
+  EDDE_RETURN_NOT_OK(header.Load(&reader, kTagHeader));
+  if (header.version() != kFormatVersion) {
+    return Status::Corruption("unsupported ensemble section version " +
+                              std::to_string(header.version()));
+  }
+  uint64_t members = 0;
+  uint32_t dtype_raw = 0;
+  if (!header.ReadU64(&members) || !header.ReadU32(&dtype_raw) ||
+      !header.ReadI64(&info.input_dim) ||
+      !header.ReadI64(&info.num_classes)) {
+    return header.status();
+  }
+  if (members == 0 || members > kMaxMembers) {
+    return Status::Corruption("implausible ensemble size");
+  }
+  if (dtype_raw > static_cast<uint32_t>(ArtifactDtype::kFloat16)) {
+    return Status::Corruption("unknown artifact dtype " +
+                              std::to_string(dtype_raw));
+  }
+  info.members = static_cast<int64_t>(members);
+  info.dtype = static_cast<ArtifactDtype>(dtype_raw);
+
+  // Full-file integrity scan: every member section's CRC must verify, and
+  // there must be exactly as many as the header promised.
+  int64_t member_sections = 0;
+  EDDE_RETURN_NOT_OK(VerifyFramedSections(&reader, &member_sections));
+  if (member_sections != info.members) {
+    return Status::Corruption(
+        "artifact carries " + std::to_string(member_sections) +
+        " member sections, header promises " + std::to_string(info.members));
+  }
+  return info;
+}
+
 Status SaveEnsemble(const EnsembleModel& ensemble, const std::string& path,
                     const EnsembleSaveOptions& options) {
   if (ensemble.size() == 0) {

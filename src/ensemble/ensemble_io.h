@@ -41,6 +41,28 @@ inline Status SaveEnsemble(const EnsembleModel& ensemble,
   return SaveEnsemble(ensemble, path, EnsembleSaveOptions());
 }
 
+/// What an ensemble artifact says about itself, readable without
+/// constructing any member module. v3 files also get a full CRC scan of
+/// every section (utils/durable_io::VerifyFramedSections), so a torn or
+/// bit-flipped artifact is rejected here — cheaply — before a caller
+/// commits to the expensive LoadEnsemble. This is the validation gate the
+/// serving layer runs ahead of a hot model swap.
+struct EnsembleArtifactInfo {
+  uint32_t format = 0;  ///< 2 (legacy plain stream) or 3 (CRC-framed)
+  int64_t members = 0;
+  ArtifactDtype dtype = ArtifactDtype::kFloat32;
+  int64_t input_dim = 0;    ///< 0 = unknown (v2 files don't record it)
+  int64_t num_classes = 0;  ///< 0 = unknown (v2)
+};
+
+Result<EnsembleArtifactInfo> ReadEnsembleArtifactInfo(const std::string& path);
+
+/// The input feature dim / class count implied by a live ensemble's member
+/// weight shapes (same derivation SaveEnsemble records in the v3 header).
+/// 0 when the first member has no rank ≥ 2 parameter.
+int64_t DerivedInputDim(const EnsembleModel& ensemble);
+int64_t DerivedNumClasses(const EnsembleModel& ensemble);
+
 /// Restores an ensemble saved with SaveEnsemble. Fresh member modules are
 /// created through `factory` (which must build the same architecture the
 /// ensemble was trained with); parameter-shape mismatches are rejected, and

@@ -1,29 +1,59 @@
 #include "serve/batcher.h"
 
 #include "utils/logging.h"
+#include "utils/metrics.h"
 
 namespace edde {
 namespace serve {
 
+namespace {
+
+int64_t AgeMs(std::chrono::steady_clock::time_point since,
+              std::chrono::steady_clock::time_point now) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(now - since)
+      .count();
+}
+
+}  // namespace
+
 AdmissionQueue::AdmissionQueue(int64_t max_batch_rows,
                                std::chrono::milliseconds max_delay,
-                               int64_t max_queue_rows)
+                               int64_t max_queue_rows,
+                               std::chrono::milliseconds max_queue_age)
     : max_batch_rows_(max_batch_rows),
       max_delay_(max_delay),
-      max_queue_rows_(max_queue_rows) {
+      max_queue_rows_(max_queue_rows),
+      max_queue_age_(max_queue_age) {
   EDDE_CHECK_GT(max_batch_rows_, 0);
   EDDE_CHECK_GE(max_queue_rows_, max_batch_rows_);
 }
 
 Status AdmissionQueue::Submit(PendingRequest req) {
+  static Counter* const shed =
+      MetricsRegistry::Global().GetCounter("serve.queue_age_shed");
   const int64_t rows = req.request.rows;
+  const auto now = std::chrono::steady_clock::now();
+  req.enqueue = now;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopped_) {
       return Status::FailedPrecondition("server is shutting down");
     }
+    // Age-based shedding fires before the row cap: a queue whose head has
+    // been waiting past max_queue_age_ is already over capacity no matter
+    // how few rows it holds, and admitting more only makes every deadline
+    // worse.
+    if (max_queue_age_.count() > 0 && !queue_.empty() &&
+        now - queue_.front().enqueue > max_queue_age_) {
+      shed->Increment();
+      return Status::Unavailable(
+          "shedding load: oldest queued request is " +
+          std::to_string(AgeMs(queue_.front().enqueue, now)) +
+          "ms old (cap " + std::to_string(max_queue_age_.count()) +
+          "ms) — retry with backoff");
+    }
     if (queued_rows_ + rows > max_queue_rows_) {
-      return Status::FailedPrecondition(
+      return Status::Unavailable(
           "admission queue full (" + std::to_string(queued_rows_) +
           " rows queued) — retry later");
     }
@@ -58,12 +88,19 @@ bool AdmissionQueue::NextBatch(std::vector<PendingRequest>* out) {
     break;  // full batch, stop, or deadline expired — ship what we have
   }
   if (queue_.empty()) return false;
+  static Histogram* const queue_age =
+      MetricsRegistry::Global().GetHistogram("serve.queue_age_ms");
+  const auto now = std::chrono::steady_clock::now();
   int64_t rows = 0;
   while (!queue_.empty()) {
     const int64_t next = queue_.front().request.rows;
     if (!out->empty() && rows + next > max_batch_rows_) break;
     rows += next;
     queued_rows_ -= next;
+    // Real per-request queue age (enqueue → pop), not the batch-level
+    // oldest-request approximation: with coalescing, requests in one batch
+    // can differ by the whole max_delay window.
+    queue_age->Record(static_cast<double>(AgeMs(queue_.front().enqueue, now)));
     out->push_back(std::move(queue_.front()));
     queue_.pop_front();
     if (rows >= max_batch_rows_) break;
@@ -82,6 +119,20 @@ void AdmissionQueue::Stop() {
 int64_t AdmissionQueue::queued_rows() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queued_rows_;
+}
+
+int64_t AdmissionQueue::oldest_age_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) return 0;
+  return AgeMs(queue_.front().enqueue, std::chrono::steady_clock::now());
+}
+
+bool AdmissionQueue::shedding() const {
+  if (max_queue_age_.count() <= 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) return false;
+  return std::chrono::steady_clock::now() - queue_.front().enqueue >
+         max_queue_age_;
 }
 
 }  // namespace serve

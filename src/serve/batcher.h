@@ -17,10 +17,20 @@ namespace serve {
 
 /// One admitted request waiting to be batched: the parsed payload, its
 /// arrival time (drives the deadline-expiry cut and the latency metric),
-/// and the completion route back to its connection.
+/// its enqueue time (stamped by Submit — the real per-request queue age
+/// behind the serve.queue_age_ms histogram and age-based shedding), its
+/// effective deadline, and the completion route back to its connection.
 struct PendingRequest {
   PredictRequest request;
   std::chrono::steady_clock::time_point arrival;
+  /// Set by AdmissionQueue::Submit on successful admission.
+  std::chrono::steady_clock::time_point enqueue;
+  /// Effective deadline: arrival + min(client deadline_ms, server
+  /// max_request_ms), whichever are set. max() = no deadline. A request
+  /// still unstarted past this instant is shed with deadline_exceeded
+  /// instead of burning a worker on dead work.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
   /// Called exactly once, off the reader thread, with the final response.
   std::function<void(const PredictResponse&)> respond;
 };
@@ -43,15 +53,24 @@ struct PendingRequest {
 /// that loses a race for the last requests goes back to waiting instead
 /// of exiting (serve_batcher_test drives this under TSan).
 ///
-/// Backpressure: Submit rejects with FailedPrecondition once
+/// Backpressure and shedding: Submit rejects with Unavailable once
 /// `max_queue_rows` rows are waiting — the reader turns that into an error
-/// response instead of queueing unbounded memory.
+/// response instead of queueing unbounded memory — and, when a
+/// `max_queue_age` is configured, already rejects while the *oldest*
+/// queued request has aged past it: queue age is the leading indicator of
+/// overload (rows only say how much is queued, age says the server is not
+/// keeping up), so shedding trips before the row cap and /healthz flips
+/// 503 on the same signal. Stopped queues reject with FailedPrecondition
+/// ("shutting down" — a different client action than "back off").
 class AdmissionQueue {
  public:
   AdmissionQueue(int64_t max_batch_rows, std::chrono::milliseconds max_delay,
-                 int64_t max_queue_rows);
+                 int64_t max_queue_rows,
+                 std::chrono::milliseconds max_queue_age =
+                     std::chrono::milliseconds(0));
 
-  /// Enqueues `req`. FailedPrecondition when stopped or over the row cap.
+  /// Enqueues `req` (stamping req.enqueue). FailedPrecondition when
+  /// stopped; Unavailable over the row cap or the queue-age shed line.
   Status Submit(PendingRequest req);
 
   /// Blocks for the next batch per the policy above. Returns false once
@@ -64,10 +83,19 @@ class AdmissionQueue {
 
   int64_t queued_rows() const;
 
+  /// Age of the oldest queued request in milliseconds (0 when empty) —
+  /// what /healthz and /statusz report as the shed signal.
+  int64_t oldest_age_ms() const;
+
+  /// True when a max_queue_age is configured and the oldest queued request
+  /// has exceeded it — the load-shedding readiness signal.
+  bool shedding() const;
+
  private:
   const int64_t max_batch_rows_;
   const std::chrono::milliseconds max_delay_;
   const int64_t max_queue_rows_;
+  const std::chrono::milliseconds max_queue_age_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -1,5 +1,9 @@
 #include "serve/client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 namespace edde {
 namespace serve {
 
@@ -51,6 +55,118 @@ Result<std::string> ServeClient::RecvRaw() {
   Status status = RecvFrame(fd_.get(), &payload);
   if (!status.ok()) return status;
   return payload;
+}
+
+namespace {
+
+// Transport statuses worth a reconnect-and-resend. InvalidArgument means
+// the frame itself was malformed (a bug, not a transient), and Internal is
+// a protocol violation (e.g. id mismatch) — neither heals on retry.
+bool IsRetryableTransport(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kIOError:           // reset / refused / half-open
+    case StatusCode::kNotFound:          // clean EOF between frames
+    case StatusCode::kDeadlineExceeded:  // recv timeout fired
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool RetryingServeClient::IsRetryableCode(const std::string& code) {
+  return code == "unavailable" || code == "failed_precondition";
+}
+
+RetryingServeClient::RetryingServeClient(std::string host, uint16_t port,
+                                         RetryPolicy policy)
+    : host_(std::move(host)),
+      port_(port),
+      policy_(policy),
+      rng_(policy.seed) {
+  if (policy_.max_attempts < 1) policy_.max_attempts = 1;
+}
+
+Status RetryingServeClient::EnsureConnected() {
+  if (conn_.has_value()) return Status::OK();
+  Result<ServeClient> conn = ServeClient::Connect(host_, port_);
+  if (!conn.ok()) return conn.status();
+  conn_ = std::move(conn).ValueOrDie();
+  if (policy_.recv_timeout_ms > 0) {
+    EDDE_RETURN_NOT_OK(
+        SetRecvTimeout(conn_->fd(), policy_.recv_timeout_ms));
+  }
+  return Status::OK();
+}
+
+void RetryingServeClient::Backoff(int attempt) {
+  // attempt is 1-based (the attempt that just failed). Exponential with
+  // a cap, then uniform jitter in [backoff/2, backoff] so a thundering
+  // herd of shed clients decorrelates instead of re-stampeding in sync.
+  int64_t backoff = policy_.base_backoff_ms;
+  for (int i = 1; i < attempt && backoff < policy_.max_backoff_ms; ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min(backoff, policy_.max_backoff_ms);
+  if (backoff <= 0) return;
+  std::uniform_int_distribution<int64_t> jitter(backoff / 2, backoff);
+  std::this_thread::sleep_for(std::chrono::milliseconds(jitter(rng_)));
+}
+
+Result<PredictResponse> RetryingServeClient::Predict(PredictRequest req) {
+  if (policy_.deadline_ms > 0 && req.deadline_ms == 0) {
+    req.deadline_ms = policy_.deadline_ms;
+  }
+  Status last = Status::OK();
+  for (int attempt = 1;; ++attempt) {
+    Status conn_status = EnsureConnected();
+    if (conn_status.ok()) {
+      // Resends reuse req.id verbatim: the id doubles as the trace id, so
+      // the server's trace log shows every attempt of one logical request
+      // under the same identity.
+      Result<PredictResponse> resp = conn_->Predict(req);
+      if (resp.ok()) {
+        const PredictResponse& r = resp.ValueOrDie();
+        if (r.ok || !IsRetryableCode(r.code)) return resp;
+        last = Status::Unavailable("server rejected request: " + r.error);
+      } else {
+        last = resp.status();
+        if (!IsRetryableTransport(last)) return last;
+        // The connection may hold a stale half-response; redial clean.
+        conn_.reset();
+      }
+    } else {
+      last = conn_status;
+      conn_.reset();
+    }
+    if (attempt >= policy_.max_attempts || retries_used_ >= policy_.retry_budget) {
+      ++exhausted_;
+      return Status(last.code(),
+                    last.message() + " (after " + std::to_string(attempt) +
+                        " attempt(s))");
+    }
+    ++retries_used_;
+    Backoff(attempt);
+  }
+}
+
+Result<int> RetryingServeClient::PredictRow(const std::vector<float>& features,
+                                            int64_t id) {
+  PredictRequest req;
+  req.id = id;
+  req.rows = 1;
+  req.dim = static_cast<int64_t>(features.size());
+  req.features = features;
+  Result<PredictResponse> resp = Predict(req);
+  if (!resp.ok()) return resp.status();
+  const PredictResponse& r = resp.ValueOrDie();
+  if (!r.ok) return Status::Internal("server error: " + r.error);
+  if (r.labels.size() != 1) {
+    return Status::Internal("expected one label, got " +
+                            std::to_string(r.labels.size()));
+  }
+  return r.labels[0];
 }
 
 }  // namespace serve

@@ -2,6 +2,8 @@
 #define EDDE_SERVE_CLIENT_H_
 
 #include <cstdint>
+#include <optional>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -39,10 +41,83 @@ class ServeClient {
   /// Receives one raw frame.
   Result<std::string> RecvRaw();
 
+  /// The underlying socket — for timeout knobs (SetRecvTimeout) and for
+  /// chaos tests that sever connections mid-request.
+  int fd() const { return fd_.get(); }
+
  private:
   explicit ServeClient(UniqueFd fd) : fd_(std::move(fd)) {}
 
   UniqueFd fd_;
+};
+
+/// Knobs for RetryingServeClient. Defaults are conservative: a handful of
+/// attempts, millisecond-scale backoff, and a lifetime retry budget so a
+/// persistently overloaded server cannot trap a client in a retry storm.
+struct RetryPolicy {
+  /// Total attempts per request, including the first. 1 disables retries.
+  int max_attempts = 4;
+  /// Lifetime retry allowance across all requests on this client. Once
+  /// exhausted, every failure is terminal — the budget is what bounds
+  /// aggregate retry amplification under sustained overload.
+  int64_t retry_budget = 1024;
+  /// Backoff before attempt k+1 is jittered uniform in
+  /// [backoff/2, backoff] where backoff = min(max, base << (k-1)).
+  int64_t base_backoff_ms = 5;
+  int64_t max_backoff_ms = 250;
+  /// Jitter seed — chaos tests pin it for reproducible schedules.
+  uint64_t seed = 42;
+  /// When > 0, stamped as deadline_ms on every request that does not
+  /// already carry one.
+  int64_t deadline_ms = 0;
+  /// When > 0, SO_RCVTIMEO on each connection: a wedged server surfaces
+  /// as DeadlineExceeded here instead of blocking the client forever.
+  int64_t recv_timeout_ms = 0;
+};
+
+/// ServeClient wrapped in the client half of the overload contract
+/// (DESIGN.md §16): bounded retries with seeded-jitter exponential
+/// backoff, reconnect-on-EOF, and same-id resends so the server's trace
+/// log stitches all attempts of one logical request together.
+///
+/// What retries: transport failures (connection reset, clean EOF, recv
+/// timeout — the connection is torn down and redialled first) and error
+/// responses whose wire code marks a transient server condition
+/// ("unavailable" for load shedding, "failed_precondition" for races with
+/// startup/shutdown). What does not: "invalid_argument" (resending the
+/// same bad request cannot help), "deadline_exceeded" (the deadline is
+/// the caller's latency contract; retrying past it is worse than failing)
+/// and "internal".
+class RetryingServeClient {
+ public:
+  RetryingServeClient(std::string host, uint16_t port, RetryPolicy policy);
+
+  /// Runs `req` through the retry loop. Takes a copy: the client stamps
+  /// policy.deadline_ms into it when the caller left deadline_ms unset.
+  Result<PredictResponse> Predict(PredictRequest req);
+
+  /// Convenience mirror of ServeClient::PredictRow.
+  Result<int> PredictRow(const std::vector<float>& features, int64_t id = 0);
+
+  /// Retries spent so far (monotonic; capped by policy.retry_budget).
+  int64_t retries_used() const { return retries_used_; }
+  /// Requests that ultimately failed after exhausting attempts/budget.
+  int64_t exhausted() const { return exhausted_; }
+
+  /// True when an error response with this wire code is worth resending.
+  static bool IsRetryableCode(const std::string& code);
+
+ private:
+  Status EnsureConnected();
+  void Backoff(int attempt);
+
+  std::string host_;
+  uint16_t port_ = 0;
+  RetryPolicy policy_;
+  std::optional<ServeClient> conn_;
+  std::mt19937_64 rng_;
+  int64_t retries_used_ = 0;
+  int64_t exhausted_ = 0;
 };
 
 }  // namespace serve

@@ -1,0 +1,53 @@
+#include "serve/model_registry.h"
+
+#include "utils/logging.h"
+#include "utils/metrics.h"
+
+namespace edde {
+namespace serve {
+
+ModelRegistry::ModelRegistry(std::shared_ptr<const EnsembleModel> model,
+                             std::string source) {
+  EDDE_CHECK(model != nullptr);
+  current_ = std::make_shared<const ServingGeneration>(
+      std::move(model), next_id_, std::move(source));
+  MetricsRegistry::Global().GetGauge("serve.generation")->Set(1.0);
+}
+
+std::shared_ptr<const ServingGeneration> ModelRegistry::Acquire() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+uint64_t ModelRegistry::Install(std::shared_ptr<const EnsembleModel> model,
+                                std::string source) {
+  EDDE_CHECK(model != nullptr);
+  std::shared_ptr<const ServingGeneration> next;
+  uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = ++next_id_;
+    next = std::make_shared<const ServingGeneration>(std::move(model), id,
+                                                     std::move(source));
+    // The swap: one shared_ptr store. Batches that Acquire()d the old
+    // generation keep it alive until they finish; new Acquires see `next`.
+    current_ = next;
+  }
+  MetricsRegistry::Global().GetGauge("serve.generation")
+      ->Set(static_cast<double>(id));
+  MetricsRegistry::Global().GetCounter("serve.reloads")->Increment();
+  return id;
+}
+
+uint64_t ModelRegistry::generation_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_->id;
+}
+
+uint64_t ModelRegistry::reloads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_id_ - 1;
+}
+
+}  // namespace serve
+}  // namespace edde

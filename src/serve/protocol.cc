@@ -38,6 +38,24 @@ std::string JsonArray(const std::vector<T>& values, Fn&& append_one) {
 
 }  // namespace
 
+std::string WireErrorCode(StatusCode code) {
+  std::string name = StatusCodeName(code);
+  // CamelCase -> lower_snake ("DeadlineExceeded" -> "deadline_exceeded").
+  std::string out;
+  out.reserve(name.size() + 4);
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    if (c >= 'A' && c <= 'Z') {
+      if (i > 0) out.push_back('_');
+      out.push_back(static_cast<char>(c - 'A' + 'a'));
+    } else {
+      out.push_back(c);
+    }
+  }
+  if (out.empty() || out == "unknown") return "internal";
+  return out;
+}
+
 std::string BuildPredictRequest(const PredictRequest& req) {
   JsonBuilder b;
   b.Add("type", "predict");
@@ -49,6 +67,7 @@ std::string BuildPredictRequest(const PredictRequest& req) {
            }));
   if (req.want_probs) b.Add("want_probs", true);
   if (req.trace_id != 0) b.Add("trace_id", FormatTraceId(req.trace_id));
+  if (req.deadline_ms > 0) b.Add("deadline_ms", req.deadline_ms);
   return b.Build();
 }
 
@@ -102,15 +121,28 @@ Status ParsePredictRequest(const std::string& json, PredictRequest* out) {
     }
     out->trace_id = ParseTraceId(trace->AsString());
   }
+  if (const JsonValue* deadline = root.Get("deadline_ms");
+      deadline != nullptr) {
+    if (!deadline->is_number() || deadline->AsNumber() < 1.0) {
+      return Status::InvalidArgument("deadline_ms must be an integer >= 1");
+    }
+    out->deadline_ms = static_cast<int64_t>(deadline->AsNumber());
+  }
   return Status::OK();
 }
 
 std::string BuildPredictResponse(const PredictResponse& resp) {
-  if (!resp.ok) return BuildErrorResponse(resp.id, resp.error);
+  if (!resp.ok) {
+    return BuildErrorResponse(resp.id, resp.error,
+                              resp.code.empty() ? "internal" : resp.code);
+  }
   JsonBuilder b;
   b.Add("id", resp.id);
   b.Add("ok", true);
   if (resp.trace_id != 0) b.Add("trace_id", FormatTraceId(resp.trace_id));
+  if (resp.generation != 0) {
+    b.Add("gen", static_cast<int64_t>(resp.generation));
+  }
   b.AddRaw("labels", JsonArray(resp.labels, [](std::string* out, int v) {
              out->append(std::to_string(v));
            }));
@@ -126,11 +158,13 @@ std::string BuildPredictResponse(const PredictResponse& resp) {
   return b.Build();
 }
 
-std::string BuildErrorResponse(int64_t id, const std::string& error) {
+std::string BuildErrorResponse(int64_t id, const std::string& error,
+                               const std::string& code) {
   JsonBuilder b;
   b.Add("id", id);
   b.Add("ok", false);
   b.Add("error", error);
+  b.Add("code", code);
   return b.Build();
 }
 
@@ -143,10 +177,12 @@ Status ParsePredictResponse(const std::string& json, PredictResponse* out) {
   }
   out->id = static_cast<int64_t>(root.GetNumberOr("id", -1));
   out->trace_id = ParseTraceId(root.GetStringOr("trace_id", ""));
+  out->generation = static_cast<uint64_t>(root.GetNumberOr("gen", 0));
   const JsonValue* ok = root.Get("ok");
   out->ok = ok != nullptr && ok->is_bool() && ok->AsBool();
   if (!out->ok) {
     out->error = root.GetStringOr("error", "(no error message)");
+    out->code = root.GetStringOr("code", "internal");
     return Status::OK();
   }
   const JsonValue* labels = root.Get("labels");

@@ -26,16 +26,30 @@ namespace serve {
 ///   request's queue/batch/cascade spans and echoes it back; when absent
 ///   the server mints one. A malformed trace_id is InvalidArgument — a
 ///   silently dropped tag would defeat the point of supplying one.
+///   An optional "deadline_ms" (integer >= 1) bounds how long the client
+///   is willing to wait from the server's admission of the frame: a
+///   request still queued when its deadline passes is shed with a
+///   `deadline_exceeded` error instead of being evaluated (DESIGN.md §16).
+///   The server additionally caps every request at its own
+///   max_request_ms; the tighter of the two wins.
 /// Response: {"id": 7, "ok": true, "labels": [3, 1], "depth": [2, 5],
-///            "trace_id": "00f3..."}
+///            "trace_id": "00f3...", "gen": 1}
 ///   plus "k" and row-major "probs" (rows*k) when want_probs was set.
 ///   `depth[i]` is the cascade depth: how many ensemble members were
 ///   consumed when row i's argmax became final (== ensemble size when the
-///   cascade is off or the row fell through).
-/// Error:    {"id": 7, "ok": false, "error": "..."}
+///   cascade is off or the row fell through). `gen` is the serving model
+///   generation (>= 1, bumped by each hot reload) that produced the
+///   prediction — the handle that lets a client attribute an answer to a
+///   specific model version across a swap.
+/// Error:    {"id": 7, "ok": false, "error": "...", "code": "..."}
 ///   Sent per-request (malformed JSON that still yielded an id, bad
-///   geometry, too many rows). A frame so broken that no id can be
-///   recovered gets id -1 and the server drops the connection after it.
+///   geometry, too many rows, expired deadline, shed load). `code` is a
+///   stable machine-readable tag (lower_snake of the StatusCode —
+///   "invalid_argument", "deadline_exceeded", "unavailable", ...) so
+///   clients can classify without parsing prose; "unavailable" and
+///   "failed_precondition" (lame-duck shutdown) are the retryable ones. A
+///   frame so broken that no id can be recovered gets id -1 and the
+///   server drops the connection after it.
 
 struct PredictRequest {
   int64_t id = 0;
@@ -43,19 +57,27 @@ struct PredictRequest {
   int64_t dim = 0;
   std::vector<float> features;  // row-major, rows * dim
   bool want_probs = false;
-  uint64_t trace_id = 0;  // 0 = none supplied; the server mints one
+  uint64_t trace_id = 0;    // 0 = none supplied; the server mints one
+  int64_t deadline_ms = 0;  // 0 = no client deadline
 };
 
 struct PredictResponse {
   int64_t id = 0;
   bool ok = false;
   std::string error;
+  std::string code;       // machine-readable error tag; empty when ok
   uint64_t trace_id = 0;  // echo of the request's (possibly minted) tag
+  uint64_t generation = 0;  // serving model generation; 0 = not stamped
   std::vector<int> labels;
   std::vector<int64_t> depth;  // cascade depth per row
   int64_t k = 0;               // classes (0 when probs absent)
   std::vector<float> probs;    // row-major, rows * k; empty unless asked
 };
+
+/// The stable wire tag for a StatusCode ("deadline_exceeded",
+/// "unavailable", ...). Lower_snake of StatusCodeName; "internal" for
+/// anything unrecognized.
+std::string WireErrorCode(StatusCode code);
 
 /// Serializes `req` as the wire JSON (payload only — framing is the
 /// socket layer's job).
@@ -69,7 +91,8 @@ std::string BuildPredictRequest(const PredictRequest& req);
 Status ParsePredictRequest(const std::string& json, PredictRequest* out);
 
 std::string BuildPredictResponse(const PredictResponse& resp);
-std::string BuildErrorResponse(int64_t id, const std::string& error);
+std::string BuildErrorResponse(int64_t id, const std::string& error,
+                               const std::string& code = "internal");
 
 Status ParsePredictResponse(const std::string& json, PredictResponse* out);
 

@@ -7,6 +7,7 @@
 
 #include <sys/socket.h>
 
+#include "ensemble/ensemble_io.h"
 #include "tensor/tensor.h"
 #include "utils/failpoint.h"
 #include "utils/logging.h"
@@ -30,14 +31,20 @@ double SecondsSince(std::chrono::steady_clock::time_point t0) {
 InferenceServer::InferenceServer(const EnsembleModel* model,
                                  int64_t input_dim, int64_t num_classes,
                                  ServerConfig config)
-    : model_(model),
+    // Generation 1 wraps the caller's pointer without owning it (the model
+    // must outlive the server); reloaded generations are owned.
+    : registry_(std::shared_ptr<const EnsembleModel>(model,
+                                                     [](const EnsembleModel*) {
+                                                     }),
+                "(initial)"),
+      expected_precision_(model->precision()),
       input_dim_(input_dim),
       num_classes_(num_classes),
       config_(config),
       queue_(config.max_batch_rows,
              std::chrono::milliseconds(config.max_delay_ms),
-             config.max_queue_rows) {
-  EDDE_CHECK(model_ != nullptr);
+             config.max_queue_rows,
+             std::chrono::milliseconds(config.shed_queue_age_ms)) {
   EDDE_CHECK_GT(input_dim_, 0);
   EDDE_CHECK_GT(num_classes_, 0);
   num_workers_ = std::max(1, config_.num_batch_workers);
@@ -48,16 +55,14 @@ InferenceServer::InferenceServer(const EnsembleModel* model,
           : (num_workers_ == 1 ? 1 : 2 * static_cast<int64_t>(num_workers_));
   EDDE_CHECK_GE(max_inflight_, num_workers_)
       << "fewer in-flight batches than workers would idle the pool";
-  // Per-member evaluation locks (see header): sized once, never resized,
-  // so workers index without synchronization.
-  member_mu_.resize(static_cast<size_t>(model_->size()));
 }
 
 InferenceServer::~InferenceServer() { Stop(); }
 
 Status InferenceServer::Start() {
   EDDE_CHECK(!started_) << "Start() called twice";
-  EDDE_RETURN_NOT_OK(model_->CheckPredictable());
+  const std::shared_ptr<const ServingGeneration> gen = registry_.Acquire();
+  EDDE_RETURN_NOT_OK(gen->model->CheckPredictable());
   Result<UniqueFd> listener = ListenTcp(config_.port);
   if (!listener.ok()) return listener.status();
   listener_ = std::move(listener).ValueOrDie();
@@ -92,7 +97,7 @@ Status InferenceServer::Start() {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
   EDDE_LOG(INFO) << "edde-serve listening on 127.0.0.1:" << port_
-                 << " (members=" << model_->size()
+                 << " (members=" << gen->model->size()
                  << " cascade=" << (config_.cascade ? "on" : "off")
                  << " workers=" << num_workers_
                  << (pipelined_ ? " pipelined" : "")
@@ -103,7 +108,79 @@ Status InferenceServer::Start() {
 
 bool InferenceServer::Ready() const {
   return live_workers_.load() > 0 && !draining_.load() &&
-         queue_.queued_rows() < config_.max_queue_rows;
+         queue_.queued_rows() < config_.max_queue_rows && !queue_.shedding();
+}
+
+Status InferenceServer::Reload(std::shared_ptr<const EnsembleModel> model,
+                               std::string source) {
+  static Counter* const failures =
+      MetricsRegistry::Global().GetCounter("serve.reload_failures");
+  std::lock_guard<std::mutex> lock(reload_mu_);
+  Status validated = [&]() -> Status {
+    if (model == nullptr) {
+      return Status::InvalidArgument("reload candidate is null");
+    }
+    EDDE_RETURN_NOT_OK(model->CheckPredictable());
+    if (model->precision() != expected_precision_) {
+      return Status::FailedPrecondition(
+          std::string("reload candidate precision ") +
+          PrecisionName(model->precision()) + " != serving precision " +
+          PrecisionName(expected_precision_));
+    }
+    // Geometry check against the weight shapes themselves (the request
+    // validation path pins input_dim_/num_classes_, so a model with other
+    // shapes would EDDE_CHECK-crash inside a worker — reject it here
+    // instead). 0 = the architecture has no rank ≥ 2 parameter to derive
+    // from; nothing to cross-check then.
+    const int64_t derived_dim = DerivedInputDim(*model);
+    if (derived_dim != 0 && derived_dim != input_dim_) {
+      return Status::FailedPrecondition(
+          "reload candidate input dim " + std::to_string(derived_dim) +
+          " != serving input dim " + std::to_string(input_dim_));
+    }
+    const int64_t derived_classes = DerivedNumClasses(*model);
+    if (derived_classes != 0 && derived_classes != num_classes_) {
+      return Status::FailedPrecondition(
+          "reload candidate class count " + std::to_string(derived_classes) +
+          " != serving class count " + std::to_string(num_classes_));
+    }
+    EDDE_FAILPOINT_STATUS("serve.reload.swap");
+    return Status::OK();
+  }();
+  if (!validated.ok()) {
+    failures->Increment();
+    EDDE_LOG(WARNING) << "hot reload rejected (" << source
+                      << "): " << validated << " — generation "
+                      << registry_.generation_id() << " keeps serving";
+    return validated;
+  }
+  const int64_t members = model->size();
+  const uint64_t id = registry_.Install(std::move(model), source);
+  EDDE_LOG(INFO) << "hot reload: generation " << id << " live (source="
+                 << source << " members=" << members
+                 << "); in-flight batches finish on their pinned generation";
+  return Status::OK();
+}
+
+Status InferenceServer::ReloadFromSource() {
+  if (!config_.reload_source) {
+    return Status::FailedPrecondition("no reload source configured");
+  }
+  static Counter* const failures =
+      MetricsRegistry::Global().GetCounter("serve.reload_failures");
+  Result<ReloadCandidate> candidate = [&]() -> Result<ReloadCandidate> {
+    EDDE_FAILPOINT_STATUS("serve.reload.read");
+    return config_.reload_source();
+  }();
+  if (!candidate.ok()) {
+    failures->Increment();
+    EDDE_LOG(WARNING) << "hot reload: candidate load failed: "
+                      << candidate.status() << " — generation "
+                      << registry_.generation_id() << " keeps serving";
+    return candidate.status();
+  }
+  ReloadCandidate c = std::move(candidate).ValueOrDie();
+  return Reload(std::move(c.model), std::move(c.source));
 }
 
 void InferenceServer::Stop() {
@@ -152,6 +229,12 @@ void InferenceServer::AcceptLoop() {
     accepted->Increment();
     auto conn = std::make_shared<Connection>();
     conn->fd = std::move(conn_fd).ValueOrDie();
+    if (config_.send_timeout_ms > 0) {
+      // A peer that stops reading can stall a response write at most this
+      // long; WriteOrdered then declares the connection dead instead of
+      // pinning a worker forever.
+      (void)SetSendTimeout(conn->fd.get(), config_.send_timeout_ms);
+    }
     std::lock_guard<std::mutex> lock(conns_mu_);
     if (stopped_) return;  // raced with Stop; drop the connection
     conns_.push_back(conn);
@@ -161,21 +244,60 @@ void InferenceServer::AcceptLoop() {
 
 void InferenceServer::WriteOrdered(Connection* conn, uint64_t seq,
                                    const std::string& frame) {
+  static Counter* const write_timeouts =
+      MetricsRegistry::Global().GetCounter("serve.write_timeouts");
+  static Counter* const dropped =
+      MetricsRegistry::Global().GetCounter("serve.dropped_responses");
+  // Sends one frame; on failure marks the connection dead, discards every
+  // parked frame and kicks the reader off its blocking recv. Returns
+  // false once the connection is dead (callers just count the drop).
+  const auto send_one = [&](const std::string& f) {
+    if (conn->dead) {
+      dropped->Increment();
+      return false;
+    }
+    Status sent = Status::OK();
+    if (failpoint::internal::g_armed.load(std::memory_order_relaxed)) {
+      sent = failpoint::Hit("serve.write");
+    }
+    if (sent.ok()) sent = SendFrame(conn->fd.get(), f);
+    if (sent.ok()) return true;
+    if (sent.code() == StatusCode::kDeadlineExceeded) {
+      write_timeouts->Increment();
+    }
+    conn->dead = true;
+    dropped->Increment(static_cast<int64_t>(1 + conn->held.size()));
+    conn->held.clear();
+    // Unblock the connection's reader so the fd tears down promptly
+    // instead of waiting for the peer (which may never speak again).
+    ::shutdown(conn->fd.get(), SHUT_RDWR);
+    return false;
+  };
   std::lock_guard<std::mutex> lock(conn->write_mu);
   if (seq != conn->next_write) {
+    if (conn->dead) {
+      // Frames for a dead fd are dropped, never parked: held stays empty,
+      // successors can't stall, nothing leaks.
+      dropped->Increment();
+      return;
+    }
     // A later-admitted request finished first (its batch was smaller or
     // exited the cascade earlier). Park the frame; the predecessor's
     // completion flushes it below.
     conn->held.emplace(seq, frame);
     return;
   }
-  (void)SendFrame(conn->fd.get(), frame);
+  send_one(frame);
   ++conn->next_write;
-  auto it = conn->held.begin();
-  while (it != conn->held.end() && it->first == conn->next_write) {
-    (void)SendFrame(conn->fd.get(), it->second);
+  // Flush successors. Each frame is detached from the map before the send:
+  // a failing send clears `held`, so an iterator held across it would
+  // dangle.
+  while (!conn->held.empty() &&
+         conn->held.begin()->first == conn->next_write) {
+    const std::string next = std::move(conn->held.begin()->second);
+    conn->held.erase(conn->held.begin());
+    send_one(next);
     ++conn->next_write;
-    it = conn->held.erase(it);
   }
 }
 
@@ -193,7 +315,8 @@ void InferenceServer::ReaderLoop(std::shared_ptr<Connection> conn) {
         // (best effort, id unknown) and drop the connection.
         errors->Increment();
         WriteOrdered(conn.get(), conn->next_seq++,
-                     BuildErrorResponse(-1, recv.message()));
+                     BuildErrorResponse(-1, recv.message(),
+                                        WireErrorCode(recv.code())));
       }
       return;  // NotFound = clean EOF; IOError = peer gone / shutdown
     }
@@ -215,13 +338,26 @@ void InferenceServer::ReaderLoop(std::shared_ptr<Connection> conn) {
     if (!parsed.ok()) {
       errors->Increment();
       WriteOrdered(conn.get(), conn->next_seq++,
-                   BuildErrorResponse(pending.request.id, parsed.message()));
+                   BuildErrorResponse(pending.request.id, parsed.message(),
+                                      WireErrorCode(parsed.code())));
       continue;  // protocol-level error; the connection itself is fine
     }
     // Every admitted request carries a nonzero trace id from here on —
     // client-supplied or minted — so its spans are always followable.
     if (pending.request.trace_id == 0) {
       pending.request.trace_id = MintTraceId();
+    }
+    // Effective deadline: the tighter of the client's deadline_ms and the
+    // server's max_request_ms, measured from admission. Enforced at batch
+    // dispatch (StartTask sheds expired requests before evaluation).
+    int64_t deadline_ms = pending.request.deadline_ms;
+    if (config_.max_request_ms > 0 &&
+        (deadline_ms == 0 || config_.max_request_ms < deadline_ms)) {
+      deadline_ms = config_.max_request_ms;
+    }
+    if (deadline_ms > 0) {
+      pending.deadline =
+          pending.arrival + std::chrono::milliseconds(deadline_ms);
     }
 
     // This frame's response — predict or error — takes the next sequence
@@ -236,10 +372,14 @@ void InferenceServer::ReaderLoop(std::shared_ptr<Connection> conn) {
     const Status admitted = queue_.Submit(std::move(pending));
     if (!admitted.ok()) {
       // pending (and its never-called respond closure) died with the
-      // failed Submit; the seq is released here instead.
+      // failed Submit; the seq is released here instead. The code tells
+      // the client what to do: "unavailable" (shed/backpressure) is
+      // retry-with-backoff, "failed_precondition" (shutdown) is try
+      // another replica.
       errors->Increment();
       WriteOrdered(conn.get(), seq,
-                   BuildErrorResponse(id, admitted.message()));
+                   BuildErrorResponse(id, admitted.message(),
+                                      WireErrorCode(admitted.code())));
       continue;
     }
     queue_rows->Set(static_cast<double>(queue_.queued_rows()));
@@ -337,9 +477,11 @@ bool InferenceServer::RunTaskStep(BatchTask* task, WorkerState* worker) {
   bool done;
   if (pipelined_) {
     if (!task->started) StartTask(task);
-    done = RunCascadeStage(task);
+    // total_rows == 0: every request was shed at dispatch (deadline
+    // expiry) and answered from StartTask — nothing to evaluate.
+    done = task->total_rows == 0 || RunCascadeStage(task);
     if (done) {
-      FinalizeBatch(task);
+      if (task->total_rows > 0) FinalizeBatch(task);
       // The batch span spans every stage quantum; emitted complete since
       // the stages ran on whichever workers picked them up.
       TraceCompleteSpan(batch_region, task->exec_start,
@@ -348,8 +490,10 @@ bool InferenceServer::RunTaskStep(BatchTask* task, WorkerState* worker) {
   } else {
     TraceScope batch_scope(batch_region);
     if (!task->started) StartTask(task);
-    RunBatchInline(task);
-    FinalizeBatch(task);
+    if (task->total_rows > 0) {
+      RunBatchInline(task);
+      FinalizeBatch(task);
+    }
     done = true;
   }
   worker->stages->Increment();
@@ -363,8 +507,15 @@ void InferenceServer::StartTask(BatchTask* task) {
       MetricsRegistry::Global().GetCounter("serve.batches");
   static Histogram* const batch_rows =
       MetricsRegistry::Global().GetHistogram("serve.batch_rows");
+  static Counter* const deadline_shed =
+      MetricsRegistry::Global().GetCounter("serve.deadline_shed");
+  static Counter* const errors =
+      MetricsRegistry::Global().GetCounter("serve.errors");
   static const TraceRegion* const queue_wait_region =
       GetTraceRegion("serve/queue_wait");
+  // The batch pins the serving generation here, at first worker touch: a
+  // hot swap from now on affects only later batches (DESIGN.md §16).
+  task->gen = registry_.Acquire();
   // Queue wait runs arrival → first worker touch, so it includes both the
   // coalescing delay and any time parked in the stage scheduler.
   task->exec_start = std::chrono::steady_clock::now();
@@ -373,9 +524,43 @@ void InferenceServer::StartTask(BatchTask* task) {
                       p.request.trace_id);
   }
   EDDE_FAILPOINT("serve.batch");
+  // Deadline shed (DESIGN.md §16): a request whose effective deadline
+  // passed while it queued gets its deadline_exceeded error now, before
+  // any feature gather or member evaluation — workers never burn forward
+  // passes on an answer the client has already given up on. The armed
+  // serve.deadline failpoint (delay) widens this window deterministically
+  // for the tests.
+  EDDE_FAILPOINT("serve.deadline");
+  const auto now = std::chrono::steady_clock::now();
+  size_t kept = 0;
+  for (size_t i = 0; i < task->batch.size(); ++i) {
+    PendingRequest& p = task->batch[i];
+    if (p.deadline < now) {
+      deadline_shed->Increment();
+      errors->Increment();
+      PredictResponse resp;
+      resp.id = p.request.id;
+      resp.ok = false;
+      resp.error =
+          "deadline exceeded before execution (queued " +
+          std::to_string(
+              std::chrono::duration_cast<std::chrono::milliseconds>(
+                  now - p.arrival)
+                  .count()) +
+          "ms)";
+      resp.code = "deadline_exceeded";
+      p.respond(resp);
+      continue;
+    }
+    if (kept != i) task->batch[kept] = std::move(p);
+    ++kept;
+  }
+  task->batch.resize(kept);
   int64_t total_rows = 0;
   for (const PendingRequest& p : task->batch) total_rows += p.request.rows;
   task->total_rows = total_rows;
+  task->started = true;
+  if (total_rows == 0) return;  // everything shed; nothing to evaluate
   batches->Increment();
   batch_rows->Record(static_cast<double>(total_rows));
   task->features = Tensor(Shape{total_rows, input_dim_});
@@ -386,8 +571,7 @@ void InferenceServer::StartTask(BatchTask* task) {
     dst += p.request.features.size();
   }
   task->acc = std::make_unique<PartialPredictAccumulator>(
-      model_->alphas(), total_rows, num_classes_);
-  task->started = true;
+      task->gen->model->alphas(), total_rows, num_classes_);
 }
 
 bool InferenceServer::RunCascadeStage(BatchTask* task) {
@@ -427,9 +611,12 @@ bool InferenceServer::RunCascadeStage(BatchTask* task) {
     // Layer Forward caches activations in the module even at inference,
     // so two batches at the same pipeline stage must take turns on that
     // member. Outputs are unaffected: each call still reads only its own
-    // input rows (the lock orders the calls, it doesn't mix them).
-    std::lock_guard<std::mutex> lock(member_mu_[static_cast<size_t>(member)]);
-    probs = model_->MemberProbsOnBatch(member, input);
+    // input rows (the lock orders the calls, it doesn't mix them). The
+    // locks belong to the batch's pinned generation — two batches on
+    // different generations touch different module objects entirely.
+    std::lock_guard<std::mutex> lock(
+        task->gen->member_mu[static_cast<size_t>(member)]);
+    probs = task->gen->model->MemberProbsOnBatch(member, input);
   }
   const bool all_decided = acc.Accumulate(probs);
   return all_decided ||
@@ -449,7 +636,7 @@ void InferenceServer::RunBatchInline(BatchTask* task) {
     // Full evaluation, fanned out over the shared pool; the accumulator
     // still consumes in α order so both modes share one reduction path.
     PartialPredictAccumulator& acc = *task->acc;
-    const int64_t num_members = model_->size();
+    const int64_t num_members = task->gen->model->size();
     std::vector<Tensor> probs(static_cast<size_t>(num_members));
     ParallelFor(0, num_members, 1, [&](int64_t t0, int64_t t1) {
       for (int64_t t = t0; t < t1; ++t) {
@@ -460,9 +647,9 @@ void InferenceServer::RunBatchInline(BatchTask* task) {
         // Same per-member discipline as the cascade path: with workers>1
         // two full-eval batches fan out over the same members at once.
         std::lock_guard<std::mutex> lock(
-            member_mu_[static_cast<size_t>(t)]);
+            task->gen->member_mu[static_cast<size_t>(t)]);
         probs[static_cast<size_t>(t)] =
-            model_->MemberProbsOnBatch(t, task->features);
+            task->gen->model->MemberProbsOnBatch(t, task->features);
       }
     });
     for (const int64_t member : acc.order()) {
@@ -508,6 +695,9 @@ void InferenceServer::FinalizeBatch(BatchTask* task) {
     resp.id = p.request.id;
     resp.ok = true;
     resp.trace_id = p.request.trace_id;
+    // The generation that actually computed this answer — the batch's
+    // pinned one, which may trail the registry's current during a reload.
+    resp.generation = task->gen->id;
     resp.labels.reserve(static_cast<size_t>(p.request.rows));
     resp.depth.reserve(static_cast<size_t>(p.request.rows));
     for (int64_t r = row; r < row + p.request.rows; ++r) {
@@ -549,6 +739,12 @@ Status InferenceServer::StartHttp() {
     } else if (live_workers_.load() <= 0) {
       resp.status = 503;
       resp.body = "no batch worker live\n";
+    } else if (queue_.shedding()) {
+      // Queue age trips before the row cap: the server is not keeping up
+      // even though the queue still has room (DESIGN.md §16).
+      resp.status = 503;
+      resp.body = "shedding load: queue age " +
+                  std::to_string(queue_.oldest_age_ms()) + "ms over cap\n";
     } else if (queue_.queued_rows() >= config_.max_queue_rows) {
       resp.status = 503;
       resp.body = "admission queue at backpressure cap\n";
@@ -561,6 +757,20 @@ Status InferenceServer::StartHttp() {
     HttpResponse resp;
     resp.content_type = "application/json";
     resp.body = StatuszJson();
+    return resp;
+  });
+  http_->Handle("/reloadz", [this](const HttpRequest&) {
+    const Status reloaded = ReloadFromSource();
+    HttpResponse resp;
+    resp.content_type = "application/json";
+    JsonBuilder b;
+    b.Add("ok", reloaded.ok());
+    b.Add("generation", static_cast<int64_t>(registry_.generation_id()));
+    if (!reloaded.ok()) {
+      resp.status = 500;
+      b.Add("error", reloaded.ToString());
+    }
+    resp.body = b.Build();
     return resp;
   });
   Status started = http_->Start();
@@ -603,13 +813,17 @@ std::string HistogramJson(const HistogramSnapshot& h) {
 
 std::string InferenceServer::StatuszJson() const {
   const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  const std::shared_ptr<const ServingGeneration> gen = registry_.Acquire();
 
   JsonBuilder server;
   server.Add("port", static_cast<int64_t>(port_));
   server.Add("http_port", static_cast<int64_t>(http_ ? http_->port() : 0));
   server.Add("uptime_seconds", SecondsSince(start_time_));
-  server.Add("members", model_->size());
-  server.Add("precision", PrecisionName(model_->precision()));
+  server.Add("generation", static_cast<int64_t>(gen->id));
+  server.Add("model_source", gen->source);
+  server.Add("reloads", static_cast<int64_t>(registry_.reloads()));
+  server.Add("members", gen->model->size());
+  server.Add("precision", PrecisionName(gen->model->precision()));
   server.Add("cascade", config_.cascade);
   server.Add("num_batch_workers", static_cast<int64_t>(num_workers_));
   server.Add("max_inflight_batches", max_inflight_);
@@ -617,11 +831,14 @@ std::string InferenceServer::StatuszJson() const {
   server.Add("max_batch_rows", config_.max_batch_rows);
   server.Add("max_queue_rows", config_.max_queue_rows);
   server.Add("queue_rows", queue_.queued_rows());
+  server.Add("queue_age_ms", queue_.oldest_age_ms());
+  server.Add("max_request_ms", config_.max_request_ms);
+  server.Add("shed_queue_age_ms", config_.shed_queue_age_ms);
   server.Add("ready", Ready());
   server.Add("draining", draining_.load());
   {
     std::string alphas = "[";
-    const std::vector<double>& a = model_->alphas();
+    const std::vector<double>& a = gen->model->alphas();
     for (size_t i = 0; i < a.size(); ++i) {
       if (i > 0) alphas.push_back(',');
       char buf[32];

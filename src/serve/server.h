@@ -6,15 +6,18 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "ensemble/ensemble_model.h"
 #include "serve/batcher.h"
 #include "serve/http.h"
+#include "serve/model_registry.h"
 #include "serve/protocol.h"
 #include "utils/metrics.h"
 #include "utils/socket.h"
@@ -22,6 +25,15 @@
 
 namespace edde {
 namespace serve {
+
+/// A freshly loaded (and precision-applied) candidate model for hot
+/// reload, plus its provenance string — what ServerConfig::reload_source
+/// returns. The server validates the candidate (geometry, precision,
+/// predictable α) before swapping it in.
+struct ReloadCandidate {
+  std::shared_ptr<const EnsembleModel> model;
+  std::string source;
+};
 
 struct ServerConfig {
   /// 0 = ephemeral (query the bound port with port() after Start).
@@ -55,11 +67,36 @@ struct ServerConfig {
   /// batch to interleave when one exits early.
   int max_inflight_batches = 0;
   /// Observability plane (DESIGN.md §14): embedded HTTP listener serving
-  /// GET /metrics (Prometheus exposition), /healthz (readiness) and
-  /// /statusz (JSON status). -1 = disabled, 0 = ephemeral port (query with
-  /// http_port() after Start). The plane is read-only and changes no
+  /// GET /metrics (Prometheus exposition), /healthz (readiness),
+  /// /statusz (JSON status) and /reloadz (hot-reload trigger, §16).
+  /// -1 = disabled, 0 = ephemeral port (query with http_port() after
+  /// Start). The plane is read-only apart from /reloadz and changes no
   /// prediction — bit-identity with the plane off is tested.
   int http_port = -1;
+  /// Server-imposed per-request deadline in ms, measured from admission.
+  /// Combined with a client-supplied deadline_ms the tighter one wins; a
+  /// request still unstarted past its effective deadline is shed with a
+  /// deadline_exceeded error before worker execution. 0 = no server
+  /// deadline (requests without a client deadline never expire — the
+  /// historical behavior).
+  int64_t max_request_ms = 0;
+  /// Queue-age load-shedding line in ms (DESIGN.md §16): once the oldest
+  /// queued request has waited this long, new Submits are refused with an
+  /// `unavailable` error and /healthz answers 503 — tripping *before* the
+  /// max_queue_rows backpressure cap so load balancers divert traffic
+  /// while the server still has headroom. 0 = disabled.
+  int64_t shed_queue_age_ms = 0;
+  /// SO_SNDTIMEO for response writes. A peer that stops reading stalls
+  /// its connection's ordered writer at most this long; then the write
+  /// fails DeadlineExceeded, the connection is declared dead and every
+  /// parked or future frame for it is discarded (workers never block on a
+  /// wedged reader). <= 0 = block indefinitely (pre-§16 behavior).
+  int64_t send_timeout_ms = 5000;
+  /// Hot-reload loader: returns a freshly loaded candidate (e.g. re-reads
+  /// the --model artifact, applying the serving precision). Invoked by
+  /// /reloadz and ReloadFromSource(); unset = reload unsupported. Runs on
+  /// the caller's thread under the server's reload lock.
+  std::function<Result<ReloadCandidate>()> reload_source;
 };
 
 /// Batched ensemble inference server.
@@ -110,13 +147,34 @@ class InferenceServer {
   void SetDraining(bool draining) { draining_.store(draining); }
 
   /// Readiness as /healthz reports it: started, not draining, at least one
-  /// batch worker live, admission queue below its backpressure cap.
-  /// Per-worker liveness is /statusz's job.
+  /// batch worker live, admission queue below its backpressure cap and not
+  /// load-shedding on queue age. Per-worker liveness is /statusz's job.
   bool Ready() const;
 
   /// Stops accepting, drains queued requests through the worker pool,
   /// closes every connection and joins all threads. Idempotent.
   void Stop();
+
+  /// Hot model reload (DESIGN.md §16): validates `model` — geometry
+  /// derived from its weight shapes must match the serving
+  /// input_dim/num_classes, its precision must match the generation it
+  /// replaces, and it must satisfy CheckPredictable() — then atomically
+  /// publishes it as the next generation. In-flight batches finish on the
+  /// generation they started with; batches formed after the swap use the
+  /// new model. On any validation failure the old generation keeps
+  /// serving untouched (rollback is a no-op by construction). Thread-safe;
+  /// concurrent reloads are serialized.
+  Status Reload(std::shared_ptr<const EnsembleModel> model,
+                std::string source);
+
+  /// Runs config.reload_source and feeds the candidate through Reload().
+  /// The path /reloadz and SIGHUP take. FailedPrecondition when no
+  /// reload_source is configured; any read/validation failure leaves the
+  /// old generation serving.
+  Status ReloadFromSource();
+
+  /// Current serving generation id (starts at 1, bumped per reload).
+  uint64_t generation() const { return registry_.generation_id(); }
 
  private:
   struct Connection {
@@ -131,6 +189,11 @@ class InferenceServer {
     uint64_t next_seq = 0;
     uint64_t next_write = 0;
     std::map<uint64_t, std::string> held;
+    /// Set (under write_mu) when a send failed or timed out: the peer is
+    /// gone or wedged. Parked frames are discarded at that moment and
+    /// every later frame for this connection is dropped instead of parked,
+    /// so a dead fd can neither stall successors nor leak map entries.
+    bool dead = false;
   };
 
   /// One coalesced batch moving through the worker pool. Built lazily on
@@ -144,6 +207,11 @@ class InferenceServer {
     std::unique_ptr<PartialPredictAccumulator> acc;
     std::chrono::steady_clock::time_point exec_start;
     bool started = false;
+    /// The serving generation this batch is pinned to, acquired at first
+    /// worker touch. A hot swap mid-batch cannot affect it: the batch
+    /// finishes on this model and stamps this generation id into its
+    /// responses (DESIGN.md §16).
+    std::shared_ptr<const ServingGeneration> gen;
   };
 
   /// Cached per-worker instruments plus the liveness flag /statusz reads.
@@ -177,10 +245,18 @@ class InferenceServer {
   Status StartHttp();
   std::string StatuszJson() const;
 
-  const EnsembleModel* const model_;
+  /// Generation store (model_registry.h). The constructor wraps the
+  /// caller's raw pointer in a non-owning generation 1; reloads install
+  /// owned successors.
+  ModelRegistry registry_;
+  /// Serving precision, captured from the initial model: reload candidates
+  /// must match it (a reload must never silently flip int8 ↔ fp32).
+  const Precision expected_precision_;
   const int64_t input_dim_;
   const int64_t num_classes_;
   const ServerConfig config_;
+  /// Serializes Reload/ReloadFromSource callers.
+  std::mutex reload_mu_;
   int num_workers_ = 1;
   int64_t max_inflight_ = 1;
   /// Member-stage pipelining is worth its scheduling hops only when a
@@ -207,13 +283,6 @@ class InferenceServer {
   std::deque<std::unique_ptr<BatchTask>> ready_;
   int64_t inflight_ = 0;
   bool dispatch_done_ = false;
-
-  /// One lock per ensemble member: module Forward caches activations in
-  /// the layer objects even at inference, so two in-flight batches must
-  /// not evaluate the *same* member concurrently. Distinct members (the
-  /// common pipelined case — tasks at different stages) don't contend.
-  /// deque because std::mutex is immovable.
-  std::deque<std::mutex> member_mu_;
 
   std::mutex conns_mu_;
   std::vector<std::shared_ptr<Connection>> conns_;

@@ -63,6 +63,10 @@ inline constexpr const char* kSites[] = {
     "serve.accept",      // connection accepted, before the reader starts
     "serve.batch",       // batch formed, before member evaluation
     "serve.http",        // http request parsed, before handler dispatch
+    "serve.reload.read", // hot reload: before the new artifact is read
+    "serve.reload.swap", // hot reload: candidate validated, before the swap
+    "serve.deadline",    // batch dispatch, before the deadline-shed check
+    "serve.write",       // ordered writer, before each response frame send
 };
 inline constexpr size_t kNumSites = sizeof(kSites) / sizeof(kSites[0]);
 inline constexpr size_t kNumTrainingSites = 7;

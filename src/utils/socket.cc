@@ -17,13 +17,20 @@ std::string Errno(const std::string& what) {
   return what + ": " + std::strerror(errno);
 }
 
-/// write() the whole buffer, riding out EINTR and partial writes.
+/// send() the whole buffer, riding out EINTR and partial writes.
+/// MSG_NOSIGNAL: a peer that closed mid-write must surface as EPIPE, not
+/// kill the process with SIGPIPE. EAGAIN means an armed SO_SNDTIMEO
+/// expired with the socket buffer still full — a deadline, not an IO
+/// fault, so the caller can tell a slow reader from a dead one.
 Status WriteAll(int fd, const char* data, size_t size) {
   size_t done = 0;
   while (done < size) {
-    const ssize_t n = ::write(fd, data + done, size - done);
+    const ssize_t n = ::send(fd, data + done, size - done, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("socket send timed out");
+      }
       return Status::IOError(Errno("socket write"));
     }
     if (n == 0) return Status::IOError("socket write: peer closed");
@@ -42,6 +49,9 @@ Status ReadAll(int fd, char* data, size_t size, bool* eof_at_start) {
     const ssize_t n = ::read(fd, data + done, size - done);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("socket read timed out");
+      }
       return Status::IOError(Errno("socket read"));
     }
     if (n == 0) {
@@ -125,6 +135,34 @@ Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port) {
   const int one = 1;
   ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return fd;
+}
+
+namespace {
+
+Status SetIoTimeout(int fd, int optname, const char* what,
+                    int64_t timeout_ms) {
+  timeval tv;
+  if (timeout_ms <= 0) {
+    tv.tv_sec = 0;  // 0 = kernel default: block indefinitely
+    tv.tv_usec = 0;
+  } else {
+    tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  }
+  if (::setsockopt(fd, SOL_SOCKET, optname, &tv, sizeof(tv)) != 0) {
+    return Status::IOError(Errno(what));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SetSendTimeout(int fd, int64_t timeout_ms) {
+  return SetIoTimeout(fd, SO_SNDTIMEO, "setsockopt SO_SNDTIMEO", timeout_ms);
+}
+
+Status SetRecvTimeout(int fd, int64_t timeout_ms) {
+  return SetIoTimeout(fd, SO_RCVTIMEO, "setsockopt SO_RCVTIMEO", timeout_ms);
 }
 
 Status SendFrame(int fd, const std::string& payload) {

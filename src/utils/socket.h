@@ -66,6 +66,17 @@ Result<UniqueFd> AcceptConn(int listen_fd);
 /// Blocking connect to `host`:`port` (numeric IPv4 host, e.g. 127.0.0.1).
 Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port);
 
+/// Caps how long a blocking send may stall on a full socket buffer
+/// (SO_SNDTIMEO). After the timeout, SendFrame fails with
+/// DeadlineExceeded instead of blocking forever — the guard that keeps a
+/// stalled reader from wedging a response writer. timeout_ms <= 0 restores
+/// the default (block indefinitely).
+Status SetSendTimeout(int fd, int64_t timeout_ms);
+
+/// Same for blocking reads (SO_RCVTIMEO): RecvFrame fails with
+/// DeadlineExceeded once the peer has been silent for the window.
+Status SetRecvTimeout(int fd, int64_t timeout_ms);
+
 /// Writes one frame (length prefix + payload). Payloads larger than
 /// kMaxFrameBytes are InvalidArgument — oversized replies are a server
 /// bug, not a client condition.

@@ -20,6 +20,8 @@ enum class StatusCode : int {
   kFailedPrecondition = 4,
   kCorruption = 5,
   kInternal = 6,
+  kDeadlineExceeded = 7,
+  kUnavailable = 8,
 };
 
 /// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
@@ -53,6 +55,14 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// Transient overload: the operation was refused to shed load and is
+  /// safe to retry after backoff (admission-queue shedding, lame-duck).
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -325,6 +325,65 @@ TEST(EnsembleIoFp16Test, LegacyV2FileStillLoads) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Artifact inspection (hot-reload preflight, DESIGN.md §16)
+// ---------------------------------------------------------------------------
+
+TEST(EnsembleIoInfoTest, ReportsHeaderAndVerifiesEveryFrame) {
+  EnsembleModel original = MakeTrainedish(3);
+  const std::string path = TempPath("ens_info.bin");
+  ASSERT_TRUE(SaveEnsemble(original, path).ok());
+
+  Result<EnsembleArtifactInfo> info = ReadEnsembleArtifactInfo(path);
+  ASSERT_TRUE(info.ok()) << info.status();
+  const EnsembleArtifactInfo& i = info.ValueOrDie();
+  EXPECT_EQ(i.format, 3u);
+  EXPECT_EQ(i.members, 3);
+  EXPECT_EQ(i.dtype, ArtifactDtype::kFloat32);
+  EXPECT_EQ(i.input_dim, 6);
+  EXPECT_EQ(i.num_classes, 3);
+}
+
+TEST(EnsembleIoInfoTest, CorruptMemberSectionFailsTheInfoScan) {
+  // The info scan CRC-walks every member section, not just the header —
+  // the reload path uses it as a cheap whole-file integrity preflight, so
+  // damage deep in the last member must already fail here.
+  EnsembleModel original = MakeTrainedish(2);
+  const std::string path = TempPath("ens_info_corrupt.bin");
+  ASSERT_TRUE(SaveEnsemble(original, path).ok());
+  std::vector<char> bytes = ReadAll(path);
+  bytes[bytes.size() - 16] ^= 0x20;  // inside the last member's payload/crc
+  WriteAll(path, bytes.data(), bytes.size());
+
+  Result<EnsembleArtifactInfo> info = ReadEnsembleArtifactInfo(path);
+  ASSERT_FALSE(info.ok());
+  EXPECT_EQ(info.status().code(), StatusCode::kCorruption);
+}
+
+TEST(EnsembleIoInfoTest, LegacyV2ReportsFormatWithoutGeometry) {
+  EnsembleModel original = MakeTrainedish(2);
+  const std::string path = TempPath("ens_info_v2.bin");
+  {
+    BinaryWriter writer(path);
+    writer.WriteU32(0xEDDE0002u);
+    writer.WriteU64(2);
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  Result<EnsembleArtifactInfo> info = ReadEnsembleArtifactInfo(path);
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_EQ(info.ValueOrDie().format, 2u);
+  EXPECT_EQ(info.ValueOrDie().members, 2);
+  // v2 carries no geometry header; 0 means "unknown, validate after load".
+  EXPECT_EQ(info.ValueOrDie().input_dim, 0);
+  EXPECT_EQ(info.ValueOrDie().num_classes, 0);
+}
+
+TEST(EnsembleIoInfoTest, DerivedGeometryMatchesFactoryConfig) {
+  EnsembleModel m = MakeTrainedish(2);
+  EXPECT_EQ(DerivedInputDim(m), 6);
+  EXPECT_EQ(DerivedNumClasses(m), 3);
+}
+
 TEST(EnsembleIoFp16Test, HeaderDimDisagreementIsCorruption) {
   // A header whose recorded feature dim disagrees with the member weights —
   // with a *valid* CRC, so framing alone cannot catch it — must be rejected

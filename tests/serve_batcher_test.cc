@@ -120,8 +120,10 @@ TEST(ServeBatcherTest, BackpressureCapRejectsAndRecovers) {
     ASSERT_TRUE(queue.Submit(Req(id)).ok());
   }
   EXPECT_EQ(queue.queued_rows(), 8);
+  // Backpressure is kUnavailable — the retryable overload code — while
+  // shutdown stays kFailedPrecondition (see the test below).
   const Status rejected = queue.Submit(Req(99));
-  EXPECT_EQ(rejected.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(rejected.code(), StatusCode::kUnavailable);
 
   // Popping one batch frees room; the cap is on queued rows, not history.
   std::vector<serve::PendingRequest> batch;
@@ -131,6 +133,61 @@ TEST(ServeBatcherTest, BackpressureCapRejectsAndRecovers) {
 
   queue.Stop();
   ExpectExactlyOnce(DrainConcurrently(&queue, 3), 7);  // 6 left + id 100
+}
+
+TEST(ServeBatcherTest, QueueAgeShedTripsBeforeRowCapAndRecovers) {
+  // Row cap is generous (64) but the age line is 10ms: with no consumer,
+  // the oldest request ages past the line and Submit must start shedding
+  // long before rows pile up — age is the leading overload signal.
+  serve::AdmissionQueue queue(/*max_batch_rows=*/4,
+                              std::chrono::milliseconds(1000),
+                              /*max_queue_rows=*/64,
+                              /*max_queue_age=*/std::chrono::milliseconds(10));
+  ASSERT_TRUE(queue.Submit(Req(0)).ok());
+  EXPECT_FALSE(queue.shedding());
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  EXPECT_TRUE(queue.shedding());
+  EXPECT_GE(queue.oldest_age_ms(), 10);
+  const Status shed = queue.Submit(Req(1));
+  EXPECT_EQ(shed.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(queue.queued_rows(), 1);  // the shed request never queued
+
+  // Draining the old work clears the signal; Submit admits again.
+  std::vector<serve::PendingRequest> batch;
+  ASSERT_TRUE(queue.NextBatch(&batch));
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_FALSE(queue.shedding());
+  EXPECT_EQ(queue.oldest_age_ms(), 0);
+  ASSERT_TRUE(queue.Submit(Req(2)).ok());
+
+  queue.Stop();
+  ExpectExactlyOnce(DrainConcurrently(&queue, 2), 1);  // id 2
+}
+
+TEST(ServeBatcherTest, StoppedQueueRejectsWithFailedPrecondition) {
+  // Shutdown is a different client contract than overload: "back off and
+  // retry" (Unavailable) vs "this server is going away" — so the codes
+  // must stay distinct on the wire.
+  serve::AdmissionQueue queue(/*max_batch_rows=*/2,
+                              std::chrono::milliseconds(1),
+                              /*max_queue_rows=*/8);
+  queue.Stop();
+  const Status stopped = queue.Submit(Req(0));
+  EXPECT_EQ(stopped.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ServeBatcherTest, SubmitStampsEnqueueTime) {
+  serve::AdmissionQueue queue(/*max_batch_rows=*/4,
+                              std::chrono::milliseconds(1),
+                              /*max_queue_rows=*/8);
+  const auto before = std::chrono::steady_clock::now();
+  ASSERT_TRUE(queue.Submit(Req(0)).ok());
+  std::vector<serve::PendingRequest> batch;
+  ASSERT_TRUE(queue.NextBatch(&batch));
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_GE(batch[0].enqueue.time_since_epoch().count(),
+            before.time_since_epoch().count());
+  queue.Stop();
 }
 
 TEST(ServeBatcherTest, StopWhileConsumersAreBlockedDrainsEverything) {

@@ -137,6 +137,71 @@ TEST(ServeProtocolTest, ErrorResponseRoundTrips) {
   EXPECT_EQ(parsed.id, -1);
   EXPECT_FALSE(parsed.ok);
   EXPECT_EQ(parsed.error, "bad frame");
+  // The code defaults to "internal" when the builder was not given one.
+  EXPECT_EQ(parsed.code, "internal");
+}
+
+TEST(ServeProtocolTest, ErrorCodeSurvivesRoundTrip) {
+  PredictResponse parsed;
+  ASSERT_TRUE(ParsePredictResponse(
+                  BuildErrorResponse(5, "shedding load", "unavailable"),
+                  &parsed)
+                  .ok());
+  EXPECT_EQ(parsed.id, 5);
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_EQ(parsed.code, "unavailable");
+}
+
+TEST(ServeProtocolTest, DeadlineMsSurvivesRoundTrip) {
+  PredictRequest req = SampleRequest();
+  req.deadline_ms = 250;
+  PredictRequest parsed;
+  ASSERT_TRUE(ParsePredictRequest(BuildPredictRequest(req), &parsed).ok());
+  EXPECT_EQ(parsed.deadline_ms, 250);
+  // Absent deadline parses as 0 (no client deadline).
+  req.deadline_ms = 0;
+  ASSERT_TRUE(ParsePredictRequest(BuildPredictRequest(req), &parsed).ok());
+  EXPECT_EQ(parsed.deadline_ms, 0);
+}
+
+TEST(ServeProtocolTest, BadDeadlineMsIsRejected) {
+  PredictRequest parsed;
+  const Status s = ParsePredictRequest(
+      "{\"type\": \"predict\", \"id\": 1, \"rows\": 1, \"dim\": 1, "
+      "\"deadline_ms\": 0, \"features\": [1.0]}",
+      &parsed);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  const Status neg = ParsePredictRequest(
+      "{\"type\": \"predict\", \"id\": 1, \"rows\": 1, \"dim\": 1, "
+      "\"deadline_ms\": -5, \"features\": [1.0]}",
+      &parsed);
+  EXPECT_EQ(neg.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocolTest, GenerationSurvivesRoundTrip) {
+  PredictResponse resp;
+  resp.id = 9;
+  resp.ok = true;
+  resp.labels = {1};
+  resp.depth = {1};
+  resp.generation = 3;
+  PredictResponse parsed;
+  ASSERT_TRUE(ParsePredictResponse(BuildPredictResponse(resp), &parsed).ok());
+  EXPECT_EQ(parsed.generation, 3u);
+  // Generation 0 (unset) is simply omitted from the wire.
+  resp.generation = 0;
+  ASSERT_TRUE(ParsePredictResponse(BuildPredictResponse(resp), &parsed).ok());
+  EXPECT_EQ(parsed.generation, 0u);
+}
+
+TEST(ServeProtocolTest, WireErrorCodeIsLowerSnake) {
+  EXPECT_EQ(WireErrorCode(StatusCode::kInvalidArgument), "invalid_argument");
+  EXPECT_EQ(WireErrorCode(StatusCode::kDeadlineExceeded),
+            "deadline_exceeded");
+  EXPECT_EQ(WireErrorCode(StatusCode::kUnavailable), "unavailable");
+  EXPECT_EQ(WireErrorCode(StatusCode::kFailedPrecondition),
+            "failed_precondition");
+  EXPECT_EQ(WireErrorCode(StatusCode::kInternal), "internal");
 }
 
 }  // namespace

@@ -9,8 +9,10 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ensemble/ensemble_model.h"
@@ -21,6 +23,7 @@
 #include "test_util.h"
 #include "utils/failpoint.h"
 #include "utils/json.h"
+#include "utils/metrics.h"
 #include "utils/socket.h"
 #include "utils/trace.h"
 
@@ -686,6 +689,258 @@ TEST_F(ServeServerTest, StatuszReportsPerWorkerStats) {
   }
   EXPECT_GE(total_batches, 8.0) << "8 un-coalesced requests were served";
   server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Serving resilience: hot reload, deadlines, load shedding (DESIGN.md §16)
+// ---------------------------------------------------------------------------
+
+/// Same geometry as MakeModel, different weights — a plausible retrained
+/// successor for hot-reload tests.
+EnsembleModel MakeModelV2() {
+  EnsembleModel m;
+  m.AddMember(SmallMlp(44), 1.9);
+  m.AddMember(SmallMlp(55), 1.1);
+  m.AddMember(SmallMlp(66), 0.8);
+  return m;
+}
+
+TEST_F(ServeServerTest, HotReloadSwapsGenerationWithoutDroppingConnections) {
+  const EnsembleModel model = MakeModel();
+  EnsembleModel v2 = MakeModelV2();
+  const Dataset data = MakeBlobs(8, kDim, kClasses, 21);
+  const std::vector<int> ref_v1 = model.PredictLabels(data);
+  const std::vector<int> ref_v2 = v2.PredictLabels(data);
+
+  serve::ServerConfig config;
+  config.http_port = 0;
+  serve::InferenceServer server(&model, kDim, kClasses, config);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(server.generation(), 1u);
+
+  // One connection spanning the swap: established before, still good after.
+  Result<serve::ServeClient> conn =
+      serve::ServeClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(conn.ok());
+  serve::ServeClient& client = conn.ValueOrDie();
+
+  Result<serve::PredictResponse> before =
+      client.Predict(RequestForRows(data, 0, 1, /*id=*/1));
+  ASSERT_TRUE(before.ok()) << before.status();
+  ASSERT_TRUE(before.ValueOrDie().ok);
+  EXPECT_EQ(before.ValueOrDie().generation, 1u);
+  EXPECT_EQ(before.ValueOrDie().labels[0], ref_v1[0]);
+
+  ASSERT_TRUE(
+      server.Reload(std::make_shared<EnsembleModel>(std::move(v2)), "v2")
+          .ok());
+  EXPECT_EQ(server.generation(), 2u);
+
+  // The same connection now serves generation 2, stamped into responses,
+  // and its labels are the new model's.
+  for (int64_t i = 0; i < 8; ++i) {
+    Result<serve::PredictResponse> after =
+        client.Predict(RequestForRows(data, i, 1, /*id=*/10 + i));
+    ASSERT_TRUE(after.ok()) << after.status();
+    const serve::PredictResponse& r = after.ValueOrDie();
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.generation, 2u);
+    EXPECT_EQ(r.labels[0], ref_v2[static_cast<size_t>(i)]) << "row " << i;
+  }
+
+  // /statusz carries the generation, the provenance, and the reload count.
+  Result<serve::HttpResponse> got =
+      serve::HttpGet("127.0.0.1", server.http_port(), "/statusz");
+  ASSERT_TRUE(got.ok()) << got.status();
+  JsonValue root;
+  ASSERT_TRUE(JsonValue::Parse(got.ValueOrDie().body, &root).ok());
+  const JsonValue* srv = root.Get("server");
+  ASSERT_NE(srv, nullptr);
+  EXPECT_DOUBLE_EQ(srv->GetNumberOr("generation", 0), 2.0);
+  EXPECT_DOUBLE_EQ(srv->GetNumberOr("reloads", -1), 1.0);
+  EXPECT_EQ(srv->GetStringOr("model_source", ""), "v2");
+  server.Stop();
+}
+
+TEST_F(ServeServerTest, ReloadRejectsBadCandidatesAndKeepsServing) {
+  const EnsembleModel model = MakeModel();
+  const Dataset data = MakeBlobs(4, kDim, kClasses, 22);
+  serve::InferenceServer server(&model, kDim, kClasses, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  // Wrong feature dim.
+  {
+    MlpConfig cfg;
+    cfg.in_features = kDim + 2;
+    cfg.hidden = {10};
+    cfg.num_classes = kClasses;
+    auto wrong = std::make_shared<EnsembleModel>();
+    wrong->AddMember(std::make_unique<Mlp>(cfg, 1), 1.0);
+    const Status s = server.Reload(wrong, "wrong-dim");
+    EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition) << s;
+  }
+  // Wrong precision.
+  {
+    auto wrong = std::make_shared<EnsembleModel>(MakeModelV2());
+    wrong->SetPrecision(Precision::kInt8);
+    const Status s = server.Reload(wrong, "wrong-precision");
+    EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition) << s;
+  }
+  // Null candidate.
+  EXPECT_FALSE(server.Reload(nullptr, "null").ok());
+
+  // Every rejection left generation 1 serving, on a fresh connection too.
+  EXPECT_EQ(server.generation(), 1u);
+  Result<serve::ServeClient> conn =
+      serve::ServeClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(conn.ok());
+  Result<int> label = conn.ValueOrDie().PredictRow(RowFeatures(data, 0));
+  ASSERT_TRUE(label.ok()) << label.status();
+  EXPECT_EQ(label.ValueOrDie(), model.PredictLabels(data)[0]);
+  server.Stop();
+}
+
+TEST_F(ServeServerTest, ReloadFailpointsKeepTheOldGeneration) {
+  const EnsembleModel model = MakeModel();
+  const Dataset data = MakeBlobs(4, kDim, kClasses, 23);
+  serve::ServerConfig config;
+  config.reload_source = []() -> Result<serve::ReloadCandidate> {
+    serve::ReloadCandidate c;
+    c.model = std::make_shared<EnsembleModel>(MakeModelV2());
+    c.source = "from-source";
+    return c;
+  };
+  serve::InferenceServer server(&model, kDim, kClasses, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Read failure (artifact unreadable / corrupt): generation unchanged.
+  ASSERT_TRUE(failpoint::SetSpec("serve.reload.read=error:1").ok());
+  EXPECT_FALSE(server.ReloadFromSource().ok());
+  EXPECT_EQ(server.generation(), 1u);
+  // The error:1 spec is spent; the same trigger now succeeds.
+  EXPECT_TRUE(server.ReloadFromSource().ok());
+  EXPECT_EQ(server.generation(), 2u);
+  failpoint::Clear();
+
+  // Swap failure after validation: also no new generation.
+  ASSERT_TRUE(failpoint::SetSpec("serve.reload.swap=error:1").ok());
+  EXPECT_FALSE(server.ReloadFromSource().ok());
+  EXPECT_EQ(server.generation(), 2u);
+  failpoint::Clear();
+
+  // Still serving throughout.
+  Result<serve::ServeClient> conn =
+      serve::ServeClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(conn.ok());
+  EXPECT_TRUE(conn.ValueOrDie().PredictRow(RowFeatures(data, 0)).ok());
+  server.Stop();
+}
+
+TEST_F(ServeServerTest, ExpiredDeadlineIsShedBeforeExecution) {
+  const EnsembleModel model = MakeModel();
+  const Dataset data = MakeBlobs(4, kDim, kClasses, 24);
+  serve::InferenceServer server(&model, kDim, kClasses, {});
+  ASSERT_TRUE(server.Start().ok());
+  Result<serve::ServeClient> conn =
+      serve::ServeClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(conn.ok());
+  serve::ServeClient& client = conn.ValueOrDie();
+
+  // The serve.deadline delay sits right before the expiry check in batch
+  // dispatch: a 1ms client deadline is deterministically past due by the
+  // time the check runs, so the request must come back deadline_exceeded
+  // without ever touching a member.
+  ASSERT_TRUE(failpoint::SetSpec("serve.deadline=delay:30").ok());
+  serve::PredictRequest req = RequestForRows(data, 0, 1, /*id=*/5);
+  req.deadline_ms = 1;
+  Result<serve::PredictResponse> resp = client.Predict(req);
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_FALSE(resp.ValueOrDie().ok);
+  EXPECT_EQ(resp.ValueOrDie().code, "deadline_exceeded");
+  EXPECT_EQ(resp.ValueOrDie().id, 5);
+  failpoint::Clear();
+
+  // Without the delay the same deadline is easily met.
+  serve::PredictRequest fine = RequestForRows(data, 1, 1, /*id=*/6);
+  fine.deadline_ms = 5000;
+  Result<serve::PredictResponse> ok_resp = client.Predict(fine);
+  ASSERT_TRUE(ok_resp.ok());
+  EXPECT_TRUE(ok_resp.ValueOrDie().ok) << ok_resp.ValueOrDie().error;
+  server.Stop();
+}
+
+TEST_F(ServeServerTest, ServerMaxRequestMsCapsClientlessDeadlines) {
+  const EnsembleModel model = MakeModel();
+  const Dataset data = MakeBlobs(4, kDim, kClasses, 25);
+  serve::ServerConfig config;
+  config.max_request_ms = 1;  // server-side cap, no client deadline needed
+  serve::InferenceServer server(&model, kDim, kClasses, config);
+  ASSERT_TRUE(server.Start().ok());
+  Result<serve::ServeClient> conn =
+      serve::ServeClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(conn.ok());
+
+  ASSERT_TRUE(failpoint::SetSpec("serve.deadline=delay:30").ok());
+  Result<serve::PredictResponse> resp =
+      conn.ValueOrDie().Predict(RequestForRows(data, 0, 1, /*id=*/7));
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_FALSE(resp.ValueOrDie().ok);
+  EXPECT_EQ(resp.ValueOrDie().code, "deadline_exceeded");
+  failpoint::Clear();
+  server.Stop();
+}
+
+TEST_F(ServeServerTest, DeadConnectionDiscardsParkedFramesWithoutStalling) {
+  // serve.write=error:1 makes the first response send fail: the ordered
+  // writer must mark the connection dead, discard its parked out-of-order
+  // frames instead of waiting for predecessors that will never flush, and
+  // keep the rest of the server healthy.
+  const EnsembleModel model = MakeModel();
+  const Dataset data = MakeBlobs(16, kDim, kClasses, 26);
+  serve::ServerConfig config;
+  config.max_batch_rows = 1;  // one request per batch → parking is likely
+  config.max_delay_ms = 0;
+  config.num_batch_workers = 4;
+  serve::InferenceServer server(&model, kDim, kClasses, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  Counter* const dropped =
+      MetricsRegistry::Global().GetCounter("serve.dropped_responses");
+  const int64_t dropped_before = dropped->Value();
+
+  Result<serve::ServeClient> doomed =
+      serve::ServeClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(doomed.ok());
+  ASSERT_TRUE(failpoint::SetSpec("serve.write=error:1").ok());
+  constexpr int kRequests = 12;
+  for (int i = 0; i < kRequests; ++i) {
+    const serve::PredictRequest req = RequestForRows(data, i, 1, i);
+    ASSERT_TRUE(
+        doomed.ValueOrDie().SendRaw(serve::BuildPredictRequest(req)).ok());
+  }
+  // The server killed the connection after the failed write; the client
+  // eventually sees EOF/reset instead of responses.
+  Result<std::string> raw = doomed.ValueOrDie().RecvRaw();
+  while (raw.ok()) raw = doomed.ValueOrDie().RecvRaw();
+  EXPECT_FALSE(raw.ok());
+  failpoint::Clear();
+
+  // Every undeliverable response was dropped (none parked forever) …
+  // Workers finish all 12 batches; poll briefly for the last drops.
+  for (int spin = 0;
+       spin < 100 && dropped->Value() - dropped_before < kRequests; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(dropped->Value() - dropped_before, kRequests);
+
+  // … and a fresh connection is served normally: no worker is wedged on
+  // the dead connection's write lock.
+  Result<serve::ServeClient> healthy =
+      serve::ServeClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(healthy.ok());
+  Result<int> label = healthy.ValueOrDie().PredictRow(RowFeatures(data, 0));
+  ASSERT_TRUE(label.ok()) << label.status();
+  server.Stop();  // a parked-frame leak or wedged worker would hang here
 }
 
 TEST_F(ServeServerTest, CrashAtBatchFailpointThenFreshServerResumes) {

@@ -140,6 +140,53 @@ TEST(SocketTest, OversizedSendIsRejectedLocally) {
   EXPECT_EQ(got, "still-in-sync");
 }
 
+TEST(SocketTest, SendTimeoutSurfacesAsDeadlineExceeded) {
+  Pair p = MakeConnectedPair();
+  // Shrink both socket buffers so a stalled reader backs the writer up
+  // quickly (the kernel rounds these up, hence the large payload below).
+  int sndbuf = 4096;
+  int rcvbuf = 4096;
+  ASSERT_EQ(::setsockopt(p.client.get(), SOL_SOCKET, SO_SNDBUF, &sndbuf,
+                         sizeof(sndbuf)),
+            0);
+  ASSERT_EQ(::setsockopt(p.server.get(), SOL_SOCKET, SO_RCVBUF, &rcvbuf,
+                         sizeof(rcvbuf)),
+            0);
+  ASSERT_TRUE(SetSendTimeout(p.client.get(), 50).ok());
+  // Nobody reads the server side: the client's send must hit SO_SNDTIMEO
+  // and come back DeadlineExceeded instead of blocking forever.
+  std::string big(4 << 20, 'x');
+  const Status s = SendFrame(p.client.get(), big);
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded) << s;
+}
+
+TEST(SocketTest, RecvTimeoutSurfacesAsDeadlineExceeded) {
+  Pair p = MakeConnectedPair();
+  ASSERT_TRUE(SetRecvTimeout(p.server.get(), 50).ok());
+  std::string got;
+  const Status s = RecvFrame(p.server.get(), &got);
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded) << s;
+  // Clearing the timeout restores blocking reads: a frame sent after the
+  // timeout fired is still received intact.
+  ASSERT_TRUE(SetRecvTimeout(p.server.get(), 0).ok());
+  ASSERT_TRUE(SendFrame(p.client.get(), "late").ok());
+  ASSERT_TRUE(RecvFrame(p.server.get(), &got).ok());
+  EXPECT_EQ(got, "late");
+}
+
+TEST(SocketTest, SendToDeadPeerIsIOErrorNotSigpipe) {
+  Pair p = MakeConnectedPair();
+  p.server.reset();  // peer gone
+  // Two sends: the first may succeed into the kernel buffer before the
+  // RST lands, the second must fail. MSG_NOSIGNAL in WriteAll means the
+  // failure is a Status, not process death by SIGPIPE.
+  std::string payload(64 << 10, 'x');
+  Status s = SendFrame(p.client.get(), payload);
+  if (s.ok()) s = SendFrame(p.client.get(), payload);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError) << s;
+}
+
 TEST(SocketTest, ListenerReportsEphemeralPort) {
   Result<UniqueFd> listener = ListenTcp(0);
   ASSERT_TRUE(listener.ok());

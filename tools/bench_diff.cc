@@ -131,11 +131,14 @@ std::string FormatDelta(double frac) {
 /// they RISE; everything else (throughput, accuracy, speedup ratios)
 /// regresses when it drops. Without this, a faster candidate's lower
 /// latency would read as a regression. "_ms" never collides with
-/// "_mismatches" — the substring needs m,s adjacent.
+/// "_mismatches" — the substring needs m,s adjacent. shed_rate is the
+/// overload-region loss fraction: more shedding at the same offered load
+/// means less goodput, so it regresses on rises too.
 bool LowerIsBetter(const std::string& key) {
   return key.find("_ms") != std::string::npos ||
          key.find("_seconds") != std::string::npos ||
-         key.find("latency") != std::string::npos;
+         key.find("latency") != std::string::npos ||
+         key.find("shed_rate") != std::string::npos;
 }
 
 int Diff(const BenchFile& base, const BenchFile& cand, double threshold) {

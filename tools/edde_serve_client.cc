@@ -46,6 +46,20 @@ int Main(int argc, char** argv) {
   flags.Define("dump", "",
                "write canonical response lines here (request order, no "
                "trace ids) for cross-run bit-identity checks");
+  flags.Define("deadline_ms", "0",
+               "per-request client deadline stamped into each request "
+               "(0 = none)");
+  flags.Define("retries", "0",
+               "retry attempts after the first on transport failures and "
+               "retryable server codes (unavailable/failed_precondition)");
+  flags.Define("backoff_ms", "5", "base retry backoff (exponential, capped)");
+  flags.Define("retry_budget", "1024",
+               "lifetime retry allowance per connection thread");
+  flags.Define("recv_timeout_ms", "0",
+               "SO_RCVTIMEO on client sockets (0 = block forever)");
+  flags.Define("allow_shed", "false",
+               "treat deadline_exceeded/unavailable responses as sheds "
+               "(counted, not failures) instead of hard errors");
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
@@ -65,6 +79,14 @@ int Main(int argc, char** argv) {
   const std::string dump_path = flags.GetString("dump");
   const std::string host = flags.GetString("host");
   const uint16_t port = static_cast<uint16_t>(flags.GetInt("port"));
+  const bool allow_shed = flags.GetBool("allow_shed");
+
+  serve::RetryPolicy policy;
+  policy.max_attempts = 1 + static_cast<int>(flags.GetInt("retries"));
+  policy.retry_budget = flags.GetInt("retry_budget");
+  policy.base_backoff_ms = flags.GetInt("backoff_ms");
+  policy.deadline_ms = flags.GetInt("deadline_ms");
+  policy.recv_timeout_ms = flags.GetInt("recv_timeout_ms");
 
   // Payloads come from one sequential RNG pass, independent of how many
   // connections later carry them — request i is identical across runs.
@@ -85,20 +107,18 @@ int Main(int argc, char** argv) {
   std::vector<std::string> lines(static_cast<size_t>(num_requests));
   std::vector<double> depth_sums(static_cast<size_t>(pool), 0.0);
   std::vector<int> failures(static_cast<size_t>(pool), 0);
+  std::vector<int64_t> sheds(static_cast<size_t>(pool), 0);
+  std::vector<int64_t> retries(static_cast<size_t>(pool), 0);
 
   auto drive = [&](int worker) {
-    Result<serve::ServeClient> client = serve::ServeClient::Connect(host,
-                                                                    port);
-    if (!client.ok()) {
-      std::fprintf(stderr, "conn %d: connect: %s\n", worker,
-                   client.status().ToString().c_str());
-      failures[static_cast<size_t>(worker)] = 1;
-      return;
-    }
+    serve::RetryPolicy worker_policy = policy;
+    // Distinct jitter stream per connection so backed-off workers do not
+    // re-stampede in lockstep.
+    worker_policy.seed = policy.seed + static_cast<uint64_t>(worker);
+    serve::RetryingServeClient client(host, port, worker_policy);
     for (int i = worker; i < num_requests; i += pool) {
       const serve::PredictRequest& req = requests[static_cast<size_t>(i)];
-      Result<serve::PredictResponse> resp =
-          client.ValueOrDie().Predict(req);
+      Result<serve::PredictResponse> resp = client.Predict(req);
       if (!resp.ok()) {
         std::fprintf(stderr, "request %d: %s\n", i,
                      resp.status().ToString().c_str());
@@ -107,8 +127,15 @@ int Main(int argc, char** argv) {
       }
       const serve::PredictResponse& r = resp.ValueOrDie();
       if (!r.ok) {
-        std::fprintf(stderr, "request %d: server error: %s\n", i,
-                     r.error.c_str());
+        if (allow_shed && (r.code == "deadline_exceeded" ||
+                           r.code == "unavailable")) {
+          ++sheds[static_cast<size_t>(worker)];
+          lines[static_cast<size_t>(i)] =
+              "id=" + std::to_string(i) + " shed=" + r.code;
+          continue;
+        }
+        std::fprintf(stderr, "request %d: server error [%s]: %s\n", i,
+                     r.code.c_str(), r.error.c_str());
         failures[static_cast<size_t>(worker)] = 1;
         return;
       }
@@ -156,6 +183,7 @@ int Main(int argc, char** argv) {
       }
       lines[static_cast<size_t>(i)] = std::move(line);
     }
+    retries[static_cast<size_t>(worker)] = client.retries_used();
   };
 
   std::vector<std::thread> threads;
@@ -179,13 +207,19 @@ int Main(int argc, char** argv) {
   }
 
   double depth_sum = 0.0;
+  int64_t shed_total = 0;
+  int64_t retry_total = 0;
   for (const double s : depth_sums) depth_sum += s;
-  const int64_t rows_done = static_cast<int64_t>(num_requests) * rows;
+  for (const int64_t s : sheds) shed_total += s;
+  for (const int64_t r : retries) retry_total += r;
+  const int64_t answered =
+      (static_cast<int64_t>(num_requests) - shed_total) * rows;
   std::printf("OK: %d requests, %lld rows, %d conns, mean cascade depth "
-              "%.2f\n",
-              num_requests, static_cast<long long>(rows_done), pool,
-              rows_done > 0 ? depth_sum / static_cast<double>(rows_done)
-                            : 0.0);
+              "%.2f, %lld shed, %lld retries\n",
+              num_requests, static_cast<long long>(answered), pool,
+              answered > 0 ? depth_sum / static_cast<double>(answered) : 0.0,
+              static_cast<long long>(shed_total),
+              static_cast<long long>(retry_total));
   return 0;
 }
 

@@ -13,8 +13,19 @@
 /// SIGINT/SIGTERM stop the server gracefully: stop accepting, drain the
 /// admission queue, answer everything in flight, then flush metrics/trace
 /// through the standard shutdown path and exit 128+signal.
+///
+/// SIGHUP (or POST /reloadz on the observability port) hot-reloads
+/// --model from disk: the artifact is re-read, validated against the
+/// serving geometry/precision, and atomically installed as the next
+/// generation. In-flight batches finish on the generation they started
+/// on; a corrupt or mismatched artifact is rejected and the old
+/// generation keeps serving (DESIGN.md §16).
 
+#include <csignal>
+
+#include <atomic>
 #include <cstdio>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -30,6 +41,10 @@
 
 namespace edde {
 namespace {
+
+std::atomic<bool> g_reload_requested{false};
+
+void HandleSighup(int) { g_reload_requested.store(true); }
 
 std::vector<int> ParseHidden(const std::string& spec) {
   std::vector<int> hidden;
@@ -67,6 +82,15 @@ int Main(int argc, char** argv) {
   flags.Define("drain_ms", "0",
                "lame-duck window: after SIGTERM/SIGINT, answer /healthz 503 "
                "for this long before stopping");
+  flags.Define("max_request_ms", "0",
+               "server-side per-request deadline cap in ms (0 = none); "
+               "requests older than this are shed before execution");
+  flags.Define("shed_queue_age_ms", "0",
+               "shed new work once the oldest queued request is older than "
+               "this (0 = off); also flips /healthz to 503");
+  flags.Define("send_timeout_ms", "5000",
+               "SO_SNDTIMEO on client connections; a stalled reader gets "
+               "its connection dropped instead of wedging a worker");
   DefineCommonFlags(&flags);
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
@@ -126,6 +150,29 @@ int Main(int argc, char** argv) {
   config.num_batch_workers = flags.GetInt("workers");
   config.max_inflight_batches = flags.GetInt("max_inflight");
   config.http_port = flags.GetInt("http_port");
+  config.max_request_ms = flags.GetInt("max_request_ms");
+  config.shed_queue_age_ms = flags.GetInt("shed_queue_age_ms");
+  config.send_timeout_ms = flags.GetInt("send_timeout_ms");
+
+  // Hot reload re-reads --model with the same factory and precision. The
+  // closure runs on whatever thread triggers the reload (main loop for
+  // SIGHUP, the HTTP thread for /reloadz); LoadEnsemble validates shapes
+  // against the factory, so a swapped-out artifact with different
+  // geometry fails here and the serving generation is untouched.
+  const std::string model_path = flags.GetString("model");
+  const bool use_int8 = (precision == "int8");
+  config.reload_source =
+      [model_path, factory, use_int8]() -> Result<serve::ReloadCandidate> {
+    Result<EnsembleModel> reloaded = LoadEnsemble(model_path, factory);
+    if (!reloaded.ok()) return reloaded.status();
+    auto next = std::make_shared<EnsembleModel>(
+        std::move(reloaded).ValueOrDie());
+    if (use_int8) next->SetPrecision(Precision::kInt8);
+    serve::ReloadCandidate candidate;
+    candidate.model = std::move(next);
+    candidate.source = model_path;
+    return candidate;
+  };
 
   serve::InferenceServer server(&model, mlp.in_features, mlp.num_classes,
                                 config);
@@ -146,7 +193,22 @@ int Main(int argc, char** argv) {
   std::fflush(stdout);
 
   InstallShutdownHandler();
+  {
+    struct sigaction sa = {};
+    sa.sa_handler = HandleSighup;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGHUP, &sa, nullptr);
+  }
   while (!ShutdownRequested()) {
+    if (g_reload_requested.exchange(false)) {
+      const Status reloaded = server.ReloadFromSource();
+      if (!reloaded.ok()) {
+        // Already logged + counted inside the server; nothing else to do —
+        // the previous generation keeps serving.
+        std::fprintf(stderr, "reload failed: %s\n",
+                     reloaded.ToString().c_str());
+      }
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   // Lame duck: readiness flips to 503 immediately; load balancers get

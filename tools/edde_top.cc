@@ -93,9 +93,10 @@ int WatchLoop(const std::string& host, uint16_t port, int interval_ms,
 
     if (!once) std::fputs("\x1b[H\x1b[2J", stdout);  // home + clear
     std::printf(
-        "edde-top — %s:%u  up %.1fs  members=%lld  precision=%s  "
-        "cascade=%s  workers=%lld  %s\n\n",
+        "edde-top — %s:%u  up %.1fs  gen=%lld  members=%lld  precision=%s  "
+        "cascade=%s  workers=%lld  %s\n",
         host.c_str(), port, cur.at_seconds,
+        static_cast<long long>(server->GetNumberOr("generation", 1)),
         static_cast<long long>(server->GetNumberOr("members", 0)),
         server->GetStringOr("precision", "?").c_str(),
         server->Get("cascade") != nullptr && server->Get("cascade")->AsBool()
@@ -105,6 +106,15 @@ int WatchLoop(const std::string& host, uint16_t port, int interval_ms,
         server->Get("ready") != nullptr && server->Get("ready")->AsBool()
             ? "READY"
             : "NOT READY");
+    std::printf(
+        "model: %s  reloads=%lld  queue age %lldms  shed: deadline=%lld "
+        "queue=%lld\n\n",
+        server->GetStringOr("model_source", "?").c_str(),
+        static_cast<long long>(server->GetNumberOr("reloads", 0)),
+        static_cast<long long>(server->GetNumberOr("queue_age_ms", 0)),
+        static_cast<long long>(CounterOr(*counters, "serve.deadline_shed", 0)),
+        static_cast<long long>(
+            CounterOr(*counters, "serve.queue_age_shed", 0)));
 
     {
       const int64_t d_rows = cur.rows - prev.rows;
